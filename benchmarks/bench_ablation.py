@@ -1,0 +1,24 @@
+"""Ablations: aggregation circuit, sampling budget, pre-join storage."""
+
+from repro.experiments import ablation
+
+
+def test_ablations(benchmark, ssb_setup, publish):
+    rows = benchmark.pedantic(
+        lambda: ablation.aggregation_circuit_ablation(ssb_setup, queries=("Q1.1",)),
+        rounds=1, iterations=1,
+    )
+    publish("ablation", ablation.render(ssb_setup))
+
+    # The aggregation circuit reduces both latency and energy on Q1.1.
+    by_variant = {row.variant: row for row in rows}
+    with_circuit = by_variant["with circuit"]
+    without = by_variant["bulk-bitwise only"]
+    assert with_circuit.time_s < without.time_s
+    assert with_circuit.energy_j < without.energy_j
+
+    # Section III: the pre-joined relation needs no more pages than the fact
+    # relation when the record fits in one crossbar row.
+    report = ablation.prejoin_storage_report(ssb_setup)
+    assert report.fits_in_single_row
+    assert report.extra_pages_one_xb == 0

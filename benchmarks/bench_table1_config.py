@@ -1,0 +1,10 @@
+"""Table I — architecture and system configuration."""
+
+from repro.experiments import table1_config
+
+
+def test_table1_configuration(benchmark, publish):
+    rows = benchmark.pedantic(table1_config.table1, rounds=1, iterations=1)
+    publish("table1_configuration", table1_config.render())
+    assert any("Crossbar rows" in row[1] for row in rows)
+    assert any("32GB" in row[2] for row in rows)

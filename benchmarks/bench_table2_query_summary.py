@@ -1,0 +1,19 @@
+"""Table II — per-query selectivity and GROUP-BY subgroup statistics."""
+
+from repro.experiments import table2_summary
+
+
+def test_table2_query_summary(benchmark, query_records, publish):
+    rows = benchmark.pedantic(
+        lambda: table2_summary.table2_rows(query_records), rounds=1, iterations=1
+    )
+    publish("table2_query_summary", table2_summary.render(query_records))
+    assert len(rows) == 13
+    by_query = {row[0]: row for row in rows}
+    # Q1.x perform a single PIM aggregation in every PIM configuration.
+    for name in ("Q1.1", "Q1.2", "Q1.3"):
+        assert by_query[name][4] == 1  # one_xb
+        assert by_query[name][6] == 1  # pimdb
+    # GROUP-BY queries enumerate more than one candidate subgroup.
+    assert by_query["Q3.1"][2] >= 100
+    assert by_query["Q2.1"][2] >= 100

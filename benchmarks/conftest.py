@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+The full evaluation (13 SSB queries x 5 configurations) is executed once per
+session and cached; each benchmark file then regenerates one of the paper's
+tables or figures from the cached records, times a representative piece of
+work with pytest-benchmark, prints the paper-style table and writes it to
+``benchmarks/results/``.
+
+The generated SSB scale factor defaults to 0.01 (laptop-sized; costs are
+extrapolated to the paper's SF=10) and can be overridden with the
+``REPRO_SSB_SF`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.common import build_setup, default_scale_factor, run_all_queries
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ssb_setup():
+    """The generated SSB instance and the five configured engines."""
+    return build_setup(scale_factor=default_scale_factor())
+
+
+@pytest.fixture(scope="session")
+def query_records(ssb_setup):
+    """All (configuration, query) measurements, executed once and verified."""
+    return run_all_queries(ssb_setup)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered tables/figures."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def publish(results_dir):
+    """Print a rendered table and persist it under ``benchmarks/results/``."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(f"===== {name} =====")
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

@@ -1,0 +1,83 @@
+"""Materialise a derived attribute with in-memory NOR arithmetic.
+
+The SSB flight-1 queries aggregate ``lo_extendedprice * lo_discount``.  The
+reproduction normally materialises that product when the pre-joined relation
+is loaded, but the same result can be produced *inside* the memory arrays
+with the shift-add multiplier built from NOR primitives
+(:func:`repro.pim.arithmetic.build_multiply`) — every record of every
+crossbar computes its product concurrently.
+
+This example stores a slice of the SSB fact relation, runs the in-memory
+multiplier, and checks the result against the host-computed column, also
+reporting how many bulk-bitwise cycles the materialisation costs.
+
+Run with::
+
+    python examples/derived_attribute_in_memory.py
+"""
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.relation import Relation
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.pim.arithmetic import build_multiply
+from repro.pim.controller import PimExecutor
+from repro.pim.logic import ProgramBuilder
+from repro.pim.module import PimModule
+from repro.ssb import generate
+
+
+def main() -> None:
+    dataset = generate(scale_factor=0.002, skew=0.5)
+    lineorder = dataset.lineorder
+    schema = Schema("fact_slice", [
+        int_attribute("lo_extendedprice", 24),
+        int_attribute("lo_discount", 4),
+        int_attribute("lo_revenue_discounted", 28),
+    ])
+    records = len(lineorder)
+    relation = Relation(schema, {
+        "lo_extendedprice": lineorder.column("lo_extendedprice"),
+        "lo_discount": lineorder.column("lo_discount"),
+        "lo_revenue_discounted": np.zeros(records, dtype=np.uint64),
+    })
+
+    module = PimModule(DEFAULT_CONFIG)
+    stored = StoredRelation(relation, module, label="derived",
+                            aggregation_width=28, reserve_bulk_aggregation=False)
+    layout = stored.layouts[0]
+
+    builder = ProgramBuilder(layout.scratch_columns)
+    # The multiplier needs one dedicated scratch column per result bit; the
+    # accumulator area is unused at this point and provides them.
+    addend_columns = list(range(layout.accumulator_offset,
+                                layout.accumulator_offset + 28))
+    build_multiply(
+        builder,
+        layout.field_columns("lo_extendedprice"),
+        layout.field_columns("lo_discount"),
+        layout.field_columns("lo_revenue_discounted"),
+        addend_columns,
+    )
+    program = builder.build()
+
+    executor = PimExecutor(DEFAULT_CONFIG)
+    executor.run_program(stored.allocations[0].bank, program,
+                         pages=stored.pages, phase="derive")
+
+    computed = stored.decode_column("lo_revenue_discounted")
+    expected = lineorder.column("lo_extendedprice") * lineorder.column("lo_discount")
+    assert np.array_equal(computed, expected)
+
+    print(f"records processed          : {records}")
+    print(f"multiplier program cycles  : {program.cycles}")
+    print(f"simulated latency          : {executor.stats.total_time_s * 1e6:.1f} us "
+          f"(all crossbars in parallel)")
+    print(f"PIM energy                 : {executor.stats.total_energy_j * 1e3:.3f} mJ")
+    print("verified: in-memory product equals the host-computed column")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Baseline configurations the paper compares against.
+
+* :mod:`repro.baselines.pimdb` — PIMDB [1]: the same bulk-bitwise PIM system
+  without the per-crossbar aggregation circuit, extended (as in the paper's
+  comparison) with the pre-joined relation and the hybrid GROUP-BY technique
+  so that only the aggregation mechanism differs.
+* The MonetDB baselines (mnt-reg, mnt-join) live in :mod:`repro.columnar`.
+"""
+
+from repro.baselines.pimdb import build_pimdb_engine
+
+__all__ = ["build_pimdb_engine"]

@@ -1,0 +1,17 @@
+"""A vectorised in-memory columnar engine (the MonetDB comparison baseline).
+
+The paper compares its PIM system against MonetDB running on a two-socket
+Xeon server, in two flavours: ``mnt-reg`` executes the original star schema
+(with joins) and ``mnt-join`` executes the same pre-joined relation the PIM
+system stores.  MonetDB itself (and the Xeon server) are not available here,
+so this package provides a functional stand-in: a column-at-a-time engine
+over NumPy arrays that produces exact query answers — used to cross-validate
+the PIM engine — together with an analytical cost model expressing its
+latency on the paper's server (memory traffic over the achievable bandwidth
+and per-value CPU work over the 32 cores).
+"""
+
+from repro.columnar.engine import ColumnarEngine, ColumnarExecution
+from repro.columnar.cost import ColumnarCost
+
+__all__ = ["ColumnarEngine", "ColumnarExecution", "ColumnarCost"]

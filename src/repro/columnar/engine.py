@@ -1,0 +1,224 @@
+"""The columnar baseline engine (mnt-reg and mnt-join).
+
+:class:`ColumnarEngine` executes the same query IR as the PIM engine, either
+against the original star schema (``execute_star``, the paper's *mnt-reg*
+configuration: per-dimension selections, hash joins on the foreign keys, then
+aggregation) or against the pre-joined relation (``execute_prejoined``, the
+paper's *mnt-join* configuration: a flat scan).  Answers are exact and keyed
+identically to the PIM engine's results, so the two can be compared directly;
+latency comes from the analytical :class:`~repro.columnar.cost.ColumnarCost`
+model of the paper's MonetDB server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.columnar import operators
+from repro.columnar.cost import ColumnarCost
+from repro.config import ColumnarServerConfig, SystemConfig
+from repro.core.prejoin import DerivedAttribute
+from repro.db.catalog import Database
+from repro.db.query import (
+    Aggregate,
+    And,
+    Predicate,
+    Query,
+    attributes_referenced,
+    conj,
+)
+from repro.db.relation import Relation
+
+
+@dataclass
+class ColumnarExecution:
+    """Result and cost of one columnar query execution."""
+
+    query: Query
+    label: str
+    rows: Dict[Tuple[int, ...], Dict[str, int]]
+    cost: ColumnarCost
+    time_s: float
+
+    def scalar(self, aggregate_name: Optional[str] = None) -> int:
+        """Value of an aggregate for a query without GROUP-BY."""
+        if len(self.rows) != 1 or () not in self.rows:
+            raise ValueError("query produced grouped results; use .rows")
+        entry = self.rows[()]
+        if aggregate_name is None:
+            aggregate_name = next(iter(entry))
+        return entry[aggregate_name]
+
+
+class ColumnarEngine:
+    """Functional columnar executor with an analytical latency model."""
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        derived: Sequence[DerivedAttribute] = (),
+        workload_scale: float = 1.0,
+    ) -> None:
+        """Create the engine.
+
+        ``workload_scale`` linearly extrapolates the reported cost to a
+        relation that many times larger (the functional answer is always for
+        the relation actually supplied); it mirrors the ``timing_scale`` of
+        the PIM engine so both baselines can be reported at the paper's
+        SF=10 size while executing a laptop-sized instance.
+        """
+        from repro.config import DEFAULT_CONFIG
+
+        system = config if config is not None else DEFAULT_CONFIG
+        self.server: ColumnarServerConfig = system.columnar
+        self.derived: Dict[str, DerivedAttribute] = {d.name: d for d in derived}
+        if workload_scale <= 0:
+            raise ValueError("workload_scale must be positive")
+        self.workload_scale = float(workload_scale)
+
+    def _finalise(
+        self, query: Query, label: str, rows, cost: ColumnarCost
+    ) -> ColumnarExecution:
+        scaled = cost.scaled(self.workload_scale)
+        return ColumnarExecution(
+            query=query, label=label, rows=rows, cost=scaled,
+            time_s=scaled.time_s(self.server),
+        )
+
+    # -------------------------------------------------------------- mnt-join
+    def execute_prejoined(
+        self, query: Query, relation: Relation, label: str = "mnt_join"
+    ) -> ColumnarExecution:
+        """Execute the query against the pre-joined (flat) relation."""
+        cost = ColumnarCost()
+        mask = operators.select(relation, query.predicate, cost)
+        indices = np.nonzero(mask)[0]
+
+        group_columns = {
+            name: operators.gather_column(relation, name, indices, cost)
+            for name in query.group_by
+        }
+        value_columns = {}
+        for aggregate in query.aggregates:
+            if aggregate.attribute is None:
+                continue
+            value_columns[aggregate.attribute] = self._aggregate_input(
+                relation, aggregate.attribute, indices, cost
+            )
+        rows = operators.group_aggregate(
+            group_columns, value_columns, query.aggregates, cost
+        )
+        return self._finalise(query, label, rows, cost)
+
+    # --------------------------------------------------------------- mnt-reg
+    def execute_star(
+        self, query: Query, database: Database, label: str = "mnt_reg"
+    ) -> ColumnarExecution:
+        """Execute the query against the original star schema (with joins)."""
+        cost = ColumnarCost()
+        fact = database.fact_relation
+        conjuncts = self._split_conjuncts(query.predicate, database)
+
+        # Selections pushed down to each dimension, then a semi-join into the
+        # fact relation through the foreign key.
+        mask = np.ones(len(fact), dtype=bool)
+        for dimension_name, predicate in conjuncts.items():
+            if dimension_name == database.fact:
+                continue
+            foreign_key = database.foreign_key_for(dimension_name)
+            dimension = database.relation(dimension_name)
+            keys = operators.dimension_semijoin(
+                dimension, foreign_key.dimension_key, predicate, cost
+            )
+            mask &= operators.fact_membership(
+                fact, foreign_key.fact_attribute, keys, cost
+            )
+        fact_predicate = conjuncts.get(database.fact)
+        if fact_predicate is not None:
+            mask &= operators.select(fact, fact_predicate, cost)
+        indices = np.nonzero(mask)[0]
+
+        # GROUP-BY attributes: fact attributes are gathered directly,
+        # dimension attributes are fetched through the join.
+        group_columns: Dict[str, np.ndarray] = {}
+        for name in query.group_by:
+            group_columns[name] = self._resolve_attribute(
+                database, fact, name, indices, cost
+            )
+        value_columns: Dict[str, np.ndarray] = {}
+        for aggregate in query.aggregates:
+            if aggregate.attribute is None:
+                continue
+            value_columns[aggregate.attribute] = self._aggregate_input(
+                fact, aggregate.attribute, indices, cost, database
+            )
+        rows = operators.group_aggregate(
+            group_columns, value_columns, query.aggregates, cost
+        )
+        return self._finalise(query, label, rows, cost)
+
+    # -------------------------------------------------------------- internals
+    def _split_conjuncts(
+        self, predicate: Predicate, database: Database
+    ) -> Dict[str, Predicate]:
+        """Group top-level conjuncts by the relation that owns their attributes."""
+        buckets: Dict[str, List[Predicate]] = {}
+        nodes = list(predicate.children) if isinstance(predicate, And) else (
+            [predicate] if predicate is not None else []
+        )
+        for node in nodes:
+            owners = {
+                database.relation_of_attribute(name)
+                for name in attributes_referenced(node)
+            }
+            if len(owners) != 1:
+                raise ValueError(
+                    "a conjunct referencing several relations needs an explicit join"
+                )
+            buckets.setdefault(owners.pop(), []).append(node)
+        return {name: conj(*nodes) for name, nodes in buckets.items()}
+
+    def _resolve_attribute(
+        self,
+        database: Database,
+        fact: Relation,
+        name: str,
+        indices: np.ndarray,
+        cost: ColumnarCost,
+    ) -> np.ndarray:
+        """Fetch an attribute for the selected fact records (join if needed)."""
+        if name in fact.schema:
+            return operators.gather_column(fact, name, indices, cost)
+        owner = database.relation_of_attribute(name)
+        foreign_key = database.foreign_key_for(owner)
+        fact_keys = operators.gather_column(
+            fact, foreign_key.fact_attribute, indices, cost
+        )
+        return operators.join_lookup(
+            database.relation(owner), foreign_key.dimension_key, name, fact_keys, cost
+        )
+
+    def _aggregate_input(
+        self,
+        relation: Relation,
+        attribute: str,
+        indices: np.ndarray,
+        cost: ColumnarCost,
+        database: Optional[Database] = None,
+    ) -> np.ndarray:
+        """Values to aggregate: a stored column or an on-the-fly derived one."""
+        if attribute in relation.schema:
+            return operators.gather_column(relation, attribute, indices, cost)
+        spec = self.derived.get(attribute)
+        if spec is None:
+            if database is not None:
+                fact = relation
+                return self._resolve_attribute(database, fact, attribute, indices, cost)
+            raise KeyError(f"unknown aggregate attribute {attribute!r}")
+        left = operators.gather_column(relation, spec.left, indices, cost)
+        right = operators.gather_column(relation, spec.right, indices, cost)
+        cost.values_touched += len(indices)
+        return spec.compute({spec.left: left, spec.right: right})

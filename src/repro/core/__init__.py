@@ -1,0 +1,42 @@
+"""The paper's contribution: pre-joined storage, hybrid GROUP-BY, executor.
+
+This package layers the query-processing techniques of the paper on top of
+the PIM, host and relational substrates:
+
+* :mod:`repro.core.prejoin` — building (and sizing) the pre-joined relation
+  that makes JOIN unnecessary at query time (Section III).
+* :mod:`repro.core.latency_model` — the empirical latency models of
+  Eq. (1)-(3) for host-gb and pim-gb, plus analytic predictors derived from
+  the simulator's own cost model (Section IV, Fig. 4).
+* :mod:`repro.core.sampling` — sampling-based estimation of subgroup sizes
+  over one 2 MB page (Section IV).
+* :mod:`repro.core.groupby` — the planner dividing subgroups between pim-gb
+  and host-gb by minimising Eq. (3).
+* :mod:`repro.core.executor` — the end-to-end PIM query engine used for the
+  one-xb, two-xb and PIMDB configurations of the evaluation.
+"""
+
+from repro.core.prejoin import DerivedAttribute, build_prejoined_relation, storage_overhead
+from repro.core.latency_model import (
+    GroupByCostModel,
+    HostGbLatencyModel,
+    PimGbLatencyModel,
+)
+from repro.core.sampling import SubgroupEstimate, estimate_subgroups
+from repro.core.groupby import GroupByPlan, GroupByPlanner
+from repro.core.executor import PimQueryEngine, QueryExecution
+
+__all__ = [
+    "DerivedAttribute",
+    "build_prejoined_relation",
+    "storage_overhead",
+    "GroupByCostModel",
+    "HostGbLatencyModel",
+    "PimGbLatencyModel",
+    "SubgroupEstimate",
+    "estimate_subgroups",
+    "GroupByPlan",
+    "GroupByPlanner",
+    "PimQueryEngine",
+    "QueryExecution",
+]

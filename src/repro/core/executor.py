@@ -1,0 +1,604 @@
+"""The end-to-end PIM query engine.
+
+:class:`PimQueryEngine` executes select-from-where-group-by queries against a
+relation stored in bulk-bitwise PIM memory (normally the pre-joined star
+schema), combining every mechanism of the paper:
+
+1. the WHERE clause is compiled into NOR programs and evaluated inside the
+   memory, one result bit per record;
+2. queries without GROUP-BY aggregate that bit-vector-selected attribute with
+   the per-crossbar aggregation circuit (or, for the PIMDB baseline
+   configuration, with the pure bulk-bitwise reduction), after which the host
+   reads one partial result per crossbar and combines them;
+3. GROUP-BY queries first sample one 2 MB page to estimate subgroup sizes,
+   let the :class:`~repro.core.groupby.GroupByPlanner` minimise Eq. (3), then
+   PIM-aggregate the ``k`` chosen subgroups and hand the remaining records to
+   a host-side hash aggregation (host-gb);
+4. vertically partitioned relations (two-xb) move intermediate bit-vectors
+   between the partitions through the host, including once per PIM-aggregated
+   subgroup — the worst-case placement evaluated in Section V-A.
+
+Every execution returns a :class:`QueryExecution` carrying the functional
+result rows (bit-exact with the reference engines), the accumulated
+latency/energy/power statistics and the planning metadata reported in
+Table II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.core.groupby import GroupByPlan, GroupByPlanner
+from repro.core.latency_model import GroupByCostModel, build_analytic_cost_model
+from repro.core.sampling import GroupKey, SubgroupEstimate, estimate_subgroups
+from repro.db.compiler import compile_group_predicate, compile_predicate, partition_conjuncts
+from repro.db.query import (
+    Aggregate,
+    Predicate,
+    Query,
+    And,
+    attributes_referenced,
+    conj,
+    evaluate_predicate,
+)
+from repro.db.storage import StoredRelation
+from repro.host.aggregator import combine_partials, host_group_aggregate, merge_group_results
+from repro.host.readpath import HostReadModel
+from repro.pim.arithmetic import BulkAggregationPlan
+from repro.pim.controller import PimExecutor
+from repro.pim.logic import ProgramBuilder
+from repro.pim.stats import PimStats
+
+
+@dataclass
+class QueryExecution:
+    """Result and measurements of one query execution."""
+
+    query: Query
+    label: str
+    rows: Dict[GroupKey, Dict[str, int]]
+    stats: PimStats
+    selectivity: float
+    total_subgroups: int
+    subgroups_in_sample: int
+    pim_subgroups: int
+    max_writes_per_row: int
+    plan: Optional[GroupByPlan] = None
+
+    @property
+    def time_s(self) -> float:
+        """End-to-end execution latency (Fig. 6)."""
+        return self.stats.total_time_s
+
+    @property
+    def energy_j(self) -> float:
+        """PIM memory energy (Fig. 7)."""
+        return self.stats.total_energy_j
+
+    @property
+    def peak_chip_power_w(self) -> float:
+        """Peak power of a single PIM chip (Fig. 8)."""
+        return self.stats.peak_chip_power_w
+
+    def scalar(self, aggregate_name: Optional[str] = None) -> int:
+        """Value of an aggregate for a query without GROUP-BY."""
+        if len(self.rows) != 1 or () not in self.rows:
+            raise ValueError("query produced grouped results; use .rows")
+        entry = self.rows[()]
+        if aggregate_name is None:
+            aggregate_name = next(iter(entry))
+        return entry[aggregate_name]
+
+    def decoded_rows(self, schema) -> Dict[Tuple, Dict[str, int]]:
+        """Result rows with the GROUP-BY key translated to raw values."""
+        decoded = {}
+        for key, entry in self.rows.items():
+            decoded_key = tuple(
+                schema.attribute(name).decode_value(code)
+                for name, code in zip(self.query.group_by, key)
+            )
+            decoded[decoded_key] = dict(entry)
+        return decoded
+
+
+class PimQueryEngine:
+    """Executes queries on a PIM-resident (pre-joined) relation."""
+
+    def __init__(
+        self,
+        stored: StoredRelation,
+        config: Optional[SystemConfig] = None,
+        label: str = "one_xb",
+        cost_model: Optional[GroupByCostModel] = None,
+        sample_pages: int = 1,
+        timing_scale: float = 1.0,
+    ) -> None:
+        """Create an engine over a stored relation.
+
+        Args:
+            stored: The PIM-resident relation (usually the pre-joined SSB
+                relation).
+            config: System configuration; defaults to the module's.
+            label: Name used in reports (``one_xb``, ``two_xb``, ``pimdb``).
+            cost_model: GROUP-BY cost model; derived analytically if omitted.
+            sample_pages: Pages sampled for subgroup-size estimation.
+            timing_scale: Linear extrapolation factor for the timing, energy
+                and power accounting.  The functional execution always runs
+                on the stored relation as-is; with ``timing_scale > 1`` the
+                reported costs (and the planner's decisions) correspond to a
+                relation that many times larger — e.g. a laptop-sized SSB
+                instance with ``timing_scale`` chosen so the modelled size is
+                the paper's SF=10.  Per-row wear is unaffected (it does not
+                depend on the number of pages).
+        """
+        if timing_scale <= 0:
+            raise ValueError("timing_scale must be positive")
+        self.stored = stored
+        self.config = config if config is not None else stored.module.system_config
+        self.label = label
+        self.sample_pages = sample_pages
+        self.timing_scale = float(timing_scale)
+        self.use_aggregation_circuit = self.config.pim.aggregation_circuit.enabled
+        self.transfer_per_subgroup = stored.partitions > 1
+        if cost_model is None:
+            cost_model = build_analytic_cost_model(
+                self.config,
+                use_aggregation_circuit=self.use_aggregation_circuit,
+                transfer_per_subgroup=self.transfer_per_subgroup,
+            )
+        self.cost_model = cost_model
+        self.planner = GroupByPlanner(cost_model)
+
+    def _timing_pages(self, partition: int) -> float:
+        """Page count used for timing purposes (scaled)."""
+        return self.stored.allocations[partition].pages * self.timing_scale
+
+    # ------------------------------------------------------------------ main
+    def execute(self, query: Query) -> QueryExecution:
+        """Execute one query and return its results and measurements."""
+        stats = PimStats()
+        executor = PimExecutor(self.config, stats)
+        read_model = HostReadModel(
+            self.config, stats, traffic_scale=self.timing_scale
+        )
+        wear_before = self.stored.wear_snapshot()
+
+        primary = self._primary_partition(query)
+        self._run_filter(query, primary, executor, read_model)
+        mask = self.stored.filter_mask(primary)
+        selectivity = float(mask.mean()) if len(mask) else 0.0
+
+        plan: Optional[GroupByPlan] = None
+        if not query.group_by:
+            rows = {(): self._aggregate_all(query, primary, executor, read_model)}
+            total_subgroups, in_sample, pim_subgroups = 1, 0, 1
+        else:
+            rows, plan = self._execute_group_by(
+                query, primary, mask, executor, read_model
+            )
+            total_subgroups = plan.total_subgroups
+            in_sample = plan.estimate.observed_subgroups
+            pim_subgroups = plan.k
+
+        max_writes = self.stored.max_writes_since(wear_before)
+        stats.observe_writes_per_row(max_writes)
+        return QueryExecution(
+            query=query,
+            label=self.label,
+            rows=rows,
+            stats=stats,
+            selectivity=selectivity,
+            total_subgroups=total_subgroups,
+            subgroups_in_sample=in_sample,
+            pim_subgroups=pim_subgroups,
+            max_writes_per_row=max_writes,
+            plan=plan,
+        )
+
+    # ---------------------------------------------------------------- filter
+    def _primary_partition(self, query: Query) -> int:
+        """Partition holding the aggregated attributes (and the final filter)."""
+        partitions = {
+            self.stored.partition_of(a.attribute)
+            for a in query.aggregates
+            if a.attribute is not None
+        }
+        if len(partitions) > 1:
+            raise NotImplementedError(
+                "aggregated attributes must share a vertical partition"
+            )
+        return partitions.pop() if partitions else 0
+
+    def _run_filter(
+        self,
+        query: Query,
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> None:
+        """Evaluate the WHERE clause; the combined result lands in ``primary``."""
+        schema = self.stored.relation.schema
+        per_partition = partition_conjuncts(
+            query.predicate, self.stored.partition_attributes
+        )
+        for index, predicate in enumerate(per_partition):
+            layout = self.stored.layouts[index]
+            allocation = self.stored.allocations[index]
+            program = compile_predicate(predicate, schema, layout)
+            executor.run_program(
+                allocation.bank, program,
+                pages=self._timing_pages(index), phase="filter",
+            )
+        # Fold the other partitions' filter bits into the primary partition.
+        for index, predicate in enumerate(per_partition):
+            if index == primary or predicate is None:
+                continue
+            self._transfer_and_combine(
+                executor, read_model,
+                source_partition=index,
+                source_column=self.stored.layouts[index].filter_column,
+                target_partition=primary,
+                target_column=self.stored.layouts[primary].filter_column,
+                phase="filter-combine",
+            )
+
+    def _transfer_and_combine(
+        self,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+        source_partition: int,
+        source_column: int,
+        target_partition: int,
+        target_column: int,
+        phase: str,
+    ) -> None:
+        """Move a bit column between partitions and AND it into the target."""
+        target_layout = self.stored.layouts[target_partition]
+        read_model.transfer_bit_column(
+            self.stored,
+            source_partition, source_column,
+            target_partition, target_layout.remote_column,
+            phase=phase,
+        )
+        builder = ProgramBuilder(target_layout.scratch_columns)
+        combined = builder.and_(target_column, target_layout.remote_column)
+        builder.store(combined, target_column)
+        builder.free(combined)
+        executor.run_program(
+            self.stored.allocations[target_partition].bank,
+            builder.build(),
+            pages=self._timing_pages(target_partition),
+            phase=phase,
+        )
+
+    # ----------------------------------------------------------- aggregation
+    def _aggregate_all(
+        self,
+        query: Query,
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Dict[str, int]:
+        """Aggregate the filtered records of the whole relation with PIM."""
+        layout = self.stored.layouts[primary]
+        return {
+            aggregate.name: self._pim_aggregate(
+                aggregate, primary, layout.filter_column, executor, read_model
+            )
+            for aggregate in query.aggregates
+        }
+
+    def _pim_aggregate(
+        self,
+        aggregate: Aggregate,
+        partition: int,
+        mask_column: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> int:
+        """One PIM aggregation (circuit or bulk-bitwise) plus host combination."""
+        layout = self.stored.layouts[partition]
+        allocation = self.stored.allocations[partition]
+        if aggregate.op == "count":
+            field_offset, field_width, operation = mask_column, 1, "sum"
+        else:
+            field_offset = layout.field_offset(aggregate.attribute)
+            field_width = layout.field_width(aggregate.attribute)
+            operation = aggregate.op
+
+        if self.use_aggregation_circuit:
+            partials = executor.aggregate_with_circuit(
+                allocation.bank,
+                field_offset, field_width, mask_column,
+                layout.result_offset,
+                pages=self._timing_pages(partition),
+                operation=operation,
+                result_width=layout.accumulator_width,
+            )
+        else:
+            if layout.operand_offset is None:
+                raise RuntimeError(
+                    "bulk-bitwise aggregation needs an operand area; store the "
+                    "relation with reserve_bulk_aggregation=True"
+                )
+            plan = BulkAggregationPlan(
+                rows=allocation.rows_per_crossbar,
+                field_offset=field_offset,
+                field_width=field_width,
+                mask_column=mask_column,
+                acc_offset=layout.accumulator_offset,
+                operand_offset=layout.operand_offset,
+                scratch_columns=layout.scratch_columns,
+                operation=operation,
+            )
+            partials = executor.aggregate_bulk_bitwise(
+                allocation.bank, plan, pages=self._timing_pages(partition)
+            )
+        read_model.read_aggregation_results(self.stored, partition)
+        if aggregate.op == "min":
+            # Crossbars with no selected record hold the identity (all ones);
+            # they do not contribute to the final minimum.
+            identity = (1 << layout.accumulator_width) - 1
+            partials = partials[partials != identity]
+            if partials.size == 0:
+                return 0
+        return combine_partials(
+            [partials], operation, self.config.host, executor.stats
+        )
+
+    # ------------------------------------------------------------- GROUP-BY
+    def _execute_group_by(
+        self,
+        query: Query,
+        primary: int,
+        mask: np.ndarray,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Tuple[Dict[GroupKey, Dict[str, int]], GroupByPlan]:
+        group_attributes = list(query.group_by)
+        candidates = self._candidate_groups(query)
+        estimate = estimate_subgroups(
+            self.stored, group_attributes, candidates,
+            read_model=read_model,
+            sample_pages=self.sample_pages,
+            filter_partition=primary,
+        )
+        aggregation_reads = self._aggregation_reads(query, primary)
+        reads_per_record = self._reads_per_record(query)
+        plan = self.planner.plan(
+            estimate,
+            pages=self.stored.pages * self.timing_scale,
+            aggregation_reads=aggregation_reads,
+            reads_per_record=reads_per_record,
+            total_subgroups=len(candidates),
+        )
+
+        rows: Dict[GroupKey, Dict[str, int]] = {}
+        for key in plan.pim_groups:
+            entry = self._pim_aggregate_group(
+                query, primary, group_attributes, key, executor, read_model
+            )
+            if self._group_selected(mask, group_attributes, key):
+                rows[key] = entry
+            self._clear_group_from_filter(primary, executor)
+
+        if plan.host_pass_needed:
+            host_rows = self._host_group_by(
+                query, primary, group_attributes, executor, read_model
+            )
+            rows = merge_group_results(rows, host_rows, query.aggregates)
+        return rows, plan
+
+    def _pim_aggregate_group(
+        self,
+        query: Query,
+        primary: int,
+        group_attributes: Sequence[str],
+        key: GroupKey,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Dict[str, int]:
+        """pim-gb for one subgroup: subgroup filter, aggregate, combine."""
+        group_values = dict(zip(group_attributes, key))
+        mask_column = self._prepare_group_mask(
+            group_values, primary, executor, read_model
+        )
+        return {
+            aggregate.name: self._pim_aggregate(
+                aggregate, primary, mask_column, executor, read_model
+            )
+            for aggregate in query.aggregates
+        }
+
+    def _prepare_group_mask(
+        self,
+        group_values: Dict[str, int],
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> int:
+        """Build the subgroup mask in the primary partition's group column."""
+        by_partition: Dict[int, Dict[str, int]] = {}
+        for name, value in group_values.items():
+            by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
+
+        primary_layout = self.stored.layouts[primary]
+        # Remote partitions first: evaluate their equality conjunctions and
+        # ship the resulting bit-vector to the primary partition.
+        remote_ready = False
+        for partition, values in by_partition.items():
+            if partition == primary:
+                continue
+            layout = self.stored.layouts[partition]
+            allocation = self.stored.allocations[partition]
+            program = compile_group_predicate(
+                values, layout, filter_column=layout.valid_column
+            )
+            executor.run_program(
+                allocation.bank, program,
+                pages=self._timing_pages(partition), phase="pim-gb-filter",
+            )
+            read_model.transfer_bit_column(
+                self.stored,
+                partition, layout.group_column,
+                primary, primary_layout.remote_column,
+                phase="pim-gb-transfer",
+            )
+            remote_ready = True
+
+        builder = ProgramBuilder(primary_layout.scratch_columns)
+        terms = []
+        for name, value in by_partition.get(primary, {}).items():
+            terms.append(
+                builder.eq_const(primary_layout.field_columns(name), int(value))
+            )
+        if remote_ready:
+            terms.append(builder.copy(primary_layout.remote_column))
+        local = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
+        combined = builder.and_(local, primary_layout.filter_column)
+        builder.free(local)
+        builder.store(combined, primary_layout.group_column)
+        builder.free(combined)
+        executor.run_program(
+            self.stored.allocations[primary].bank,
+            builder.build(),
+            pages=self._timing_pages(primary),
+            phase="pim-gb-filter",
+        )
+        return primary_layout.group_column
+
+    def _clear_group_from_filter(self, primary: int, executor: PimExecutor) -> None:
+        """Remove a PIM-aggregated subgroup's records from the host filter."""
+        layout = self.stored.layouts[primary]
+        builder = ProgramBuilder(layout.scratch_columns)
+        remaining = builder.and_not(layout.filter_column, layout.group_column)
+        builder.store(remaining, layout.filter_column)
+        builder.free(remaining)
+        executor.run_program(
+            self.stored.allocations[primary].bank,
+            builder.build(),
+            pages=self._timing_pages(primary),
+            phase="pim-gb-filter",
+        )
+
+    def _host_group_by(
+        self,
+        query: Query,
+        primary: int,
+        group_attributes: Sequence[str],
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Dict[GroupKey, Dict[str, int]]:
+        """host-gb: read the remaining selected records and hash-aggregate."""
+        mask = read_model.read_filter_bitvector(self.stored, primary)
+        indices = np.nonzero(mask)[0]
+        needed = list(group_attributes) + [
+            a.attribute for a in query.aggregates if a.attribute is not None
+        ]
+        by_partition: Dict[int, List[str]] = {}
+        for name in dict.fromkeys(needed):
+            by_partition.setdefault(self.stored.partition_of(name), []).append(name)
+        values: Dict[str, np.ndarray] = {}
+        for partition, names in by_partition.items():
+            values.update(
+                read_model.read_records(self.stored, partition, indices, names)
+            )
+        group_columns = {name: values[name] for name in group_attributes}
+        value_columns = {
+            a.attribute: values[a.attribute]
+            for a in query.aggregates
+            if a.attribute is not None
+        }
+        return host_group_aggregate(
+            group_columns,
+            value_columns,
+            query.aggregates,
+            self.config.host,
+            stats=executor.stats,
+            threads=self.config.host.query_threads,
+            workload_scale=self.timing_scale,
+        )
+
+    # ------------------------------------------------------------- metadata
+    def _aggregation_reads(self, query: Query, primary: int) -> int:
+        """The paper's ``n``: 16-bit reads to fetch the aggregated attributes."""
+        layout = self.stored.layouts[primary]
+        read_width = layout.read_width_bits
+        total = 0
+        for aggregate in query.aggregates:
+            if aggregate.attribute is None:
+                total += 1
+            else:
+                total += int(math.ceil(layout.field_width(aggregate.attribute) / read_width))
+        return max(1, total)
+
+    def _reads_per_record(self, query: Query) -> int:
+        """The paper's ``s``: 16-bit reads per record for host-gb."""
+        needed = list(query.group_by) + [
+            a.attribute for a in query.aggregates if a.attribute is not None
+        ]
+        by_partition: Dict[int, List[str]] = {}
+        for name in dict.fromkeys(needed):
+            by_partition.setdefault(self.stored.partition_of(name), []).append(name)
+        total = 0
+        for partition, names in by_partition.items():
+            total += len(self.stored.layouts[partition].words_for_fields(names))
+        return max(1, total)
+
+    def _candidate_groups(self, query: Query) -> List[GroupKey]:
+        """Enumerate the potential subgroups from query and catalog knowledge.
+
+        Following the paper's "total number of potential subgroups according
+        to query and database details" (Table II), the candidate set is the
+        Cartesian product of the per-attribute domains of the GROUP-BY
+        attributes, where each attribute's domain is restricted by the
+        predicate conjuncts on attributes of the *same* source relation.
+        This captures the functional dependencies inside a dimension — for
+        example ``p_brand1`` is restricted to the 40 brands of the selected
+        ``p_category`` — and is catalog information, not charged to the
+        query's execution time.
+        """
+        import itertools
+
+        relation = self.stored.relation
+        schema = relation.schema
+        predicate = query.predicate
+        nodes = list(predicate.children) if isinstance(predicate, And) else (
+            [predicate] if predicate is not None else []
+        )
+
+        domains: List[List[int]] = []
+        for group_attribute in query.group_by:
+            source = schema.attribute(group_attribute).source
+            same_source_conjuncts = [
+                node for node in nodes
+                if attributes_referenced(node)
+                and all(
+                    schema.attribute(name).source == source
+                    for name in attributes_referenced(node)
+                )
+            ]
+            mask = evaluate_predicate(conj(*same_source_conjuncts), relation)
+            values = np.unique(relation.column(group_attribute)[mask])
+            if values.size == 0:
+                values = np.unique(relation.column(group_attribute))
+            domains.append([int(v) for v in values])
+
+        if not domains:
+            return []
+        candidates = [tuple(combo) for combo in itertools.product(*domains)]
+        return candidates
+
+    def _group_selected(
+        self, mask: np.ndarray, group_attributes: Sequence[str], key: GroupKey
+    ) -> bool:
+        """Whether any record selected by the query belongs to the subgroup."""
+        member = mask.copy()
+        for name, value in zip(group_attributes, key):
+            member &= self.stored.relation.column(name) == np.uint64(value)
+        return bool(member.any())

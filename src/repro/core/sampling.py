@@ -1,0 +1,145 @@
+"""Sampling-based estimation of subgroup sizes (Section IV).
+
+Before deciding how to split the GROUP-BY work, the host samples the records
+selected by the query over a single 2 MB page (32 K records in the Table I
+geometry) and estimates the size of every subgroup from that sample.  The
+estimate supplies two things to the planner:
+
+* an ordering of the candidate subgroups from (estimated) largest to
+  smallest — the ``k`` chosen subgroups for pim-gb are taken in this order,
+* the function ``r(k)``: the fraction of *all* relation records that the
+  host still has to read if the ``k`` largest subgroups are removed, which
+  is the ``r`` plugged into the host-gb latency model of Eq. (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.storage import StoredRelation
+from repro.host.readpath import HostReadModel
+
+
+GroupKey = Tuple[int, ...]
+
+
+@dataclass
+class SubgroupEstimate:
+    """Result of sampling one page of query-selected records."""
+
+    #: Candidate subgroup keys (encoded values of the GROUP-BY attributes),
+    #: ordered from the largest estimated size to the smallest.  Candidates
+    #: never observed in the sample follow the observed ones, in stable
+    #: (domain) order, with an estimated size of zero.
+    ordered_groups: List[GroupKey]
+    #: Estimated fraction of *selected* records belonging to each subgroup.
+    group_fractions: Dict[GroupKey, float]
+    #: Estimated query selectivity (selected records / total records).
+    selectivity: float
+    #: Number of records inspected by the sample.
+    sample_size: int
+    #: Number of sampled records that passed the filter.
+    sample_selected: int
+    #: Number of distinct subgroups observed in the sample (Table II's
+    #: "subgroups in sample" column).
+    observed_subgroups: int
+
+    def remaining_ratio(self, k: int) -> float:
+        """``r(k)``: record fraction left for host-gb after the top-``k`` groups."""
+        k = max(0, min(k, len(self.ordered_groups)))
+        covered = sum(
+            self.group_fractions.get(key, 0.0) for key in self.ordered_groups[:k]
+        )
+        covered = min(covered, 1.0)
+        return self.selectivity * (1.0 - covered)
+
+
+def estimate_subgroups(
+    stored: StoredRelation,
+    group_attributes: Sequence[str],
+    candidate_groups: Sequence[GroupKey],
+    read_model: Optional[HostReadModel] = None,
+    sample_pages: int = 1,
+    filter_partition: int = 0,
+) -> SubgroupEstimate:
+    """Sample the first ``sample_pages`` pages and estimate subgroup sizes.
+
+    The query's filter must already have been evaluated (the filter bits are
+    in place).  When a :class:`HostReadModel` is supplied, the reads of the
+    sample page's filter bits and of the selected records' GROUP-BY
+    attributes are charged to it, exactly as the paper's runtime pays for the
+    sampling before planning.
+    """
+    if not candidate_groups:
+        raise ValueError("candidate_groups must not be empty")
+    records_per_page = stored.records_per_page
+    sample_size = min(stored.num_records, max(1, sample_pages) * records_per_page)
+    sample_indices = np.arange(sample_size)
+
+    filter_mask = stored.filter_mask(filter_partition)[:sample_size]
+    selected = sample_indices[filter_mask]
+
+    # Account for reading the sample: the filter bits of the sampled page and
+    # the GROUP-BY attributes of the records that passed the filter.
+    if read_model is not None:
+        read_model.stats.add_time(
+            "sampling",
+            _sample_read_time(stored, read_model, selected, group_attributes),
+        )
+
+    group_columns = [
+        _partition_column(stored, name)[selected] for name in group_attributes
+    ]
+    fractions: Dict[GroupKey, float] = {}
+    if len(selected):
+        keys = np.stack(group_columns, axis=1) if group_columns else np.zeros((len(selected), 0))
+        unique_keys, counts = np.unique(keys, axis=0, return_counts=True)
+        for key, count in zip(unique_keys, counts):
+            fractions[tuple(int(v) for v in key)] = float(count) / float(len(selected))
+
+    observed = [key for key in fractions]
+    observed.sort(key=lambda key: fractions[key], reverse=True)
+    observed_set = set(observed)
+    unseen = [key for key in candidate_groups if key not in observed_set]
+    ordered = observed + unseen
+
+    selectivity = float(len(selected)) / float(sample_size)
+    return SubgroupEstimate(
+        ordered_groups=ordered,
+        group_fractions=fractions,
+        selectivity=selectivity,
+        sample_size=int(sample_size),
+        sample_selected=int(len(selected)),
+        observed_subgroups=len(observed),
+    )
+
+
+def _partition_column(stored: StoredRelation, attribute: str) -> np.ndarray:
+    return stored.decode_column(attribute)
+
+
+def _sample_read_time(
+    stored: StoredRelation,
+    read_model: HostReadModel,
+    selected_indices: np.ndarray,
+    group_attributes: Sequence[str],
+) -> float:
+    """Latency of reading the sample (bit-vector plus selected group ids)."""
+    from repro.host import dram
+
+    host = read_model.config.host
+    bitvector_bytes = stored.records_per_page / 8
+    time_s = dram.stream_read_time(host, bitvector_bytes)
+    if len(selected_indices) and group_attributes:
+        by_partition: Dict[int, List[str]] = {}
+        for name in group_attributes:
+            by_partition.setdefault(stored.partition_of(name), []).append(name)
+        for partition, names in by_partition.items():
+            lines = read_model.count_record_lines(
+                stored, partition, selected_indices, names
+            )
+            time_s += dram.scattered_read_time(host, lines, threads=1)
+    return time_s

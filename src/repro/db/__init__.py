@@ -1,0 +1,46 @@
+"""Relational database substrate.
+
+This package provides everything a relational OLAP workload needs below the
+query-processing contribution of the paper:
+
+* typed schemas with dictionary encoding (:mod:`repro.db.schema`),
+* in-memory relations backed by NumPy columns (:mod:`repro.db.relation`),
+* the bit-level row layout mapping a record onto a crossbar row
+  (:mod:`repro.db.encoding`),
+* storage of relations in the PIM module, including the one-crossbar and
+  two-crossbar (vertically partitioned) layouts (:mod:`repro.db.storage`),
+* the query intermediate representation (:mod:`repro.db.query`),
+* the predicate-to-NOR-program compiler (:mod:`repro.db.compiler`),
+* UPDATE statements executed in memory with Algorithm 1
+  (:mod:`repro.db.update`),
+* a small catalog tying relations and their dictionaries together
+  (:mod:`repro.db.catalog`).
+"""
+
+from repro.db.schema import Attribute, Dictionary, Schema
+from repro.db.relation import Relation
+from repro.db.encoding import RowLayout
+from repro.db.storage import StoredRelation
+from repro.db.query import (
+    Aggregate,
+    And,
+    Comparison,
+    Or,
+    Query,
+)
+from repro.db.catalog import Database
+
+__all__ = [
+    "Attribute",
+    "Dictionary",
+    "Schema",
+    "Relation",
+    "RowLayout",
+    "StoredRelation",
+    "Aggregate",
+    "And",
+    "Comparison",
+    "Or",
+    "Query",
+    "Database",
+]

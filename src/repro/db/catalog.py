@@ -1,0 +1,86 @@
+"""A small catalog tying star-schema relations together.
+
+The catalog records which relation is the fact relation and how its foreign
+keys reference the dimension relations.  Both the pre-join builder
+(:mod:`repro.core.prejoin`) and the columnar baseline's join planner
+(:mod:`repro.columnar.engine`) work from this metadata, so the two execution
+paths of every SSB query are derived from a single description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.db.relation import Relation
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge from the fact relation to a dimension relation."""
+
+    fact_attribute: str
+    dimension: str
+    dimension_key: str
+
+
+class Database:
+    """A named collection of relations with optional star-schema metadata."""
+
+    def __init__(
+        self,
+        relations: Optional[Dict[str, Relation]] = None,
+        fact: Optional[str] = None,
+        foreign_keys: Optional[List[ForeignKey]] = None,
+    ) -> None:
+        self.relations: Dict[str, Relation] = dict(relations or {})
+        self.fact = fact
+        self.foreign_keys: List[ForeignKey] = list(foreign_keys or [])
+
+    def add(self, name: str, relation: Relation) -> None:
+        """Register a relation under ``name``."""
+        self.relations[name] = relation
+
+    def relation(self, name: str) -> Relation:
+        """Return the relation called ``name``."""
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(f"database has no relation {name!r}") from None
+
+    @property
+    def fact_relation(self) -> Relation:
+        """The star schema's fact relation."""
+        if self.fact is None:
+            raise ValueError("database has no fact relation configured")
+        return self.relation(self.fact)
+
+    @property
+    def dimension_names(self) -> List[str]:
+        """Names of the dimension relations referenced by foreign keys."""
+        return [fk.dimension for fk in self.foreign_keys]
+
+    def foreign_key_for(self, dimension: str) -> ForeignKey:
+        """Return the foreign key referencing ``dimension``."""
+        for fk in self.foreign_keys:
+            if fk.dimension == dimension:
+                return fk
+        raise KeyError(f"no foreign key references dimension {dimension!r}")
+
+    def relation_of_attribute(self, attribute: str) -> str:
+        """Name of the relation that defines ``attribute``.
+
+        Attribute names are unique across the SSB schema (they carry their
+        relation prefix, e.g. ``c_city``), which makes this lookup — and the
+        mechanical derivation of join plans — unambiguous.
+        """
+        for name, relation in self.relations.items():
+            if attribute in relation.schema:
+                return name
+        raise KeyError(f"no relation defines attribute {attribute!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Database(relations={sorted(self.relations)}, fact={self.fact!r})"

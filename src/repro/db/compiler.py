@@ -1,0 +1,200 @@
+"""Compilation of predicates into bulk-bitwise NOR programs.
+
+The PIM engine evaluates a query's WHERE clause entirely inside the memory
+arrays: the predicate is compiled into a NOR program that leaves one result
+bit per record in the layout's filter column.  Constants are translated to
+the stored representation (dictionary codes) at compile time, so the
+generated program contains no data-dependent control flow — it is broadcast
+unchanged to every page of the relation.
+
+For vertically partitioned relations (two-xb), the top-level conjunction is
+split into per-partition conjunctions with :func:`partition_conjuncts`; the
+executor combines the per-partition filter bits through the host, which is
+the data movement overhead Section V-A attributes to the two-xb layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.encoding import RowLayout
+from repro.db.query import (
+    And,
+    BETWEEN,
+    Comparison,
+    EQ,
+    GE,
+    GT,
+    IN,
+    LE,
+    LT,
+    NE,
+    Or,
+    Predicate,
+)
+from repro.db.schema import Schema
+from repro.pim.logic import Program, ProgramBuilder
+
+
+class CompilationError(ValueError):
+    """A predicate cannot be compiled against the given layout."""
+
+
+def compile_predicate(
+    predicate: Predicate,
+    schema: Schema,
+    layout: RowLayout,
+    result_column: Optional[int] = None,
+    combine_with_valid: bool = True,
+) -> Program:
+    """Compile a predicate into a program leaving its result in one column.
+
+    The result column defaults to the layout's filter column and, unless
+    ``combine_with_valid`` is disabled, is ANDed with the valid bit so that
+    padding rows never pass a filter.
+    """
+    if result_column is None:
+        result_column = layout.filter_column
+    builder = ProgramBuilder(layout.scratch_columns)
+    if predicate is None:
+        result = builder.copy(layout.valid_column)
+    else:
+        result = _compile_node(predicate, schema, layout, builder)
+        if combine_with_valid:
+            combined = builder.and_(result, layout.valid_column)
+            builder.free(result)
+            result = combined
+    builder.store(result, result_column)
+    builder.free(result)
+    return builder.build(result_column=result_column)
+
+
+def compile_group_predicate(
+    group_values: Dict[str, int],
+    layout: RowLayout,
+    filter_column: Optional[int] = None,
+    result_column: Optional[int] = None,
+) -> Program:
+    """Compile the per-subgroup filter used by pim-gb.
+
+    ``group_values`` maps GROUP-BY attribute names to their *encoded* values
+    for one subgroup.  The generated program computes the conjunction of the
+    equalities and of the query's filter bit (already present in
+    ``filter_column``), leaving the result in the layout's group column.
+    """
+    if result_column is None:
+        result_column = layout.group_column
+    if filter_column is None:
+        filter_column = layout.filter_column
+    builder = ProgramBuilder(layout.scratch_columns)
+    terms: List[int] = []
+    for name, value in sorted(group_values.items()):
+        if not layout.has_field(name):
+            raise CompilationError(f"attribute {name!r} is not in this partition")
+        terms.append(builder.eq_const(layout.field_columns(name), int(value)))
+    acc = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
+    combined = builder.and_(acc, filter_column)
+    builder.free(acc)
+    builder.store(combined, result_column)
+    builder.free(combined)
+    return builder.build(result_column=result_column)
+
+
+def _compile_node(
+    node: Predicate, schema: Schema, layout: RowLayout, builder: ProgramBuilder
+) -> int:
+    if isinstance(node, Comparison):
+        return _compile_comparison(node, schema, layout, builder)
+    if isinstance(node, And):
+        children = [_compile_node(c, schema, layout, builder) for c in node.children]
+        return builder.and_reduce(children, consume=True)
+    if isinstance(node, Or):
+        children = [_compile_node(c, schema, layout, builder) for c in node.children]
+        return builder.or_reduce(children, consume=True)
+    raise CompilationError(f"unknown predicate node {node!r}")
+
+
+def _encode(schema: Schema, attribute: str, value) -> Optional[int]:
+    attr = schema.attribute(attribute)
+    try:
+        encoded = attr.encode_value(value)
+    except KeyError:
+        return None
+    if encoded < 0 or encoded > attr.max_value:
+        return None
+    return int(encoded)
+
+
+def _compile_comparison(
+    node: Comparison, schema: Schema, layout: RowLayout, builder: ProgramBuilder
+) -> int:
+    if not layout.has_field(node.attribute):
+        raise CompilationError(
+            f"attribute {node.attribute!r} is not stored in this partition"
+        )
+    columns = layout.field_columns(node.attribute)
+    op = node.op
+    if op == IN:
+        encoded_values = []
+        for value in node.values:
+            encoded = _encode(schema, node.attribute, value)
+            if encoded is not None:
+                encoded_values.append(encoded)
+        if not encoded_values:
+            return builder.const(False)
+        return builder.isin_const(columns, encoded_values)
+    if op == BETWEEN:
+        low = _encode(schema, node.attribute, node.low)
+        high = _encode(schema, node.attribute, node.high)
+        if low is None or high is None:
+            return builder.const(False)
+        return builder.between_const(columns, low, high)
+    encoded = _encode(schema, node.attribute, node.value)
+    if encoded is None:
+        return builder.const(op == NE)
+    if op == EQ:
+        return builder.eq_const(columns, encoded)
+    if op == NE:
+        return builder.ne_const(columns, encoded)
+    if op == LT:
+        return builder.lt_const(columns, encoded)
+    if op == LE:
+        return builder.le_const(columns, encoded)
+    if op == GT:
+        return builder.gt_const(columns, encoded)
+    if op == GE:
+        return builder.ge_const(columns, encoded)
+    raise CompilationError(f"unknown operator {op!r}")
+
+
+def partition_conjuncts(
+    predicate: Predicate, partition_attributes: Sequence[Sequence[str]]
+) -> List[Optional[Predicate]]:
+    """Split a top-level conjunction across vertical partitions.
+
+    Returns one predicate (or ``None``) per partition.  A conjunct whose
+    attributes are not contained in a single partition cannot be evaluated
+    without moving data and raises :class:`CompilationError`; the SSB
+    predicates are all per-attribute conjuncts, so this never happens there.
+    """
+    from repro.db.query import attributes_referenced, conj
+
+    partition_sets = [set(attrs) for attrs in partition_attributes]
+    buckets: List[List[Predicate]] = [[] for _ in partition_sets]
+    if predicate is None:
+        return [None for _ in partition_sets]
+    conjuncts = list(predicate.children) if isinstance(predicate, And) else [predicate]
+    for conjunct in conjuncts:
+        referenced = attributes_referenced(conjunct)
+        placed = False
+        for index, attrs in enumerate(partition_sets):
+            if referenced <= attrs:
+                buckets[index].append(conjunct)
+                placed = True
+                break
+        if not placed:
+            raise CompilationError(
+                f"conjunct referencing {sorted(referenced)} spans multiple "
+                f"vertical partitions"
+            )
+    return [conj(*bucket) if bucket else None for bucket in buckets]

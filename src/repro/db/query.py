@@ -1,0 +1,279 @@
+"""Query intermediate representation.
+
+Analytical queries in the paper have the ``select-from-where-group by`` form
+(Section II-A): a predicate over one or more relations, an optional GROUP-BY
+attribute list, and one or more aggregations.  The classes below express that
+form independently of the execution engine; the PIM engine compiles the
+predicate into NOR programs, while the columnar baseline evaluates it with
+vectorised NumPy operations, and both must agree bit for bit (the integration
+tests check exactly that).
+
+:func:`evaluate_predicate` is the reference implementation of predicate
+semantics used by the columnar engine and by tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.db.relation import Relation
+
+
+# Comparison operators.
+EQ = "=="
+NE = "!="
+LT = "<"
+LE = "<="
+GT = ">"
+GE = ">="
+BETWEEN = "between"
+IN = "in"
+
+_VALID_OPS = (EQ, NE, LT, LE, GT, GE, BETWEEN, IN)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A comparison between an attribute and constants.
+
+    ``value`` is used by the scalar operators, ``low``/``high`` by BETWEEN
+    (inclusive bounds) and ``values`` by IN.  Constants are given as *raw*
+    values (e.g. the string ``"ASIA"`` for a dictionary-encoded attribute);
+    each engine translates them to the stored representation.
+    """
+
+    attribute: str
+    op: str
+    value: object = None
+    low: object = None
+    high: object = None
+    values: Tuple[object, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.op not in _VALID_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+        if self.op == BETWEEN and (self.low is None or self.high is None):
+            raise ValueError("BETWEEN needs low and high")
+        if self.op == IN and not self.values:
+            raise ValueError("IN needs a non-empty value tuple")
+        if self.op not in (BETWEEN, IN) and self.value is None:
+            raise ValueError(f"{self.op} needs a value")
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of child predicates."""
+
+    children: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("And needs at least one child")
+
+
+@dataclass(frozen=True)
+class Or:
+    """Disjunction of child predicates."""
+
+    children: Tuple[object, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise ValueError("Or needs at least one child")
+
+
+Predicate = Union[Comparison, And, Or, None]
+
+
+def conj(*children) -> Predicate:
+    """Convenience: conjunction of the non-``None`` children."""
+    kept = tuple(c for c in children if c is not None)
+    if not kept:
+        return None
+    if len(kept) == 1:
+        return kept[0]
+    return And(kept)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregation over an attribute (SUM, MIN, MAX or COUNT)."""
+
+    op: str
+    attribute: Optional[str] = None
+    alias: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("sum", "min", "max", "count"):
+            raise ValueError(f"unsupported aggregation {self.op!r}")
+        if self.op != "count" and self.attribute is None:
+            raise ValueError(f"{self.op} needs an attribute")
+
+    @property
+    def name(self) -> str:
+        """Output column name of the aggregate."""
+        if self.alias:
+            return self.alias
+        if self.op == "count":
+            return "count"
+        return f"{self.op}_{self.attribute}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-from-where-group by query over a single (pre-joined) relation."""
+
+    name: str
+    predicate: Predicate
+    aggregates: Tuple[Aggregate, ...]
+    group_by: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise ValueError("a query needs at least one aggregate")
+
+    @property
+    def filter_attributes(self) -> List[str]:
+        """Attributes referenced by the predicate."""
+        return sorted(attributes_referenced(self.predicate))
+
+    @property
+    def aggregate_attributes(self) -> List[str]:
+        """Attributes referenced by the aggregations."""
+        return sorted({a.attribute for a in self.aggregates if a.attribute})
+
+    @property
+    def referenced_attributes(self) -> List[str]:
+        """All attributes the query touches."""
+        names: Set[str] = set(self.filter_attributes)
+        names.update(self.aggregate_attributes)
+        names.update(self.group_by)
+        return sorted(names)
+
+
+def attributes_referenced(predicate: Predicate) -> Set[str]:
+    """Set of attribute names referenced by a predicate."""
+    if predicate is None:
+        return set()
+    if isinstance(predicate, Comparison):
+        return {predicate.attribute}
+    if isinstance(predicate, (And, Or)):
+        names: Set[str] = set()
+        for child in predicate.children:
+            names |= attributes_referenced(child)
+        return names
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def evaluate_predicate(predicate: Predicate, relation: Relation) -> np.ndarray:
+    """Reference evaluation of a predicate over a relation.
+
+    Returns a boolean mask of the records satisfying the predicate, using the
+    relation's encoded columns (raw constants are translated through the
+    schema's dictionaries; constants missing from a dictionary simply select
+    nothing, matching the PIM compiler's behaviour).
+    """
+    if predicate is None:
+        return np.ones(len(relation), dtype=bool)
+    if isinstance(predicate, Comparison):
+        return _evaluate_comparison(predicate, relation)
+    if isinstance(predicate, And):
+        mask = np.ones(len(relation), dtype=bool)
+        for child in predicate.children:
+            mask &= evaluate_predicate(child, relation)
+        return mask
+    if isinstance(predicate, Or):
+        mask = np.zeros(len(relation), dtype=bool)
+        for child in predicate.children:
+            mask |= evaluate_predicate(child, relation)
+        return mask
+    raise TypeError(f"unknown predicate node {predicate!r}")
+
+
+def _encode_constant(relation: Relation, attribute: str, value) -> Optional[int]:
+    attr = relation.schema.attribute(attribute)
+    try:
+        return attr.encode_value(value)
+    except KeyError:
+        return None
+
+
+def _evaluate_comparison(comparison: Comparison, relation: Relation) -> np.ndarray:
+    column = relation.column(comparison.attribute)
+    op = comparison.op
+    if op == IN:
+        mask = np.zeros(len(relation), dtype=bool)
+        for value in comparison.values:
+            encoded = _encode_constant(relation, comparison.attribute, value)
+            if encoded is not None:
+                mask |= column == np.uint64(encoded)
+        return mask
+    if op == BETWEEN:
+        low = _encode_constant(relation, comparison.attribute, comparison.low)
+        high = _encode_constant(relation, comparison.attribute, comparison.high)
+        if low is None or high is None:
+            return np.zeros(len(relation), dtype=bool)
+        return (column >= np.uint64(low)) & (column <= np.uint64(high))
+    encoded = _encode_constant(relation, comparison.attribute, comparison.value)
+    if encoded is None:
+        if op == NE:
+            return np.ones(len(relation), dtype=bool)
+        return np.zeros(len(relation), dtype=bool)
+    value = np.uint64(encoded)
+    if op == EQ:
+        return column == value
+    if op == NE:
+        return column != value
+    if op == LT:
+        return column < value
+    if op == LE:
+        return column <= value
+    if op == GT:
+        return column > value
+    if op == GE:
+        return column >= value
+    raise ValueError(f"unknown operator {op!r}")
+
+
+def reference_group_aggregate(
+    relation: Relation,
+    mask: np.ndarray,
+    group_by: Sequence[str],
+    aggregates: Sequence[Aggregate],
+) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Reference GROUP-BY aggregation used to validate every engine.
+
+    Returns ``{group_key_codes: {aggregate_name: value}}``.  With an empty
+    ``group_by`` the single key is the empty tuple.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    selected_indices = np.nonzero(mask)[0]
+    results: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    if len(group_by) == 0:
+        keys = np.zeros((len(selected_indices), 0), dtype=np.uint64)
+    else:
+        keys = np.stack(
+            [relation.column(name)[selected_indices] for name in group_by], axis=1
+        )
+    if len(selected_indices) == 0:
+        return results
+    unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+    for key_index, key in enumerate(unique_keys):
+        group_rows = selected_indices[inverse == key_index]
+        entry: Dict[str, int] = {}
+        for aggregate in aggregates:
+            if aggregate.op == "count":
+                entry[aggregate.name] = int(len(group_rows))
+                continue
+            values = relation.column(aggregate.attribute)[group_rows]
+            if aggregate.op == "sum":
+                entry[aggregate.name] = int(values.sum())
+            elif aggregate.op == "min":
+                entry[aggregate.name] = int(values.min())
+            else:
+                entry[aggregate.name] = int(values.max())
+        results[tuple(int(v) for v in key)] = entry
+    return results

@@ -1,0 +1,121 @@
+"""In-memory relations backed by NumPy columns.
+
+A :class:`Relation` is the functional ("ground truth") representation of a
+table: a schema plus one unsigned integer array per attribute.  It is the
+source from which data is loaded into the PIM module, the input of the
+columnar baseline engine, and the reference the integration tests compare
+query answers against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.db.schema import Attribute, Schema
+
+
+class Relation:
+    """A table: a schema and one NumPy column per attribute."""
+
+    def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
+        self.schema = schema
+        self.columns: Dict[str, np.ndarray] = {}
+        lengths = set()
+        for attribute in schema:
+            if attribute.name not in columns:
+                raise ValueError(f"missing column {attribute.name!r}")
+            column = np.asarray(columns[attribute.name], dtype=np.uint64)
+            if attribute.width < 64 and column.size and column.max(initial=0) > attribute.max_value:
+                raise ValueError(
+                    f"column {attribute.name!r} has values exceeding "
+                    f"{attribute.width} bits"
+                )
+            self.columns[attribute.name] = column
+            lengths.add(len(column))
+        if len(lengths) > 1:
+            raise ValueError(f"columns have inconsistent lengths: {sorted(lengths)}")
+        self.num_records = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------ accessors
+    def __len__(self) -> int:
+        return self.num_records
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the stored (encoded) column ``name``."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"relation {self.schema.name!r} has no column {name!r}"
+            ) from None
+
+    def decoded_column(self, name: str) -> List[object]:
+        """Return a column translated back to raw values."""
+        attribute = self.schema.attribute(name)
+        column = self.column(name)
+        return [attribute.decode_value(v) for v in column]
+
+    # ----------------------------------------------------------- operations
+    def select(self, mask: np.ndarray) -> "Relation":
+        """Return a new relation containing only the rows where ``mask``."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.num_records,):
+            raise ValueError("mask length does not match the relation")
+        return Relation(
+            self.schema, {name: col[mask] for name, col in self.columns.items()}
+        )
+
+    def project(self, names: Sequence[str], schema_name: Optional[str] = None) -> "Relation":
+        """Return a new relation with only the named columns."""
+        schema = self.schema.subset(names, schema_name)
+        return Relation(schema, {name: self.columns[name] for name in names})
+
+    def with_column(self, attribute: Attribute, values: np.ndarray) -> "Relation":
+        """Return a new relation with an extra column appended."""
+        schema = self.schema.extend([attribute])
+        columns = dict(self.columns)
+        columns[attribute.name] = np.asarray(values, dtype=np.uint64)
+        return Relation(schema, columns)
+
+    def head(self, count: int) -> "Relation":
+        """Return the first ``count`` records."""
+        return Relation(
+            self.schema, {name: col[:count] for name, col in self.columns.items()}
+        )
+
+    def records(self, indices: Optional[Iterable[int]] = None) -> List[Dict[str, int]]:
+        """Return records as dictionaries of encoded values (for small data)."""
+        if indices is None:
+            indices = range(self.num_records)
+        return [
+            {name: int(self.columns[name][i]) for name in self.schema.names}
+            for i in indices
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the columns."""
+        return sum(col.nbytes for col in self.columns.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Relation({self.schema.name!r}, records={self.num_records}, "
+            f"attributes={len(self.schema)})"
+        )
+
+
+def concatenate(relations: Sequence[Relation]) -> Relation:
+    """Concatenate relations sharing the same schema."""
+    if not relations:
+        raise ValueError("need at least one relation")
+    schema = relations[0].schema
+    for rel in relations[1:]:
+        if rel.schema.names != schema.names:
+            raise ValueError("relations have different schemas")
+    columns = {
+        name: np.concatenate([rel.columns[name] for rel in relations])
+        for name in schema.names
+    }
+    return Relation(schema, columns)

@@ -1,0 +1,212 @@
+"""Storing relations in the PIM module.
+
+A :class:`StoredRelation` places every record of a relation in one crossbar
+row (the layout of previous bulk-bitwise PIM works and of this paper), or —
+when the record does not fit in a single row — across two aligned crossbars
+(*vertical partitioning*, Section III).  Records fill crossbars in order, so
+record ``i`` lives in crossbar ``i // rows`` at row ``i % rows``; crossbars
+are grouped 32 to a 2 MB huge page.
+
+The class offers functional access to the stored bits (used by the host read
+path, the aggregation circuit and the tests) while all timing/energy
+accounting is performed by the executor and read-path models that operate on
+it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.db.encoding import LayoutError, RowLayout
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.pim.module import PimAllocation, PimModule
+
+
+class StoredRelation:
+    """A relation resident in bulk-bitwise PIM memory."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        module: PimModule,
+        label: Optional[str] = None,
+        partitions: Optional[Sequence[Sequence[str]]] = None,
+        aggregation_width: Optional[int] = None,
+        reserve_bulk_aggregation: bool = True,
+    ) -> None:
+        self.relation = relation
+        self.module = module
+        self.label = label or relation.schema.name
+        self.num_records = len(relation)
+        if self.num_records == 0:
+            raise ValueError("cannot store an empty relation")
+
+        if partitions is None:
+            partitions = [relation.schema.names]
+        self.partition_attributes: List[List[str]] = [list(p) for p in partitions]
+        self._validate_partitions()
+
+        xbar = module.config.crossbar
+        self.layouts: List[RowLayout] = []
+        self.allocations: List[PimAllocation] = []
+        for index, attrs in enumerate(self.partition_attributes):
+            schema = relation.schema.subset(attrs, f"{self.label}/p{index}")
+            layout = RowLayout(
+                schema,
+                columns=xbar.columns,
+                rows=xbar.rows,
+                aggregation_width=self._partition_aggregation_width(
+                    schema, aggregation_width
+                ),
+                reserve_bulk_aggregation=reserve_bulk_aggregation,
+                read_width_bits=xbar.read_width_bits,
+            )
+            allocation = module.allocate_for_records(
+                self.num_records, f"{self.label}/p{index}"
+            )
+            self.layouts.append(layout)
+            self.allocations.append(allocation)
+        self._attribute_partition: Dict[str, int] = {}
+        for index, attrs in enumerate(self.partition_attributes):
+            for name in attrs:
+                self._attribute_partition[name] = index
+        self._load()
+
+    # ---------------------------------------------------------------- set-up
+    def _validate_partitions(self) -> None:
+        seen: Dict[str, int] = {}
+        for index, attrs in enumerate(self.partition_attributes):
+            for name in attrs:
+                self.relation.schema.attribute(name)  # raises if unknown
+                if name in seen:
+                    raise ValueError(f"attribute {name!r} assigned to two partitions")
+                seen[name] = index
+        missing = set(self.relation.schema.names) - set(seen)
+        if missing:
+            raise ValueError(f"attributes not assigned to any partition: {sorted(missing)}")
+
+    @staticmethod
+    def _partition_aggregation_width(
+        schema: Schema, aggregation_width: Optional[int]
+    ) -> int:
+        if aggregation_width is None:
+            return max(a.width for a in schema)
+        return min(aggregation_width, max(a.width for a in schema))
+
+    def _load(self) -> None:
+        for layout, allocation, attrs in zip(
+            self.layouts, self.allocations, self.partition_attributes
+        ):
+            bank = allocation.bank
+            capacity = allocation.record_capacity
+            for name in attrs:
+                offset, width = layout.fields[name]
+                values = self.relation.column(name)
+                padded = np.zeros(capacity, dtype=np.uint64)
+                padded[: self.num_records] = values
+                bank.write_field_column(
+                    offset, width,
+                    padded.reshape(bank.count, bank.rows),
+                    count_wear=False,
+                )
+            valid = np.zeros(capacity, dtype=bool)
+            valid[: self.num_records] = True
+            bank.bits[:, :, layout.valid_column] = valid.reshape(bank.count, bank.rows)
+            bank.reset_wear()
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def pages(self) -> int:
+        """Huge pages per vertical partition (M in the paper's notation)."""
+        return self.allocations[0].pages
+
+    @property
+    def partitions(self) -> int:
+        """Number of vertical partitions (1 for one-xb, 2 for two-xb)."""
+        return len(self.partition_attributes)
+
+    @property
+    def records_per_page(self) -> int:
+        return self.module.config.records_per_page
+
+    @property
+    def rows_per_crossbar(self) -> int:
+        return self.allocations[0].rows_per_crossbar
+
+    @property
+    def crossbars_per_partition(self) -> int:
+        return self.allocations[0].crossbars
+
+    def partition_of(self, attribute: str) -> int:
+        """Index of the vertical partition storing an attribute."""
+        try:
+            return self._attribute_partition[attribute]
+        except KeyError:
+            raise KeyError(
+                f"attribute {attribute!r} is not stored in {self.label!r}"
+            ) from None
+
+    def layout_of(self, attribute: str) -> RowLayout:
+        return self.layouts[self.partition_of(attribute)]
+
+    def allocation_of(self, attribute: str) -> PimAllocation:
+        return self.allocations[self.partition_of(attribute)]
+
+    # ------------------------------------------------------------ functional
+    def decode_column(self, attribute: str) -> np.ndarray:
+        """Decode an attribute of every stored record from the crossbar bits."""
+        partition = self.partition_of(attribute)
+        layout = self.layouts[partition]
+        bank = self.allocations[partition].bank
+        offset, width = layout.fields[attribute]
+        flat = bank.read_field_all(offset, width).reshape(-1)
+        return flat[: self.num_records]
+
+    def column_bit(self, partition: int, column: int) -> np.ndarray:
+        """Read one bookkeeping bit column of every stored record."""
+        bank = self.allocations[partition].bank
+        flat = bank.read_column(column).reshape(-1)
+        return flat[: self.num_records]
+
+    def filter_mask(self, partition: int = 0) -> np.ndarray:
+        """The filter bit of every record in a partition."""
+        return self.column_bit(partition, self.layouts[partition].filter_column)
+
+    def valid_mask(self, partition: int = 0) -> np.ndarray:
+        """The valid bit of every record (true for real records)."""
+        return self.column_bit(partition, self.layouts[partition].valid_column)
+
+    def write_bit_column(self, partition: int, column: int, values: np.ndarray) -> None:
+        """Overwrite a bookkeeping bit column (functional host-write helper).
+
+        The caller is responsible for charging the corresponding write
+        traffic; the executor's two-xb filter-transfer path does so.
+        """
+        bank = self.allocations[partition].bank
+        capacity = self.allocations[partition].record_capacity
+        padded = np.zeros(capacity, dtype=bool)
+        padded[: self.num_records] = np.asarray(values, dtype=bool)[: self.num_records]
+        bank.bits[:, :, column] = padded.reshape(bank.count, bank.rows)
+        bank.writes_per_row += 1
+
+    # ------------------------------------------------------------------ wear
+    def wear_snapshot(self) -> List[np.ndarray]:
+        """Per-partition snapshots of the wear counters."""
+        return [allocation.bank.wear_snapshot() for allocation in self.allocations]
+
+    def max_writes_since(self, snapshots: List[np.ndarray]) -> int:
+        """Worst per-row write count since the snapshots were taken."""
+        return max(
+            allocation.bank.max_writes_since(snapshot)
+            for allocation, snapshot in zip(self.allocations, snapshots)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StoredRelation({self.label!r}, records={self.num_records}, "
+            f"partitions={self.partitions}, pages={self.pages})"
+        )

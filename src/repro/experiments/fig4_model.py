@@ -1,0 +1,256 @@
+"""Fig. 4 — empirical latency modelling of host-gb and pim-gb.
+
+The paper obtains the Eq. (1)/(2) lookup tables by measuring synthetic
+workloads on its gem5 system and fitting the results.  This experiment
+reproduces the methodology against the simulator: it stores a synthetic
+relation, sweeps
+
+* the relation size ``M`` (2 MB pages, emulated through the timing scale),
+* the ratio of selected records ``r`` and the reads per record ``s`` for
+  host-gb (Figs. 4a/4b), and
+* the number of aggregation reads ``n`` for a single-subgroup pim-gb
+  (Fig. 4c),
+
+measures the latency of each point with the same read-path / executor models
+the query engine uses, fits :class:`~repro.core.latency_model.HostGbLatencyModel`
+and :class:`~repro.core.latency_model.PimGbLatencyModel` to the measurements,
+and reports the fit against the analytic model the engine uses by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.latency_model import (
+    GroupByCostModel,
+    HostGbLatencyModel,
+    HostGbMeasurement,
+    PimGbLatencyModel,
+    PimGbMeasurement,
+    build_analytic_cost_model,
+    predict_host_gb,
+    predict_pim_gb,
+)
+from repro.db.compiler import compile_group_predicate, compile_predicate
+from repro.db.query import Comparison, LT
+from repro.db.relation import Relation
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.experiments.common import format_table
+from repro.host.aggregator import host_group_aggregate
+from repro.host.readpath import HostReadModel
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.pim.stats import PimStats
+from repro.db.query import Aggregate
+
+
+#: Attribute widths chosen so the aggregated attribute needs n = 1..4 reads.
+_AGGREGATE_WIDTHS = {1: 14, 2: 28, 3: 44, 4: 50}
+
+
+def _synthetic_relation(records: int, seed: int = 11) -> Relation:
+    """A synthetic relation for the latency sweeps.
+
+    ``key`` drives the selectivity filter, ``group_id`` is the subgroup
+    identifier, ``read0..read3`` are 16-bit attributes the host reads (their
+    number sets ``s``), and ``agg_n*`` are the aggregated attributes of
+    widths requiring one to four 16-bit reads.
+    """
+    rng = np.random.default_rng(seed)
+    attributes = [
+        int_attribute("key", 20),
+        int_attribute("group_id", 8),
+        int_attribute("read0", 16),
+        int_attribute("read1", 16),
+        int_attribute("read2", 16),
+        int_attribute("read3", 16),
+    ]
+    columns = {
+        "key": rng.integers(0, 1 << 20, records).astype(np.uint64),
+        "group_id": rng.integers(0, 100, records).astype(np.uint64),
+        "read0": rng.integers(0, 1 << 16, records).astype(np.uint64),
+        "read1": rng.integers(0, 1 << 16, records).astype(np.uint64),
+        "read2": rng.integers(0, 1 << 16, records).astype(np.uint64),
+        "read3": rng.integers(0, 1 << 16, records).astype(np.uint64),
+    }
+    for n, width in _AGGREGATE_WIDTHS.items():
+        name = f"agg_n{n}"
+        attributes.append(int_attribute(name, width))
+        columns[name] = rng.integers(0, 1 << 30, records).astype(np.uint64) & np.uint64(
+            (1 << width) - 1
+        )
+    return Relation(Schema("fig4_synthetic", attributes), columns)
+
+
+@dataclass
+class Fig4Result:
+    """Measurements and fitted models of the Fig. 4 experiment."""
+
+    host_measurements: List[HostGbMeasurement]
+    pim_measurements: List[PimGbMeasurement]
+    fitted: GroupByCostModel
+    analytic: GroupByCostModel
+
+
+def run_fig4(
+    config: SystemConfig = None,
+    records: int = 60_000,
+    page_counts: Sequence[int] = (64, 128, 256, 512),
+    read_ratios: Sequence[float] = (0.01, 0.05, 0.2, 0.4, 0.8),
+    reads_per_record: Sequence[int] = (2, 4, 6, 8),
+    aggregation_reads: Sequence[int] = (1, 2, 3, 4),
+    use_aggregation_circuit: bool = True,
+) -> Fig4Result:
+    """Measure the host-gb and pim-gb latency sweeps and fit Eq. (1)/(2)."""
+    system = config if config is not None else DEFAULT_CONFIG
+    relation = _synthetic_relation(records)
+    module = PimModule(system)
+    stored = StoredRelation(
+        relation, module, label="fig4",
+        aggregation_width=max(_AGGREGATE_WIDTHS.values()),
+        reserve_bulk_aggregation=not use_aggregation_circuit,
+    )
+    layout = stored.layouts[0]
+    allocation = stored.allocations[0]
+    actual_pages = stored.pages
+
+    host_points: List[HostGbMeasurement] = []
+    pim_points: List[PimGbMeasurement] = []
+
+    for pages in page_counts:
+        scale = pages / actual_pages
+        for ratio in read_ratios:
+            threshold = int(ratio * (1 << 20))
+            stats = PimStats()
+            executor = PimExecutor(system, stats)
+            read_model = HostReadModel(system, stats, traffic_scale=scale)
+            program = compile_predicate(
+                Comparison("key", LT, threshold), relation.schema, layout
+            )
+            executor.run_program(allocation.bank, program, pages=pages, phase="filter")
+            filter_time = stats.total_time_s
+
+            for s in reads_per_record:
+                point_stats = PimStats()
+                point_reader = HostReadModel(system, point_stats, traffic_scale=scale)
+                mask = point_reader.read_filter_bitvector(stored, 0)
+                indices = np.nonzero(mask)[0]
+                # Read enough distinct attributes to require ~s 16-bit words
+                # per record (the synthetic schema provides nine candidates).
+                candidates = ["group_id", "read0", "read1", "read2", "read3",
+                              "agg_n1", "agg_n2", "agg_n3", "agg_n4"]
+                attributes = candidates[:min(s, len(candidates))]
+                values = point_reader.read_records(stored, 0, indices, attributes)
+                host_group_aggregate(
+                    {"group_id": values.get("group_id", indices)},
+                    {},
+                    [Aggregate("count")],
+                    system.host,
+                    stats=point_stats,
+                    threads=system.host.query_threads,
+                    workload_scale=scale,
+                )
+                host_points.append(HostGbMeasurement(
+                    pages=pages,
+                    reads_per_record=s,
+                    read_ratio=float(mask.mean()),
+                    time_s=point_stats.total_time_s,
+                ))
+
+        for n in aggregation_reads:
+            stats = PimStats()
+            executor = PimExecutor(system, stats)
+            read_model = HostReadModel(system, stats, traffic_scale=scale)
+            group_program = compile_group_predicate(
+                {"group_id": 3}, layout, filter_column=layout.valid_column
+            )
+            executor.run_program(
+                allocation.bank, group_program, pages=pages, phase="pim-gb-filter"
+            )
+            name = f"agg_n{n}"
+            if use_aggregation_circuit:
+                executor.aggregate_with_circuit(
+                    allocation.bank,
+                    layout.field_offset(name), layout.field_width(name),
+                    layout.group_column, layout.result_offset,
+                    pages=pages, result_width=layout.accumulator_width,
+                )
+            else:
+                from repro.pim.arithmetic import BulkAggregationPlan
+
+                plan = BulkAggregationPlan(
+                    rows=allocation.rows_per_crossbar,
+                    field_offset=layout.field_offset(name),
+                    field_width=layout.field_width(name),
+                    mask_column=layout.group_column,
+                    acc_offset=layout.accumulator_offset,
+                    operand_offset=layout.operand_offset,
+                    scratch_columns=layout.scratch_columns,
+                )
+                executor.aggregate_bulk_bitwise(allocation.bank, plan, pages=pages)
+            read_model.read_aggregation_results(stored, 0)
+            pim_points.append(PimGbMeasurement(
+                pages=pages, aggregation_reads=n, time_s=stats.total_time_s
+            ))
+
+    fitted = GroupByCostModel(
+        host=HostGbLatencyModel.fit(host_points),
+        pim=PimGbLatencyModel.fit(pim_points),
+    )
+    analytic = build_analytic_cost_model(
+        system, use_aggregation_circuit=use_aggregation_circuit
+    )
+    return Fig4Result(
+        host_measurements=host_points,
+        pim_measurements=pim_points,
+        fitted=fitted,
+        analytic=analytic,
+    )
+
+
+def render(result: Fig4Result) -> str:
+    """Fig. 4 as printable text: measured points, fitted and analytic models."""
+    lines = ["Fig. 4a/4b - host-gb (measured vs fitted M*(a(s)*sqrt(r)+b(s)))"]
+    rows = []
+    for point in result.host_measurements:
+        fitted = result.fitted.host.predict(
+            point.pages, point.reads_per_record, point.read_ratio
+        )
+        analytic = result.analytic.host.predict(
+            point.pages, point.reads_per_record, point.read_ratio
+        )
+        rows.append([
+            point.pages, point.reads_per_record, f"{point.read_ratio:.3f}",
+            f"{point.time_s * 1e3:.3f}", f"{fitted * 1e3:.3f}", f"{analytic * 1e3:.3f}",
+        ])
+    lines.append(format_table(
+        ["M", "s", "r", "measured [ms]", "fit [ms]", "analytic [ms]"], rows
+    ))
+    lines.append("")
+    lines.append("Fig. 4c - pim-gb single subgroup (measured vs fitted M*slope(n)+T0(n))")
+    rows = []
+    for point in result.pim_measurements:
+        fitted = result.fitted.pim.predict(point.pages, point.aggregation_reads)
+        analytic = result.analytic.pim.predict(point.pages, point.aggregation_reads)
+        rows.append([
+            point.pages, point.aggregation_reads,
+            f"{point.time_s * 1e3:.3f}", f"{fitted * 1e3:.3f}", f"{analytic * 1e3:.3f}",
+        ])
+    lines.append(format_table(
+        ["M", "n", "measured [ms]", "fit [ms]", "analytic [ms]"], rows
+    ))
+    lines.append("")
+    lines.append("fitted host-gb slope tables: a(s)=%s b(s)=%s" % (
+        {k: round(v, 9) for k, v in result.fitted.host.a.items()},
+        {k: round(v, 9) for k, v in result.fitted.host.b.items()},
+    ))
+    lines.append("fitted pim-gb tables: slope(n)=%s T0(n)=%s" % (
+        {k: round(v, 9) for k, v in result.fitted.pim.slope_table.items()},
+        {k: round(v, 9) for k, v in result.fitted.pim.intercept_table.items()},
+    ))
+    return "\n".join(lines)

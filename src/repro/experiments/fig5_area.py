@@ -1,0 +1,54 @@
+"""Fig. 5 — PIM chip area breakdown.
+
+The paper reports a 346 mm^2 chip with the aggregation circuits occupying
+13.9 % of the area.  The analytical area model reproduces the breakdown and
+additionally reports the overhead of adding the aggregation circuits relative
+to the PIMDB chip (which lacks them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.config import SystemConfig
+from repro.experiments.common import format_table
+from repro.memory.area import ChipAreaModel
+
+#: The paper's Fig. 5 percentages, for side-by-side reporting.
+PAPER_BREAKDOWN = {
+    "Crossbar peripherals": 0.404,
+    "Aggregation circuits": 0.139,
+    "Crossbars": 0.1924,
+    "Bank peripherals": 0.1883,
+    "PIM controllers": 0.0684,
+    "Wires": 0.0076,
+}
+
+
+def fig5_rows(config: SystemConfig = None) -> List[Tuple[str, float, float, float]]:
+    """Rows of (component, area mm^2, measured share, paper share)."""
+    model = ChipAreaModel(config)
+    areas = model.component_areas_mm2()
+    shares = model.breakdown()
+    return [
+        (name, areas[name], shares[name], PAPER_BREAKDOWN.get(name, 0.0))
+        for name in areas
+    ]
+
+
+def render(config: SystemConfig = None) -> str:
+    """Fig. 5 as printable text."""
+    model = ChipAreaModel(config)
+    rows = [
+        (name, f"{area:.1f}", f"{share * 100:.2f}%", f"{paper * 100:.2f}%")
+        for name, area, share, paper in fig5_rows(config)
+    ]
+    table = format_table(
+        ["Component", "Area [mm^2]", "Share (this repro)", "Share (paper)"], rows
+    )
+    footer = (
+        f"\nTotal chip area: {model.chip_area_mm2:.1f} mm^2 "
+        f"(paper: 346 mm^2); aggregation-circuit overhead vs PIMDB chip: "
+        f"{model.aggregation_circuit_overhead() * 100:.1f}%"
+    )
+    return table + footer

@@ -1,0 +1,91 @@
+"""Fig. 9 — required cell endurance for ten years of back-to-back execution."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.experiments.common import (
+    PIM_CONFIGS,
+    QueryRecord,
+    format_table,
+    geomean,
+    records_by,
+)
+from repro.memory.endurance import RRAM_ENDURANCE_WRITES, lifetime_years, required_endurance
+from repro.ssb import QUERY_ORDER
+
+#: Queries with few PIM aggregations on both one-xb and PIMDB, over which the
+#: paper reports the 3.21x lifetime improvement.
+LIFETIME_QUERIES = ("Q1.1", "Q1.2", "Q1.3", "Q3.4")
+
+
+def fig9_rows(
+    records: Sequence[QueryRecord],
+    configs: Sequence[str] = PIM_CONFIGS,
+    config: SystemConfig = None,
+):
+    """One row per query: required write endurance per PIM configuration."""
+    system = config if config is not None else DEFAULT_CONFIG
+    columns = system.pim.crossbar.columns
+    indexed = records_by(records)
+    rows = []
+    for query in QUERY_ORDER:
+        row: List[object] = [query]
+        for cfg in configs:
+            record = indexed.get((cfg, query))
+            if record is None or record.time_s <= 0:
+                row.append(float("nan"))
+                continue
+            row.append(
+                required_endurance(
+                    record.max_writes_per_row, columns, record.time_s
+                )
+            )
+        rows.append(row)
+    return rows
+
+
+def lifetime_improvement(
+    records: Sequence[QueryRecord], config: SystemConfig = None
+) -> float:
+    """Geo-mean lifetime improvement of one-xb over PIMDB (paper: 3.21x)."""
+    system = config if config is not None else DEFAULT_CONFIG
+    columns = system.pim.crossbar.columns
+    indexed = records_by(records)
+    ratios = []
+    for query in LIFETIME_QUERIES:
+        one = indexed.get(("one_xb", query))
+        pimdb = indexed.get(("pimdb", query))
+        if not one or not pimdb:
+            continue
+        one_life = lifetime_years(one.max_writes_per_row, columns, one.time_s)
+        pimdb_life = lifetime_years(pimdb.max_writes_per_row, columns, pimdb.time_s)
+        if pimdb_life > 0:
+            ratios.append(one_life / pimdb_life)
+    return geomean(ratios)
+
+
+def render(
+    records: Sequence[QueryRecord],
+    configs: Sequence[str] = PIM_CONFIGS,
+    config: SystemConfig = None,
+) -> str:
+    """Fig. 9 as printable text (write cycles needed for ten years)."""
+    rows = []
+    sufficient = True
+    for row in fig9_rows(records, configs, config):
+        formatted = [row[0]]
+        for value in row[1:]:
+            formatted.append(f"{value:.2e}")
+            if value == value and value > RRAM_ENDURANCE_WRITES:
+                sufficient = False
+        rows.append(formatted)
+    table = format_table(["Query"] + [f"{c} [writes]" for c in configs], rows)
+    footer = (
+        f"\nreported RRAM endurance (1e12 writes) sufficient for ten years on "
+        f"every query: {sufficient}; geo-mean lifetime improvement of one_xb "
+        f"over PIMDB on {', '.join(LIFETIME_QUERIES)}: "
+        f"{lifetime_improvement(records, config):.2f}x (paper: 3.21x)"
+    )
+    return table + footer

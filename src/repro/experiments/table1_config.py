@@ -1,0 +1,18 @@
+"""Table I — architecture and system configuration."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.config import table1_rows
+from repro.experiments.common import format_table
+
+
+def table1() -> List[Tuple[str, str, str]]:
+    """The configuration rows of Table I."""
+    return table1_rows()
+
+
+def render() -> str:
+    """Table I as printable text."""
+    return format_table(["Section", "Parameter", "Value"], table1())

@@ -1,0 +1,81 @@
+"""Table II — per-query selectivity and GROUP-BY subgroup statistics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.common import QueryRecord, format_table, records_by
+from repro.ssb import QUERY_ORDER
+
+#: Table II as printed in the paper, for side-by-side reporting:
+#: (selectivity, total subgroups, subgroups in sample, one-xb k, two-xb k, pimdb k).
+PAPER_TABLE2 = {
+    "Q1.1": (2.3e-2, 1, None, 1, 1, 1),
+    "Q1.2": (6.6e-4, 1, None, 1, 1, 1),
+    "Q1.3": (8.4e-5, 1, None, 1, 1, 1),
+    "Q2.1": (1.2e-2, 280, 121, 4, 0, 0),
+    "Q2.2": (1.6e-3, 56, 33, 56, 0, 0),
+    "Q2.3": (2.0e-4, 7, 4, 7, 0, 7),
+    "Q3.1": (3.4e-2, 150, 150, 150, 0, 0),
+    "Q3.2": (1.3e-3, 600, 27, 27, 0, 0),
+    "Q3.3": (4.7e-5, 24, 2, 24, 0, 0),
+    "Q3.4": (6.6e-7, 4, 0, 4, 0, 4),
+    "Q4.1": (2.0e-2, 35, 35, 35, 0, 35),
+    "Q4.2": (2.3e-3, 50, 29, 50, 0, 0),
+    "Q4.3": (9.1e-5, 800, 3, 3, 0, 0),
+}
+
+
+def table2_rows(records: Sequence[QueryRecord]) -> List[List[object]]:
+    """Measured Table II rows.
+
+    Columns: query, selectivity, total subgroups, subgroups in sample, and
+    the number of PIM-aggregated subgroups for one-xb / two-xb / pimdb.
+    """
+    indexed = records_by(records)
+    rows: List[List[object]] = []
+    for query in QUERY_ORDER:
+        one = indexed.get(("one_xb", query))
+        two = indexed.get(("two_xb", query))
+        pimdb = indexed.get(("pimdb", query))
+        base = one or two or pimdb
+        if base is None:
+            continue
+        rows.append([
+            query,
+            base.selectivity,
+            base.total_subgroups,
+            base.subgroups_in_sample,
+            one.pim_subgroups if one else None,
+            two.pim_subgroups if two else None,
+            pimdb.pim_subgroups if pimdb else None,
+        ])
+    return rows
+
+
+def render(records: Sequence[QueryRecord]) -> str:
+    """Table II as printable text, with the paper's values alongside."""
+    rows = []
+    for row in table2_rows(records):
+        query = row[0]
+        paper = PAPER_TABLE2.get(query)
+        rows.append([
+            query,
+            f"{row[1]:.1e}",
+            row[2],
+            row[3],
+            row[4],
+            row[5],
+            row[6],
+            f"{paper[0]:.1e}" if paper else "-",
+            paper[1] if paper else "-",
+            paper[3] if paper else "-",
+            paper[4] if paper else "-",
+            paper[5] if paper else "-",
+        ])
+    headers = [
+        "Query", "Select.", "Total", "Sampled",
+        "k one_xb", "k two_xb", "k pimdb",
+        "paper sel.", "paper total", "paper k1", "paper k2", "paper kp",
+    ]
+    return format_table(headers, rows)

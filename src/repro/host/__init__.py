@@ -1,0 +1,26 @@
+"""Host-side models: read path, DRAM timing, CPU work and hash aggregation.
+
+The host in the paper is a six-core out-of-order x86 machine whose main
+memory contains the PIM module as one rank (Table I).  The host participates
+in query execution in three ways, each modelled here:
+
+* it reads filter-result bit-vectors and selected records from the PIM rank
+  (:mod:`repro.host.readpath`), paying the read amplification of Section V-B
+  (a 64 B line spans the same 16-bit slice of 32 crossbars),
+* it performs the hash aggregation of host-gb and the final combination of
+  per-crossbar partial aggregates (:mod:`repro.host.aggregator`),
+* it splits the relation's pages across four worker threads
+  (:mod:`repro.host.processor`).
+"""
+
+from repro.host.readpath import HostReadModel
+from repro.host.aggregator import combine_partials, host_group_aggregate
+from repro.host.processor import cpu_time, split_evenly
+
+__all__ = [
+    "HostReadModel",
+    "combine_partials",
+    "host_group_aggregate",
+    "cpu_time",
+    "split_evenly",
+]

@@ -1,0 +1,136 @@
+"""Host-side aggregation.
+
+Two host responsibilities are modelled here:
+
+* **host-gb** — records that were not assigned to PIM aggregation are read by
+  the host and folded into a hash table keyed by the GROUP-BY attributes
+  (:func:`host_group_aggregate`).
+* **Combining partial aggregates** — after a PIM aggregation, every crossbar
+  holds one partial result; the host reads them and combines them into the
+  final value (:func:`combine_partials`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import HostConfig
+from repro.db.query import Aggregate
+from repro.host.processor import cpu_time
+from repro.pim.stats import PimStats
+
+
+def host_group_aggregate(
+    group_columns: Mapping[str, np.ndarray],
+    value_columns: Mapping[str, np.ndarray],
+    aggregates: Sequence[Aggregate],
+    config: HostConfig,
+    stats: Optional[PimStats] = None,
+    threads: int = 1,
+    phase: str = "host-agg",
+    workload_scale: float = 1.0,
+) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Hash-aggregate records at the host.
+
+    ``group_columns`` holds one array per GROUP-BY attribute and
+    ``value_columns`` one array per aggregated attribute (all of equal
+    length).  Returns ``{group_key: {aggregate_name: value}}`` and charges
+    the per-record CPU work to ``stats`` (scaled by ``workload_scale`` when
+    the timing model extrapolates to a larger relation).
+    """
+    group_names = list(group_columns)
+    arrays = [np.asarray(group_columns[name], dtype=np.uint64) for name in group_names]
+    lengths = {len(a) for a in arrays} | {
+        len(np.asarray(v)) for v in value_columns.values()
+    }
+    if len(lengths) > 1:
+        raise ValueError("group and value columns have different lengths")
+    count = lengths.pop() if lengths else 0
+
+    results: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    if count:
+        if arrays:
+            keys = np.stack(arrays, axis=1)
+        else:
+            keys = np.zeros((count, 0), dtype=np.uint64)
+        unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+        for key_index, key in enumerate(unique_keys):
+            selector = inverse == key_index
+            entry: Dict[str, int] = {}
+            for aggregate in aggregates:
+                if aggregate.op == "count":
+                    entry[aggregate.name] = int(selector.sum())
+                    continue
+                values = np.asarray(value_columns[aggregate.attribute], dtype=np.uint64)[
+                    selector
+                ]
+                if aggregate.op == "sum":
+                    entry[aggregate.name] = int(values.sum())
+                elif aggregate.op == "min":
+                    entry[aggregate.name] = int(values.min())
+                else:
+                    entry[aggregate.name] = int(values.max())
+            results[tuple(int(v) for v in key)] = entry
+
+    if stats is not None:
+        stats.add_time(
+            phase,
+            cpu_time(
+                config,
+                count * workload_scale,
+                config.host_agg_cycles_per_record,
+                threads,
+            ),
+        )
+    return results
+
+
+def combine_partials(
+    partials: Iterable[np.ndarray],
+    operation: str,
+    config: HostConfig,
+    stats: Optional[PimStats] = None,
+    phase: str = "host-combine",
+) -> int:
+    """Combine per-crossbar partial aggregates into a single value."""
+    values = np.concatenate([np.asarray(p, dtype=np.uint64).reshape(-1) for p in partials])
+    if operation in ("sum", "count"):
+        result = int(values.sum())
+    elif operation == "min":
+        result = int(values.min()) if values.size else 0
+    elif operation == "max":
+        result = int(values.max()) if values.size else 0
+    else:
+        raise ValueError(f"unsupported aggregation {operation!r}")
+    if stats is not None:
+        stats.add_time(phase, cpu_time(config, len(values), 4.0, threads=1))
+    return result
+
+
+def merge_group_results(
+    first: Dict[Tuple[int, ...], Dict[str, int]],
+    second: Dict[Tuple[int, ...], Dict[str, int]],
+    aggregates: Sequence[Aggregate],
+) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Merge two GROUP-BY result dictionaries (e.g. pim-gb and host-gb parts)."""
+    merged = {key: dict(value) for key, value in first.items()}
+    for key, entry in second.items():
+        if key not in merged:
+            merged[key] = dict(entry)
+            continue
+        target = merged[key]
+        for aggregate in aggregates:
+            name = aggregate.name
+            if name not in entry:
+                continue
+            if name not in target:
+                target[name] = entry[name]
+            elif aggregate.op in ("sum", "count"):
+                target[name] += entry[name]
+            elif aggregate.op == "min":
+                target[name] = min(target[name], entry[name])
+            else:
+                target[name] = max(target[name], entry[name])
+    return merged

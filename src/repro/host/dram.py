@@ -1,0 +1,52 @@
+"""Simple DRAM-channel timing helpers.
+
+Two access regimes matter for the paper's workloads:
+
+* **Streaming** — long sequential reads (the packed filter bit-vector, the
+  columnar engine's scans).  These are bandwidth-bound.
+* **Scattered** — dependent reads of individual cache lines whose addresses
+  are only known after inspecting the filter bit-vector (host-gb record
+  reads).  These are latency-bound, with a small amount of memory-level
+  parallelism per thread.
+"""
+
+from __future__ import annotations
+
+from repro.config import HostConfig
+
+CACHE_LINE_BYTES = 64
+
+
+def stream_read_time(config: HostConfig, num_bytes: float) -> float:
+    """Time to stream ``num_bytes`` from memory (bandwidth-bound)."""
+    if num_bytes <= 0:
+        return 0.0
+    return max(num_bytes / config.dram_bw_bytes_per_s, config.dram_access_latency_s)
+
+
+def scattered_read_time(
+    config: HostConfig, lines: float, threads: int = 1
+) -> float:
+    """Time for ``lines`` dependent line reads spread over ``threads`` threads.
+
+    Each thread sustains ``pim_random_read_mlp`` outstanding reads; threads
+    operate on disjoint page groups so their latencies overlap.  The result
+    is never lower than the equivalent bandwidth-bound streaming time (the
+    channel itself is still a shared resource).
+    """
+    if lines <= 0:
+        return 0.0
+    threads = max(1, int(threads))
+    latency_bound = (
+        lines * config.dram_access_latency_s / (threads * config.pim_random_read_mlp)
+    )
+    bandwidth_bound = lines * CACHE_LINE_BYTES / config.dram_bw_bytes_per_s
+    return max(latency_bound, bandwidth_bound)
+
+
+def write_time(config: HostConfig, num_bytes: float, threads: int = 1) -> float:
+    """Time for the host to write ``num_bytes`` back into the PIM rank."""
+    if num_bytes <= 0:
+        return 0.0
+    lines = max(1.0, num_bytes / CACHE_LINE_BYTES)
+    return scattered_read_time(config, lines, threads)

@@ -1,0 +1,34 @@
+"""Host CPU work and thread partitioning.
+
+Query execution in the paper splits the relation's pages into four equal
+groups, one per worker thread (Section V-A).  The helpers here encapsulate
+that split and the conversion of per-record CPU work into time.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.config import HostConfig
+
+
+def split_evenly(total: int, parts: int) -> List[int]:
+    """Split ``total`` items into ``parts`` nearly equal counts."""
+    parts = max(1, int(parts))
+    base = total // parts
+    remainder = total % parts
+    return [base + (1 if i < remainder else 0) for i in range(parts)]
+
+
+def cpu_time(
+    config: HostConfig,
+    operations: float,
+    cycles_per_operation: float,
+    threads: int = 1,
+) -> float:
+    """Time for ``operations`` units of CPU work spread over ``threads``."""
+    if operations <= 0:
+        return 0.0
+    threads = min(max(1, int(threads)), config.cores)
+    cycles = operations * cycles_per_operation / threads
+    return cycles / config.frequency_hz

@@ -1,0 +1,17 @@
+"""Device-level models: chip area, cell endurance and energy breakdowns.
+
+These models turn the raw counters accumulated during query execution into
+the figures the paper reports: the PIM chip area breakdown of Fig. 5, the
+per-query energy of Fig. 7 and the required cell endurance of Fig. 9.
+"""
+
+from repro.memory.area import ChipAreaModel
+from repro.memory.endurance import lifetime_years, required_endurance
+from repro.memory.energy import energy_breakdown
+
+__all__ = [
+    "ChipAreaModel",
+    "lifetime_years",
+    "required_endurance",
+    "energy_breakdown",
+]

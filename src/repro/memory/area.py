@@ -1,0 +1,115 @@
+"""PIM chip area model (Fig. 5).
+
+The paper sizes the PIM chip with a modified NVSim plus the synthesis results
+of the added aggregation circuit (TSMC 28 nm), reporting a 346 mm^2 chip with
+the breakdown of Fig. 5: crossbar peripherals 40.4%, aggregation circuits
+13.9%, crossbars 19.24%, bank peripherals 18.83%, PIM controllers 6.84% and
+wires 0.76%.
+
+NVSim itself (and the proprietary PDK behind the synthesis numbers) is not
+available here, so :class:`ChipAreaModel` is an analytical substitute: each
+component's area is the product of a per-instance area and a structurally
+derived instance count (crossbars per chip, pages per chip, banks per chip).
+The default per-instance areas are calibrated so the default Table I
+configuration lands on the paper's totals; changing the geometry (crossbar
+size, page size, number of chips) moves the breakdown the way a
+circuit-level estimator would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import PimModuleConfig, SystemConfig
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Per-instance component areas (um^2) and structural ratios."""
+
+    #: RRAM cell area per bit.  ~2.5 F^2 at 28 nm.
+    cell_area_um2: float = 0.001936
+    #: Sense amplifiers, drivers and decoders of one crossbar.
+    crossbar_peripheral_um2: float = 2132.0
+    #: One synthesized aggregation circuit (Fig. 3), TSMC 28 nm.
+    aggregation_circuit_um2: float = 734.0
+    #: One per-page PIM controller instance on a chip.
+    pim_controller_um2: float = 1445.0
+    #: Shared peripherals of one bank (charge pumps, global decoders, IO).
+    bank_peripheral_um2: float = 1.018e6
+    #: Banks per chip.
+    banks_per_chip: int = 64
+    #: Fraction of the final chip area spent on global wiring.
+    wire_fraction: float = 0.0076
+
+
+class ChipAreaModel:
+    """Analytical area model of one PIM chip."""
+
+    def __init__(
+        self,
+        config: SystemConfig = None,
+        parameters: AreaParameters = None,
+    ) -> None:
+        from repro.config import DEFAULT_CONFIG
+
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.parameters = parameters if parameters is not None else AreaParameters()
+
+    # -------------------------------------------------------------- structure
+    @property
+    def pim(self) -> PimModuleConfig:
+        return self.config.pim
+
+    @property
+    def crossbars_per_chip(self) -> int:
+        """Crossbars on one chip (the module's crossbars split over its chips)."""
+        xbar_bytes = self.pim.crossbar.bits // 8
+        module_crossbars = self.pim.total_capacity_bytes // xbar_bytes
+        return module_crossbars // self.pim.chips
+
+    @property
+    def controllers_per_chip(self) -> int:
+        """Every huge page has a controller on every chip."""
+        return self.pim.pages_total
+
+    # ------------------------------------------------------------------ areas
+    def component_areas_mm2(self) -> Dict[str, float]:
+        """Component areas in mm^2 (before normalising into percentages)."""
+        p = self.parameters
+        xbar = self.pim.crossbar
+        include_agg = self.pim.aggregation_circuit.enabled
+        crossbars = self.crossbars_per_chip
+
+        areas_um2 = {
+            "Crossbars": crossbars * xbar.bits * p.cell_area_um2,
+            "Crossbar peripherals": crossbars * p.crossbar_peripheral_um2,
+            "Aggregation circuits": (
+                crossbars * p.aggregation_circuit_um2 if include_agg else 0.0
+            ),
+            "Bank peripherals": p.banks_per_chip * p.bank_peripheral_um2,
+            "PIM controllers": self.controllers_per_chip * p.pim_controller_um2,
+        }
+        subtotal = sum(areas_um2.values())
+        areas_um2["Wires"] = subtotal * p.wire_fraction / (1.0 - p.wire_fraction)
+        return {name: area / 1e6 for name, area in areas_um2.items()}
+
+    @property
+    def chip_area_mm2(self) -> float:
+        """Total area of one PIM chip."""
+        return sum(self.component_areas_mm2().values())
+
+    def breakdown(self) -> Dict[str, float]:
+        """Fractional area breakdown of the chip (sums to 1.0)."""
+        areas = self.component_areas_mm2()
+        total = sum(areas.values())
+        return {name: area / total for name, area in areas.items()}
+
+    def aggregation_circuit_overhead(self) -> float:
+        """Chip area increase caused by adding the aggregation circuits."""
+        with_agg = self.chip_area_mm2
+        without = ChipAreaModel(
+            self.config.without_aggregation_circuit(), self.parameters
+        ).chip_area_mm2
+        return (with_agg - without) / without

@@ -1,0 +1,30 @@
+"""Bulk-bitwise processing-in-memory substrate.
+
+This package models the RRAM PIM module of the paper at two levels:
+
+* **Functional** — crossbar contents are real bit arrays
+  (:class:`repro.pim.crossbar.CrossbarBank`), and every filter, MUX update
+  and in-crossbar arithmetic operation executes as a sequence of stateful
+  NOR primitives (:mod:`repro.pim.logic`, :mod:`repro.pim.arithmetic`), so
+  query answers produced through the PIM path are bit-exact.
+* **Analytical timing/energy/wear** — every primitive is accounted against
+  the Table I device parameters by :class:`repro.pim.controller.PimExecutor`
+  into a :class:`repro.pim.stats.PimStats` object (latency, energy, peak
+  power per chip, and per-row write counts for endurance).
+"""
+
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import Program, ProgramBuilder
+from repro.pim.module import PimAllocation, PimModule
+from repro.pim.controller import PimExecutor
+from repro.pim.stats import PimStats
+
+__all__ = [
+    "CrossbarBank",
+    "Program",
+    "ProgramBuilder",
+    "PimAllocation",
+    "PimModule",
+    "PimExecutor",
+    "PimStats",
+]

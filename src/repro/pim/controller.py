@@ -1,0 +1,272 @@
+"""Execution and accounting of PIM operations.
+
+:class:`PimExecutor` is the bridge between the functional crossbar model and
+the analytical timing/energy/power model.  Every operation the query engine
+performs on PIM-resident data goes through one of its methods, which
+
+1. applies the operation functionally to the :class:`~repro.pim.crossbar.CrossbarBank`
+   holding the targeted pages, and
+2. charges latency, energy, average-power samples, wear and request counts to
+   a :class:`~repro.pim.stats.PimStats` object using the Table I device
+   parameters from :class:`~repro.config.SystemConfig`.
+
+Timing model
+------------
+
+A PIM operation is broadcast to every page of the targeted relation: the host
+issues one PIM request per page (Section II-B), separated by the command-bus
+issue gap, and the per-page PIM controllers then sequence the bulk-bitwise
+primitives on all crossbars of their page concurrently.  The phase latency is
+therefore::
+
+    T_phase = pages * issue_gap + T_request
+
+where ``T_request`` is the duration of the operation on a single page
+(program cycles x 30 ns for logic, serial row reads for the aggregation
+circuit, ...).  The number of concurrently active pages is bounded by
+``T_request / issue_gap``, which is what determines the average power of the
+phase and hence the peak chip power reported in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.pim.arithmetic import BulkAggregationPlan
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import Program
+from repro.pim.stats import PimStats
+
+
+class PimExecutor:
+    """Executes PIM operations on a crossbar bank and accounts for them."""
+
+    def __init__(self, config: SystemConfig, stats: Optional[PimStats] = None):
+        self.config = config
+        self.stats = stats if stats is not None else PimStats()
+
+    # ------------------------------------------------------------ properties
+    @property
+    def _xbar(self):
+        return self.config.pim.crossbar
+
+    @property
+    def _pim(self):
+        return self.config.pim
+
+    def _crossbars_per_page(self) -> int:
+        return self._pim.crossbars_per_page
+
+    # ------------------------------------------------------------- internals
+    def _phase_time(self, pages: int, request_time_s: float) -> float:
+        """Total latency of broadcasting one operation to ``pages`` pages."""
+        issue = pages * self._pim.request_issue_gap_s
+        return issue + request_time_s
+
+    def _concurrency(self, pages: int, request_time_s: float) -> float:
+        """Average number of pages concurrently executing the operation."""
+        if request_time_s <= 0:
+            return 1.0
+        gap = self._pim.request_issue_gap_s
+        return float(min(pages, max(1.0, request_time_s / gap)))
+
+    def _controller_energy(self, pages: int, duration_s: float) -> float:
+        """Static energy of the active per-page PIM controllers."""
+        controllers = pages * self._pim.chips
+        return controllers * self._pim.pim_controller_power_w * duration_s
+
+    def _record_phase(
+        self,
+        phase: str,
+        pages: int,
+        request_time_s: float,
+        dynamic_energy_j: float,
+        component: str,
+    ) -> None:
+        """Common bookkeeping for a broadcast phase."""
+        duration = self._phase_time(pages, request_time_s)
+        controller_energy = self._controller_energy(pages, duration)
+        self.stats.add_time(phase, duration)
+        self.stats.add_energy(component, dynamic_energy_j)
+        self.stats.add_energy("controller", controller_energy)
+        # Average power while the operation is in flight: the dynamic energy
+        # is spread over the duration of a single request scaled by the number
+        # of concurrently active pages.
+        concurrency = self._concurrency(pages, request_time_s)
+        if request_time_s > 0 and pages > 0:
+            per_page_power = dynamic_energy_j / pages / request_time_s
+            module_power = per_page_power * concurrency + controller_energy / max(duration, 1e-12)
+            chip_power = module_power / self._pim.chips
+            self.stats.add_power_sample(phase, duration, chip_power)
+        self.stats.pim_requests += int(round(pages))
+
+    # ------------------------------------------------------------- programs
+    def run_program(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        pages: int,
+        phase: str = "filter",
+    ) -> None:
+        """Execute a NOR program on every crossbar of ``pages`` pages."""
+        program.execute(bank)
+        self._charge_program(bank, program.cycles, pages, phase)
+
+    def charge_program_cost(
+        self,
+        bank: CrossbarBank,
+        cycles: int,
+        pages: int,
+        phase: str,
+        writes_per_row: Optional[int] = None,
+        add_wear: bool = False,
+    ) -> None:
+        """Charge the cost of a program without executing it functionally.
+
+        Used by the fast path of the bulk-bitwise aggregation, whose results
+        are produced functionally but whose cost is known analytically.
+        """
+        self._charge_program(bank, cycles, pages, phase)
+        if add_wear and writes_per_row:
+            bank.writes_per_row += int(writes_per_row)
+
+    def _charge_program(
+        self, bank: CrossbarBank, cycles: int, pages: int, phase: str
+    ) -> None:
+        xbar = self._xbar
+        request_time = cycles * xbar.logic_cycle_s
+        crossbars = pages * self._crossbars_per_page()
+        # One output cell per row per cycle on every active crossbar.
+        energy = cycles * xbar.rows * crossbars * xbar.logic_energy_per_bit_j
+        self.stats.logic_ops += cycles * crossbars
+        self._record_phase(phase, pages, request_time, energy, "logic")
+
+    # ---------------------------------------------------- aggregation circuit
+    def aggregate_with_circuit(
+        self,
+        bank: CrossbarBank,
+        field_offset: int,
+        field_width: int,
+        mask_column: int,
+        destination_offset: int,
+        pages: int,
+        operation: str = "sum",
+        phase: str = "pim-agg",
+        result_width: Optional[int] = None,
+    ) -> np.ndarray:
+        """Aggregate a field with the per-crossbar aggregation circuit (Fig. 3).
+
+        The circuit streams the masked attribute of every row through its
+        16-bit read port, accumulates it in a CMOS ALU and writes the final
+        value back into the crossbar at ``destination_offset``.  Returns the
+        per-crossbar aggregates.
+        """
+        if not self._pim.aggregation_circuit.enabled:
+            raise RuntimeError(
+                "aggregation circuit is disabled in this configuration; "
+                "use aggregate_bulk_bitwise instead"
+            )
+        xbar = self._xbar
+        circuit = self._pim.aggregation_circuit
+        if result_width is None:
+            result_width = min(64, field_width + int(math.ceil(math.log2(xbar.rows))))
+        values = bank.read_field_all(field_offset, field_width)
+        mask = bank.read_column(mask_column)
+        from repro.pim.arithmetic import aggregate_reference
+
+        results = aggregate_reference(values, mask, operation, result_width)
+        for i in range(bank.count):
+            bank.write_field(i, 0, destination_offset, result_width, int(results[i]))
+
+        reads_per_row = int(math.ceil(field_width / xbar.read_width_bits))
+        request_time = (
+            xbar.rows * reads_per_row * circuit.cycle_s
+            + result_width / xbar.read_width_bits * xbar.write_latency_s
+        )
+        crossbars = pages * self._crossbars_per_page()
+        read_bits = xbar.rows * reads_per_row * xbar.read_width_bits * crossbars
+        write_bits = result_width * crossbars
+        energy = (
+            read_bits * xbar.read_energy_per_bit_j
+            + write_bits * xbar.write_energy_per_bit_j
+            + circuit.power_w * request_time * crossbars
+        )
+        self.stats.bits_read += read_bits
+        self.stats.bits_written += write_bits
+        self._record_phase(phase, pages, request_time, energy, "agg_circuit")
+        return results
+
+    # --------------------------------------------------- bulk-bitwise (PIMDB)
+    def aggregate_bulk_bitwise(
+        self,
+        bank: CrossbarBank,
+        plan: BulkAggregationPlan,
+        pages: int,
+        phase: str = "pim-agg",
+        gate_level: bool = False,
+    ) -> np.ndarray:
+        """Aggregate with pure bulk-bitwise logic (the PIMDB baseline).
+
+        ``gate_level=True`` executes every NOR primitive and row copy on the
+        stored bits (used by tests); the default functional mode produces
+        identical results and charges an identical cost.
+        """
+        cost = plan.cost()
+        if gate_level:
+            results = plan.run_gate_level(bank)
+        else:
+            results = plan.run_functional(bank)
+            bank.writes_per_row += cost.writes_per_row
+        xbar = self._xbar
+        request_time = cost.total_cycles * xbar.logic_cycle_s
+        crossbars = pages * self._crossbars_per_page()
+        logic_energy = (
+            cost.program_cycles * xbar.rows * crossbars * xbar.logic_energy_per_bit_j
+        )
+        copy_energy = (
+            cost.total_row_copies
+            * cost.copied_bits_per_pair
+            * crossbars
+            * xbar.logic_energy_per_bit_j
+        )
+        self.stats.logic_ops += cost.total_cycles * crossbars
+        self._record_phase(phase, pages, request_time, logic_energy + copy_energy, "logic")
+        return results
+
+    # ------------------------------------------------------------ mux update
+    def run_mux_update(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        pages: int,
+        phase: str = "update",
+    ) -> None:
+        """Execute an Algorithm 1 MUX update program."""
+        self.run_program(bank, program, pages, phase=phase)
+
+    # ------------------------------------------------------------ host writes
+    def host_write_field(
+        self,
+        bank: CrossbarBank,
+        xbar: int,
+        row: int,
+        offset: int,
+        width: int,
+        value: int,
+        phase: str = "host-write",
+    ) -> None:
+        """A standard host store into PIM-resident data (no PIM request)."""
+        bank.write_field(xbar, row, offset, width, value)
+        xcfg = self._xbar
+        self.stats.add_time(phase, xcfg.write_latency_s)
+        self.stats.add_energy("write", width * xcfg.write_energy_per_bit_j)
+        self.stats.bits_written += width
+
+    def charge_pim_reads(self, bits: int, component: str = "read") -> None:
+        """Charge crossbar read energy for bits leaving the PIM arrays."""
+        self.stats.bits_read += bits
+        self.stats.add_energy(component, bits * self._xbar.read_energy_per_bit_j)

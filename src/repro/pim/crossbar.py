@@ -1,0 +1,179 @@
+"""Functional model of a bank of memory crossbar arrays.
+
+A :class:`CrossbarBank` holds the cell contents of ``count`` crossbars, each
+``rows x columns`` single-bit cells, as one NumPy boolean array.  All
+crossbars of a bank execute the same bulk-bitwise operation concurrently
+(this is exactly how a relation stored across many crossbars behaves in the
+paper: the host broadcasts the same PIM request to every page of the
+relation), so the functional simulation applies each primitive to the whole
+bank with one vectorised NumPy operation while the timing model charges the
+cycle count of a single crossbar.
+
+The bank also tracks *wear*: the number of cell writes experienced by every
+crossbar row.  Fig. 9 of the paper reports the required cell endurance as the
+maximum per-row write count divided by the cells of a row (assuming
+wear-levelling inside the row), which :mod:`repro.memory.endurance` computes
+from these counters.
+
+Bit order convention: a ``width``-bit field stored at column ``offset`` keeps
+its least-significant bit in column ``offset`` and its most-significant bit in
+column ``offset + width - 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+
+class CrossbarBank:
+    """A bank of identical memory crossbars operated in lock step."""
+
+    def __init__(self, count: int, rows: int, columns: int) -> None:
+        if count <= 0 or rows <= 0 or columns <= 0:
+            raise ValueError("count, rows and columns must all be positive")
+        self.count = int(count)
+        self.rows = int(rows)
+        self.columns = int(columns)
+        self.bits = np.zeros((self.count, self.rows, self.columns), dtype=bool)
+        self.writes_per_row = np.zeros((self.count, self.rows), dtype=np.int64)
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CrossbarBank(count={self.count}, rows={self.rows}, "
+            f"columns={self.columns})"
+        )
+
+    def _check_field(self, offset: int, width: int) -> None:
+        if width <= 0 or width > 64:
+            raise ValueError(f"field width must be in [1, 64], got {width}")
+        if offset < 0 or offset + width > self.columns:
+            raise ValueError(
+                f"field [{offset}, {offset + width}) outside crossbar columns "
+                f"0..{self.columns}"
+            )
+
+    # -------------------------------------------------------------- load/read
+    def write_field(self, xbar: int, row: int, offset: int, width: int, value: int) -> None:
+        """Write an unsigned ``width``-bit ``value`` into one crossbar row."""
+        self._check_field(offset, width)
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        bits = (value >> np.arange(width)) & 1
+        self.bits[xbar, row, offset:offset + width] = bits.astype(bool)
+        self.writes_per_row[xbar, row] += width
+
+    def read_field(self, xbar: int, row: int, offset: int, width: int) -> int:
+        """Read an unsigned ``width``-bit value from one crossbar row."""
+        self._check_field(offset, width)
+        bits = self.bits[xbar, row, offset:offset + width]
+        weights = (1 << np.arange(width, dtype=np.uint64))
+        return int(np.sum(bits.astype(np.uint64) * weights))
+
+    def write_field_column(
+        self, offset: int, width: int, values: np.ndarray, count_wear: bool = True
+    ) -> None:
+        """Write a field of every row of every crossbar in one shot.
+
+        ``values`` must have shape ``(count, rows)``.  This is the bulk-load
+        path used when a relation is first stored into the PIM module.
+        """
+        self._check_field(offset, width)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.count, self.rows):
+            raise ValueError(
+                f"expected values of shape {(self.count, self.rows)}, "
+                f"got {values.shape}"
+            )
+        if width < 64 and np.any(values >= np.uint64(1 << width)):
+            raise ValueError(f"some values do not fit in {width} bits")
+        for i in range(width):
+            self.bits[:, :, offset + i] = ((values >> np.uint64(i)) & np.uint64(1)).astype(bool)
+        if count_wear:
+            self.writes_per_row += width
+
+    def read_field_all(self, offset: int, width: int) -> np.ndarray:
+        """Decode a field from every row of every crossbar.
+
+        Returns an array of shape ``(count, rows)`` with dtype ``uint64``.
+        This is a *functional* helper (it does not model timing); callers in
+        the host read path and the aggregation circuit account for the reads
+        separately.
+        """
+        self._check_field(offset, width)
+        result = np.zeros((self.count, self.rows), dtype=np.uint64)
+        for i in range(width):
+            result |= self.bits[:, :, offset + i].astype(np.uint64) << np.uint64(i)
+        return result
+
+    def read_column(self, column: int) -> np.ndarray:
+        """Return one bit column of every crossbar, shape ``(count, rows)``."""
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        return self.bits[:, :, column].copy()
+
+    # ----------------------------------------------------- bulk primitives
+    def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:
+        """Stateful NOR: ``dest`` column of every row becomes NOR of ``srcs``.
+
+        This is the MAGIC-style primitive; it executes on every row of every
+        crossbar of the bank concurrently and writes the destination cell of
+        every row (one cell write per row).
+        """
+        if not srcs:
+            raise ValueError("NOR needs at least one source column")
+        acc = self.bits[:, :, srcs[0]].copy()
+        for src in srcs[1:]:
+            acc |= self.bits[:, :, src]
+        self.bits[:, :, dest] = ~acc
+        self.writes_per_row += 1
+
+    def set_column(self, dest: int, value: bool) -> None:
+        """Initialise a column of every row to a constant (a bulk write)."""
+        self.bits[:, :, dest] = bool(value)
+        self.writes_per_row += 1
+
+    def copy_row_pairs(
+        self,
+        src_rows: np.ndarray,
+        dst_rows: np.ndarray,
+        src_offset: int,
+        dst_offset: int,
+        width: int,
+    ) -> None:
+        """Copy a field from ``src_rows`` to the same field area of ``dst_rows``.
+
+        Used by the in-crossbar reduction tree of
+        :mod:`repro.pim.arithmetic`: at every reduction level the accumulator
+        of the source row of each pair is copied into the operand slot of the
+        destination row.  All crossbars perform the copy concurrently; the
+        hardware performs the pairs serially, which the controller accounts
+        for separately.
+        """
+        self._check_field(src_offset, width)
+        self._check_field(dst_offset, width)
+        src_rows = np.asarray(src_rows, dtype=np.int64)
+        dst_rows = np.asarray(dst_rows, dtype=np.int64)
+        if src_rows.shape != dst_rows.shape:
+            raise ValueError("src_rows and dst_rows must have the same shape")
+        src_block = self.bits[:, src_rows, src_offset:src_offset + width]
+        self.bits[:, dst_rows, dst_offset:dst_offset + width] = src_block
+        self.writes_per_row[:, dst_rows] += width
+
+    # ---------------------------------------------------------------- wear
+    def wear_snapshot(self) -> np.ndarray:
+        """Return a copy of the per-row write counters."""
+        return self.writes_per_row.copy()
+
+    def max_writes_since(self, snapshot: Optional[np.ndarray] = None) -> int:
+        """Maximum per-row write count, optionally relative to a snapshot."""
+        if snapshot is None:
+            return int(self.writes_per_row.max())
+        delta = self.writes_per_row - snapshot
+        return int(delta.max())
+
+    def reset_wear(self) -> None:
+        """Zero the wear counters (used after the initial data load)."""
+        self.writes_per_row[:] = 0

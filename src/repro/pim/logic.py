@@ -1,0 +1,394 @@
+"""NOR-based bulk-bitwise logic programs.
+
+Bulk-bitwise PIM performs computation with stateful logic primitives executed
+inside the memory array.  Following the paper (and MAGIC-style RRAM logic),
+the single primitive is a **column NOR**: the destination column of every row
+receives the NOR of one or two source columns, concurrently in all rows of
+all crossbars of the targeted pages.  Initialising a column to a constant is
+a bulk write cycle.
+
+:class:`ProgramBuilder` composes these primitives into the circuits the query
+compiler needs:
+
+* constant comparisons (``==``, ``!=``, ``<``, ``<=``, ``>``, ``>=``,
+  ``BETWEEN``, ``IN``) on bit fields of the crossbar row,
+* boolean combinations of intermediate results,
+* the in-memory multiplexer of Algorithm 1 used by UPDATE statements.
+
+Every helper returns the index of the column holding its result.  The number
+of emitted operations is the cycle count charged by the timing model (one
+bulk-bitwise logic cycle, 30 ns in Table I, per primitive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.pim.crossbar import CrossbarBank
+
+
+@dataclass(frozen=True)
+class NorOp:
+    """Column-wise stateful NOR of ``srcs`` into ``dest``."""
+
+    dest: int
+    srcs: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InitOp:
+    """Initialise (bulk write) a column of every row to a constant."""
+
+    dest: int
+    value: bool
+
+
+Operation = Union[NorOp, InitOp]
+
+
+class Program:
+    """An executable sequence of bulk-bitwise primitives.
+
+    The program is purely functional with respect to a
+    :class:`~repro.pim.crossbar.CrossbarBank`; timing, energy and power are
+    accounted by :class:`repro.pim.controller.PimExecutor` from
+    :attr:`cycles` and :attr:`writes_per_row`.
+    """
+
+    def __init__(self, ops: Sequence[Operation], result_column: Optional[int] = None):
+        self.ops: List[Operation] = list(ops)
+        self.result_column = result_column
+
+    @property
+    def cycles(self) -> int:
+        """Number of bulk-bitwise cycles the program takes on a crossbar."""
+        return len(self.ops)
+
+    @property
+    def writes_per_row(self) -> int:
+        """Cell writes each row experiences (one per primitive)."""
+        return len(self.ops)
+
+    def execute(self, bank: CrossbarBank) -> None:
+        """Apply the program to every row of every crossbar of ``bank``."""
+        for op in self.ops:
+            if isinstance(op, NorOp):
+                bank.nor_columns(op.dest, op.srcs)
+            elif isinstance(op, InitOp):
+                bank.set_column(op.dest, op.value)
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown operation {op!r}")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Program(cycles={self.cycles}, result_column={self.result_column})"
+
+
+class ScratchExhaustedError(RuntimeError):
+    """Raised when a program needs more scratch columns than the row layout has."""
+
+
+class ProgramBuilder:
+    """Builds NOR programs over a fixed pool of scratch columns.
+
+    Args:
+        scratch_columns: Column indices the program may freely overwrite.
+            Comparison helpers release their intermediates, so a pool of a
+            dozen columns is enough for the SSB predicates.
+    """
+
+    def __init__(self, scratch_columns: Sequence[int]):
+        self._free: List[int] = list(scratch_columns)
+        self._all_scratch = tuple(scratch_columns)
+        self._ops: List[Operation] = []
+
+    # ------------------------------------------------------------- low level
+    def alloc(self) -> int:
+        """Allocate a scratch column."""
+        if not self._free:
+            raise ScratchExhaustedError(
+                f"program needs more than {len(self._all_scratch)} scratch columns"
+            )
+        return self._free.pop()
+
+    def free(self, column: Optional[int]) -> None:
+        """Return a scratch column to the pool (no-op for ``None``)."""
+        if column is None:
+            return
+        if column in self._all_scratch and column not in self._free:
+            self._free.append(column)
+
+    def emit_nor(self, dest: int, srcs: Sequence[int]) -> None:
+        """Emit a raw NOR primitive."""
+        self._ops.append(NorOp(dest, tuple(srcs)))
+
+    def emit_init(self, dest: int, value: bool) -> None:
+        """Emit a raw column initialisation."""
+        self._ops.append(InitOp(dest, bool(value)))
+
+    def build(self, result_column: Optional[int] = None) -> Program:
+        """Return the accumulated program."""
+        return Program(self._ops, result_column=result_column)
+
+    @property
+    def cycles(self) -> int:
+        """Cycles emitted so far."""
+        return len(self._ops)
+
+    # ----------------------------------------------------------- basic gates
+    def const(self, value: bool) -> int:
+        """Materialise a constant bit in a scratch column."""
+        dest = self.alloc()
+        self.emit_init(dest, value)
+        return dest
+
+    def nor(self, a: int, b: Optional[int] = None) -> int:
+        """NOR of one or two columns into a fresh scratch column."""
+        dest = self.alloc()
+        srcs = (a,) if b is None else (a, b)
+        self.emit_nor(dest, srcs)
+        return dest
+
+    def not_(self, a: int) -> int:
+        """Logical NOT (single-input NOR)."""
+        return self.nor(a)
+
+    def or_(self, a: int, b: int) -> int:
+        """Logical OR (NOR followed by NOT)."""
+        t = self.nor(a, b)
+        result = self.not_(t)
+        self.free(t)
+        return result
+
+    def and_(self, a: int, b: int) -> int:
+        """Logical AND via De Morgan (three NORs)."""
+        na = self.not_(a)
+        nb = self.not_(b)
+        result = self.nor(na, nb)
+        self.free(na)
+        self.free(nb)
+        return result
+
+    def and_not(self, a: int, b: int) -> int:
+        """``a AND NOT b`` (two NORs)."""
+        na = self.not_(a)
+        result = self.nor(na, b)
+        self.free(na)
+        return result
+
+    def xnor(self, a: int, b: int) -> int:
+        """Logical XNOR (four NORs)."""
+        t1 = self.nor(a, b)
+        t2 = self.nor(a, t1)
+        t3 = self.nor(b, t1)
+        result = self.nor(t2, t3)
+        self.free(t1)
+        self.free(t2)
+        self.free(t3)
+        return result
+
+    def xor(self, a: int, b: int) -> int:
+        """Logical XOR (five NORs)."""
+        t = self.xnor(a, b)
+        result = self.not_(t)
+        self.free(t)
+        return result
+
+    def copy(self, src: int) -> int:
+        """Copy a column into a fresh scratch column (double NOT)."""
+        t = self.not_(src)
+        result = self.not_(t)
+        self.free(t)
+        return result
+
+    def store(self, src: int, dest: int) -> None:
+        """Copy the value of ``src`` into a specific destination column."""
+        t = self.not_(src)
+        self.emit_nor(dest, (t,))
+        self.free(t)
+
+    def store_const(self, dest: int, value: bool) -> None:
+        """Write a constant into a specific destination column."""
+        self.emit_init(dest, value)
+
+    # --------------------------------------------------------- reductions
+    def and_reduce(self, columns: Sequence[int], consume: bool = False) -> int:
+        """AND of several columns.  ``consume`` frees the inputs."""
+        return self._reduce(columns, self.and_, consume, identity=True)
+
+    def or_reduce(self, columns: Sequence[int], consume: bool = False) -> int:
+        """OR of several columns.  ``consume`` frees the inputs."""
+        return self._reduce(columns, self.or_, consume, identity=False)
+
+    def _reduce(self, columns, gate, consume, identity: bool) -> int:
+        columns = list(columns)
+        if not columns:
+            return self.const(identity)
+        if len(columns) == 1:
+            return columns[0] if not consume else self._own(columns[0])
+        acc = columns[0]
+        owned = False
+        for col in columns[1:]:
+            new_acc = gate(acc, col)
+            if owned or consume:
+                self.free(acc)
+            if consume:
+                self.free(col)
+            acc = new_acc
+            owned = True
+        return acc
+
+    def _own(self, column: int) -> int:
+        """Return a column the caller may free (copy if it is not scratch)."""
+        if column in self._all_scratch:
+            return column
+        return self.copy(column)
+
+    # ------------------------------------------------------ constant compare
+    def eq_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field == value`` for an unsigned field (LSB-first columns)."""
+        self._check_const(field_columns, value)
+        acc: Optional[int] = None
+        for i, col in enumerate(field_columns):
+            bit = (value >> i) & 1
+            term = self.copy(col) if bit else self.not_(col)
+            if acc is None:
+                acc = term
+            else:
+                new_acc = self.and_(acc, term)
+                self.free(acc)
+                self.free(term)
+                acc = new_acc
+        assert acc is not None
+        return acc
+
+    def ne_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field != value``."""
+        eq = self.eq_const(field_columns, value)
+        result = self.not_(eq)
+        self.free(eq)
+        return result
+
+    def lt_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field < value`` for an unsigned field (LSB-first columns)."""
+        width = len(field_columns)
+        if value <= 0:
+            return self.const(False)
+        if value >= (1 << width):
+            return self.const(True)
+        lt: Optional[int] = None
+        eq_prefix: Optional[int] = None
+        for i in reversed(range(width)):
+            col = field_columns[i]
+            cbit = (value >> i) & 1
+            if cbit:
+                not_b = self.not_(col)
+                if eq_prefix is None:
+                    term = not_b
+                else:
+                    term = self.and_(eq_prefix, not_b)
+                    self.free(not_b)
+                if lt is None:
+                    lt = term
+                else:
+                    new_lt = self.or_(lt, term)
+                    self.free(lt)
+                    self.free(term)
+                    lt = new_lt
+                eq_prefix = self._extend_prefix(eq_prefix, col, invert=False)
+            else:
+                eq_prefix = self._extend_prefix(eq_prefix, col, invert=True)
+        self.free(eq_prefix)
+        if lt is None:
+            return self.const(False)
+        return lt
+
+    def _extend_prefix(self, eq_prefix: Optional[int], col: int, invert: bool) -> int:
+        bit = self.not_(col) if invert else self.copy(col)
+        if eq_prefix is None:
+            return bit
+        new_prefix = self.and_(eq_prefix, bit)
+        self.free(eq_prefix)
+        self.free(bit)
+        return new_prefix
+
+    def le_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field <= value``."""
+        width = len(field_columns)
+        if value >= (1 << width) - 1:
+            return self.const(True)
+        return self.lt_const(field_columns, value + 1)
+
+    def gt_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field > value``."""
+        le = self.le_const(field_columns, value)
+        result = self.not_(le)
+        self.free(le)
+        return result
+
+    def ge_const(self, field_columns: Sequence[int], value: int) -> int:
+        """``field >= value``."""
+        if value <= 0:
+            return self.const(True)
+        lt = self.lt_const(field_columns, value)
+        result = self.not_(lt)
+        self.free(lt)
+        return result
+
+    def between_const(self, field_columns: Sequence[int], low: int, high: int) -> int:
+        """``low <= field <= high`` (both bounds inclusive)."""
+        if low > high:
+            return self.const(False)
+        ge = self.ge_const(field_columns, low)
+        le = self.le_const(field_columns, high)
+        result = self.and_(ge, le)
+        self.free(ge)
+        self.free(le)
+        return result
+
+    def isin_const(self, field_columns: Sequence[int], values: Sequence[int]) -> int:
+        """``field IN values``."""
+        values = sorted(set(int(v) for v in values))
+        if not values:
+            return self.const(False)
+        terms = [self.eq_const(field_columns, v) for v in values]
+        return self.or_reduce(terms, consume=True)
+
+    def _check_const(self, field_columns: Sequence[int], value: int) -> None:
+        width = len(field_columns)
+        if width == 0:
+            raise ValueError("empty field")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"constant {value} does not fit in {width} bits")
+
+    # ------------------------------------------------------------ Algorithm 1
+    def mux_update(
+        self,
+        value_columns: Sequence[int],
+        update_value: int,
+        select_column: int,
+    ) -> None:
+        """In-memory MUX between stored bits and an immediate (Algorithm 1).
+
+        For every row: if the select bit is 1 the field becomes
+        ``update_value``, otherwise it is unchanged.  Two primitives per
+        field bit, exactly as in the paper's Algorithm 1 (an OR for constant
+        bits that are 1, an AND-NOT for constant bits that are 0), plus the
+        temporary column each in-place rewrite needs.
+        """
+        self._check_const(value_columns, update_value)
+        for i, col in enumerate(value_columns):
+            cbit = (update_value >> i) & 1
+            if cbit:
+                # v <- v OR s  ==  NOT(NOR(v, s))
+                t = self.nor(col, select_column)
+                self.emit_nor(col, (t,))
+                self.free(t)
+            else:
+                # v <- v AND NOT s  ==  NOR(NOT v, s)
+                t = self.not_(col)
+                self.emit_nor(col, (t, select_column))
+                self.free(t)

@@ -1,0 +1,79 @@
+"""PIM request descriptors.
+
+The host drives the PIM module with *PIM requests*: memory commands carrying
+an address (which selects the targeted huge page) and data describing the
+computation (Section II-B of the paper).  The simulator does not serialise
+requests onto a bus; instead, :class:`repro.pim.controller.PimExecutor`
+creates one descriptor per (page, operation) pair for accounting and
+debugging.  The descriptor types below mirror the operations the paper's
+system needs:
+
+* :class:`FilterRequest` — run a NOR program implementing a predicate and
+  leave the per-record result bit in a designated column.
+* :class:`AggregateRequest` — aggregate an attribute of the page's records,
+  either with the per-crossbar aggregation circuit (this paper) or with pure
+  bulk-bitwise logic (the PIMDB baseline).
+* :class:`MuxUpdateRequest` — Algorithm 1: overwrite an attribute of the
+  records selected by a previous filter with an immediate value.
+* :class:`ComputeRequest` — materialise a derived attribute (e.g. a product
+  or difference of two stored attributes) with in-row arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PimRequest:
+    """Base class: one request targets one huge page."""
+
+    page_index: int
+
+
+@dataclass(frozen=True)
+class FilterRequest(PimRequest):
+    """Evaluate a predicate program; result lands in ``result_column``."""
+
+    cycles: int = 0
+    result_column: Optional[int] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class AggregateRequest(PimRequest):
+    """Aggregate ``field`` over the records whose ``mask_column`` bit is set."""
+
+    operation: str = "sum"
+    field_offset: int = 0
+    field_width: int = 0
+    mask_column: int = 0
+    destination_offset: int = 0
+    uses_aggregation_circuit: bool = True
+
+
+@dataclass(frozen=True)
+class MuxUpdateRequest(PimRequest):
+    """Algorithm 1: conditional overwrite of an attribute with an immediate."""
+
+    field_offset: int = 0
+    field_width: int = 0
+    update_value: int = 0
+    select_column: int = 0
+
+
+@dataclass(frozen=True)
+class ComputeRequest(PimRequest):
+    """In-row arithmetic materialising a derived attribute."""
+
+    cycles: int = 0
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ReadRequest(PimRequest):
+    """A host read of data resident in the PIM module (standard load path)."""
+
+    lines: int = 0
+    description: str = ""

@@ -1,0 +1,29 @@
+"""The Star Schema Benchmark (SSB) workload.
+
+SSB [12] models a sales data warehouse: one fact relation (``lineorder``) and
+four dimension relations (``customer``, ``supplier``, ``part``, ``date``),
+queried by 13 analytical queries in four groups.  This package provides
+
+* the relation schemas with dictionary-encoded categorical attributes
+  (:mod:`repro.ssb.schema`),
+* a scalable data generator with the skewed value distributions of Rabl et
+  al. [15] that the paper populates its relation with
+  (:mod:`repro.ssb.datagen`),
+* the 13 SSB queries expressed in the query IR (:mod:`repro.ssb.queries`),
+* the pre-joined relation used by the PIM configurations and by mnt-join
+  (:mod:`repro.ssb.prejoined`).
+"""
+
+from repro.ssb.datagen import SSBDataset, generate
+from repro.ssb.prejoined import DERIVED_ATTRIBUTES, build_ssb_prejoined
+from repro.ssb.queries import ALL_QUERIES, QUERY_ORDER, ssb_query
+
+__all__ = [
+    "SSBDataset",
+    "generate",
+    "DERIVED_ATTRIBUTES",
+    "build_ssb_prejoined",
+    "ALL_QUERIES",
+    "QUERY_ORDER",
+    "ssb_query",
+]

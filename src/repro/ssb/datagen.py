@@ -1,0 +1,392 @@
+"""Scalable SSB data generator with skewed distributions.
+
+The generator reproduces the structure of the SSB ``dbgen`` tool: the DATE
+dimension covers the seven order years 1992-1998 day by day, CUSTOMER /
+SUPPLIER / PART scale with the scale factor, and LINEORDER holds roughly six
+million records per scale-factor unit, grouped into orders of one to seven
+lines.
+
+The paper populates the relation with the *skewed* variant of Rabl et
+al. [15] so that GROUP-BY subgroups have non-uniform sizes (that non-
+uniformity is what the hybrid GROUP-BY exploits).  Skew is implemented as a
+Zipf distribution over the foreign keys — a few customers, parts, suppliers
+and order dates receive a disproportionate share of the lineorders — with
+``skew=0`` falling back to the uniform SSB population.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.db.catalog import Database, ForeignKey
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.ssb import schema as ssb_schema
+
+
+@dataclass
+class SSBDataset:
+    """A generated SSB database plus its generation parameters."""
+
+    database: Database
+    scale_factor: float
+    skew: float
+    seed: int
+
+    @property
+    def lineorder(self) -> Relation:
+        return self.database.relation("lineorder")
+
+    @property
+    def customer(self) -> Relation:
+        return self.database.relation("customer")
+
+    @property
+    def supplier(self) -> Relation:
+        return self.database.relation("supplier")
+
+    @property
+    def part(self) -> Relation:
+        return self.database.relation("part")
+
+    @property
+    def date(self) -> Relation:
+        return self.database.relation("date")
+
+
+# SSB base cardinalities per scale-factor unit.
+CUSTOMERS_PER_SF = 30_000
+SUPPLIERS_PER_SF = 2_000
+PARTS_PER_SF = 200_000
+LINEORDERS_PER_SF = 6_000_000
+MAX_LINES_PER_ORDER = 7
+
+# Floors so that tiny scale factors still exercise every value domain.
+MIN_CUSTOMERS = 500
+MIN_SUPPLIERS = 250
+MIN_PARTS = 1000
+MIN_LINEORDERS = 2000
+
+
+def generate(
+    scale_factor: float = 0.01,
+    skew: float = 0.5,
+    seed: int = 42,
+) -> SSBDataset:
+    """Generate an SSB database at the given scale factor.
+
+    Args:
+        scale_factor: SSB scale factor (1.0 is roughly six million fact
+            records; the paper uses 10, the default here is laptop-sized).
+        skew: Zipf exponent applied to the foreign-key distributions
+            (0 = the uniform SSB population).
+        seed: Seed of the pseudo-random generator (generation is fully
+            deterministic given the seed).
+    """
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    rng = np.random.default_rng(seed)
+
+    num_customers = max(MIN_CUSTOMERS, int(round(CUSTOMERS_PER_SF * scale_factor)))
+    num_suppliers = max(MIN_SUPPLIERS, int(round(SUPPLIERS_PER_SF * scale_factor)))
+    num_parts = max(MIN_PARTS, int(round(PARTS_PER_SF * scale_factor)))
+    num_lineorders = max(MIN_LINEORDERS, int(round(LINEORDERS_PER_SF * scale_factor)))
+
+    date = _generate_date(rng)
+    customer = _generate_customer(rng, num_customers)
+    supplier = _generate_supplier(rng, num_suppliers)
+    part = _generate_part(rng, num_parts)
+    lineorder = _generate_lineorder(
+        rng, num_lineorders, customer, supplier, part, date, skew
+    )
+
+    database = Database(
+        relations={
+            "lineorder": lineorder,
+            "customer": customer,
+            "supplier": supplier,
+            "part": part,
+            "date": date,
+        },
+        fact="lineorder",
+        foreign_keys=[
+            ForeignKey("lo_custkey", "customer", "c_custkey"),
+            ForeignKey("lo_suppkey", "supplier", "s_suppkey"),
+            ForeignKey("lo_partkey", "part", "p_partkey"),
+            ForeignKey("lo_orderdate", "date", "d_datekey"),
+        ],
+    )
+    return SSBDataset(database=database, scale_factor=scale_factor, skew=skew, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Dimensions
+# ---------------------------------------------------------------------------
+
+def _generate_date(rng: np.random.Generator) -> Relation:
+    schema = ssb_schema.date_schema()
+    datekey_dict = schema.attribute("d_datekey").dictionary
+    first = datetime.date(ssb_schema.FIRST_YEAR, 1, 1)
+    last = datetime.date(ssb_schema.LAST_YEAR, 12, 31)
+    days = (last - first).days + 1
+
+    columns: Dict[str, list] = {name: [] for name in schema.names}
+    season_by_month = {
+        12: "Christmas", 1: "Winter", 2: "Winter", 3: "Spring", 4: "Spring",
+        5: "Spring", 6: "Summer", 7: "Summer", 8: "Summer", 9: "Fall",
+        10: "Fall", 11: "Fall",
+    }
+    weekday_names = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday",
+                     "Saturday", "Sunday")
+    holidays = rng.choice(days, size=max(7, days // 70), replace=False)
+    holiday_set = set(int(h) for h in holidays)
+
+    for day_index in range(days):
+        day = first + datetime.timedelta(days=day_index)
+        weekday = weekday_names[day.weekday()]
+        columns["d_datekey"].append(
+            datekey_dict.encode(day.year * 10000 + day.month * 100 + day.day)
+        )
+        columns["d_dayofweek"].append(
+            schema.attribute("d_dayofweek").dictionary.encode_existing(weekday)
+        )
+        columns["d_month"].append(
+            schema.attribute("d_month").dictionary.encode_existing(
+                ssb_schema.MONTH_NAMES[day.month - 1]
+            )
+        )
+        columns["d_year"].append(day.year)
+        columns["d_yearmonthnum"].append(
+            schema.attribute("d_yearmonthnum").dictionary.encode_existing(
+                day.year * 100 + day.month
+            )
+        )
+        columns["d_yearmonth"].append(
+            schema.attribute("d_yearmonth").dictionary.encode_existing(
+                f"{ssb_schema.MONTH_NAMES[day.month - 1]}{day.year}"
+            )
+        )
+        columns["d_daynuminweek"].append(day.isoweekday())
+        columns["d_daynuminmonth"].append(day.day)
+        columns["d_daynuminyear"].append(day.timetuple().tm_yday)
+        columns["d_monthnuminyear"].append(day.month)
+        columns["d_weeknuminyear"].append(min(53, day.isocalendar()[1]))
+        columns["d_sellingseason"].append(
+            schema.attribute("d_sellingseason").dictionary.encode_existing(
+                season_by_month[day.month]
+            )
+        )
+        columns["d_lastdayinweekfl"].append(1 if day.weekday() == 6 else 0)
+        next_day = day + datetime.timedelta(days=1)
+        columns["d_lastdayinmonthfl"].append(1 if next_day.month != day.month else 0)
+        columns["d_holidayfl"].append(1 if day_index in holiday_set else 0)
+        columns["d_weekdayfl"].append(1 if day.weekday() < 5 else 0)
+
+    arrays = {name: np.array(values, dtype=np.uint64) for name, values in columns.items()}
+    return Relation(schema, arrays)
+
+
+def _covering_assignment(
+    rng: np.random.Generator, count: int, domain: int
+) -> np.ndarray:
+    """Uniform assignment that covers the whole domain when ``count >= domain``.
+
+    The first ``domain`` entities cycle deterministically through every value
+    (so that, even at tiny scale factors, the specific cities and brands the
+    SSB predicates name actually exist); the remainder is drawn uniformly at
+    random, as dbgen does.
+    """
+    if count <= 0:
+        return np.zeros(0, dtype=np.int64)
+    covered = np.arange(min(count, domain), dtype=np.int64)
+    if count <= domain:
+        return covered
+    rest = rng.integers(0, domain, count - domain)
+    return np.concatenate([covered, rest])
+
+
+def _generate_customer(rng: np.random.Generator, count: int) -> Relation:
+    schema = ssb_schema.customer_schema(count)
+    city_index = _covering_assignment(
+        rng, count, len(ssb_schema.NATIONS) * ssb_schema.CITIES_PER_NATION
+    )
+    nations = city_index // ssb_schema.CITIES_PER_NATION
+    city_digit = city_index % ssb_schema.CITIES_PER_NATION
+    city_dict = schema.attribute("c_city").dictionary
+    nation_dict = schema.attribute("c_nation").dictionary
+    region_dict = schema.attribute("c_region").dictionary
+    cities = np.array([
+        city_dict.encode_existing(
+            ssb_schema.city_name(ssb_schema.NATIONS[n], d)
+        )
+        for n, d in zip(nations, city_digit)
+    ], dtype=np.uint64)
+    nation_codes = np.array([
+        nation_dict.encode_existing(ssb_schema.NATIONS[n]) for n in nations
+    ], dtype=np.uint64)
+    region_codes = np.array([
+        region_dict.encode_existing(ssb_schema.NATION_REGION[ssb_schema.NATIONS[n]])
+        for n in nations
+    ], dtype=np.uint64)
+    return Relation(schema, {
+        "c_custkey": np.arange(1, count + 1, dtype=np.uint64),
+        "c_city": cities,
+        "c_nation": nation_codes,
+        "c_region": region_codes,
+        "c_mktsegment": rng.integers(
+            0, len(ssb_schema.MKTSEGMENTS), count
+        ).astype(np.uint64),
+    })
+
+
+def _generate_supplier(rng: np.random.Generator, count: int) -> Relation:
+    schema = ssb_schema.supplier_schema(count)
+    city_index = _covering_assignment(
+        rng, count, len(ssb_schema.NATIONS) * ssb_schema.CITIES_PER_NATION
+    )
+    nations = city_index // ssb_schema.CITIES_PER_NATION
+    city_digit = city_index % ssb_schema.CITIES_PER_NATION
+    city_dict = schema.attribute("s_city").dictionary
+    nation_dict = schema.attribute("s_nation").dictionary
+    region_dict = schema.attribute("s_region").dictionary
+    cities = np.array([
+        city_dict.encode_existing(ssb_schema.city_name(ssb_schema.NATIONS[n], d))
+        for n, d in zip(nations, city_digit)
+    ], dtype=np.uint64)
+    nation_codes = np.array([
+        nation_dict.encode_existing(ssb_schema.NATIONS[n]) for n in nations
+    ], dtype=np.uint64)
+    region_codes = np.array([
+        region_dict.encode_existing(ssb_schema.NATION_REGION[ssb_schema.NATIONS[n]])
+        for n in nations
+    ], dtype=np.uint64)
+    return Relation(schema, {
+        "s_suppkey": np.arange(1, count + 1, dtype=np.uint64),
+        "s_city": cities,
+        "s_nation": nation_codes,
+        "s_region": region_codes,
+    })
+
+
+def _generate_part(rng: np.random.Generator, count: int) -> Relation:
+    schema = ssb_schema.part_schema(count)
+    brand_index = _covering_assignment(rng, count, len(ssb_schema.BRANDS))
+    category_index = brand_index // ssb_schema.BRANDS_PER_CATEGORY
+    brand_in_category = brand_index % ssb_schema.BRANDS_PER_CATEGORY + 1
+    category_dict = schema.attribute("p_category").dictionary
+    brand_dict = schema.attribute("p_brand1").dictionary
+    mfgr_dict = schema.attribute("p_mfgr").dictionary
+    categories = np.array([
+        category_dict.encode_existing(ssb_schema.CATEGORIES[i]) for i in category_index
+    ], dtype=np.uint64)
+    brands = np.array([
+        brand_dict.encode_existing(f"{ssb_schema.CATEGORIES[i]}{b:02d}")
+        for i, b in zip(category_index, brand_in_category)
+    ], dtype=np.uint64)
+    mfgrs = np.array([
+        mfgr_dict.encode_existing(ssb_schema.CATEGORIES[i][:6]) for i in category_index
+    ], dtype=np.uint64)
+    return Relation(schema, {
+        "p_partkey": np.arange(1, count + 1, dtype=np.uint64),
+        "p_mfgr": mfgrs,
+        "p_category": categories,
+        "p_brand1": brands,
+        "p_color": rng.integers(0, len(ssb_schema.COLORS), count).astype(np.uint64),
+        "p_type": rng.integers(0, len(ssb_schema.PART_TYPES), count).astype(np.uint64),
+        "p_size": rng.integers(1, 51, count).astype(np.uint64),
+        "p_container": rng.integers(0, len(ssb_schema.CONTAINERS), count).astype(np.uint64),
+    })
+
+
+# ---------------------------------------------------------------------------
+# Fact relation
+# ---------------------------------------------------------------------------
+
+def _zipf_indices(
+    rng: np.random.Generator, population: int, size: int, theta: float
+) -> np.ndarray:
+    """Skewed index selection: Zipf(theta) over a random permutation."""
+    if theta <= 0 or population <= 1:
+        return rng.integers(0, population, size)
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    probabilities = ranks ** (-theta)
+    probabilities /= probabilities.sum()
+    permutation = rng.permutation(population)
+    return permutation[rng.choice(population, size=size, p=probabilities)]
+
+
+def _generate_lineorder(
+    rng: np.random.Generator,
+    count: int,
+    customer: Relation,
+    supplier: Relation,
+    part: Relation,
+    date: Relation,
+    skew: float,
+) -> Relation:
+    num_orders = max(1, count // 4)
+    schema = ssb_schema.lineorder_schema(
+        num_orders=num_orders,
+        num_customers=len(customer),
+        num_parts=len(part),
+        num_suppliers=len(supplier),
+        date_dictionary=date.schema.attribute("d_datekey").dictionary,
+    )
+
+    order_of_line = rng.integers(0, num_orders, count).astype(np.uint64)
+    order_of_line.sort()
+    linenumber = np.ones(count, dtype=np.uint64)
+    same_as_prev = np.concatenate(([False], order_of_line[1:] == order_of_line[:-1]))
+    running = 0
+    for i in range(count):
+        running = running + 1 if same_as_prev[i] else 1
+        linenumber[i] = min(running, MAX_LINES_PER_ORDER)
+
+    cust_idx = _zipf_indices(rng, len(customer), count, skew)
+    supp_idx = _zipf_indices(rng, len(supplier), count, skew)
+    part_idx = _zipf_indices(rng, len(part), count, skew)
+    date_idx = _zipf_indices(rng, len(date), count, skew * 0.4)
+
+    quantity = rng.integers(1, 51, count).astype(np.int64)
+    unit_price = rng.integers(900, 111_001, count).astype(np.int64)
+    discount = rng.integers(0, 11, count).astype(np.int64)
+    tax = rng.integers(0, 9, count).astype(np.int64)
+    extendedprice = quantity * unit_price
+    revenue = extendedprice * (100 - discount) // 100
+    supplycost = unit_price * 6 // 10
+
+    # Order total price: sum of the extended prices of the order's lines.
+    ordtotal = np.zeros(count, dtype=np.int64)
+    totals = np.zeros(num_orders, dtype=np.int64)
+    np.add.at(totals, order_of_line.astype(np.int64), extendedprice)
+    ordtotal = totals[order_of_line.astype(np.int64)]
+
+    commit_shift = rng.integers(1, 90, count)
+    commit_idx = np.minimum(date_idx + commit_shift, len(date) - 1)
+
+    columns = {
+        "lo_orderkey": order_of_line + np.uint64(1),
+        "lo_linenumber": linenumber,
+        "lo_custkey": customer.column("c_custkey")[cust_idx],
+        "lo_partkey": part.column("p_partkey")[part_idx],
+        "lo_suppkey": supplier.column("s_suppkey")[supp_idx],
+        "lo_orderdate": date.column("d_datekey")[date_idx],
+        "lo_orderpriority": rng.integers(
+            0, len(ssb_schema.ORDER_PRIORITIES), count
+        ).astype(np.uint64),
+        "lo_shippriority": np.zeros(count, dtype=np.uint64),
+        "lo_quantity": quantity.astype(np.uint64),
+        "lo_extendedprice": extendedprice.astype(np.uint64),
+        "lo_ordtotalprice": ordtotal.astype(np.uint64),
+        "lo_discount": discount.astype(np.uint64),
+        "lo_revenue": revenue.astype(np.uint64),
+        "lo_supplycost": supplycost.astype(np.uint64),
+        "lo_tax": tax.astype(np.uint64),
+        "lo_commitdate": date.column("d_datekey")[commit_idx],
+        "lo_shipmode": rng.integers(0, len(ssb_schema.SHIPMODES), count).astype(np.uint64),
+    }
+    return Relation(schema, columns)

@@ -1,0 +1,308 @@
+"""The 13 SSB queries expressed in the query IR.
+
+Every query is written against the attribute namespace of the pre-joined
+relation (attribute names are unique across the star schema, so the same IR
+also drives the star-plan execution of the columnar baseline: the engine maps
+each attribute back to its source relation through the catalog).
+
+Aggregations reference the derived attributes materialised by
+:mod:`repro.ssb.prejoined`:
+
+* query flight 1 (``sum(lo_extendedprice * lo_discount)``) aggregates
+  ``lo_revenue_discounted``;
+* query flight 4 (``sum(lo_revenue - lo_supplycost)``) aggregates
+  ``lo_profit``;
+* query flights 2 and 3 aggregate the stored ``lo_revenue``.
+
+For reference, the original SQL of every query is kept in its docstring-like
+``sql`` field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.db.query import (
+    Aggregate,
+    And,
+    BETWEEN,
+    Comparison,
+    EQ,
+    GE,
+    IN,
+    LE,
+    LT,
+    Query,
+)
+
+
+@dataclass(frozen=True)
+class SSBQuery:
+    """An SSB query: the IR plus the original SQL text for documentation."""
+
+    query: Query
+    sql: str
+    group: int
+
+
+def _q(name: str, predicate, aggregates, group_by=()) -> Query:
+    return Query(name=name, predicate=predicate, aggregates=tuple(aggregates),
+                 group_by=tuple(group_by))
+
+
+_REVENUE_Q1 = Aggregate("sum", "lo_revenue_discounted", alias="revenue")
+_REVENUE = Aggregate("sum", "lo_revenue", alias="revenue")
+_PROFIT = Aggregate("sum", "lo_profit", alias="profit")
+
+
+SSB_QUERIES: Dict[str, SSBQuery] = {
+    # ----------------------------------------------------------- flight 1
+    "Q1.1": SSBQuery(
+        _q("Q1.1",
+           And((
+               Comparison("d_year", EQ, 1993),
+               Comparison("lo_discount", BETWEEN, low=1, high=3),
+               Comparison("lo_quantity", LT, 25),
+           )),
+           [_REVENUE_Q1]),
+        sql="select sum(lo_extendedprice*lo_discount) as revenue "
+            "from lineorder, date where lo_orderdate = d_datekey "
+            "and d_year = 1993 and lo_discount between 1 and 3 "
+            "and lo_quantity < 25;",
+        group=1,
+    ),
+    "Q1.2": SSBQuery(
+        _q("Q1.2",
+           And((
+               Comparison("d_yearmonthnum", EQ, 199401),
+               Comparison("lo_discount", BETWEEN, low=4, high=6),
+               Comparison("lo_quantity", BETWEEN, low=26, high=35),
+           )),
+           [_REVENUE_Q1]),
+        sql="select sum(lo_extendedprice*lo_discount) as revenue "
+            "from lineorder, date where lo_orderdate = d_datekey "
+            "and d_yearmonthnum = 199401 and lo_discount between 4 and 6 "
+            "and lo_quantity between 26 and 35;",
+        group=1,
+    ),
+    "Q1.3": SSBQuery(
+        _q("Q1.3",
+           And((
+               Comparison("d_weeknuminyear", EQ, 6),
+               Comparison("d_year", EQ, 1994),
+               Comparison("lo_discount", BETWEEN, low=5, high=7),
+               Comparison("lo_quantity", BETWEEN, low=26, high=35),
+           )),
+           [_REVENUE_Q1]),
+        sql="select sum(lo_extendedprice*lo_discount) as revenue "
+            "from lineorder, date where lo_orderdate = d_datekey "
+            "and d_weeknuminyear = 6 and d_year = 1994 "
+            "and lo_discount between 5 and 7 "
+            "and lo_quantity between 26 and 35;",
+        group=1,
+    ),
+    # ----------------------------------------------------------- flight 2
+    "Q2.1": SSBQuery(
+        _q("Q2.1",
+           And((
+               Comparison("p_category", EQ, "MFGR#12"),
+               Comparison("s_region", EQ, "AMERICA"),
+           )),
+           [_REVENUE],
+           group_by=("d_year", "p_brand1")),
+        sql="select sum(lo_revenue), d_year, p_brand1 "
+            "from lineorder, date, part, supplier "
+            "where lo_orderdate = d_datekey and lo_partkey = p_partkey "
+            "and lo_suppkey = s_suppkey and p_category = 'MFGR#12' "
+            "and s_region = 'AMERICA' group by d_year, p_brand1;",
+        group=2,
+    ),
+    "Q2.2": SSBQuery(
+        _q("Q2.2",
+           And((
+               Comparison("p_brand1", BETWEEN, low="MFGR#2221", high="MFGR#2228"),
+               Comparison("s_region", EQ, "ASIA"),
+           )),
+           [_REVENUE],
+           group_by=("d_year", "p_brand1")),
+        sql="select sum(lo_revenue), d_year, p_brand1 "
+            "from lineorder, date, part, supplier "
+            "where lo_orderdate = d_datekey and lo_partkey = p_partkey "
+            "and lo_suppkey = s_suppkey "
+            "and p_brand1 between 'MFGR#2221' and 'MFGR#2228' "
+            "and s_region = 'ASIA' group by d_year, p_brand1;",
+        group=2,
+    ),
+    "Q2.3": SSBQuery(
+        _q("Q2.3",
+           And((
+               Comparison("p_brand1", EQ, "MFGR#2239"),
+               Comparison("s_region", EQ, "EUROPE"),
+           )),
+           [_REVENUE],
+           group_by=("d_year", "p_brand1")),
+        sql="select sum(lo_revenue), d_year, p_brand1 "
+            "from lineorder, date, part, supplier "
+            "where lo_orderdate = d_datekey and lo_partkey = p_partkey "
+            "and lo_suppkey = s_suppkey and p_brand1 = 'MFGR#2239' "
+            "and s_region = 'EUROPE' group by d_year, p_brand1;",
+        group=2,
+    ),
+    # ----------------------------------------------------------- flight 3
+    "Q3.1": SSBQuery(
+        _q("Q3.1",
+           And((
+               Comparison("c_region", EQ, "ASIA"),
+               Comparison("s_region", EQ, "ASIA"),
+               Comparison("d_year", BETWEEN, low=1992, high=1997),
+           )),
+           [_REVENUE],
+           group_by=("c_nation", "s_nation", "d_year")),
+        sql="select c_nation, s_nation, d_year, sum(lo_revenue) as revenue "
+            "from customer, lineorder, supplier, date "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_orderdate = d_datekey and c_region = 'ASIA' "
+            "and s_region = 'ASIA' and d_year >= 1992 and d_year <= 1997 "
+            "group by c_nation, s_nation, d_year;",
+        group=3,
+    ),
+    "Q3.2": SSBQuery(
+        _q("Q3.2",
+           And((
+               Comparison("c_nation", EQ, "UNITED STATES"),
+               Comparison("s_nation", EQ, "UNITED STATES"),
+               Comparison("d_year", BETWEEN, low=1992, high=1997),
+           )),
+           [_REVENUE],
+           group_by=("c_city", "s_city", "d_year")),
+        sql="select c_city, s_city, d_year, sum(lo_revenue) as revenue "
+            "from customer, lineorder, supplier, date "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_orderdate = d_datekey and c_nation = 'UNITED STATES' "
+            "and s_nation = 'UNITED STATES' and d_year >= 1992 and d_year <= 1997 "
+            "group by c_city, s_city, d_year;",
+        group=3,
+    ),
+    "Q3.3": SSBQuery(
+        _q("Q3.3",
+           And((
+               Comparison("c_city", IN, values=("UNITED KI1", "UNITED KI5")),
+               Comparison("s_city", IN, values=("UNITED KI1", "UNITED KI5")),
+               Comparison("d_year", BETWEEN, low=1992, high=1997),
+           )),
+           [_REVENUE],
+           group_by=("c_city", "s_city", "d_year")),
+        sql="select c_city, s_city, d_year, sum(lo_revenue) as revenue "
+            "from customer, lineorder, supplier, date "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_orderdate = d_datekey "
+            "and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') "
+            "and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') "
+            "and d_year >= 1992 and d_year <= 1997 "
+            "group by c_city, s_city, d_year;",
+        group=3,
+    ),
+    "Q3.4": SSBQuery(
+        _q("Q3.4",
+           And((
+               Comparison("c_city", IN, values=("UNITED KI1", "UNITED KI5")),
+               Comparison("s_city", IN, values=("UNITED KI1", "UNITED KI5")),
+               Comparison("d_yearmonth", EQ, "Dec1997"),
+           )),
+           [_REVENUE],
+           group_by=("c_city", "s_city", "d_year")),
+        sql="select c_city, s_city, d_year, sum(lo_revenue) as revenue "
+            "from customer, lineorder, supplier, date "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_orderdate = d_datekey "
+            "and (c_city = 'UNITED KI1' or c_city = 'UNITED KI5') "
+            "and (s_city = 'UNITED KI1' or s_city = 'UNITED KI5') "
+            "and d_yearmonth = 'Dec1997' group by c_city, s_city, d_year;",
+        group=3,
+    ),
+    # ----------------------------------------------------------- flight 4
+    "Q4.1": SSBQuery(
+        _q("Q4.1",
+           And((
+               Comparison("c_region", EQ, "AMERICA"),
+               Comparison("s_region", EQ, "AMERICA"),
+               Comparison("p_mfgr", IN, values=("MFGR#1", "MFGR#2")),
+           )),
+           [_PROFIT],
+           group_by=("d_year", "c_nation")),
+        sql="select d_year, c_nation, sum(lo_revenue - lo_supplycost) as profit "
+            "from date, customer, supplier, part, lineorder "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_partkey = p_partkey and lo_orderdate = d_datekey "
+            "and c_region = 'AMERICA' and s_region = 'AMERICA' "
+            "and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') "
+            "group by d_year, c_nation;",
+        group=4,
+    ),
+    "Q4.2": SSBQuery(
+        _q("Q4.2",
+           And((
+               Comparison("d_year", IN, values=(1997, 1998)),
+               Comparison("c_region", EQ, "AMERICA"),
+               Comparison("s_region", EQ, "AMERICA"),
+               Comparison("p_mfgr", IN, values=("MFGR#1", "MFGR#2")),
+           )),
+           [_PROFIT],
+           group_by=("d_year", "s_nation", "p_category")),
+        sql="select d_year, s_nation, p_category, "
+            "sum(lo_revenue - lo_supplycost) as profit "
+            "from date, customer, supplier, part, lineorder "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_partkey = p_partkey and lo_orderdate = d_datekey "
+            "and c_region = 'AMERICA' and s_region = 'AMERICA' "
+            "and (d_year = 1997 or d_year = 1998) "
+            "and (p_mfgr = 'MFGR#1' or p_mfgr = 'MFGR#2') "
+            "group by d_year, s_nation, p_category;",
+        group=4,
+    ),
+    "Q4.3": SSBQuery(
+        _q("Q4.3",
+           And((
+               Comparison("d_year", IN, values=(1997, 1998)),
+               Comparison("c_region", EQ, "AMERICA"),
+               Comparison("s_nation", EQ, "UNITED STATES"),
+               Comparison("p_category", EQ, "MFGR#14"),
+           )),
+           [_PROFIT],
+           group_by=("d_year", "s_city", "p_brand1")),
+        sql="select d_year, s_city, p_brand1, "
+            "sum(lo_revenue - lo_supplycost) as profit "
+            "from date, customer, supplier, part, lineorder "
+            "where lo_custkey = c_custkey and lo_suppkey = s_suppkey "
+            "and lo_partkey = p_partkey and lo_orderdate = d_datekey "
+            "and c_region = 'AMERICA' and s_nation = 'UNITED STATES' "
+            "and (d_year = 1997 or d_year = 1998) and p_category = 'MFGR#14' "
+            "group by d_year, s_city, p_brand1;",
+        group=4,
+    ),
+}
+
+#: Execution order used by the evaluation figures.
+QUERY_ORDER: Tuple[str, ...] = (
+    "Q1.1", "Q1.2", "Q1.3",
+    "Q2.1", "Q2.2", "Q2.3",
+    "Q3.1", "Q3.2", "Q3.3", "Q3.4",
+    "Q4.1", "Q4.2", "Q4.3",
+)
+
+#: Plain mapping from query name to the IR query object.
+ALL_QUERIES: Dict[str, Query] = {name: entry.query for name, entry in SSB_QUERIES.items()}
+
+
+def ssb_query(name: str) -> Query:
+    """Return the IR of one SSB query (e.g. ``"Q2.1"``)."""
+    try:
+        return ALL_QUERIES[name]
+    except KeyError:
+        raise KeyError(f"unknown SSB query {name!r}; choose from {QUERY_ORDER}") from None
+
+
+def queries_in_group(group: int) -> List[str]:
+    """Names of the queries in one of the four SSB query flights."""
+    return [name for name in QUERY_ORDER if SSB_QUERIES[name].group == group]

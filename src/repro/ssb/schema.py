@@ -1,0 +1,207 @@
+"""SSB relation schemas, value domains and dictionary encodings.
+
+The domains follow the SSB specification (which itself derives from TPC-H):
+five regions with five nations each, ten cities per nation (the nation name
+truncated to nine characters plus a digit), five manufacturers with five
+categories each and forty brands per category, seven order years
+(1992-1998), and so on.  Categorical attributes are dictionary-encoded; the
+dictionaries are built in sorted order so that the dense codes preserve the
+lexicographic order, which lets range predicates such as
+``p_brand1 BETWEEN 'MFGR#2221' AND 'MFGR#2228'`` be compiled to plain
+unsigned comparisons on the codes.
+
+Long free-text attributes (customer/supplier NAME and ADDRESS, part and date
+names) are not generated at all: the paper drops them from the pre-joined
+relation because no SSB query touches them, and generating them would only
+inflate the baseline relations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.db.schema import Attribute, Schema, dict_attribute, int_attribute, width_for_count
+
+# ---------------------------------------------------------------------------
+# Value domains
+# ---------------------------------------------------------------------------
+
+REGION_NATIONS: Dict[str, Tuple[str, ...]] = {
+    "AFRICA": ("ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"),
+    "AMERICA": ("ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"),
+    "ASIA": ("CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"),
+    "EUROPE": ("FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"),
+    "MIDDLE EAST": ("EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"),
+}
+
+REGIONS: Tuple[str, ...] = tuple(sorted(REGION_NATIONS))
+NATIONS: Tuple[str, ...] = tuple(sorted(n for ns in REGION_NATIONS.values() for n in ns))
+NATION_REGION: Dict[str, str] = {
+    nation: region for region, nations in REGION_NATIONS.items() for nation in nations
+}
+
+CITIES_PER_NATION = 10
+
+
+def city_name(nation: str, index: int) -> str:
+    """SSB city naming: the nation truncated/padded to nine chars plus a digit."""
+    return f"{nation[:9]:<9}{index}"
+
+
+CITIES: Tuple[str, ...] = tuple(
+    sorted(city_name(nation, i) for nation in NATIONS for i in range(CITIES_PER_NATION))
+)
+NATION_CITIES: Dict[str, Tuple[str, ...]] = {
+    nation: tuple(city_name(nation, i) for i in range(CITIES_PER_NATION))
+    for nation in NATIONS
+}
+
+MKTSEGMENTS: Tuple[str, ...] = (
+    "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
+)
+
+MANUFACTURERS: Tuple[str, ...] = tuple(f"MFGR#{i}" for i in range(1, 6))
+CATEGORIES: Tuple[str, ...] = tuple(
+    f"MFGR#{m}{c}" for m in range(1, 6) for c in range(1, 6)
+)
+BRANDS_PER_CATEGORY = 40
+BRANDS: Tuple[str, ...] = tuple(
+    f"{category}{brand:02d}"
+    for category in CATEGORIES
+    for brand in range(1, BRANDS_PER_CATEGORY + 1)
+)
+
+COLORS: Tuple[str, ...] = (
+    "almond", "aquamarine", "azure", "beige", "black", "blue", "brown", "coral",
+    "cyan", "forest", "gold", "green", "indigo", "ivory", "lime", "magenta",
+    "navy", "olive", "orange", "pink", "red", "silver", "white", "yellow",
+)
+PART_TYPES: Tuple[str, ...] = tuple(
+    f"{size} {material}"
+    for size in ("ECONOMY", "LARGE", "MEDIUM", "SMALL", "STANDARD")
+    for material in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
+)
+CONTAINERS: Tuple[str, ...] = tuple(
+    f"{size} {kind}"
+    for size in ("JUMBO", "LG", "MED", "SM", "WRAP")
+    for kind in ("BAG", "BOX", "CASE", "PACK")
+)
+
+SHIPMODES: Tuple[str, ...] = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+ORDER_PRIORITIES: Tuple[str, ...] = (
+    "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
+)
+SEASONS: Tuple[str, ...] = ("Christmas", "Fall", "Spring", "Summer", "Winter")
+MONTH_NAMES: Tuple[str, ...] = (
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+)
+WEEKDAYS: Tuple[str, ...] = (
+    "Friday", "Monday", "Saturday", "Sunday", "Thursday", "Tuesday", "Wednesday",
+)
+
+FIRST_YEAR = 1992
+LAST_YEAR = 1998
+YEARS: Tuple[int, ...] = tuple(range(FIRST_YEAR, LAST_YEAR + 1))
+
+YEARMONTHS: Tuple[str, ...] = tuple(
+    sorted(f"{month}{year}" for year in YEARS for month in MONTH_NAMES)
+)
+YEARMONTHNUMS: Tuple[int, ...] = tuple(
+    sorted(year * 100 + month for year in YEARS for month in range(1, 13))
+)
+
+
+# ---------------------------------------------------------------------------
+# Schemas
+# ---------------------------------------------------------------------------
+
+def customer_schema(num_customers: int) -> Schema:
+    """Schema of the CUSTOMER dimension (NAME/ADDRESS/PHONE omitted)."""
+    return Schema("customer", [
+        int_attribute("c_custkey", width_for_count(num_customers + 1), source="customer"),
+        dict_attribute("c_city", CITIES, source="customer"),
+        dict_attribute("c_nation", NATIONS, source="customer"),
+        dict_attribute("c_region", REGIONS, source="customer"),
+        dict_attribute("c_mktsegment", MKTSEGMENTS, source="customer"),
+    ])
+
+
+def supplier_schema(num_suppliers: int) -> Schema:
+    """Schema of the SUPPLIER dimension (NAME/ADDRESS/PHONE omitted)."""
+    return Schema("supplier", [
+        int_attribute("s_suppkey", width_for_count(num_suppliers + 1), source="supplier"),
+        dict_attribute("s_city", CITIES, source="supplier"),
+        dict_attribute("s_nation", NATIONS, source="supplier"),
+        dict_attribute("s_region", REGIONS, source="supplier"),
+    ])
+
+
+def part_schema(num_parts: int) -> Schema:
+    """Schema of the PART dimension (NAME omitted)."""
+    return Schema("part", [
+        int_attribute("p_partkey", width_for_count(num_parts + 1), source="part"),
+        dict_attribute("p_mfgr", MANUFACTURERS, source="part"),
+        dict_attribute("p_category", CATEGORIES, source="part"),
+        dict_attribute("p_brand1", BRANDS, source="part"),
+        dict_attribute("p_color", COLORS, source="part"),
+        dict_attribute("p_type", PART_TYPES, source="part"),
+        int_attribute("p_size", 6, source="part"),
+        dict_attribute("p_container", CONTAINERS, source="part"),
+    ])
+
+
+def date_schema() -> Schema:
+    """Schema of the DATE dimension (the textual d_date omitted)."""
+    return Schema("date", [
+        dict_attribute("d_datekey", [], width=12, source="date"),
+        dict_attribute("d_dayofweek", WEEKDAYS, source="date"),
+        dict_attribute("d_month", MONTH_NAMES, source="date"),
+        int_attribute("d_year", 11, source="date"),
+        dict_attribute("d_yearmonthnum", YEARMONTHNUMS, source="date"),
+        dict_attribute("d_yearmonth", YEARMONTHS, source="date"),
+        int_attribute("d_daynuminweek", 3, source="date"),
+        int_attribute("d_daynuminmonth", 5, source="date"),
+        int_attribute("d_daynuminyear", 9, source="date"),
+        int_attribute("d_monthnuminyear", 4, source="date"),
+        int_attribute("d_weeknuminyear", 6, source="date"),
+        dict_attribute("d_sellingseason", SEASONS, source="date"),
+        int_attribute("d_lastdayinweekfl", 1, source="date"),
+        int_attribute("d_lastdayinmonthfl", 1, source="date"),
+        int_attribute("d_holidayfl", 1, source="date"),
+        int_attribute("d_weekdayfl", 1, source="date"),
+    ])
+
+
+def lineorder_schema(
+    num_orders: int,
+    num_customers: int,
+    num_parts: int,
+    num_suppliers: int,
+    date_dictionary,
+) -> Schema:
+    """Schema of the LINEORDER fact relation.
+
+    Date foreign keys reuse the DATE dimension's ``d_datekey`` dictionary so
+    the same code refers to the same day in both relations.
+    """
+    return Schema("lineorder", [
+        int_attribute("lo_orderkey", width_for_count(num_orders + 1), source="lineorder"),
+        int_attribute("lo_linenumber", 3, source="lineorder"),
+        int_attribute("lo_custkey", width_for_count(num_customers + 1), source="lineorder"),
+        int_attribute("lo_partkey", width_for_count(num_parts + 1), source="lineorder"),
+        int_attribute("lo_suppkey", width_for_count(num_suppliers + 1), source="lineorder"),
+        Attribute("lo_orderdate", 12, kind="dict", dictionary=date_dictionary,
+                  source="lineorder"),
+        dict_attribute("lo_orderpriority", ORDER_PRIORITIES, source="lineorder"),
+        int_attribute("lo_shippriority", 1, source="lineorder"),
+        int_attribute("lo_quantity", 6, source="lineorder"),
+        int_attribute("lo_extendedprice", 24, source="lineorder"),
+        int_attribute("lo_ordtotalprice", 27, source="lineorder"),
+        int_attribute("lo_discount", 4, source="lineorder"),
+        int_attribute("lo_revenue", 24, source="lineorder"),
+        int_attribute("lo_supplycost", 18, source="lineorder"),
+        int_attribute("lo_tax", 4, source="lineorder"),
+        Attribute("lo_commitdate", 12, kind="dict", dictionary=date_dictionary,
+                  source="lineorder"),
+        dict_attribute("lo_shipmode", SHIPMODES, source="lineorder"),
+    ])

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (a small generated SSB instance and the engines built
+on it) are session-scoped so the integration tests pay for them once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.relation import Relation
+from repro.db.schema import Schema, dict_attribute, int_attribute
+from repro.db.storage import StoredRelation
+from repro.pim.module import PimModule
+
+
+TOY_CITIES = [f"CITY{i}" for i in range(10)]
+TOY_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+
+def make_toy_relation(records: int = 4000, seed: int = 3) -> Relation:
+    """A small relation exercising int and dictionary attributes."""
+    rng = np.random.default_rng(seed)
+    schema = Schema("toy", [
+        int_attribute("key", 20, source="fact"),
+        int_attribute("price", 22, source="fact"),
+        int_attribute("discount", 4, source="fact"),
+        int_attribute("quantity", 6, source="fact"),
+        dict_attribute("city", TOY_CITIES, source="dim"),
+        dict_attribute("region", TOY_REGIONS, source="dim"),
+        int_attribute("year", 11, source="dim"),
+    ])
+    columns = {
+        "key": np.arange(records, dtype=np.uint64),
+        "price": rng.integers(0, 1 << 20, records).astype(np.uint64),
+        "discount": rng.integers(0, 11, records).astype(np.uint64),
+        "quantity": rng.integers(1, 51, records).astype(np.uint64),
+        "city": rng.integers(0, len(TOY_CITIES), records).astype(np.uint64),
+        "region": rng.integers(0, len(TOY_REGIONS), records).astype(np.uint64),
+        "year": rng.integers(1992, 1999, records).astype(np.uint64),
+    }
+    return Relation(schema, columns)
+
+
+@pytest.fixture(scope="session")
+def toy_relation() -> Relation:
+    return make_toy_relation()
+
+
+@pytest.fixture()
+def toy_stored(toy_relation):
+    """The toy relation stored one-record-per-row in a fresh PIM module."""
+    module = PimModule(DEFAULT_CONFIG)
+    return StoredRelation(
+        toy_relation, module, label="toy",
+        aggregation_width=22, reserve_bulk_aggregation=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def ssb_dataset():
+    """A tiny generated SSB instance (session-scoped)."""
+    from repro.ssb import generate
+
+    return generate(scale_factor=0.002, skew=0.5, seed=11)
+
+
+@pytest.fixture(scope="session")
+def ssb_prejoined(ssb_dataset):
+    from repro.ssb import build_ssb_prejoined
+
+    return build_ssb_prejoined(ssb_dataset.database)
+
+
+@pytest.fixture(scope="session")
+def ssb_one_xb_engine(ssb_prejoined):
+    """A one-xb engine over the tiny SSB instance (session-scoped)."""
+    from repro.core.executor import PimQueryEngine
+    from repro.ssb.prejoined import max_aggregated_width
+
+    module = PimModule(DEFAULT_CONFIG)
+    stored = StoredRelation(
+        ssb_prejoined, module, label="one_xb",
+        aggregation_width=max_aggregated_width(ssb_prejoined),
+        reserve_bulk_aggregation=False,
+    )
+    return PimQueryEngine(stored, label="one_xb", timing_scale=100.0)

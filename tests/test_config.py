@@ -1,0 +1,57 @@
+"""Tests of the Table I configuration objects."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, SystemConfig, table1_rows
+
+
+def test_crossbar_geometry_matches_table1():
+    xbar = DEFAULT_CONFIG.pim.crossbar
+    assert xbar.rows == 1024
+    assert xbar.columns == 512
+    assert xbar.read_width_bits == 16
+    assert xbar.logic_cycle_s == pytest.approx(30e-9)
+    assert xbar.bits == 1024 * 512
+    assert xbar.row_bytes == 64
+
+
+def test_module_derived_geometry():
+    pim = DEFAULT_CONFIG.pim
+    assert pim.crossbars_per_page == 32
+    assert pim.records_per_page == 32 * 1024
+    assert pim.pages_total == 32 * 1024 ** 3 // (2 * 1024 ** 2)
+
+
+def test_host_and_columnar_configuration():
+    host = DEFAULT_CONFIG.host
+    assert host.cores == 6
+    assert host.query_threads == 4
+    assert host.dram_bw_bytes_per_s < host.dram_peak_bw_bytes_per_s
+    columnar = DEFAULT_CONFIG.columnar
+    assert columnar.total_cores == 32
+    assert columnar.dram_bw_bytes_per_s > 0
+
+
+def test_without_aggregation_circuit_only_changes_the_circuit():
+    pimdb = DEFAULT_CONFIG.without_aggregation_circuit()
+    assert not pimdb.pim.aggregation_circuit.enabled
+    assert DEFAULT_CONFIG.pim.aggregation_circuit.enabled
+    assert pimdb.pim.crossbar == DEFAULT_CONFIG.pim.crossbar
+    assert pimdb.host == DEFAULT_CONFIG.host
+
+
+def test_replace_returns_modified_copy():
+    changed = DEFAULT_CONFIG.replace(host=dataclasses.replace(DEFAULT_CONFIG.host, cores=8))
+    assert changed.host.cores == 8
+    assert DEFAULT_CONFIG.host.cores == 6
+
+
+def test_table1_rows_cover_both_sections():
+    rows = table1_rows()
+    sections = {section for section, _, _ in rows}
+    assert sections == {"Single RRAM PIM Module", "Evaluation System"}
+    parameters = {parameter for _, parameter, _ in rows}
+    assert "Crossbar read" in parameters
+    assert "Coherence protocol" in parameters

@@ -1,0 +1,91 @@
+"""Tests of the row layout and of relations stored in the PIM module."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.encoding import LayoutError, RowLayout
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.pim.module import PimModule
+from tests.conftest import make_toy_relation
+
+
+def test_row_layout_assigns_disjoint_fields(toy_relation):
+    layout = RowLayout(toy_relation.schema, columns=512, rows=1024)
+    used = set()
+    for name in toy_relation.schema.names:
+        columns = layout.field_columns(name)
+        assert not (used & set(columns))
+        used.update(columns)
+    for special in (layout.valid_column, layout.filter_column,
+                    layout.group_column, layout.remote_column):
+        assert special not in used
+    assert layout.accumulator_offset > layout.remote_column
+    assert layout.operand_offset is not None
+    assert len(layout.scratch_columns) >= 10
+    assert layout.used_columns + len(layout.scratch_columns) == 512
+
+
+def test_row_layout_word_indexes():
+    schema = Schema("w", [int_attribute("a", 20), int_attribute("b", 4)])
+    layout = RowLayout(schema, columns=128, rows=16)
+    # a spans words 0 and 1; b sits in word 1.
+    assert layout.word_indexes("a") == [0, 1]
+    assert layout.word_indexes("b") == [1]
+    assert layout.words_for_fields(["a", "b"]) == [0, 1]
+    assert len(layout.result_word_indexes) >= 1
+    described = {name for name, _, _ in layout.describe()}
+    assert "<filter>" in described and "<scratch>" in described
+
+
+def test_row_layout_overflow_raises():
+    wide = Schema("wide", [int_attribute(f"a{i}", 64) for i in range(9)])
+    with pytest.raises(LayoutError):
+        RowLayout(wide, columns=512, rows=1024)
+
+
+def test_stored_relation_roundtrip_and_geometry(toy_stored, toy_relation):
+    assert toy_stored.num_records == len(toy_relation)
+    assert toy_stored.partitions == 1
+    assert toy_stored.pages == 1
+    for name in toy_relation.schema.names:
+        assert np.array_equal(toy_stored.decode_column(name), toy_relation.column(name))
+    valid = toy_stored.valid_mask()
+    assert valid.shape == (len(toy_relation),)
+    assert valid.all()
+    # Loading must not count towards endurance.
+    assert toy_stored.max_writes_since(toy_stored.wear_snapshot()) == 0
+
+
+def test_stored_relation_vertical_partitioning(toy_relation):
+    module = PimModule(DEFAULT_CONFIG)
+    stored = StoredRelation(
+        toy_relation, module, label="two",
+        partitions=[["key", "price", "discount", "quantity"],
+                    ["city", "region", "year"]],
+        aggregation_width=22,
+    )
+    assert stored.partitions == 2
+    assert stored.partition_of("price") == 0
+    assert stored.partition_of("city") == 1
+    assert stored.layout_of("year") is stored.layouts[1]
+    assert np.array_equal(stored.decode_column("year"), toy_relation.column("year"))
+    with pytest.raises(KeyError):
+        stored.partition_of("missing")
+
+
+def test_stored_relation_partition_validation(toy_relation):
+    module = PimModule(DEFAULT_CONFIG)
+    with pytest.raises(ValueError):
+        StoredRelation(toy_relation, module, partitions=[["key"], ["key", "price"]])
+    with pytest.raises(ValueError):
+        StoredRelation(toy_relation, module, partitions=[["key"]])
+
+
+def test_write_bit_column_roundtrip(toy_stored):
+    values = np.zeros(toy_stored.num_records, dtype=bool)
+    values[::3] = True
+    column = toy_stored.layouts[0].remote_column
+    toy_stored.write_bit_column(0, column, values)
+    assert np.array_equal(toy_stored.column_bit(0, column), values)

@@ -1,0 +1,150 @@
+"""Tests of the query IR, the reference evaluator and the NOR compiler."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.db.compiler import (
+    CompilationError,
+    compile_group_predicate,
+    compile_predicate,
+    partition_conjuncts,
+)
+from repro.db.query import (
+    Aggregate,
+    And,
+    BETWEEN,
+    Comparison,
+    EQ,
+    GE,
+    IN,
+    LT,
+    Or,
+    Query,
+    attributes_referenced,
+    conj,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
+from repro.pim.controller import PimExecutor
+
+
+def test_comparison_validation():
+    with pytest.raises(ValueError):
+        Comparison("a", "~", 1)
+    with pytest.raises(ValueError):
+        Comparison("a", BETWEEN, low=1)
+    with pytest.raises(ValueError):
+        Comparison("a", IN)
+    with pytest.raises(ValueError):
+        Comparison("a", EQ)
+    with pytest.raises(ValueError):
+        And(())
+    with pytest.raises(ValueError):
+        Query("q", None, ())
+    with pytest.raises(ValueError):
+        Aggregate("sum")
+
+
+def test_query_metadata_helpers():
+    query = Query(
+        "q",
+        And((Comparison("year", EQ, 1993), Comparison("city", IN, values=("X",)))),
+        (Aggregate("sum", "price"), Aggregate("count")),
+        group_by=("city",),
+    )
+    assert query.filter_attributes == ["city", "year"]
+    assert query.aggregate_attributes == ["price"]
+    assert query.referenced_attributes == ["city", "price", "year"]
+    assert attributes_referenced(query.predicate) == {"year", "city"}
+    assert conj(None, None) is None
+    assert conj(Comparison("a", EQ, 1)) == Comparison("a", EQ, 1)
+
+
+def test_reference_evaluator_semantics(toy_relation):
+    predicate = And((
+        Comparison("year", BETWEEN, low=1993, high=1995),
+        Or((Comparison("city", EQ, "CITY1"), Comparison("city", EQ, "CITY2"))),
+        Comparison("discount", GE, 3),
+    ))
+    mask = evaluate_predicate(predicate, toy_relation)
+    year = toy_relation.column("year")
+    city = toy_relation.column("city")
+    discount = toy_relation.column("discount")
+    expected = ((year >= 1993) & (year <= 1995)
+                & ((city == 1) | (city == 2)) & (discount >= 3))
+    assert np.array_equal(mask, expected)
+    # Unknown dictionary constants select nothing (or everything for !=).
+    assert not evaluate_predicate(Comparison("city", EQ, "NOWHERE"), toy_relation).any()
+    assert evaluate_predicate(Comparison("city", "!=", "NOWHERE"), toy_relation).all()
+    assert evaluate_predicate(None, toy_relation).all()
+
+
+def test_reference_group_aggregate(toy_relation):
+    mask = evaluate_predicate(Comparison("discount", LT, 5), toy_relation)
+    result = reference_group_aggregate(
+        toy_relation, mask, ("city",),
+        (Aggregate("sum", "price"), Aggregate("count"), Aggregate("min", "price")),
+    )
+    city = toy_relation.column("city")
+    price = toy_relation.column("price")
+    for code in np.unique(city[mask]):
+        rows = mask & (city == code)
+        entry = result[(int(code),)]
+        assert entry["sum_price"] == int(price[rows].sum())
+        assert entry["count"] == int(rows.sum())
+        assert entry["min_price"] == int(price[rows].min())
+
+
+def test_compiled_filter_matches_reference(toy_stored, toy_relation):
+    predicate = And((
+        Comparison("region", IN, values=("ASIA", "EUROPE")),
+        Comparison("price", "<", 500_000),
+        Comparison("quantity", BETWEEN, low=10, high=40),
+    ))
+    layout = toy_stored.layouts[0]
+    program = compile_predicate(predicate, toy_relation.schema, layout)
+    executor = PimExecutor(DEFAULT_CONFIG)
+    executor.run_program(toy_stored.allocations[0].bank, program, pages=1)
+    assert np.array_equal(
+        toy_stored.filter_mask(), evaluate_predicate(predicate, toy_relation)
+    )
+
+
+def test_compiled_group_predicate(toy_stored, toy_relation):
+    layout = toy_stored.layouts[0]
+    executor = PimExecutor(DEFAULT_CONFIG)
+    base = compile_predicate(
+        Comparison("year", EQ, 1995), toy_relation.schema, layout
+    )
+    executor.run_program(toy_stored.allocations[0].bank, base, pages=1)
+    group = compile_group_predicate({"city": 4}, layout)
+    executor.run_program(toy_stored.allocations[0].bank, group, pages=1)
+    expected = (toy_relation.column("year") == 1995) & (toy_relation.column("city") == 4)
+    assert np.array_equal(
+        toy_stored.column_bit(0, layout.group_column), expected
+    )
+
+
+def test_compiler_errors(toy_stored, toy_relation):
+    layout = toy_stored.layouts[0]
+    with pytest.raises(CompilationError):
+        compile_predicate(Comparison("missing", EQ, 1), toy_relation.schema, layout)
+    with pytest.raises(CompilationError):
+        compile_group_predicate({"missing": 1}, layout)
+
+
+def test_partition_conjuncts_split():
+    predicate = And((
+        Comparison("price", LT, 10),
+        Comparison("city", EQ, "CITY1"),
+        Comparison("year", EQ, 1993),
+    ))
+    parts = partition_conjuncts(
+        predicate, [["price", "quantity"], ["city", "year"]]
+    )
+    assert attributes_referenced(parts[0]) == {"price"}
+    assert attributes_referenced(parts[1]) == {"city", "year"}
+    assert partition_conjuncts(None, [["a"], ["b"]]) == [None, None]
+    with pytest.raises(CompilationError):
+        partition_conjuncts(Comparison("unknown", EQ, 1), [["a"], ["b"]])

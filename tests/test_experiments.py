@@ -1,0 +1,89 @@
+"""Tests of the experiment harness (small-scale, subset of configurations)."""
+
+import pytest
+
+from repro.experiments import build_setup, run_all_queries
+from repro.experiments import (
+    ablation,
+    fig5_area,
+    fig6_latency,
+    fig7_energy,
+    fig8_power,
+    fig9_endurance,
+    headline,
+    table1_config,
+    table2_summary,
+)
+from repro.experiments.common import format_table, geomean, records_by
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    """A reduced set-up: tiny scale factor, subset of queries/configs."""
+    return build_setup(scale_factor=0.002, configs=("one_xb", "pimdb", "mnt_join"))
+
+
+@pytest.fixture(scope="module")
+def small_records(small_setup):
+    return run_all_queries(
+        small_setup, queries=("Q1.1", "Q2.3", "Q3.1", "Q4.1"), verify=True
+    )
+
+
+def test_setup_builds_requested_configs(small_setup):
+    assert set(small_setup.pim_engines) == {"one_xb", "pimdb"}
+    assert small_setup.configs == ("one_xb", "pimdb", "mnt_join")
+    assert small_setup.timing_scale > 1
+    assert small_setup.modelled_pages > small_setup.pim_engines["one_xb"].stored.pages
+
+
+def test_run_all_queries_is_cached_and_verified(small_setup, small_records):
+    assert run_all_queries(small_setup) is small_records
+    assert len(small_records) == 4 * 3
+    by = records_by(small_records)
+    assert by[("one_xb", "Q1.1")].time_s > 0
+
+
+def test_helpers():
+    assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+    assert geomean([]) == 0.0
+    text = format_table(["a", "b"], [[1, 2.5], ["x", 0.0001]])
+    assert "a" in text and "x" in text
+
+
+def test_table1_and_fig5_render():
+    assert "Crossbar rows" in table1_config.render()
+    assert "Aggregation circuits" in fig5_area.render()
+    rows = fig5_area.fig5_rows()
+    assert abs(sum(share for _, _, share, _ in rows) - 1.0) < 1e-9
+
+
+def test_figure_modules_render_from_records(small_records):
+    configs = ("one_xb", "pimdb", "mnt_join")
+    assert "Query" in fig6_latency.render(small_records, configs=configs)
+    assert "geo-mean" in fig7_energy.render(small_records, configs=("one_xb", "pimdb"))
+    assert "peak power" in fig8_power.render(small_records, configs=("one_xb", "pimdb"))
+    assert "lifetime" in fig9_endurance.render(small_records, configs=("one_xb", "pimdb"))
+    assert "Measured" in headline.render(small_records)
+    assert "paper total" in table2_summary.render(small_records)
+
+
+def test_speedup_and_ratio_helpers(small_records):
+    ratios = fig6_latency.speedups(small_records, "mnt_join")
+    assert "geomean" in ratios and ratios["geomean"] > 0
+    assert fig7_energy.pimdb_energy_ratio(small_records) > 0
+    assert fig8_power.pimdb_power_ratio(small_records) > 0
+    metrics = headline.headline_metrics(small_records)
+    names = {m.name for m in metrics}
+    assert any("pimdb" in name for name in names)
+
+
+def test_ablation_helpers(small_setup):
+    rows = ablation.aggregation_circuit_ablation(small_setup, queries=("Q1.1",))
+    variants = {row.variant for row in rows}
+    assert variants == {"with circuit", "bulk-bitwise only"}
+    report = ablation.prejoin_storage_report(small_setup)
+    assert report.fits_in_single_row
+    sampling_rows = ablation.sampling_ablation(small_setup, sample_pages=(1, 2))
+    assert len(sampling_rows) == 2
+    assert "Pre-join storage accounting" in ablation.render(small_setup)

@@ -1,0 +1,138 @@
+"""Tests of the PIM executor accounting and the module allocator."""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.pim.arithmetic import BulkAggregationPlan
+from repro.pim.controller import PimExecutor
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import ProgramBuilder
+from repro.pim.module import OutOfPimMemoryError, PimModule
+from repro.pim.stats import PimStats, combine_parallel
+
+
+def _bank(count=2, rows=16, columns=128, seed=0):
+    bank = CrossbarBank(count=count, rows=rows, columns=columns)
+    rng = np.random.default_rng(seed)
+    bank.write_field_column(0, 12, rng.integers(0, 1 << 12, (count, rows)).astype(np.uint64))
+    bank.bits[:, :, 20] = rng.integers(0, 2, (count, rows)).astype(bool)
+    return bank
+
+
+def test_run_program_accounts_time_energy_and_requests():
+    bank = _bank()
+    executor = PimExecutor(DEFAULT_CONFIG)
+    builder = ProgramBuilder(range(100, 128))
+    result = builder.eq_const(list(range(12)), 100)
+    builder.store(result, 90)
+    program = builder.build()
+    executor.run_program(bank, program, pages=8, phase="filter")
+
+    stats = executor.stats
+    xbar = DEFAULT_CONFIG.pim.crossbar
+    expected_time = 8 * DEFAULT_CONFIG.pim.request_issue_gap_s + program.cycles * xbar.logic_cycle_s
+    assert stats.time_by_phase["filter"] == pytest.approx(expected_time)
+    assert stats.pim_requests == 8
+    assert stats.logic_ops == program.cycles * 8 * DEFAULT_CONFIG.pim.crossbars_per_page
+    assert stats.energy_by_component["logic"] > 0
+    assert stats.energy_by_component["controller"] > 0
+    assert stats.peak_chip_power_w > 0
+
+
+def test_aggregate_with_circuit_matches_reference_and_charges_reads():
+    bank = _bank(seed=3)
+    executor = PimExecutor(DEFAULT_CONFIG)
+    values = bank.read_field_all(0, 12)
+    mask = bank.read_column(20)
+    results = executor.aggregate_with_circuit(
+        bank, field_offset=0, field_width=12, mask_column=20,
+        destination_offset=40, pages=1, operation="sum",
+    )
+    assert np.array_equal(results, (values * mask).sum(axis=1))
+    assert executor.stats.bits_read > 0
+    assert executor.stats.energy_by_component["agg_circuit"] > 0
+    # The result was written back into row 0 of each crossbar.
+    width = 12 + 4  # log2(16 rows)
+    assert bank.read_field(0, 0, 40, width) == int(results[0])
+
+
+def test_aggregate_with_circuit_requires_enabled_circuit():
+    bank = _bank()
+    executor = PimExecutor(DEFAULT_CONFIG.without_aggregation_circuit())
+    with pytest.raises(RuntimeError):
+        executor.aggregate_with_circuit(bank, 0, 12, 20, 40, pages=1)
+
+
+def test_bulk_bitwise_aggregation_costs_more_than_circuit():
+    plan_kwargs = dict(
+        rows=16, field_offset=0, field_width=12, mask_column=20,
+        acc_offset=40, operand_offset=70, scratch_columns=range(100, 128),
+    )
+    bank_a = _bank(seed=5)
+    circuit = PimExecutor(DEFAULT_CONFIG)
+    expected = circuit.aggregate_with_circuit(bank_a, 0, 12, 20, 40, pages=4)
+
+    bank_b = _bank(seed=5)
+    bulk = PimExecutor(DEFAULT_CONFIG.without_aggregation_circuit())
+    results = bulk.aggregate_bulk_bitwise(
+        bank_b, BulkAggregationPlan(**plan_kwargs), pages=4
+    )
+    assert np.array_equal(results, expected)
+    assert bulk.stats.total_time_s > circuit.stats.total_time_s
+    assert bulk.stats.total_energy_j > circuit.stats.total_energy_j
+
+
+def test_gate_level_and_functional_bulk_aggregation_agree():
+    plan = BulkAggregationPlan(
+        rows=16, field_offset=0, field_width=12, mask_column=20,
+        acc_offset=40, operand_offset=70, scratch_columns=range(100, 128),
+    )
+    bank_a, bank_b = _bank(seed=8), _bank(seed=8)
+    functional = PimExecutor(DEFAULT_CONFIG)
+    gate = PimExecutor(DEFAULT_CONFIG)
+    res_f = functional.aggregate_bulk_bitwise(bank_a, plan, pages=1)
+    res_g = gate.aggregate_bulk_bitwise(bank_b, plan, pages=1, gate_level=True)
+    assert np.array_equal(res_f, res_g)
+    assert functional.stats.total_time_s == pytest.approx(gate.stats.total_time_s)
+
+
+def test_module_allocation_and_capacity():
+    module = PimModule(DEFAULT_CONFIG)
+    allocation = module.allocate_for_records(100_000, "relation")
+    assert allocation.pages == 4  # ceil(100000 / 32768)
+    assert allocation.record_capacity >= 100_000
+    assert allocation.crossbar_of_record(1024) == 1
+    assert allocation.row_of_record(1025) == 1
+    assert allocation.page_of_record(32 * 1024) == 1
+    assert module.pages_used == 4
+    with pytest.raises(ValueError):
+        module.allocate_pages(1, "relation")
+    module.free("relation")
+    assert module.pages_used == 0
+    with pytest.raises(OutOfPimMemoryError):
+        module.allocate_pages(module.config.pages_total + 1, "too-big")
+
+
+def test_stats_merge_and_parallel_combine():
+    first, second = PimStats(), PimStats()
+    first.add_time("filter", 1.0)
+    first.add_energy("logic", 2.0)
+    first.observe_writes_per_row(10)
+    second.add_time("filter", 3.0)
+    second.add_energy("read", 1.0)
+    second.observe_writes_per_row(4)
+
+    merged = PimStats().merge(first).merge(second)
+    assert merged.total_time_s == pytest.approx(4.0)
+    assert merged.total_energy_j == pytest.approx(3.0)
+    assert merged.max_writes_per_row == 10
+
+    parallel = combine_parallel([first, second], phase="threads")
+    assert parallel.time_by_phase["threads"] == pytest.approx(3.0)
+    assert parallel.total_energy_j == pytest.approx(3.0)
+
+    with pytest.raises(ValueError):
+        first.add_time("bad", -1.0)
+    with pytest.raises(ValueError):
+        first.add_energy("bad", -1.0)

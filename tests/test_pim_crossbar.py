@@ -1,0 +1,73 @@
+"""Tests of the crossbar bank functional model."""
+
+import numpy as np
+import pytest
+
+from repro.pim.crossbar import CrossbarBank
+
+
+@pytest.fixture()
+def bank():
+    return CrossbarBank(count=2, rows=8, columns=64)
+
+
+def test_constructor_validates_dimensions():
+    with pytest.raises(ValueError):
+        CrossbarBank(count=0, rows=8, columns=64)
+
+
+def test_field_roundtrip_single_row(bank):
+    bank.write_field(0, 3, offset=10, width=12, value=0xABC)
+    assert bank.read_field(0, 3, offset=10, width=12) == 0xABC
+    # Other rows are untouched.
+    assert bank.read_field(0, 2, offset=10, width=12) == 0
+
+
+def test_write_field_rejects_out_of_range(bank):
+    with pytest.raises(ValueError):
+        bank.write_field(0, 0, offset=10, width=4, value=16)
+    with pytest.raises(ValueError):
+        bank.write_field(0, 0, offset=60, width=8, value=1)
+
+
+def test_field_column_roundtrip(bank):
+    values = np.arange(16, dtype=np.uint64).reshape(2, 8) * 3
+    bank.write_field_column(offset=0, width=8, values=values)
+    assert np.array_equal(bank.read_field_all(0, 8), values)
+
+
+def test_nor_columns_semantics(bank):
+    a = np.random.default_rng(0).integers(0, 2, (2, 8)).astype(bool)
+    b = np.random.default_rng(1).integers(0, 2, (2, 8)).astype(bool)
+    bank.bits[:, :, 5] = a
+    bank.bits[:, :, 6] = b
+    bank.nor_columns(7, (5, 6))
+    assert np.array_equal(bank.read_column(7), ~(a | b))
+
+
+def test_nor_requires_sources(bank):
+    with pytest.raises(ValueError):
+        bank.nor_columns(7, ())
+
+
+def test_wear_counting_for_bulk_and_row_writes(bank):
+    start = bank.wear_snapshot()
+    bank.nor_columns(1, (2,))          # one cell write per row
+    bank.set_column(2, True)           # one more per row
+    bank.write_field(0, 0, 8, 4, 7)    # four cells in crossbar 0, row 0
+    assert bank.max_writes_since(start) == 2 + 4
+    assert bank.writes_per_row[1, 0] == 2
+    bank.reset_wear()
+    assert bank.max_writes_since() == 0
+
+
+def test_copy_row_pairs_moves_fields_and_counts_wear(bank):
+    values = np.arange(16, dtype=np.uint64).reshape(2, 8)
+    bank.write_field_column(offset=0, width=8, values=values, count_wear=False)
+    src = np.array([1, 3])
+    dst = np.array([0, 2])
+    bank.copy_row_pairs(src, dst, src_offset=0, dst_offset=20, width=8)
+    moved = bank.read_field_all(20, 8)
+    assert np.array_equal(moved[:, [0, 2]], values[:, [1, 3]])
+    assert bank.writes_per_row[0, 0] == 8
+    assert bank.writes_per_row[0, 1] == 0

@@ -1,0 +1,127 @@
+"""Tests of the NOR program builder and its comparison circuits."""
+
+import numpy as np
+import pytest
+
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import InitOp, NorOp, Program, ProgramBuilder, ScratchExhaustedError
+
+
+FIELD_WIDTH = 8
+FIELD_COLS = list(range(FIELD_WIDTH))
+SCRATCH = list(range(40, 64))
+RESULT = 30
+
+
+@pytest.fixture()
+def bank():
+    bank = CrossbarBank(count=3, rows=32, columns=64)
+    rng = np.random.default_rng(7)
+    values = rng.integers(0, 1 << FIELD_WIDTH, (3, 32)).astype(np.uint64)
+    bank.write_field_column(0, FIELD_WIDTH, values)
+    return bank
+
+
+def _values(bank):
+    return bank.read_field_all(0, FIELD_WIDTH)
+
+
+def _run(bank, build):
+    builder = ProgramBuilder(SCRATCH)
+    result = build(builder)
+    builder.store(result, RESULT)
+    program = builder.build(result_column=RESULT)
+    program.execute(bank)
+    return bank.read_column(RESULT), program
+
+
+@pytest.mark.parametrize("constant", [0, 1, 37, 200, 255])
+def test_eq_const(bank, constant):
+    result, program = _run(bank, lambda b: b.eq_const(FIELD_COLS, constant))
+    assert np.array_equal(result, _values(bank) == constant)
+    assert program.cycles > 0
+
+
+@pytest.mark.parametrize("constant", [0, 1, 100, 255])
+def test_ordering_comparisons(bank, constant):
+    values = _values(bank)
+    for method, reference in [
+        ("lt_const", values < constant),
+        ("le_const", values <= constant),
+        ("gt_const", values > constant),
+        ("ge_const", values >= constant),
+        ("ne_const", values != constant),
+    ]:
+        result, _ = _run(bank, lambda b, m=method: getattr(b, m)(FIELD_COLS, constant))
+        assert np.array_equal(result, reference), (method, constant)
+
+
+def test_between_and_isin(bank):
+    values = _values(bank)
+    result, _ = _run(bank, lambda b: b.between_const(FIELD_COLS, 50, 180))
+    assert np.array_equal(result, (values >= 50) & (values <= 180))
+    result, _ = _run(bank, lambda b: b.isin_const(FIELD_COLS, [3, 77, 200]))
+    assert np.array_equal(result, np.isin(values, [3, 77, 200]))
+    result, _ = _run(bank, lambda b: b.between_const(FIELD_COLS, 180, 50))
+    assert not result.any()
+
+
+def test_boolean_gates(bank):
+    a = _values(bank) < 100
+    b = _values(bank) % 2 == 1
+
+    def build(builder):
+        ca = builder.lt_const(FIELD_COLS, 100)
+        cb = builder.copy(FIELD_COLS[0])
+        out = builder.and_(ca, cb)
+        nout = builder.not_(out)
+        return builder.or_(out, nout)  # tautology
+
+    result, _ = _run(bank, build)
+    assert result.all()
+
+    def build_xor(builder):
+        ca = builder.lt_const(FIELD_COLS, 100)
+        cb = builder.copy(FIELD_COLS[0])
+        return builder.xor(ca, cb)
+
+    result, _ = _run(bank, build_xor)
+    assert np.array_equal(result, a ^ b)
+
+
+def test_mux_update_algorithm1(bank):
+    select = np.random.default_rng(0).integers(0, 2, (3, 32)).astype(bool)
+    bank.bits[:, :, 20] = select
+    before = _values(bank)
+    builder = ProgramBuilder(SCRATCH)
+    builder.mux_update(FIELD_COLS, 173, 20)
+    program = builder.build()
+    # Algorithm 1 uses two primitives per field bit plus the in-place temps.
+    assert program.cycles == 2 * FIELD_WIDTH
+    program.execute(bank)
+    assert np.array_equal(_values(bank), np.where(select, 173, before))
+
+
+def test_scratch_exhaustion_raises():
+    builder = ProgramBuilder([60, 61])
+    builder.alloc()
+    builder.alloc()
+    with pytest.raises(ScratchExhaustedError):
+        builder.alloc()
+
+
+def test_constant_folding_out_of_range():
+    builder = ProgramBuilder(SCRATCH)
+    with pytest.raises(ValueError):
+        builder.eq_const(FIELD_COLS, 1 << FIELD_WIDTH)
+    # lt against an over-large constant is simply always true.
+    col = builder.lt_const(FIELD_COLS, 1 << FIELD_WIDTH)
+    assert isinstance(col, int)
+
+
+def test_program_reports_cycles_and_writes():
+    ops = [InitOp(1, True), NorOp(2, (1,)), NorOp(3, (1, 2))]
+    program = Program(ops, result_column=3)
+    assert program.cycles == 3
+    assert program.writes_per_row == 3
+    assert len(program) == 3

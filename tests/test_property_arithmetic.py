@@ -1,0 +1,96 @@
+"""Property-based tests of the arithmetic circuits and reductions (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.arithmetic import BulkAggregationPlan, build_ripple_add, build_subtract
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import ProgramBuilder
+
+
+WIDTH = 9
+A_COLS = list(range(0, WIDTH))
+B_COLS = list(range(WIDTH, 2 * WIDTH))
+DEST = list(range(2 * WIDTH, 3 * WIDTH + 1))
+SCRATCH = list(range(80, 112))
+
+pair_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+        st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+    ),
+    min_size=1, max_size=16,
+)
+
+
+def _bank_with(pairs):
+    a = np.array([[p[0] for p in pairs]], dtype=np.uint64)
+    b = np.array([[p[1] for p in pairs]], dtype=np.uint64)
+    bank = CrossbarBank(count=1, rows=len(pairs), columns=112)
+    bank.write_field_column(0, WIDTH, a)
+    bank.write_field_column(WIDTH, WIDTH, b)
+    return bank, a[0], b[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(pairs=pair_lists)
+def test_ripple_add_matches_integer_addition(pairs):
+    bank, a, b = _bank_with(pairs)
+    builder = ProgramBuilder(SCRATCH)
+    build_ripple_add(builder, A_COLS, B_COLS, DEST)
+    builder.build().execute(bank)
+    assert np.array_equal(bank.read_field_all(DEST[0], WIDTH + 1)[0], a + b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pairs=pair_lists)
+def test_subtract_matches_modular_subtraction(pairs):
+    bank, a, b = _bank_with(pairs)
+    builder = ProgramBuilder(SCRATCH)
+    build_subtract(builder, A_COLS, B_COLS, DEST[:WIDTH])
+    builder.build().execute(bank)
+    modulus = np.uint64((1 << WIDTH) - 1)
+    assert np.array_equal(bank.read_field_all(DEST[0], WIDTH)[0], (a - b) & modulus)
+
+
+aggregation_cases = st.tuples(
+    st.lists(st.integers(min_value=0, max_value=(1 << WIDTH) - 1),
+             min_size=2, max_size=32),
+    st.lists(st.booleans(), min_size=2, max_size=32),
+    st.sampled_from(["sum", "min", "max", "count"]),
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(case=aggregation_cases)
+def test_gate_level_reduction_equals_functional_reduction(case):
+    values, mask, operation = case
+    rows = min(len(values), len(mask))
+    values, mask = values[:rows], mask[:rows]
+    plan = BulkAggregationPlan(
+        rows=rows, field_offset=0, field_width=WIDTH, mask_column=25,
+        acc_offset=30, operand_offset=55,
+        scratch_columns=range(80, 140), operation=operation,
+    )
+
+    def loaded():
+        bank = CrossbarBank(count=1, rows=rows, columns=140)
+        bank.write_field_column(0, WIDTH, np.array([values], dtype=np.uint64))
+        bank.bits[0, :, 25] = np.array(mask, dtype=bool)
+        return bank
+
+    gate = plan.run_gate_level(loaded())
+    functional = plan.run_functional(loaded())
+    assert np.array_equal(gate, functional)
+
+    stored = np.array(values, dtype=np.uint64)
+    chosen = stored[np.array(mask, dtype=bool)]
+    if operation == "sum":
+        expected = int(chosen.sum())
+    elif operation == "count":
+        expected = int(np.count_nonzero(mask))
+    elif operation == "min":
+        expected = int(chosen.min()) if chosen.size else (1 << plan.acc_width) - 1
+    else:
+        expected = int(chosen.max()) if chosen.size else 0
+    assert int(gate[0]) == expected

@@ -1,0 +1,98 @@
+"""Property-based tests of the NOR comparison circuits (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.pim.crossbar import CrossbarBank
+from repro.pim.logic import ProgramBuilder
+
+
+WIDTH = 10
+FIELD = list(range(WIDTH))
+SCRATCH = list(range(40, 72))
+RESULT = 30
+
+
+def _bank_with(values):
+    bank = CrossbarBank(count=1, rows=len(values), columns=72)
+    bank.write_field_column(0, WIDTH, np.array([values], dtype=np.uint64))
+    return bank
+
+
+values_strategy = st.lists(
+    st.integers(min_value=0, max_value=(1 << WIDTH) - 1), min_size=1, max_size=24
+)
+constant_strategy = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, constant=constant_strategy,
+       op=st.sampled_from(["eq", "ne", "lt", "le", "gt", "ge"]))
+def test_constant_comparisons_match_python_semantics(values, constant, op):
+    bank = _bank_with(values)
+    builder = ProgramBuilder(SCRATCH)
+    column = getattr(builder, f"{op}_const")(FIELD, constant)
+    builder.store(column, RESULT)
+    builder.build().execute(bank)
+    stored = np.array(values, dtype=np.uint64)
+    python_op = {
+        "eq": stored == constant, "ne": stored != constant,
+        "lt": stored < constant, "le": stored <= constant,
+        "gt": stored > constant, "ge": stored >= constant,
+    }[op]
+    assert np.array_equal(bank.read_column(RESULT)[0], python_op)
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, low=constant_strategy, high=constant_strategy)
+def test_between_matches_python_semantics(values, low, high):
+    bank = _bank_with(values)
+    builder = ProgramBuilder(SCRATCH)
+    column = builder.between_const(FIELD, low, high)
+    builder.store(column, RESULT)
+    builder.build().execute(bank)
+    stored = np.array(values, dtype=np.uint64)
+    assert np.array_equal(bank.read_column(RESULT)[0], (stored >= low) & (stored <= high))
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy,
+       members=st.lists(constant_strategy, min_size=1, max_size=6))
+def test_isin_matches_python_semantics(values, members):
+    bank = _bank_with(values)
+    builder = ProgramBuilder(SCRATCH)
+    column = builder.isin_const(FIELD, members)
+    builder.store(column, RESULT)
+    builder.build().execute(bank)
+    stored = np.array(values, dtype=np.uint64)
+    assert np.array_equal(bank.read_column(RESULT)[0], np.isin(stored, members))
+
+
+@settings(max_examples=30, deadline=None)
+@given(values=values_strategy, constant=constant_strategy,
+       selector=st.lists(st.booleans(), min_size=1, max_size=24))
+def test_mux_update_only_touches_selected_rows(values, constant, selector):
+    rows = min(len(values), len(selector))
+    values, selector = values[:rows], selector[:rows]
+    bank = _bank_with(values)
+    bank.bits[0, :, 20] = np.array(selector, dtype=bool)
+    builder = ProgramBuilder(SCRATCH)
+    builder.mux_update(FIELD, constant, 20)
+    builder.build().execute(bank)
+    stored = bank.read_field_all(0, WIDTH)[0]
+    expected = np.where(np.array(selector), constant, np.array(values, dtype=np.uint64))
+    assert np.array_equal(stored, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(values=values_strategy, constant=constant_strategy)
+def test_scratch_columns_are_always_released(values, constant):
+    """Comparison builders must not leak scratch columns."""
+    builder = ProgramBuilder(SCRATCH)
+    free_before = len(builder._free)
+    column = builder.eq_const(FIELD, constant)
+    builder.free(column)
+    assert len(builder._free) == free_before
+    column = builder.lt_const(FIELD, constant)
+    builder.free(column)
+    assert len(builder._free) == free_before

@@ -1,0 +1,100 @@
+"""Property-based tests of storage round-trips and planner invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.groupby import GroupByPlanner
+from repro.core.latency_model import GroupByCostModel, HostGbLatencyModel, PimGbLatencyModel
+from repro.core.sampling import SubgroupEstimate
+from repro.db.relation import Relation
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.pim.module import PimModule
+
+
+# --------------------------------------------------------- storage round-trip
+widths_strategy = st.lists(st.integers(min_value=1, max_value=32), min_size=1, max_size=6)
+
+
+@settings(max_examples=15, deadline=None)
+@given(widths=widths_strategy, records=st.integers(min_value=1, max_value=300),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_store_and_decode_roundtrip(widths, records, seed):
+    rng = np.random.default_rng(seed)
+    attributes = [int_attribute(f"a{i}", width) for i, width in enumerate(widths)]
+    columns = {
+        f"a{i}": (rng.integers(0, 1 << 32, records).astype(np.uint64)
+                  & np.uint64((1 << width) - 1))
+        for i, width in enumerate(widths)
+    }
+    relation = Relation(Schema("prop", attributes), columns)
+    module = PimModule(DEFAULT_CONFIG)
+    stored = StoredRelation(relation, module, label="prop")
+    for name in relation.schema.names:
+        assert np.array_equal(stored.decode_column(name), relation.column(name))
+    assert stored.valid_mask().sum() == records
+
+
+# ----------------------------------------------------------- r(k) monotonicity
+fractions_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=20
+)
+
+
+def _estimate_from(fractions, selectivity):
+    total = sum(fractions)
+    if total > 0:
+        fractions = [f / total for f in fractions]
+    ordered = sorted(range(len(fractions)), key=lambda i: fractions[i], reverse=True)
+    groups = [(i,) for i in ordered]
+    return SubgroupEstimate(
+        ordered_groups=groups,
+        group_fractions={(i,): fractions[i] for i in ordered},
+        selectivity=selectivity,
+        sample_size=1000,
+        sample_selected=int(1000 * selectivity),
+        observed_subgroups=len(groups),
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(fractions=fractions_strategy,
+       selectivity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False))
+def test_remaining_ratio_is_monotone_and_bounded(fractions, selectivity):
+    estimate = _estimate_from(fractions, selectivity)
+    previous = estimate.remaining_ratio(0)
+    assert previous == pytest.approx(selectivity)
+    for k in range(1, len(fractions) + 2):
+        current = estimate.remaining_ratio(k)
+        assert 0.0 <= current <= previous + 1e-12
+        previous = current
+
+
+# --------------------------------------------------------- planner optimality
+@settings(max_examples=30, deadline=None)
+@given(fractions=fractions_strategy,
+       selectivity=st.floats(min_value=0.001, max_value=0.5, allow_nan=False),
+       pim_slope=st.floats(min_value=1e-9, max_value=1e-5),
+       host_a=st.floats(min_value=1e-7, max_value=1e-3))
+def test_planner_choice_is_no_worse_than_extremes(fractions, selectivity, pim_slope, host_a):
+    estimate = _estimate_from(fractions, selectivity)
+    model = GroupByCostModel(
+        HostGbLatencyModel({4: host_a}, {4: host_a / 10}),
+        PimGbLatencyModel({2: pim_slope}, {2: 1e-5}),
+    )
+    planner = GroupByPlanner(model)
+    plan = planner.plan(estimate, pages=500, aggregation_reads=2, reads_per_record=4)
+    assert plan.k <= plan.total_subgroups
+    assert plan.predicted_time_s <= plan.predicted_host_only_s + 1e-12
+    assert plan.predicted_time_s <= plan.predicted_pim_only_s + 1e-12
+    assert plan.host_pass_needed == (plan.k < plan.total_subgroups)
+    # The chosen subgroups are the largest estimated ones.
+    chosen = plan.pim_groups
+    if chosen:
+        chosen_fracs = [estimate.group_fractions.get(key, 0.0) for key in chosen]
+        remaining = [estimate.group_fractions.get(key, 0.0)
+                     for key in estimate.ordered_groups[plan.k:]]
+        if remaining:
+            assert min(chosen_fracs) >= max(remaining) - 1e-12
