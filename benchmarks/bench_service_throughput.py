@@ -1,0 +1,65 @@
+"""Service throughput — batched replay of the 13 SSB queries.
+
+As a pytest benchmark this measures the full sweep and asserts the
+acceptance criteria (bit-exact results, warm-cache hits, >=2x wall-clock
+speedup over the per-query baseline at batch size 13).  It is also runnable
+as a plain script for CI smoke tests::
+
+    REPRO_SSB_SF=0.002 PYTHONPATH=src python benchmarks/bench_service_throughput.py
+"""
+
+import sys
+
+from repro.experiments import service_throughput
+
+
+def test_service_throughput(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: service_throughput.run_throughput(), rounds=1, iterations=1
+    )
+    publish("service_throughput", service_throughput.render(results))
+    assert results.bit_exact
+    measured = results.warm_point(13)
+    assert measured.cache_hits > 0
+    # Acceptance gate; the measured margin at the default scale factor is
+    # ~17x, so scheduling noise has plenty of headroom.
+    assert results.speedup >= 2.0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="generated SSB scale factor (default: REPRO_SSB_SF or 0.01)",
+    )
+    parser.add_argument(
+        "--batch-sizes", type=int, nargs="+", default=[1, 4, 13, 26],
+        help="batch sizes to replay",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=2.0,
+        help="fail unless the warm batch-13 replay beats the per-query "
+             "baseline by this factor (0 disables the check)",
+    )
+    args = parser.parse_args(argv)
+
+    results = service_throughput.run_throughput(
+        scale_factor=args.scale_factor, batch_sizes=args.batch_sizes
+    )
+    print(service_throughput.render(results))
+    if not results.bit_exact:
+        print("FAIL: service results diverge from the sequential baseline")
+        return 1
+    if results.measured_point().cache_hits <= 0:
+        print("FAIL: warm replay reported no program-cache hits")
+        return 1
+    if args.min_speedup and results.speedup < args.min_speedup:
+        print(f"FAIL: speedup {results.speedup:.2f}x below {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,11 +45,22 @@ class ColumnarExecution:
 
     def scalar(self, aggregate_name: Optional[str] = None) -> int:
         """Value of an aggregate for a query without GROUP-BY."""
+        if not self.rows:
+            raise ValueError(
+                "query selected no records and produced no result row"
+            )
         if len(self.rows) != 1 or () not in self.rows:
             raise ValueError("query produced grouped results; use .rows")
         entry = self.rows[()]
         if aggregate_name is None:
+            if not entry:
+                raise ValueError("query produced no aggregate values")
             aggregate_name = next(iter(entry))
+        if aggregate_name not in entry:
+            raise ValueError(
+                f"query has no aggregate named {aggregate_name!r}; "
+                f"available: {sorted(entry)}"
+            )
         return entry[aggregate_name]
 
 

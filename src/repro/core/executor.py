@@ -36,10 +36,13 @@ from repro.config import SystemConfig
 from repro.core.groupby import GroupByPlan, GroupByPlanner
 from repro.core.latency_model import GroupByCostModel, build_analytic_cost_model
 from repro.core.sampling import GroupKey, SubgroupEstimate, estimate_subgroups
-from repro.db.compiler import compile_group_predicate, compile_predicate, partition_conjuncts
+from repro.core.stages import (
+    AggregationStage,
+    FilterStage,
+    GroupMaskStage,
+    ProgramCompiler,
+)
 from repro.db.query import (
-    Aggregate,
-    Predicate,
     Query,
     And,
     attributes_referenced,
@@ -47,11 +50,9 @@ from repro.db.query import (
     evaluate_predicate,
 )
 from repro.db.storage import StoredRelation
-from repro.host.aggregator import combine_partials, host_group_aggregate, merge_group_results
+from repro.host.aggregator import host_group_aggregate, merge_group_results
 from repro.host.readpath import HostReadModel
-from repro.pim.arithmetic import BulkAggregationPlan
 from repro.pim.controller import PimExecutor
-from repro.pim.logic import ProgramBuilder
 from repro.pim.stats import PimStats
 
 
@@ -87,11 +88,22 @@ class QueryExecution:
 
     def scalar(self, aggregate_name: Optional[str] = None) -> int:
         """Value of an aggregate for a query without GROUP-BY."""
+        if not self.rows:
+            raise ValueError(
+                "query selected no records and produced no result row"
+            )
         if len(self.rows) != 1 or () not in self.rows:
             raise ValueError("query produced grouped results; use .rows")
         entry = self.rows[()]
         if aggregate_name is None:
+            if not entry:
+                raise ValueError("query produced no aggregate values")
             aggregate_name = next(iter(entry))
+        if aggregate_name not in entry:
+            raise ValueError(
+                f"query has no aggregate named {aggregate_name!r}; "
+                f"available: {sorted(entry)}"
+            )
         return entry[aggregate_name]
 
     def decoded_rows(self, schema) -> Dict[Tuple, Dict[str, int]]:
@@ -117,6 +129,11 @@ class PimQueryEngine:
         cost_model: Optional[GroupByCostModel] = None,
         sample_pages: int = 1,
         timing_scale: float = 1.0,
+        compiler: Optional[ProgramCompiler] = None,
+        vectorized: bool = False,
+        filter_stage: Optional[FilterStage] = None,
+        group_stage: Optional[GroupMaskStage] = None,
+        aggregation_stage: Optional[AggregationStage] = None,
     ) -> None:
         """Create an engine over a stored relation.
 
@@ -135,6 +152,14 @@ class PimQueryEngine:
                 instance with ``timing_scale`` chosen so the modelled size is
                 the paper's SF=10.  Per-row wear is unaffected (it does not
                 depend on the number of pages).
+            compiler: Program compiler shared by the stages; inject a
+                :class:`~repro.service.cache.ProgramCache` to reuse compiled
+                NOR programs across queries.
+            vectorized: Compute filter and group-mask bits with one NumPy
+                pass instead of simulating every NOR primitive (identical
+                results, wear and statistics; see :mod:`repro.core.stages`).
+            filter_stage / group_stage / aggregation_stage: Fully custom
+                stage objects; built from the arguments above when omitted.
         """
         if timing_scale <= 0:
             raise ValueError("timing_scale must be positive")
@@ -153,29 +178,57 @@ class PimQueryEngine:
             )
         self.cost_model = cost_model
         self.planner = GroupByPlanner(cost_model)
-
-    def _timing_pages(self, partition: int) -> float:
-        """Page count used for timing purposes (scaled)."""
-        return self.stored.allocations[partition].pages * self.timing_scale
+        self.compiler = compiler if compiler is not None else ProgramCompiler()
+        self.vectorized = bool(vectorized)
+        self.filter_stage = filter_stage or FilterStage(
+            stored, self.compiler, self.timing_scale, self.vectorized
+        )
+        self.group_stage = group_stage or GroupMaskStage(
+            stored, self.compiler, self.timing_scale, self.vectorized
+        )
+        self.aggregation_stage = aggregation_stage or AggregationStage(
+            stored, self.config, self.timing_scale
+        )
 
     # ------------------------------------------------------------------ main
-    def execute(self, query: Query) -> QueryExecution:
-        """Execute one query and return its results and measurements."""
+    def execute(
+        self, query: Query, executor: Optional[PimExecutor] = None
+    ) -> QueryExecution:
+        """Execute one query and return its results and measurements.
+
+        ``executor`` lets a batching service reuse one shared
+        :class:`~repro.pim.controller.PimExecutor` across queries; a fresh
+        per-query :class:`~repro.pim.stats.PimStats` is attached to it either
+        way, so every execution reports its own measurements.
+        """
         stats = PimStats()
-        executor = PimExecutor(self.config, stats)
+        if executor is None:
+            executor = PimExecutor(self.config, stats)
+        else:
+            executor.stats = stats
         read_model = HostReadModel(
             self.config, stats, traffic_scale=self.timing_scale
         )
         wear_before = self.stored.wear_snapshot()
 
         primary = self._primary_partition(query)
-        self._run_filter(query, primary, executor, read_model)
+        self.filter_stage.run(query, primary, executor, read_model)
         mask = self.stored.filter_mask(primary)
         selectivity = float(mask.mean()) if len(mask) else 0.0
 
         plan: Optional[GroupByPlan] = None
         if not query.group_by:
-            rows = {(): self._aggregate_all(query, primary, executor, read_model)}
+            entry = self.aggregation_stage.aggregate_all(
+                query, primary, executor, read_model
+            )
+            # An empty selection yields no result row (matching the columnar
+            # reference engines); otherwise an absent min collapses to the
+            # accumulator identity, the only value consistent with a
+            # non-empty selection whose partials were all ones.
+            if mask.any():
+                rows = {(): self._finalize_entry(entry, primary)}
+            else:
+                rows = {}
             total_subgroups, in_sample, pim_subgroups = 1, 0, 1
         else:
             rows, plan = self._execute_group_by(
@@ -214,142 +267,20 @@ class PimQueryEngine:
             )
         return partitions.pop() if partitions else 0
 
-    def _run_filter(
-        self,
-        query: Query,
-        primary: int,
-        executor: PimExecutor,
-        read_model: HostReadModel,
-    ) -> None:
-        """Evaluate the WHERE clause; the combined result lands in ``primary``."""
-        schema = self.stored.relation.schema
-        per_partition = partition_conjuncts(
-            query.predicate, self.stored.partition_attributes
-        )
-        for index, predicate in enumerate(per_partition):
-            layout = self.stored.layouts[index]
-            allocation = self.stored.allocations[index]
-            program = compile_predicate(predicate, schema, layout)
-            executor.run_program(
-                allocation.bank, program,
-                pages=self._timing_pages(index), phase="filter",
-            )
-        # Fold the other partitions' filter bits into the primary partition.
-        for index, predicate in enumerate(per_partition):
-            if index == primary or predicate is None:
-                continue
-            self._transfer_and_combine(
-                executor, read_model,
-                source_partition=index,
-                source_column=self.stored.layouts[index].filter_column,
-                target_partition=primary,
-                target_column=self.stored.layouts[primary].filter_column,
-                phase="filter-combine",
-            )
-
-    def _transfer_and_combine(
-        self,
-        executor: PimExecutor,
-        read_model: HostReadModel,
-        source_partition: int,
-        source_column: int,
-        target_partition: int,
-        target_column: int,
-        phase: str,
-    ) -> None:
-        """Move a bit column between partitions and AND it into the target."""
-        target_layout = self.stored.layouts[target_partition]
-        read_model.transfer_bit_column(
-            self.stored,
-            source_partition, source_column,
-            target_partition, target_layout.remote_column,
-            phase=phase,
-        )
-        builder = ProgramBuilder(target_layout.scratch_columns)
-        combined = builder.and_(target_column, target_layout.remote_column)
-        builder.store(combined, target_column)
-        builder.free(combined)
-        executor.run_program(
-            self.stored.allocations[target_partition].bank,
-            builder.build(),
-            pages=self._timing_pages(target_partition),
-            phase=phase,
-        )
-
-    # ----------------------------------------------------------- aggregation
-    def _aggregate_all(
-        self,
-        query: Query,
-        primary: int,
-        executor: PimExecutor,
-        read_model: HostReadModel,
+    def _finalize_entry(
+        self, entry: Dict[str, Optional[int]], primary: int
     ) -> Dict[str, int]:
-        """Aggregate the filtered records of the whole relation with PIM."""
-        layout = self.stored.layouts[primary]
+        """Resolve absent mins for a selection known to be non-empty.
+
+        A ``None`` min means every crossbar partial equalled the all-ones
+        identity; for a non-empty selection that can only happen when every
+        selected value *is* the identity, so the identity is the minimum.
+        """
+        identity = self.aggregation_stage.min_identity(primary)
         return {
-            aggregate.name: self._pim_aggregate(
-                aggregate, primary, layout.filter_column, executor, read_model
-            )
-            for aggregate in query.aggregates
+            name: identity if value is None else value
+            for name, value in entry.items()
         }
-
-    def _pim_aggregate(
-        self,
-        aggregate: Aggregate,
-        partition: int,
-        mask_column: int,
-        executor: PimExecutor,
-        read_model: HostReadModel,
-    ) -> int:
-        """One PIM aggregation (circuit or bulk-bitwise) plus host combination."""
-        layout = self.stored.layouts[partition]
-        allocation = self.stored.allocations[partition]
-        if aggregate.op == "count":
-            field_offset, field_width, operation = mask_column, 1, "sum"
-        else:
-            field_offset = layout.field_offset(aggregate.attribute)
-            field_width = layout.field_width(aggregate.attribute)
-            operation = aggregate.op
-
-        if self.use_aggregation_circuit:
-            partials = executor.aggregate_with_circuit(
-                allocation.bank,
-                field_offset, field_width, mask_column,
-                layout.result_offset,
-                pages=self._timing_pages(partition),
-                operation=operation,
-                result_width=layout.accumulator_width,
-            )
-        else:
-            if layout.operand_offset is None:
-                raise RuntimeError(
-                    "bulk-bitwise aggregation needs an operand area; store the "
-                    "relation with reserve_bulk_aggregation=True"
-                )
-            plan = BulkAggregationPlan(
-                rows=allocation.rows_per_crossbar,
-                field_offset=field_offset,
-                field_width=field_width,
-                mask_column=mask_column,
-                acc_offset=layout.accumulator_offset,
-                operand_offset=layout.operand_offset,
-                scratch_columns=layout.scratch_columns,
-                operation=operation,
-            )
-            partials = executor.aggregate_bulk_bitwise(
-                allocation.bank, plan, pages=self._timing_pages(partition)
-            )
-        read_model.read_aggregation_results(self.stored, partition)
-        if aggregate.op == "min":
-            # Crossbars with no selected record hold the identity (all ones);
-            # they do not contribute to the final minimum.
-            identity = (1 << layout.accumulator_width) - 1
-            partials = partials[partials != identity]
-            if partials.size == 0:
-                return 0
-        return combine_partials(
-            [partials], operation, self.config.host, executor.stats
-        )
 
     # ------------------------------------------------------------- GROUP-BY
     def _execute_group_by(
@@ -384,8 +315,8 @@ class PimQueryEngine:
                 query, primary, group_attributes, key, executor, read_model
             )
             if self._group_selected(mask, group_attributes, key):
-                rows[key] = entry
-            self._clear_group_from_filter(primary, executor)
+                rows[key] = self._finalize_entry(entry, primary)
+            self.group_stage.clear(primary, executor)
 
         if plan.host_pass_needed:
             host_rows = self._host_group_by(
@@ -402,89 +333,18 @@ class PimQueryEngine:
         key: GroupKey,
         executor: PimExecutor,
         read_model: HostReadModel,
-    ) -> Dict[str, int]:
+    ) -> Dict[str, Optional[int]]:
         """pim-gb for one subgroup: subgroup filter, aggregate, combine."""
         group_values = dict(zip(group_attributes, key))
-        mask_column = self._prepare_group_mask(
+        mask_column = self.group_stage.prepare(
             group_values, primary, executor, read_model
         )
         return {
-            aggregate.name: self._pim_aggregate(
+            aggregate.name: self.aggregation_stage.aggregate(
                 aggregate, primary, mask_column, executor, read_model
             )
             for aggregate in query.aggregates
         }
-
-    def _prepare_group_mask(
-        self,
-        group_values: Dict[str, int],
-        primary: int,
-        executor: PimExecutor,
-        read_model: HostReadModel,
-    ) -> int:
-        """Build the subgroup mask in the primary partition's group column."""
-        by_partition: Dict[int, Dict[str, int]] = {}
-        for name, value in group_values.items():
-            by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
-
-        primary_layout = self.stored.layouts[primary]
-        # Remote partitions first: evaluate their equality conjunctions and
-        # ship the resulting bit-vector to the primary partition.
-        remote_ready = False
-        for partition, values in by_partition.items():
-            if partition == primary:
-                continue
-            layout = self.stored.layouts[partition]
-            allocation = self.stored.allocations[partition]
-            program = compile_group_predicate(
-                values, layout, filter_column=layout.valid_column
-            )
-            executor.run_program(
-                allocation.bank, program,
-                pages=self._timing_pages(partition), phase="pim-gb-filter",
-            )
-            read_model.transfer_bit_column(
-                self.stored,
-                partition, layout.group_column,
-                primary, primary_layout.remote_column,
-                phase="pim-gb-transfer",
-            )
-            remote_ready = True
-
-        builder = ProgramBuilder(primary_layout.scratch_columns)
-        terms = []
-        for name, value in by_partition.get(primary, {}).items():
-            terms.append(
-                builder.eq_const(primary_layout.field_columns(name), int(value))
-            )
-        if remote_ready:
-            terms.append(builder.copy(primary_layout.remote_column))
-        local = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
-        combined = builder.and_(local, primary_layout.filter_column)
-        builder.free(local)
-        builder.store(combined, primary_layout.group_column)
-        builder.free(combined)
-        executor.run_program(
-            self.stored.allocations[primary].bank,
-            builder.build(),
-            pages=self._timing_pages(primary),
-            phase="pim-gb-filter",
-        )
-        return primary_layout.group_column
-
-    def _clear_group_from_filter(self, primary: int, executor: PimExecutor) -> None:
-        """Remove a PIM-aggregated subgroup's records from the host filter."""
-        layout = self.stored.layouts[primary]
-        builder = ProgramBuilder(layout.scratch_columns)
-        remaining = builder.and_not(layout.filter_column, layout.group_column)
-        builder.store(remaining, layout.filter_column)
-        builder.free(remaining)
-        executor.run_program(
-            self.stored.allocations[primary].bank,
-            builder.build(),
-            pages=self._timing_pages(primary),
-            phase="pim-gb-filter",
-        )
 
     def _host_group_by(
         self,

@@ -1,0 +1,423 @@
+"""Reusable execution stages of the PIM query engine.
+
+The engine's work decomposes into three stages that used to be private
+monolith methods of :class:`~repro.core.executor.PimQueryEngine`:
+
+* :class:`FilterStage` — compile and evaluate the WHERE clause across the
+  vertical partitions, folding the per-partition filter bits into the primary
+  partition;
+* :class:`GroupMaskStage` — build (and later clear) the per-subgroup mask
+  used by pim-gb;
+* :class:`AggregationStage` — one PIM aggregation (circuit or bulk-bitwise)
+  plus the host-side combination of the per-crossbar partials.
+
+Each stage is an injectable object, so a batching service can share state
+across queries: :class:`ProgramCompiler` is the compilation seam (the
+service's :class:`~repro.service.cache.ProgramCache` subclasses it with an
+LRU cache keyed by ``(predicate, layout)``), and every stage supports two
+functionally identical execution modes:
+
+* **gate-level** (``vectorized=False``, the default) executes every NOR
+  primitive of the compiled program on the stored bits;
+* **vectorized** (``vectorized=True``) computes the same result bits with
+  one NumPy pass over the relation's columns and charges the *compiled
+  program's* cycle count, energy and wear analytically through
+  :meth:`~repro.pim.controller.PimExecutor.charge_program_cost` — the same
+  device-accurate accounting, a fraction of the simulation wall-clock.
+
+Both modes leave identical bits in the bookkeeping columns, identical wear
+counters and identical statistics; ``tests/test_aggregate_edge_cases.py`` and
+``tests/test_service.py`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.db.compiler import (
+    compile_group_combine,
+    compile_predicate,
+    compile_group_predicate,
+    partition_conjuncts,
+)
+from repro.db.encoding import RowLayout
+from repro.db.query import Aggregate, Predicate, Query, evaluate_predicate
+from repro.db.schema import Schema
+from repro.db.storage import StoredRelation
+from repro.host.aggregator import combine_partials
+from repro.host.readpath import HostReadModel
+from repro.pim.arithmetic import BulkAggregationPlan
+from repro.pim.controller import PimExecutor
+from repro.pim.logic import Program, ProgramBuilder
+
+
+class ProgramCompiler:
+    """Compiles the NOR programs the execution stages need.
+
+    This is the injection point for program reuse: the default implementation
+    compiles on every call, while :class:`repro.service.cache.ProgramCache`
+    overrides the three methods with an LRU-cached lookup.
+    """
+
+    def filter_program(
+        self, predicate: Predicate, schema: Schema, layout: RowLayout
+    ) -> Program:
+        """WHERE-clause program leaving its result in the filter column."""
+        return compile_predicate(predicate, schema, layout)
+
+    def group_program(self, group_values: Dict[str, int], layout: RowLayout) -> Program:
+        """Remote-partition subgroup equality program (pim-gb)."""
+        return compile_group_predicate(
+            group_values, layout, filter_column=layout.valid_column
+        )
+
+    def combine_program(
+        self, group_values: Dict[str, int], layout: RowLayout, include_remote: bool
+    ) -> Program:
+        """Primary-partition subgroup mask program (pim-gb)."""
+        return compile_group_combine(
+            group_values, layout, include_remote=include_remote
+        )
+
+
+class _Stage:
+    """Shared plumbing of the execution stages."""
+
+    def __init__(
+        self,
+        stored: StoredRelation,
+        compiler: Optional[ProgramCompiler] = None,
+        timing_scale: float = 1.0,
+        vectorized: bool = False,
+    ) -> None:
+        self.stored = stored
+        self.compiler = compiler if compiler is not None else ProgramCompiler()
+        self.timing_scale = float(timing_scale)
+        self.vectorized = bool(vectorized)
+
+    def _pages(self, partition: int) -> float:
+        """Page count used for timing purposes (scaled)."""
+        return self.stored.allocations[partition].pages * self.timing_scale
+
+    def _apply(
+        self,
+        program: Program,
+        partition: int,
+        executor: PimExecutor,
+        phase: str,
+        result_bits: Optional[np.ndarray] = None,
+    ) -> None:
+        """Run a program gate-level, or write its known result and charge it.
+
+        In vectorized mode ``result_bits`` (one bool per record) is written
+        into the program's result column and the program's cycles and wear are
+        charged analytically — identical cost and identical stored bits, with
+        the NOR-by-NOR simulation skipped.
+        """
+        allocation = self.stored.allocations[partition]
+        if not self.vectorized or result_bits is None:
+            executor.run_program(
+                allocation.bank, program, pages=self._pages(partition), phase=phase
+            )
+            return
+        self.stored.write_bit_column(
+            partition, program.result_column, result_bits, count_wear=False
+        )
+        executor.charge_program_cost(
+            allocation.bank,
+            program.cycles,
+            pages=self._pages(partition),
+            phase=phase,
+            writes_per_row=program.writes_per_row,
+            add_wear=True,
+        )
+
+    def _equality_mask(self, values: Dict[str, int]) -> np.ndarray:
+        """Conjunction of ``attribute == value`` over the relation's records."""
+        mask = np.ones(self.stored.num_records, dtype=bool)
+        for name, value in values.items():
+            mask &= self.stored.relation.column(name) == np.uint64(value)
+        return mask
+
+
+class FilterStage(_Stage):
+    """Stage 1: evaluate the WHERE clause inside the memory arrays."""
+
+    def run(
+        self,
+        query: Query,
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> None:
+        """Evaluate the predicate; the combined result lands in ``primary``."""
+        schema = self.stored.relation.schema
+        per_partition = partition_conjuncts(
+            query.predicate, self.stored.partition_attributes
+        )
+        for index, predicate in enumerate(per_partition):
+            layout = self.stored.layouts[index]
+            program = self.compiler.filter_program(predicate, schema, layout)
+            bits: Optional[np.ndarray] = None
+            if self.vectorized:
+                bits = evaluate_predicate(predicate, self.stored.relation)
+                bits = bits & self.stored.valid_mask(index)
+            self._apply(program, index, executor, phase="filter", result_bits=bits)
+        # Fold the other partitions' filter bits into the primary partition.
+        for index, predicate in enumerate(per_partition):
+            if index == primary or predicate is None:
+                continue
+            self.combine_remote(
+                executor, read_model,
+                source_partition=index,
+                source_column=self.stored.layouts[index].filter_column,
+                target_partition=primary,
+                target_column=self.stored.layouts[primary].filter_column,
+                phase="filter-combine",
+            )
+
+    def combine_remote(
+        self,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+        source_partition: int,
+        source_column: int,
+        target_partition: int,
+        target_column: int,
+        phase: str,
+    ) -> None:
+        """Move a bit column between partitions and AND it into the target."""
+        target_layout = self.stored.layouts[target_partition]
+        source_bits = read_model.transfer_bit_column(
+            self.stored,
+            source_partition, source_column,
+            target_partition, target_layout.remote_column,
+            phase=phase,
+        )
+        builder = ProgramBuilder(target_layout.scratch_columns)
+        combined = builder.and_(target_column, target_layout.remote_column)
+        builder.store(combined, target_column)
+        builder.free(combined)
+        program = builder.build(result_column=target_column)
+        bits: Optional[np.ndarray] = None
+        if self.vectorized:
+            bits = self.stored.column_bit(target_partition, target_column) & source_bits
+        self._apply(program, target_partition, executor, phase=phase, result_bits=bits)
+
+
+class GroupMaskStage(_Stage):
+    """Stage 2 (pim-gb): build and clear the per-subgroup mask."""
+
+    def prepare(
+        self,
+        group_values: Dict[str, int],
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> int:
+        """Build the subgroup mask in the primary partition's group column."""
+        by_partition: Dict[int, Dict[str, int]] = {}
+        for name, value in group_values.items():
+            by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
+
+        primary_layout = self.stored.layouts[primary]
+        # Remote partitions first: evaluate their equality conjunctions and
+        # ship the resulting bit-vectors to the primary partition.  With two
+        # or more remote partitions every transfer lands in the same remote
+        # column, so the running product of the earlier bit-vectors is parked
+        # in the group column and folded back after the last transfer.
+        remote_parts = [
+            (partition, values)
+            for partition, values in by_partition.items()
+            if partition != primary
+        ]
+        remote_bits: Optional[np.ndarray] = None
+        for position, (partition, values) in enumerate(remote_parts):
+            layout = self.stored.layouts[partition]
+            program = self.compiler.group_program(values, layout)
+            bits: Optional[np.ndarray] = None
+            if self.vectorized:
+                bits = self._equality_mask(values) & self.stored.valid_mask(partition)
+            self._apply(
+                program, partition, executor, phase="pim-gb-filter", result_bits=bits
+            )
+            transferred = read_model.transfer_bit_column(
+                self.stored,
+                partition, layout.group_column,
+                primary, primary_layout.remote_column,
+                phase="pim-gb-transfer",
+            )
+            remote_bits = (
+                transferred if remote_bits is None else remote_bits & transferred
+            )
+            if len(remote_parts) > 1:
+                if position == 0:
+                    # Park the first bit-vector before the next transfer
+                    # overwrites the remote column.
+                    operands = [primary_layout.remote_column]
+                else:
+                    operands = [
+                        primary_layout.group_column, primary_layout.remote_column
+                    ]
+                destination = (
+                    primary_layout.remote_column      # combine reads it here
+                    if position == len(remote_parts) - 1
+                    else primary_layout.group_column  # running product parks here
+                )
+                self._fold_remote(
+                    primary, executor, operands, destination,
+                    result_bits=remote_bits,
+                )
+
+        local_values = by_partition.get(primary, {})
+        program = self.compiler.combine_program(
+            local_values, primary_layout, include_remote=remote_bits is not None
+        )
+        bits = None
+        if self.vectorized:
+            bits = self._equality_mask(local_values)
+            if remote_bits is not None:
+                bits &= remote_bits
+            bits &= self.stored.column_bit(primary, primary_layout.filter_column)
+        self._apply(program, primary, executor, phase="pim-gb-filter", result_bits=bits)
+        return primary_layout.group_column
+
+    def _fold_remote(
+        self,
+        primary: int,
+        executor: PimExecutor,
+        operands: Sequence[int],
+        destination: int,
+        result_bits: Optional[np.ndarray],
+    ) -> None:
+        """Accumulate remote bit-vectors when more than one partition ships one.
+
+        Copies (one operand) or ANDs (two operands) the given bit columns
+        into ``destination``; ``result_bits`` carries the expected result for
+        the vectorized mode.
+        """
+        layout = self.stored.layouts[primary]
+        builder = ProgramBuilder(layout.scratch_columns)
+        if len(operands) == 1:
+            folded = builder.copy(operands[0])
+        else:
+            folded = builder.and_(operands[0], operands[1])
+        builder.store(folded, destination)
+        builder.free(folded)
+        program = builder.build(result_column=destination)
+        self._apply(
+            program, primary, executor, phase="pim-gb-filter",
+            result_bits=result_bits if self.vectorized else None,
+        )
+
+    def clear(self, primary: int, executor: PimExecutor) -> None:
+        """Remove a PIM-aggregated subgroup's records from the host filter."""
+        layout = self.stored.layouts[primary]
+        builder = ProgramBuilder(layout.scratch_columns)
+        remaining = builder.and_not(layout.filter_column, layout.group_column)
+        builder.store(remaining, layout.filter_column)
+        builder.free(remaining)
+        program = builder.build(result_column=layout.filter_column)
+        bits: Optional[np.ndarray] = None
+        if self.vectorized:
+            bits = self.stored.column_bit(primary, layout.filter_column) & ~self.stored.column_bit(primary, layout.group_column)
+        self._apply(program, primary, executor, phase="pim-gb-filter", result_bits=bits)
+
+
+class AggregationStage(_Stage):
+    """Stage 3: PIM aggregation plus host combination of the partials."""
+
+    def __init__(
+        self,
+        stored: StoredRelation,
+        config: SystemConfig,
+        timing_scale: float = 1.0,
+    ) -> None:
+        super().__init__(stored, timing_scale=timing_scale)
+        self.config = config
+        self.use_aggregation_circuit = config.pim.aggregation_circuit.enabled
+
+    def min_identity(self, partition: int) -> int:
+        """The all-ones accumulator value a min over no records produces."""
+        return (1 << self.stored.layouts[partition].accumulator_width) - 1
+
+    def aggregate_all(
+        self,
+        query: Query,
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Dict[str, Optional[int]]:
+        """Aggregate the filtered records of the whole relation with PIM."""
+        layout = self.stored.layouts[primary]
+        return {
+            aggregate.name: self.aggregate(
+                aggregate, primary, layout.filter_column, executor, read_model
+            )
+            for aggregate in query.aggregates
+        }
+
+    def aggregate(
+        self,
+        aggregate: Aggregate,
+        partition: int,
+        mask_column: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+    ) -> Optional[int]:
+        """One PIM aggregation (circuit or bulk-bitwise) plus host combination.
+
+        Returns ``None`` for a ``min`` to which no crossbar contributed a
+        partial (no record of the mask was selected, or every selected value
+        equals the accumulator's all-ones identity — the two are
+        indistinguishable in the partials the hardware exposes; the engine
+        resolves the ambiguity from the selection mask it already holds).
+        """
+        layout = self.stored.layouts[partition]
+        allocation = self.stored.allocations[partition]
+        if aggregate.op == "count":
+            field_offset, field_width, operation = mask_column, 1, "sum"
+        else:
+            field_offset = layout.field_offset(aggregate.attribute)
+            field_width = layout.field_width(aggregate.attribute)
+            operation = aggregate.op
+
+        if self.use_aggregation_circuit:
+            partials = executor.aggregate_with_circuit(
+                allocation.bank,
+                field_offset, field_width, mask_column,
+                layout.result_offset,
+                pages=self._pages(partition),
+                operation=operation,
+                result_width=layout.accumulator_width,
+            )
+        else:
+            if layout.operand_offset is None:
+                raise RuntimeError(
+                    "bulk-bitwise aggregation needs an operand area; store the "
+                    "relation with reserve_bulk_aggregation=True"
+                )
+            plan = BulkAggregationPlan(
+                rows=allocation.rows_per_crossbar,
+                field_offset=field_offset,
+                field_width=field_width,
+                mask_column=mask_column,
+                acc_offset=layout.accumulator_offset,
+                operand_offset=layout.operand_offset,
+                scratch_columns=layout.scratch_columns,
+                operation=operation,
+            )
+            partials = executor.aggregate_bulk_bitwise(
+                allocation.bank, plan, pages=self._pages(partition)
+            )
+        read_model.read_aggregation_results(self.stored, partition)
+        if aggregate.op == "min":
+            # Crossbars with no selected record hold the identity (all ones);
+            # they do not contribute to the final minimum.
+            partials = partials[partials != self.min_identity(partition)]
+        return combine_partials(
+            [partials], operation, self.config.host, executor.stats
+        )

@@ -87,14 +87,49 @@ def compile_group_predicate(
     if filter_column is None:
         filter_column = layout.filter_column
     builder = ProgramBuilder(layout.scratch_columns)
+    terms = _group_equality_terms(builder, group_values, layout)
+    acc = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
+    combined = builder.and_(acc, filter_column)
+    builder.free(acc)
+    builder.store(combined, result_column)
+    builder.free(combined)
+    return builder.build(result_column=result_column)
+
+
+def _group_equality_terms(
+    builder: ProgramBuilder, group_values: Dict[str, int], layout: RowLayout
+) -> List[int]:
+    """Emit one equality comparison per GROUP-BY attribute (sorted by name)."""
     terms: List[int] = []
     for name, value in sorted(group_values.items()):
         if not layout.has_field(name):
             raise CompilationError(f"attribute {name!r} is not in this partition")
         terms.append(builder.eq_const(layout.field_columns(name), int(value)))
-    acc = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
-    combined = builder.and_(acc, filter_column)
-    builder.free(acc)
+    return terms
+
+
+def compile_group_combine(
+    group_values: Dict[str, int],
+    layout: RowLayout,
+    include_remote: bool = False,
+    result_column: Optional[int] = None,
+) -> Program:
+    """Compile the primary-partition subgroup mask used by pim-gb.
+
+    The program conjoins the equalities on the primary partition's GROUP-BY
+    attributes, optionally the bit-vector shipped from the other vertical
+    partition (already landed in the layout's remote column), and the query's
+    filter bit, leaving the result in the layout's group column.
+    """
+    if result_column is None:
+        result_column = layout.group_column
+    builder = ProgramBuilder(layout.scratch_columns)
+    terms = _group_equality_terms(builder, group_values, layout)
+    if include_remote:
+        terms.append(builder.copy(layout.remote_column))
+    local = builder.and_reduce(terms, consume=True) if terms else builder.const(True)
+    combined = builder.and_(local, layout.filter_column)
+    builder.free(local)
     builder.store(combined, result_column)
     builder.free(combined)
     return builder.build(result_column=result_column)

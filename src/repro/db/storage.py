@@ -180,18 +180,24 @@ class StoredRelation:
         """The valid bit of every record (true for real records)."""
         return self.column_bit(partition, self.layouts[partition].valid_column)
 
-    def write_bit_column(self, partition: int, column: int, values: np.ndarray) -> None:
+    def write_bit_column(
+        self, partition: int, column: int, values: np.ndarray, count_wear: bool = True
+    ) -> None:
         """Overwrite a bookkeeping bit column (functional host-write helper).
 
         The caller is responsible for charging the corresponding write
-        traffic; the executor's two-xb filter-transfer path does so.
+        traffic; the executor's two-xb filter-transfer path does so.  With
+        ``count_wear=False`` the wear counters are left untouched — used by
+        the vectorized execution stages, which charge the gate-level
+        program's wear analytically instead.
         """
         bank = self.allocations[partition].bank
         capacity = self.allocations[partition].record_capacity
         padded = np.zeros(capacity, dtype=bool)
         padded[: self.num_records] = np.asarray(values, dtype=bool)[: self.num_records]
         bank.bits[:, :, column] = padded.reshape(bank.count, bank.rows)
-        bank.writes_per_row += 1
+        if count_wear:
+            bank.writes_per_row += 1
 
     # ------------------------------------------------------------------ wear
     def wear_snapshot(self) -> List[np.ndarray]:

@@ -48,6 +48,12 @@ def host_group_aggregate(
     if len(lengths) > 1:
         raise ValueError("group and value columns have different lengths")
     count = lengths.pop() if lengths else 0
+    for aggregate in aggregates:
+        if aggregate.op != "count" and aggregate.attribute not in value_columns:
+            raise ValueError(
+                f"aggregate {aggregate.name!r} needs value column "
+                f"{aggregate.attribute!r}, which was not supplied"
+            )
 
     results: Dict[Tuple[int, ...], Dict[str, int]] = {}
     if count:
@@ -56,23 +62,32 @@ def host_group_aggregate(
         else:
             keys = np.zeros((count, 0), dtype=np.uint64)
         unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        # Sorted-segment reductions: one reduceat per aggregate instead of one
+        # boolean selector per (group, aggregate) pair.  ``inverse`` indexes the
+        # sorted unique keys, so after the stable argsort segment ``g`` holds
+        # exactly the rows of unique key ``g`` and every segment is non-empty.
+        order = np.argsort(inverse, kind="stable")
+        sorted_groups = inverse[order]
+        starts = np.nonzero(np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])[0]
+        columns: Dict[str, np.ndarray] = {}
+        for aggregate in aggregates:
+            if aggregate.op == "count":
+                columns[aggregate.name] = np.diff(np.r_[starts, count])
+                continue
+            values = np.asarray(value_columns[aggregate.attribute], dtype=np.uint64)[
+                order
+            ]
+            if aggregate.op == "sum":
+                columns[aggregate.name] = np.add.reduceat(values, starts)
+            elif aggregate.op == "min":
+                columns[aggregate.name] = np.minimum.reduceat(values, starts)
+            else:
+                columns[aggregate.name] = np.maximum.reduceat(values, starts)
         for key_index, key in enumerate(unique_keys):
-            selector = inverse == key_index
-            entry: Dict[str, int] = {}
-            for aggregate in aggregates:
-                if aggregate.op == "count":
-                    entry[aggregate.name] = int(selector.sum())
-                    continue
-                values = np.asarray(value_columns[aggregate.attribute], dtype=np.uint64)[
-                    selector
-                ]
-                if aggregate.op == "sum":
-                    entry[aggregate.name] = int(values.sum())
-                elif aggregate.op == "min":
-                    entry[aggregate.name] = int(values.min())
-                else:
-                    entry[aggregate.name] = int(values.max())
-            results[tuple(int(v) for v in key)] = entry
+            results[tuple(int(v) for v in key)] = {
+                name: int(values[key_index]) for name, values in columns.items()
+            }
 
     if stats is not None:
         stats.add_time(
@@ -93,15 +108,21 @@ def combine_partials(
     config: HostConfig,
     stats: Optional[PimStats] = None,
     phase: str = "host-combine",
-) -> int:
-    """Combine per-crossbar partial aggregates into a single value."""
+) -> Optional[int]:
+    """Combine per-crossbar partial aggregates into a single value.
+
+    An empty ``min``/``max`` has no defined value: no crossbar contributed a
+    partial (every one held the identity), so the combination returns ``None``
+    rather than a spurious ``0`` that would poison later min/max merging.
+    Empty sums and counts are genuinely ``0``.
+    """
     values = np.concatenate([np.asarray(p, dtype=np.uint64).reshape(-1) for p in partials])
     if operation in ("sum", "count"):
-        result = int(values.sum())
+        result: Optional[int] = int(values.sum())
     elif operation == "min":
-        result = int(values.min()) if values.size else 0
+        result = int(values.min()) if values.size else None
     elif operation == "max":
-        result = int(values.max()) if values.size else 0
+        result = int(values.max()) if values.size else None
     else:
         raise ValueError(f"unsupported aggregation {operation!r}")
     if stats is not None:
@@ -114,7 +135,13 @@ def merge_group_results(
     second: Dict[Tuple[int, ...], Dict[str, int]],
     aggregates: Sequence[Aggregate],
 ) -> Dict[Tuple[int, ...], Dict[str, int]]:
-    """Merge two GROUP-BY result dictionaries (e.g. pim-gb and host-gb parts)."""
+    """Merge two GROUP-BY result dictionaries (e.g. pim-gb and host-gb parts).
+
+    An aggregate that is absent (or ``None``) on one side — a min/max whose
+    selection on that side was empty — does not constrain the merge: the other
+    side's value is kept as-is instead of being min/max-ed against a
+    placeholder.
+    """
     merged = {key: dict(value) for key, value in first.items()}
     for key, entry in second.items():
         if key not in merged:
@@ -123,9 +150,9 @@ def merge_group_results(
         target = merged[key]
         for aggregate in aggregates:
             name = aggregate.name
-            if name not in entry:
+            if entry.get(name) is None:
                 continue
-            if name not in target:
+            if target.get(name) is None:
                 target[name] = entry[name]
             elif aggregate.op in ("sum", "count"):
                 target[name] += entry[name]

@@ -89,8 +89,12 @@ class CrossbarBank:
             )
         if width < 64 and np.any(values >= np.uint64(1 << width)):
             raise ValueError(f"some values do not fit in {width} bits")
-        for i in range(width):
-            self.bits[:, :, offset + i] = ((values >> np.uint64(i)) & np.uint64(1)).astype(bool)
+        # Fast path: explode the values into bits with one unpackbits call
+        # (little-endian bytes, LSB-first bits — the row bit order).
+        raw = np.ascontiguousarray(values, dtype="<u8").view(np.uint8)
+        raw = raw.reshape(self.count, self.rows, 8)
+        bits = np.unpackbits(raw, axis=-1, bitorder="little")[:, :, :width]
+        self.bits[:, :, offset:offset + width] = bits.astype(bool)
         if count_wear:
             self.writes_per_row += width
 
@@ -103,10 +107,14 @@ class CrossbarBank:
         separately.
         """
         self._check_field(offset, width)
-        result = np.zeros((self.count, self.rows), dtype=np.uint64)
-        for i in range(width):
-            result |= self.bits[:, :, offset + i].astype(np.uint64) << np.uint64(i)
-        return result
+        # Fast path: pack the bit slab LSB-first into little-endian bytes and
+        # reinterpret the (padded) bytes as one uint64 per row.
+        packed = np.packbits(
+            self.bits[:, :, offset:offset + width], axis=-1, bitorder="little"
+        )
+        out = np.zeros((self.count, self.rows, 8), dtype=np.uint8)
+        out[:, :, :packed.shape[-1]] = packed
+        return out.view("<u8")[:, :, 0]
 
     def read_column(self, column: int) -> np.ndarray:
         """Return one bit column of every crossbar, shape ``(count, rows)``."""

@@ -1,0 +1,20 @@
+"""Batched query serving over PIM-resident relations.
+
+The service layer amortises per-query planning and compilation across a
+multi-query workload: a shared LRU :class:`~repro.service.cache.ProgramCache`
+for compiled NOR programs, vectorized (bit-exact, cost-identical) host paths,
+and batch scheduling through shared per-relation executors.
+"""
+
+from repro.service.cache import CacheStats, ProgramCache
+from repro.service.service import BatchResult, QueryRequest, QueryService
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "BatchResult",
+    "CacheStats",
+    "ProgramCache",
+    "QueryRequest",
+    "QueryService",
+    "ServiceStats",
+]

@@ -1,0 +1,119 @@
+"""LRU cache of compiled NOR programs.
+
+Compiling a predicate into a NOR program is deterministic in the predicate
+and the row layout, so a service replaying similar WHERE clauses (or the same
+pim-gb subgroups) can reuse the compiled
+:class:`~repro.pim.logic.Program` verbatim.  :class:`ProgramCache` is a
+drop-in :class:`~repro.core.stages.ProgramCompiler` with an LRU keyed by
+``(predicate, layout)`` — layouts compare by identity, predicates by value
+(the IR dataclasses are frozen).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, Optional
+
+from repro.core.stages import ProgramCompiler
+from repro.db.encoding import RowLayout
+from repro.db.query import Predicate
+from repro.db.schema import Schema
+from repro.pim.logic import Program
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters of a :class:`ProgramCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """An immutable-in-spirit copy taken at a point in time."""
+        return CacheStats(self.hits, self.misses, self.evictions)
+
+    def __sub__(self, other: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.evictions - other.evictions,
+        )
+
+
+class ProgramCache(ProgramCompiler):
+    """An LRU-cached :class:`~repro.core.stages.ProgramCompiler`.
+
+    Programs are immutable once built (the executor only reads their
+    operation list), so one cache can safely serve every engine of a
+    :class:`~repro.service.service.QueryService` — distinct relations have
+    distinct layouts and therefore distinct keys.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[Hashable, Program]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every cached program (the counters are kept)."""
+        self._entries.clear()
+
+    def _lookup(self, key: Hashable, build: Callable[[], Program]) -> Program:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        program = build()
+        self._entries[key] = program
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return program
+
+    # ----------------------------------------------- ProgramCompiler interface
+    def filter_program(
+        self, predicate: Predicate, schema: Schema, layout: RowLayout
+    ) -> Program:
+        return self._lookup(
+            ("filter", predicate, layout),
+            lambda: super(ProgramCache, self).filter_program(predicate, schema, layout),
+        )
+
+    def group_program(self, group_values: Dict[str, int], layout: RowLayout) -> Program:
+        key = ("group", tuple(sorted(group_values.items())), layout)
+        return self._lookup(
+            key, lambda: super(ProgramCache, self).group_program(group_values, layout)
+        )
+
+    def combine_program(
+        self, group_values: Dict[str, int], layout: RowLayout, include_remote: bool
+    ) -> Program:
+        key = (
+            "combine",
+            tuple(sorted(group_values.items())),
+            include_remote,
+            layout,
+        )
+        return self._lookup(
+            key,
+            lambda: super(ProgramCache, self).combine_program(
+                group_values, layout, include_remote
+            ),
+        )

@@ -1,0 +1,180 @@
+"""A batched query service over PIM-resident relations.
+
+:class:`QueryService` is the serving layer the ROADMAP's production
+north-star asks for: it accepts *batches* of queries against one or more
+registered :class:`~repro.db.storage.StoredRelation`\\ s, schedules them
+through a shared per-relation :class:`~repro.pim.controller.PimExecutor`, and
+returns the individual :class:`~repro.core.executor.QueryExecution` results
+together with aggregate :class:`~repro.service.stats.ServiceStats`.
+
+Two mechanisms amortise per-query work across the batch (and across
+batches):
+
+* a shared :class:`~repro.service.cache.ProgramCache` — repeated WHERE
+  clauses and pim-gb subgroup filters skip ``compile_predicate`` entirely;
+* the engines run with ``vectorized=True`` by default, replacing the
+  NOR-by-NOR functional simulation of filter and group-mask programs with
+  single NumPy passes that are bit-exact and charge identical modelled costs
+  (see :mod:`repro.core.stages`).
+
+Results are bit-exact with sequential
+:meth:`~repro.core.executor.PimQueryEngine.execute` calls;
+``benchmarks/bench_service_throughput.py`` measures the wall-clock gain.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.config import SystemConfig
+from repro.core.executor import PimQueryEngine, QueryExecution
+from repro.core.latency_model import GroupByCostModel
+from repro.db.query import Query
+from repro.db.storage import StoredRelation
+from repro.pim.controller import PimExecutor
+from repro.service.cache import ProgramCache
+from repro.service.stats import ServiceStats
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query of a batch, optionally pinned to a registered relation."""
+
+    query: Query
+    relation: Optional[str] = None
+
+
+@dataclass
+class BatchResult:
+    """Executions (in request order) and aggregate stats of one batch."""
+
+    executions: List[QueryExecution]
+    stats: ServiceStats
+
+    def __iter__(self):
+        return iter(self.executions)
+
+    def __len__(self) -> int:
+        return len(self.executions)
+
+
+class QueryService:
+    """Serves query batches against registered PIM-resident relations."""
+
+    def __init__(
+        self,
+        cache_capacity: int = 512,
+        vectorized: bool = True,
+        cache: Optional[ProgramCache] = None,
+    ) -> None:
+        """Create an empty service.
+
+        Args:
+            cache_capacity: Capacity of the shared compiled-program cache.
+            vectorized: Run the registered engines with the vectorized
+                (bit-exact, cost-identical) host paths; disable to force the
+                gate-level NOR simulation everywhere.
+            cache: Share an existing :class:`ProgramCache` between services.
+        """
+        self.cache = cache if cache is not None else ProgramCache(cache_capacity)
+        self.vectorized = bool(vectorized)
+        self._engines: Dict[str, PimQueryEngine] = {}
+        self._executors: Dict[str, PimExecutor] = {}
+        self._default: Optional[str] = None
+
+    # -------------------------------------------------------------- registry
+    def register(
+        self,
+        name: str,
+        stored: StoredRelation,
+        config: Optional[SystemConfig] = None,
+        label: Optional[str] = None,
+        cost_model: Optional[GroupByCostModel] = None,
+        sample_pages: int = 1,
+        timing_scale: float = 1.0,
+        default: bool = False,
+    ) -> PimQueryEngine:
+        """Register a stored relation and build its engine.
+
+        The engine shares the service's program cache and, unless the
+        service was created with ``vectorized=False``, uses the vectorized
+        host paths.  The first registered relation becomes the default
+        target for requests that do not name one.
+        """
+        if name in self._engines:
+            raise ValueError(f"relation {name!r} is already registered")
+        engine = PimQueryEngine(
+            stored,
+            config=config,
+            label=label if label is not None else name,
+            cost_model=cost_model,
+            sample_pages=sample_pages,
+            timing_scale=timing_scale,
+            compiler=self.cache,
+            vectorized=self.vectorized,
+        )
+        self._engines[name] = engine
+        self._executors[name] = PimExecutor(engine.config)
+        if default or self._default is None:
+            self._default = name
+        return engine
+
+    @property
+    def relations(self) -> List[str]:
+        """Names of the registered relations."""
+        return list(self._engines)
+
+    def engine(self, name: Optional[str] = None) -> PimQueryEngine:
+        """The engine serving ``name`` (or the default relation)."""
+        return self._engines[self._resolve(name)]
+
+    def _resolve(self, name: Optional[str]) -> str:
+        if name is None:
+            if self._default is None:
+                raise ValueError("no relation registered with this service")
+            return self._default
+        if name not in self._engines:
+            raise KeyError(
+                f"unknown relation {name!r}; registered: {self.relations}"
+            )
+        return name
+
+    # ------------------------------------------------------------- execution
+    def execute(self, query: Query, relation: Optional[str] = None) -> QueryExecution:
+        """Execute a single query through the service's shared machinery."""
+        name = self._resolve(relation)
+        return self._engines[name].execute(query, executor=self._executors[name])
+
+    def execute_batch(
+        self,
+        queries: Iterable[Union[Query, QueryRequest]],
+        relation: Optional[str] = None,
+    ) -> BatchResult:
+        """Execute a batch and return per-query results plus service stats.
+
+        Requests are scheduled grouped by target relation (back-to-back
+        execution against one relation keeps its programs and columns hot)
+        while the returned executions keep the submission order.
+        """
+        requests: List[QueryRequest] = [
+            q if isinstance(q, QueryRequest) else QueryRequest(q, relation)
+            for q in queries
+        ]
+        targets = [self._resolve(r.relation or relation) for r in requests]
+        schedule = sorted(range(len(requests)), key=lambda i: (targets[i], i))
+
+        cache_before = self.cache.stats.snapshot()
+        executions: List[Optional[QueryExecution]] = [None] * len(requests)
+        start = time.perf_counter()
+        for index in schedule:
+            name = targets[index]
+            executions[index] = self._engines[name].execute(
+                requests[index].query, executor=self._executors[name]
+            )
+        wall = time.perf_counter() - start
+        stats = ServiceStats.from_executions(
+            executions, wall, cache=self.cache.stats.snapshot() - cache_before
+        )
+        return BatchResult(executions=executions, stats=stats)

@@ -1,0 +1,80 @@
+"""Aggregate statistics of a batch served by the query service.
+
+The individual :class:`~repro.core.executor.QueryExecution` objects carry the
+device-accurate modelled latency/energy of each query; :class:`ServiceStats`
+condenses a batch of them into the operational numbers a serving system is
+judged by — throughput and tail latency.
+
+Two clocks are reported side by side:
+
+* **modelled** — the simulated PIM latency of the paper's timing model
+  (p50/p95 over the batch, plus the serial sum);
+* **wall** — how long the functional simulation itself took, which is what
+  the service's vectorized host paths and program cache optimise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.executor import QueryExecution
+from repro.service.cache import CacheStats
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Throughput and latency summary of one served batch."""
+
+    queries: int
+    wall_time_s: float
+    wall_qps: float
+    modelled_time_s: float
+    modelled_qps: float
+    modelled_p50_s: float
+    modelled_p95_s: float
+    modelled_energy_j: float
+    cache: Optional[CacheStats] = None
+
+    @classmethod
+    def from_executions(
+        cls,
+        executions: Sequence[QueryExecution],
+        wall_time_s: float,
+        cache: Optional[CacheStats] = None,
+    ) -> "ServiceStats":
+        """Summarise a batch of executions measured over ``wall_time_s``."""
+        latencies = np.array([e.time_s for e in executions], dtype=float)
+        count = len(latencies)
+        modelled_total = float(latencies.sum()) if count else 0.0
+        return cls(
+            queries=count,
+            wall_time_s=float(wall_time_s),
+            wall_qps=count / wall_time_s if wall_time_s > 0 else 0.0,
+            modelled_time_s=modelled_total,
+            modelled_qps=count / modelled_total if modelled_total > 0 else 0.0,
+            modelled_p50_s=float(np.percentile(latencies, 50)) if count else 0.0,
+            modelled_p95_s=float(np.percentile(latencies, 95)) if count else 0.0,
+            modelled_energy_j=float(sum(e.energy_j for e in executions)),
+            cache=cache,
+        )
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary."""
+        lines = [
+            f"{self.queries} queries in {self.wall_time_s:.3f}s wall "
+            f"({self.wall_qps:.1f} q/s)",
+            f"modelled: {self.modelled_time_s * 1e3:.3f} ms serial "
+            f"({self.modelled_qps:.1f} q/s), "
+            f"p50 {self.modelled_p50_s * 1e3:.3f} ms, "
+            f"p95 {self.modelled_p95_s * 1e3:.3f} ms, "
+            f"{self.modelled_energy_j * 1e3:.3f} mJ",
+        ]
+        if self.cache is not None:
+            lines.append(
+                f"program cache: {self.cache.hits} hits / "
+                f"{self.cache.misses} misses ({self.cache.hit_rate:.0%})"
+            )
+        return "\n".join(lines)

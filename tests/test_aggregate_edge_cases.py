@@ -1,0 +1,269 @@
+"""Aggregate edge cases: empty selections, tiny groups, caching equivalence.
+
+These tests pin the empty-selection semantics the engines must agree on
+(no selected record => no result row, mirroring the columnar reference), the
+min-merge fix (an absent min must not poison merging with a spurious 0), and
+the bit-exactness of the compiled-program cache and vectorized host paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db.query import (
+    Aggregate,
+    And,
+    BETWEEN,
+    Comparison,
+    EQ,
+    Query,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
+from repro.db.storage import StoredRelation
+from repro.host.aggregator import (
+    combine_partials,
+    host_group_aggregate,
+    merge_group_results,
+)
+from repro.pim.module import PimModule
+from repro.service import ProgramCache
+
+HOST = DEFAULT_CONFIG.host
+
+EMPTY_FILTER = Comparison("year", EQ, 1800)  # matches no toy record
+SOME_FILTER = And((
+    Comparison("year", BETWEEN, low=1993, high=1996),
+    Comparison("discount", ">=", 2),
+))
+ALL_AGGREGATES = (
+    Aggregate("min", "price"),
+    Aggregate("max", "price"),
+    Aggregate("sum", "price"),
+    Aggregate("count"),
+)
+TWO_XB = [["key", "price", "discount", "quantity"], ["city", "region", "year"]]
+
+
+def _engine(relation, partitions=None, **kwargs):
+    module = PimModule(DEFAULT_CONFIG)
+    stored = StoredRelation(
+        relation, module, label="edge-test",
+        partitions=partitions, aggregation_width=22,
+        reserve_bulk_aggregation=False,
+    )
+    return PimQueryEngine(stored, **kwargs)
+
+
+def _reference(relation, query):
+    mask = evaluate_predicate(query.predicate, relation)
+    return reference_group_aggregate(relation, mask, query.group_by, query.aggregates)
+
+
+# --------------------------------------------------------------- empty input
+def test_empty_selection_scalar_aggregates(toy_relation):
+    """min/max/sum/count over zero selected rows produce no result row."""
+    query = Query("empty-scalar", EMPTY_FILTER, ALL_AGGREGATES)
+    execution = _engine(toy_relation).execute(query)
+    assert execution.rows == {}
+    assert execution.rows == _reference(toy_relation, query)
+    assert execution.selectivity == 0.0
+
+
+def test_empty_selection_scalar_raises_clear_error(toy_relation):
+    query = Query("empty-scalar", EMPTY_FILTER, (Aggregate("min", "price"),))
+    execution = _engine(toy_relation).execute(query)
+    with pytest.raises(ValueError, match="selected no records"):
+        execution.scalar()
+    with pytest.raises(ValueError, match="selected no records"):
+        execution.scalar("min_price")
+
+
+def test_scalar_unknown_aggregate_name_raises_value_error(toy_relation):
+    query = Query("known", SOME_FILTER, (Aggregate("sum", "price"),))
+    execution = _engine(toy_relation).execute(query)
+    with pytest.raises(ValueError, match="no aggregate named"):
+        execution.scalar("nope")
+
+
+def test_empty_selection_group_by(toy_relation):
+    query = Query("empty-gb", EMPTY_FILTER, ALL_AGGREGATES, group_by=("city",))
+    execution = _engine(toy_relation).execute(query)
+    assert execution.rows == {}
+
+
+def test_combine_partials_empty_min_max_is_none():
+    assert combine_partials([np.array([], dtype=np.uint64)], "min", HOST) is None
+    assert combine_partials([np.array([], dtype=np.uint64)], "max", HOST) is None
+    assert combine_partials([np.array([], dtype=np.uint64)], "sum", HOST) == 0
+
+
+def test_merge_skips_absent_min():
+    """An absent/None min on one side must not clamp the other side's min."""
+    aggregates = (Aggregate("min", "x"), Aggregate("sum", "x"))
+    merged = merge_group_results(
+        {(1,): {"sum_x": 10}},                      # min absent (empty on PIM side)
+        {(1,): {"min_x": 7, "sum_x": 5}, (2,): {"min_x": None, "sum_x": 3}},
+        aggregates,
+    )
+    assert merged[(1,)] == {"min_x": 7, "sum_x": 15}
+    assert merged[(2,)]["sum_x"] == 3
+    assert merged[(2,)]["min_x"] is None
+
+
+# ------------------------------------------------------- host-gb edge cases
+def test_host_group_aggregate_missing_value_column():
+    with pytest.raises(ValueError, match="needs value column"):
+        host_group_aggregate(
+            {"g": np.array([1, 2], dtype=np.uint64)},
+            {},
+            [Aggregate("sum", "x")],
+            HOST,
+        )
+
+
+def test_host_group_aggregate_all_rows_filtered_out():
+    empty = np.array([], dtype=np.uint64)
+    result = host_group_aggregate(
+        {"g": empty}, {"x": empty}, [Aggregate("sum", "x"), Aggregate("min", "x")],
+        HOST,
+    )
+    assert result == {}
+
+
+def test_host_group_aggregate_matches_reference_loop():
+    """The reduceat fast path is bit-exact with per-group NumPy reductions."""
+    rng = np.random.default_rng(5)
+    n = 3000
+    groups = {
+        "a": rng.integers(0, 7, n).astype(np.uint64),
+        "b": rng.integers(0, 5, n).astype(np.uint64),
+    }
+    values = {"x": rng.integers(0, 1 << 40, n).astype(np.uint64)}
+    aggregates = [
+        Aggregate("sum", "x"), Aggregate("min", "x"),
+        Aggregate("max", "x"), Aggregate("count"),
+    ]
+    result = host_group_aggregate(groups, values, aggregates, HOST)
+    keys = np.stack([groups["a"], groups["b"]], axis=1)
+    for key, entry in result.items():
+        selector = np.all(keys == np.array(key, dtype=np.uint64), axis=1)
+        assert entry["sum_x"] == int(values["x"][selector].sum())
+        assert entry["min_x"] == int(values["x"][selector].min())
+        assert entry["max_x"] == int(values["x"][selector].max())
+        assert entry["count"] == int(selector.sum())
+    assert len(result) == len(np.unique(keys, axis=0))
+
+
+def test_host_group_aggregate_single_record_groups():
+    """Each group holding exactly one record: all aggregates equal the value."""
+    n = 50
+    groups = {"g": np.arange(n, dtype=np.uint64)}
+    values = {"x": (np.arange(n, dtype=np.uint64) * 13 + 1)}
+    result = host_group_aggregate(
+        groups, values,
+        [Aggregate("sum", "x"), Aggregate("min", "x"),
+         Aggregate("max", "x"), Aggregate("count")],
+        HOST,
+    )
+    assert len(result) == n
+    for key, entry in result.items():
+        value = int(key[0]) * 13 + 1
+        assert entry == {"sum_x": value, "min_x": value, "max_x": value, "count": 1}
+
+
+# ------------------------------------------------------- engine edge cases
+def test_single_record_groups_through_engine(toy_relation):
+    """A selection so narrow that groups hold one or very few records."""
+    query = Query(
+        "narrow",
+        And((Comparison("year", EQ, 1995), Comparison("discount", EQ, 10),
+             Comparison("quantity", "<", 5))),
+        ALL_AGGREGATES,
+        group_by=("city",),
+    )
+    execution = _engine(toy_relation).execute(query)
+    reference = _reference(toy_relation, query)
+    assert execution.rows == reference
+    assert reference  # the query does select a handful of records
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_two_partition_group_by_edge_cases(toy_relation, vectorized):
+    """two_xb group-by with min/max and group attrs on the remote partition."""
+    query = Query(
+        "two-xb-gb", SOME_FILTER, ALL_AGGREGATES, group_by=("city", "year")
+    )
+    engine = _engine(toy_relation, partitions=TWO_XB, vectorized=vectorized)
+    execution = engine.execute(query)
+    assert execution.rows == _reference(toy_relation, query)
+
+
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_three_partition_group_by_spanning_two_remotes(toy_relation, vectorized):
+    """GROUP-BY attributes on two different remote partitions.
+
+    Every remote partition ships a bit-vector into the same landing column,
+    so the engine must fold the transfers together instead of keeping only
+    the last one.  A degenerate cost model forces every subgroup through
+    pim-gb, which is the only path that builds per-subgroup remote masks.
+    """
+    from repro.core.latency_model import (
+        GroupByCostModel, HostGbLatencyModel, PimGbLatencyModel,
+    )
+
+    partitions = [
+        ["key", "price"],
+        ["city", "region"],
+        ["year", "discount", "quantity"],
+    ]
+    all_pim_model = GroupByCostModel(
+        HostGbLatencyModel({2: 1.0}, {2: 1.0}),      # host absurdly expensive
+        PimGbLatencyModel({2: 0.0}, {2: 0.0}),       # PIM free
+    )
+    query = Query(
+        "three-xb",
+        Comparison("quantity", "<", 40),
+        (Aggregate("sum", "price"), Aggregate("count")),
+        group_by=("region", "year"),
+    )
+    engine = _engine(
+        toy_relation, partitions=partitions, vectorized=vectorized,
+        cost_model=all_pim_model,
+    )
+    execution = engine.execute(query)
+    assert execution.pim_subgroups > 0  # the folded remote path actually ran
+    assert execution.rows == _reference(toy_relation, query)
+
+
+def test_vectorized_engine_matches_gate_level_costs(toy_relation):
+    """Vectorized host paths: same rows, same modelled costs, same wear."""
+    query = Query("paths", SOME_FILTER, ALL_AGGREGATES, group_by=("region",))
+    gate = _engine(toy_relation).execute(query)
+    fast = _engine(toy_relation, vectorized=True).execute(query)
+    assert fast.rows == gate.rows
+    assert fast.time_s == pytest.approx(gate.time_s, rel=1e-12)
+    assert fast.energy_j == pytest.approx(gate.energy_j, rel=1e-12)
+    assert fast.max_writes_per_row == gate.max_writes_per_row
+
+
+# ----------------------------------------------------------- program cache
+def test_cache_hit_and_miss_executions_are_bit_exact(toy_relation):
+    """The same engine answers identically before and after cache warm-up."""
+    cache = ProgramCache(capacity=64)
+    engine = _engine(toy_relation, compiler=cache)
+    query = Query("cached", SOME_FILTER, ALL_AGGREGATES, group_by=("city",))
+
+    cold = engine.execute(query)
+    misses_after_cold = cache.stats.misses
+    assert misses_after_cold > 0 and cache.stats.hits == 0
+
+    warm = engine.execute(query)
+    assert cache.stats.misses == misses_after_cold  # everything reused
+    assert cache.stats.hits > 0
+    assert warm.rows == cold.rows == _reference(toy_relation, query)
+    assert warm.time_s == pytest.approx(cold.time_s, rel=1e-12)
+
+    uncached = _engine(toy_relation).execute(query)
+    assert uncached.rows == warm.rows

@@ -15,6 +15,7 @@ EXAMPLES = [
     "examples/quickstart.py",
     "examples/update_in_place.py",
     "examples/derived_attribute_in_memory.py",
+    "examples/service_batch.py",
 ]
 
 
