@@ -1,0 +1,76 @@
+"""Sharded scatter-gather scaling — the 13 SSB queries at K = 1, 2, 4.
+
+As a pytest benchmark this runs the scaling sweep and asserts the
+acceptance criteria: sharded results bit-exact with the unsharded engine and
+the NumPy reference, modelled latency improving monotonically from K=1 to
+K=4 (max-over-shards plus a merge term, never the sum), and the cost
+accounting intact — per-row wear identical, total energy never above the
+unsharded run, and dynamic energy on the planner-free scalar queries
+conserved to within 0.1%.  It is also runnable as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_scaling.py
+"""
+
+import sys
+
+from repro.experiments import sharded_scaling
+
+
+def _assert_accounting(results, min_speedup: float) -> None:
+    largest = max(results.shard_counts)
+    assert results.bit_exact
+    assert results.latency_monotonic
+    assert results.speedup(largest) >= min_speedup
+    for shards in results.shard_counts:
+        # Sharding redistributes work; it must not inflate the bill.  Total
+        # energy may drop (shorter broadcast windows shrink the static
+        # controller term; per-shard planners may prefer host-gb) but the
+        # dynamic energy of the scalar queries is a strict conservation law.
+        assert results.energy_ratio(shards) <= 1.05, shards
+        assert results.wear_ratio(shards) <= 1.001, shards
+        assert 0.999 <= results.scalar_dynamic_energy_ratio(shards) <= 1.001, shards
+
+
+def test_sharded_scaling(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: sharded_scaling.run_scaling(), rounds=1, iterations=1
+    )
+    publish("sharded_scaling", sharded_scaling.render(results))
+    _assert_accounting(results, min_speedup=1.5)
+    # K=1 adds only the (sub-microsecond) gather term over unsharded.
+    assert results.point(1).total_time_s <= results.unsharded_time_s * 1.001
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--shards", type=int, nargs="+", default=list(sharded_scaling.DEFAULT_SHARD_COUNTS),
+        help="shard counts to sweep",
+    )
+    parser.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="generated SSB scale factor (default: smallest page-aligned size)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="fail unless the largest shard count beats the unsharded "
+             "latency by this factor (0 disables the gate)",
+    )
+    args = parser.parse_args(argv)
+
+    results = sharded_scaling.run_scaling(
+        shard_counts=args.shards, scale_factor=args.scale_factor
+    )
+    print(sharded_scaling.render(results))
+    try:
+        _assert_accounting(results, min_speedup=args.min_speedup)
+    except AssertionError as error:
+        print(f"FAIL: sharded scaling acceptance gate: {error!r}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

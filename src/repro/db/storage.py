@@ -37,6 +37,7 @@ class StoredRelation:
         partitions: Optional[Sequence[Sequence[str]]] = None,
         aggregation_width: Optional[int] = None,
         reserve_bulk_aggregation: bool = True,
+        layouts: Optional[Sequence[RowLayout]] = None,
     ) -> None:
         self.relation = relation
         self.module = module
@@ -51,20 +52,36 @@ class StoredRelation:
         self._validate_partitions()
 
         xbar = module.config.crossbar
+        if layouts is not None and len(layouts) != len(self.partition_attributes):
+            raise ValueError(
+                f"got {len(layouts)} layouts for "
+                f"{len(self.partition_attributes)} vertical partitions"
+            )
         self.layouts: List[RowLayout] = []
         self.allocations: List[PimAllocation] = []
         for index, attrs in enumerate(self.partition_attributes):
-            schema = relation.schema.subset(attrs, f"{self.label}/p{index}")
-            layout = RowLayout(
-                schema,
-                columns=xbar.columns,
-                rows=xbar.rows,
-                aggregation_width=self._partition_aggregation_width(
-                    schema, aggregation_width
-                ),
-                reserve_bulk_aggregation=reserve_bulk_aggregation,
-                read_width_bits=xbar.read_width_bits,
-            )
+            if layouts is not None:
+                # Horizontal shards of one relation share layout objects so a
+                # program compiled against the layout (the program cache keys
+                # on layout identity) is reusable verbatim on every shard.
+                layout = layouts[index]
+                if list(layout.schema.names) != list(attrs):
+                    raise ValueError(
+                        f"layout {index} covers {list(layout.schema.names)}, "
+                        f"partition needs {list(attrs)}"
+                    )
+            else:
+                schema = relation.schema.subset(attrs, f"{self.label}/p{index}")
+                layout = RowLayout(
+                    schema,
+                    columns=xbar.columns,
+                    rows=xbar.rows,
+                    aggregation_width=self._partition_aggregation_width(
+                        schema, aggregation_width
+                    ),
+                    reserve_bulk_aggregation=reserve_bulk_aggregation,
+                    read_width_bits=xbar.read_width_bits,
+                )
             allocation = module.allocate_for_records(
                 self.num_records, f"{self.label}/p{index}"
             )

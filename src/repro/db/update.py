@@ -6,6 +6,12 @@ is what makes UPDATE expensive in a conventional denormalised store
 records to modify are selected with a PIM filter, and the filter bit then
 drives the in-memory multiplexer of Algorithm 1 that overwrites the attribute
 with the new value — no record is ever read by the host.
+
+The compilation (predicate -> filter program, assignments -> mux program) is
+separated from the execution: both programs depend only on the row layout,
+so a horizontally sharded relation — whose shards share layout objects —
+compiles once via :func:`compile_update` and broadcasts the same programs to
+every shard.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from repro.db.compiler import CompilationError, compile_predicate
 from repro.db.query import Predicate, evaluate_predicate
 from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
-from repro.pim.logic import ProgramBuilder
+from repro.pim.logic import Program, ProgramBuilder
 
 
 @dataclass
@@ -31,19 +37,36 @@ class UpdateResult:
     update_cycles: int
 
 
-def execute_update(
+@dataclass(frozen=True)
+class CompiledUpdate:
+    """The layout-dependent parts of an UPDATE, compiled once.
+
+    Valid for any stored relation sharing the layout it was compiled
+    against — in particular for every shard of a
+    :class:`~repro.sharding.storage.ShardedStoredRelation`.  The source
+    predicate and assignments are retained so the executor can reject a
+    compiled object replayed with a different statement.
+    """
+
+    partition: int
+    filter_program: Program
+    update_program: Program
+    encoded_assignments: Dict[str, int]
+    predicate: Predicate = None
+    assignments: Optional[Dict[str, object]] = None
+
+
+def compile_update(
     stored: StoredRelation,
     predicate: Predicate,
     assignments: Dict[str, object],
-    executor: PimExecutor,
-) -> UpdateResult:
-    """Update ``assignments`` on the records selected by ``predicate``.
+) -> CompiledUpdate:
+    """Compile the filter and Algorithm 1 mux programs of an UPDATE.
 
     Both the predicate attributes and the assigned attributes must live in
     the same vertical partition (which is always true for the paper's use
     case: refreshing a duplicated dimension attribute of the pre-joined
-    relation).  The stored bits *and* the in-memory ground-truth relation are
-    updated, so subsequent queries — through any engine — see the new values.
+    relation).
     """
     if not assignments:
         raise ValueError("no assignments given")
@@ -58,16 +81,10 @@ def execute_update(
         )
     partition = partitions.pop()
     layout = stored.layouts[partition]
-    allocation = stored.allocations[partition]
     schema = stored.relation.schema
 
-    # Select the records to update (a standard PIM filter).
     filter_program = compile_predicate(predicate, schema, layout)
-    executor.run_program(
-        allocation.bank, filter_program, pages=allocation.pages, phase="update-filter"
-    )
 
-    # Overwrite every assigned attribute with Algorithm 1.
     builder = ProgramBuilder(layout.scratch_columns)
     encoded_assignments: Dict[str, int] = {}
     for name, raw_value in assignments.items():
@@ -77,19 +94,64 @@ def execute_update(
         builder.mux_update(
             layout.field_columns(name), encoded, layout.filter_column
         )
-    update_program = builder.build()
+    return CompiledUpdate(
+        partition=partition,
+        filter_program=filter_program,
+        update_program=builder.build(),
+        encoded_assignments=encoded_assignments,
+        predicate=predicate,
+        assignments=dict(assignments),
+    )
+
+
+def execute_update(
+    stored: StoredRelation,
+    predicate: Predicate,
+    assignments: Dict[str, object],
+    executor: PimExecutor,
+    compiled: Optional[CompiledUpdate] = None,
+) -> UpdateResult:
+    """Update ``assignments`` on the records selected by ``predicate``.
+
+    The stored bits *and* the in-memory ground-truth relation are updated,
+    so subsequent queries — through any engine — see the new values.
+    ``compiled`` reuses a :func:`compile_update` result (the sharded
+    broadcast compiles once and passes it to every shard); it must have been
+    compiled for ``predicate``/``assignments`` against this relation's
+    layout.
+    """
+    if compiled is None:
+        compiled = compile_update(stored, predicate, assignments)
+    elif (compiled.predicate != predicate
+          or compiled.assignments != dict(assignments)):
+        # A mismatched reuse would rewrite the stored bits under the
+        # compiled statement while syncing the ground truth under the given
+        # one — a silent divergence, so refuse instead.
+        raise ValueError(
+            "compiled update does not match the given predicate/assignments"
+        )
+    allocation = stored.allocations[compiled.partition]
+
+    # Select the records to update (a standard PIM filter).
+    executor.run_program(
+        allocation.bank, compiled.filter_program,
+        pages=allocation.pages, phase="update-filter",
+    )
+
+    # Overwrite every assigned attribute with Algorithm 1.
     executor.run_mux_update(
-        allocation.bank, update_program, pages=allocation.pages, phase="update-mux"
+        allocation.bank, compiled.update_program,
+        pages=allocation.pages, phase="update-mux",
     )
 
     # Keep the functional ground truth in sync.
     mask = evaluate_predicate(predicate, stored.relation)
-    for name, encoded in encoded_assignments.items():
+    for name, encoded in compiled.encoded_assignments.items():
         column = stored.relation.columns[name]
         column[mask] = np.uint64(encoded)
 
     return UpdateResult(
         records_updated=int(mask.sum()),
-        filter_cycles=filter_program.cycles,
-        update_cycles=update_program.cycles,
+        filter_cycles=compiled.filter_program.cycles,
+        update_cycles=compiled.update_program.cycles,
     )

@@ -130,6 +130,37 @@ def combine_partials(
     return result
 
 
+def merge_shard_rows(
+    shard_rows: Sequence[Dict[Tuple[int, ...], Dict[str, int]]],
+    aggregates: Sequence[Aggregate],
+    config: Optional[HostConfig] = None,
+    stats: Optional[PimStats] = None,
+    phase: str = "shard-merge",
+) -> Dict[Tuple[int, ...], Dict[str, int]]:
+    """Gather per-shard result rows into the global result (scatter-gather).
+
+    Each element of ``shard_rows`` is the full result dictionary one
+    horizontal shard produced for the same query; folding them through
+    :func:`merge_group_results` yields exactly the rows the unsharded engine
+    computes, because SUM/COUNT distribute over the shards and MIN/MAX
+    commute with the shard partition (an AVG is merged through its SUM and
+    COUNT parts).  A shard whose selection was empty contributes an empty
+    dictionary and drops out of the fold, which preserves the engine's
+    "no selected record, no result row" convention.
+
+    When ``config`` and ``stats`` are given, the host CPU work of the merge
+    (a hash-table fold over every partial row) is charged to ``stats`` — this
+    is the gather term of the sharded latency model.
+    """
+    merged: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    for rows in shard_rows:
+        merged = merge_group_results(merged, rows, aggregates)
+    if stats is not None and config is not None:
+        partial_values = sum(len(rows) for rows in shard_rows) * max(1, len(aggregates))
+        stats.add_time(phase, cpu_time(config, partial_values, 4.0, threads=1))
+    return merged
+
+
 def merge_group_results(
     first: Dict[Tuple[int, ...], Dict[str, int]],
     second: Dict[Tuple[int, ...], Dict[str, int]],

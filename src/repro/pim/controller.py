@@ -49,6 +49,16 @@ class PimExecutor:
         self.config = config
         self.stats = stats if stats is not None else PimStats()
 
+    def fork(self, stats: Optional[PimStats] = None) -> "PimExecutor":
+        """A new executor sharing this one's configuration.
+
+        Scatter-gather execution gives every horizontal shard its own
+        executor (and hence its own stats object): an executor is not safe
+        to share between concurrently running shards because each engine
+        execution rebinds ``self.stats``.
+        """
+        return PimExecutor(self.config, stats)
+
     # ------------------------------------------------------------ properties
     @property
     def _xbar(self):

@@ -8,7 +8,7 @@ and batch scheduling through shared per-relation executors.
 
 from repro.service.cache import CacheStats, ProgramCache
 from repro.service.service import BatchResult, QueryRequest, QueryService
-from repro.service.stats import ServiceStats
+from repro.service.stats import ServiceStats, ShardStats
 
 __all__ = [
     "BatchResult",
@@ -17,4 +17,5 @@ __all__ = [
     "QueryRequest",
     "QueryService",
     "ServiceStats",
+    "ShardStats",
 ]

@@ -11,6 +11,7 @@ drop-in :class:`~repro.core.stages.ProgramCompiler` with an LRU keyed by
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Optional
@@ -65,27 +66,34 @@ class ProgramCache(ProgramCompiler):
         self.capacity = int(capacity)
         self.stats = CacheStats()
         self._entries: "OrderedDict[Hashable, Program]" = OrderedDict()
+        # Sharded scatter execution may compile from several shard threads at
+        # once; the lock keeps the LRU bookkeeping (and the hit/miss counters)
+        # consistent.  Compilation itself is pure, so holding the lock across
+        # ``build()`` only serialises genuinely duplicate work.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
         """Drop every cached program (the counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def _lookup(self, key: Hashable, build: Callable[[], Program]) -> Program:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
-            return entry
-        self.stats.misses += 1
-        program = build()
-        self._entries[key] = program
-        if len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        return program
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return entry
+            self.stats.misses += 1
+            program = build()
+            self._entries[key] = program
+            if len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+            return program
 
     # ----------------------------------------------- ProgramCompiler interface
     def filter_program(

@@ -17,9 +17,18 @@ batches):
   single NumPy passes that are bit-exact and charge identical modelled costs
   (see :mod:`repro.core.stages`).
 
+Relations that outgrow a single allocation register through
+:meth:`QueryService.register_sharded`: the relation is split into K
+horizontal shards served by a
+:class:`~repro.sharding.executor.ShardedQueryEngine` — scatter-gather
+execution whose modelled latency is max-over-shards plus a merge term, and
+whose programs compile once through the same shared cache (the shards share
+layout objects).
+
 Results are bit-exact with sequential
 :meth:`~repro.core.executor.PimQueryEngine.execute` calls;
-``benchmarks/bench_service_throughput.py`` measures the wall-clock gain.
+``benchmarks/bench_service_throughput.py`` measures the wall-clock gain and
+``benchmarks/bench_sharded_scaling.py`` the sharded latency scaling.
 """
 
 from __future__ import annotations
@@ -32,10 +41,21 @@ from repro.config import SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
 from repro.db.query import Query
+from repro.db.relation import Relation
 from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
 from repro.service.cache import ProgramCache
 from repro.service.stats import ServiceStats
+from repro.sharding.executor import ShardedQueryEngine
+from repro.sharding.storage import ShardedStoredRelation
+
+#: A registered engine: plain single-allocation or sharded scatter-gather.
+ServiceEngine = Union[PimQueryEngine, ShardedQueryEngine]
+
+#: The executor state a registered engine needs: one executor for a plain
+#: engine, one per shard for a sharded engine.
+ServiceExecutors = Union[PimExecutor, List[PimExecutor]]
 
 
 @dataclass(frozen=True)
@@ -80,8 +100,8 @@ class QueryService:
         """
         self.cache = cache if cache is not None else ProgramCache(cache_capacity)
         self.vectorized = bool(vectorized)
-        self._engines: Dict[str, PimQueryEngine] = {}
-        self._executors: Dict[str, PimExecutor] = {}
+        self._engines: Dict[str, ServiceEngine] = {}
+        self._executors: Dict[str, ServiceExecutors] = {}
         self._default: Optional[str] = None
 
     # -------------------------------------------------------------- registry
@@ -103,8 +123,7 @@ class QueryService:
         host paths.  The first registered relation becomes the default
         target for requests that do not name one.
         """
-        if name in self._engines:
-            raise ValueError(f"relation {name!r} is already registered")
+        self._check_name_free(name)
         engine = PimQueryEngine(
             stored,
             config=config,
@@ -121,12 +140,74 @@ class QueryService:
             self._default = name
         return engine
 
+    def register_sharded(
+        self,
+        name: str,
+        relation: Relation,
+        shards: int = 2,
+        module: Optional[PimModule] = None,
+        config: Optional[SystemConfig] = None,
+        label: Optional[str] = None,
+        cost_model: Optional[GroupByCostModel] = None,
+        sample_pages: int = 1,
+        timing_scale: float = 1.0,
+        max_workers: int = 1,
+        partitions: Optional[Sequence[Sequence[str]]] = None,
+        aggregation_width: Optional[int] = None,
+        reserve_bulk_aggregation: bool = True,
+        default: bool = False,
+    ) -> ShardedQueryEngine:
+        """Shard ``relation`` horizontally and register the scatter-gather engine.
+
+        The relation is split into ``shards`` contiguous horizontal shards,
+        each stored in its own crossbar allocation of ``module`` (a fresh
+        :class:`PimModule` is created when omitted).  Queries routed to
+        ``name`` scatter over the shards — optionally on a thread pool of
+        ``max_workers`` — and gather through the partial-aggregate merge;
+        their results are bit-exact with an unsharded engine while the
+        modelled latency follows max-over-shards plus the merge term.
+        Programs compile once: the shards share layouts, so the service's
+        program cache hits across shards (and across queries, as usual).
+        """
+        self._check_name_free(name)
+        if module is None:
+            module = PimModule(config)
+        sharded = ShardedStoredRelation(
+            relation,
+            module,
+            shards=shards,
+            label=label if label is not None else name,
+            partitions=partitions,
+            aggregation_width=aggregation_width,
+            reserve_bulk_aggregation=reserve_bulk_aggregation,
+        )
+        engine = ShardedQueryEngine(
+            sharded,
+            config=config,
+            label=label if label is not None else name,
+            cost_model=cost_model,
+            sample_pages=sample_pages,
+            timing_scale=timing_scale,
+            compiler=self.cache,
+            vectorized=self.vectorized,
+            max_workers=max_workers,
+        )
+        self._engines[name] = engine
+        self._executors[name] = engine.make_executors()
+        if default or self._default is None:
+            self._default = name
+        return engine
+
+    def _check_name_free(self, name: str) -> None:
+        if name in self._engines:
+            raise ValueError(f"relation {name!r} is already registered")
+
     @property
     def relations(self) -> List[str]:
         """Names of the registered relations."""
         return list(self._engines)
 
-    def engine(self, name: Optional[str] = None) -> PimQueryEngine:
+    def engine(self, name: Optional[str] = None) -> ServiceEngine:
         """The engine serving ``name`` (or the default relation)."""
         return self._engines[self._resolve(name)]
 
@@ -166,14 +247,21 @@ class QueryService:
         schedule = sorted(range(len(requests)), key=lambda i: (targets[i], i))
 
         cache_before = self.cache.stats.snapshot()
-        executions: List[Optional[QueryExecution]] = [None] * len(requests)
+        pending: List[Optional[QueryExecution]] = [None] * len(requests)
         start = time.perf_counter()
         for index in schedule:
             name = targets[index]
-            executions[index] = self._engines[name].execute(
+            pending[index] = self._engines[name].execute(
                 requests[index].query, executor=self._executors[name]
             )
         wall = time.perf_counter() - start
+        # The schedule is a permutation of the request indices, so after the
+        # loop every slot holds an execution; narrow the Optional away.
+        executions: List[QueryExecution] = []
+        for index, execution in enumerate(pending):
+            if execution is None:
+                raise AssertionError(f"request {index} was never scheduled")
+            executions.append(execution)
         stats = ServiceStats.from_executions(
             executions, wall, cache=self.cache.stats.snapshot() - cache_before
         )

@@ -11,17 +11,67 @@ Two clocks are reported side by side:
   (p50/p95 over the batch, plus the serial sum);
 * **wall** — how long the functional simulation itself took, which is what
   the service's vectorized host paths and program cache optimise.
+
+Batches served by a sharded relation additionally report the scatter-gather
+figures: per-shard latency percentiles, the modelled parallel speedup
+(serial sum of the shard latencies over the max-over-shards critical path)
+and the worst per-shard wear.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.executor import QueryExecution
 from repro.service.cache import CacheStats
+from repro.sharding.executor import ShardedQueryExecution
+
+
+@dataclass(frozen=True)
+class ShardStats:
+    """Scatter-gather summary of the sharded executions of one batch."""
+
+    #: Sharded executions contributing to this summary.
+    executions: int
+    #: Largest shard fan-out seen in the batch.
+    shards: int
+    #: p50/p95 of the *per-shard* modelled latencies (the scatter phase).
+    shard_p50_s: float
+    shard_p95_s: float
+    #: Serial sum of shard latencies over the parallel critical path,
+    #: averaged over the batch's sharded executions.
+    parallel_speedup: float
+    #: Total modelled time spent merging per-shard partial results.
+    merge_time_s: float
+    #: Worst per-row write count observed by any single shard.
+    max_shard_writes_per_row: int
+
+    @classmethod
+    def from_executions(
+        cls, executions: Sequence[ShardedQueryExecution]
+    ) -> Optional["ShardStats"]:
+        """Summarise the sharded executions of a batch (``None`` if none)."""
+        if not executions:
+            return None
+        shard_latencies = np.array(
+            [t for e in executions for t in e.shard_times_s], dtype=float
+        )
+        return cls(
+            executions=len(executions),
+            shards=max(e.shards for e in executions),
+            shard_p50_s=float(np.percentile(shard_latencies, 50)),
+            shard_p95_s=float(np.percentile(shard_latencies, 95)),
+            parallel_speedup=float(
+                np.mean([e.parallel_speedup for e in executions])
+            ),
+            merge_time_s=float(sum(e.merge_time_s for e in executions)),
+            max_shard_writes_per_row=max(
+                max(e.shard_writes_per_row) for e in executions
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -37,6 +87,8 @@ class ServiceStats:
     modelled_p95_s: float
     modelled_energy_j: float
     cache: Optional[CacheStats] = None
+    #: Scatter-gather figures; ``None`` when no execution was sharded.
+    sharded: Optional[ShardStats] = None
 
     @classmethod
     def from_executions(
@@ -49,6 +101,9 @@ class ServiceStats:
         latencies = np.array([e.time_s for e in executions], dtype=float)
         count = len(latencies)
         modelled_total = float(latencies.sum()) if count else 0.0
+        sharded: List[ShardedQueryExecution] = [
+            e for e in executions if isinstance(e, ShardedQueryExecution)
+        ]
         return cls(
             queries=count,
             wall_time_s=float(wall_time_s),
@@ -59,6 +114,7 @@ class ServiceStats:
             modelled_p95_s=float(np.percentile(latencies, 95)) if count else 0.0,
             modelled_energy_j=float(sum(e.energy_j for e in executions)),
             cache=cache,
+            sharded=ShardStats.from_executions(sharded),
         )
 
     def describe(self) -> str:
@@ -76,5 +132,14 @@ class ServiceStats:
             lines.append(
                 f"program cache: {self.cache.hits} hits / "
                 f"{self.cache.misses} misses ({self.cache.hit_rate:.0%})"
+            )
+        if self.sharded is not None:
+            s = self.sharded
+            lines.append(
+                f"sharded (K={s.shards}): shard p50 {s.shard_p50_s * 1e3:.3f} ms, "
+                f"p95 {s.shard_p95_s * 1e3:.3f} ms, "
+                f"{s.parallel_speedup:.2f}x parallel speedup, "
+                f"merge {s.merge_time_s * 1e6:.3f} us, "
+                f"max shard wear {s.max_shard_writes_per_row} writes/row"
             )
         return "\n".join(lines)

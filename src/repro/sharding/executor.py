@@ -1,0 +1,249 @@
+"""Scatter-gather query execution across horizontal shards.
+
+:class:`ShardedQueryEngine` runs one query against every shard of a
+:class:`~repro.sharding.storage.ShardedStoredRelation` (scatter), then folds
+the per-shard partial results into the global answer through the existing
+partial-aggregate merge machinery (gather).  Programs are compiled once —
+the shards share layout objects, so a shared
+:class:`~repro.core.stages.ProgramCompiler` (or the service's LRU
+:class:`~repro.service.cache.ProgramCache`) compiles each predicate a single
+time and replays it on every shard.
+
+Latency model
+-------------
+
+The shards execute in parallel on independent page ranges, so the modelled
+end-to-end latency of a sharded execution is
+
+    T = max_k(T_shard_k) + T_merge
+
+— the *maximum* over the shards plus the host-side gather term, not the sum.
+Energy, wear and traffic are physical totals and are summed (wear is a
+per-row maximum and therefore a max).  This is exactly the semantics of
+:meth:`repro.pim.stats.PimStats.merge_parallel`; the gather term is charged
+by :func:`repro.host.aggregator.merge_shard_rows`.
+
+The scatter can optionally run on a thread pool (``max_workers > 1``): the
+vectorized host paths spend their time in NumPy, which releases the
+interpreter lock, so wall-clock — not just modelled — time drops too.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.config import SystemConfig
+from repro.core.executor import PimQueryEngine, QueryExecution
+from repro.core.latency_model import GroupByCostModel
+from repro.core.stages import ProgramCompiler
+from repro.db.query import Query
+from repro.host.aggregator import merge_shard_rows
+from repro.pim.controller import PimExecutor
+from repro.pim.stats import PimStats
+from repro.sharding.storage import ShardedStoredRelation
+
+
+@dataclass
+class ShardedQueryExecution(QueryExecution):
+    """A merged scatter-gather execution plus its per-shard components.
+
+    The inherited fields describe the *merged* execution: ``rows`` is the
+    bit-exact global result, ``stats`` carries the max-over-shards scatter
+    time plus the gather term, energy/wear totals, and ``time_s`` /
+    ``energy_j`` therefore follow the sharded latency model.  ``plan`` is
+    ``None`` — each shard plans its own GROUP-BY split; the per-shard plans
+    live on :attr:`shard_executions`.
+    """
+
+    #: The individual per-shard executions, in shard order.
+    shard_executions: List[QueryExecution] = field(default_factory=list)
+    #: Modelled host time of the gather (partial-result merge) phase.
+    merge_time_s: float = 0.0
+    #: Serial sum of the shard latencies over the parallel (max) latency.
+    parallel_speedup: float = 1.0
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_executions)
+
+    @property
+    def shard_times_s(self) -> List[float]:
+        """Modelled latency of every shard (the scatter critical path)."""
+        return [execution.time_s for execution in self.shard_executions]
+
+    @property
+    def shard_writes_per_row(self) -> List[int]:
+        """Worst per-row write count of every shard."""
+        return [execution.max_writes_per_row for execution in self.shard_executions]
+
+
+class ShardedQueryEngine:
+    """Executes queries on a horizontally sharded PIM-resident relation."""
+
+    def __init__(
+        self,
+        sharded: ShardedStoredRelation,
+        config: Optional[SystemConfig] = None,
+        label: str = "sharded",
+        cost_model: Optional[GroupByCostModel] = None,
+        sample_pages: int = 1,
+        timing_scale: float = 1.0,
+        compiler: Optional[ProgramCompiler] = None,
+        vectorized: bool = False,
+        max_workers: int = 1,
+    ) -> None:
+        """Create a scatter-gather engine over a sharded relation.
+
+        Args:
+            sharded: The sharded stored relation.
+            config: System configuration; defaults to the module's.
+            label: Name used in reports; shard engines append ``/s{k}``.
+            cost_model / sample_pages / timing_scale / vectorized: Forwarded
+                to every shard's :class:`PimQueryEngine`.  ``timing_scale``
+                extrapolates each shard — the sharded relation it models is
+                ``timing_scale`` times the stored one, shard by shard.
+            compiler: Shared program compiler; with the relation's layouts
+                shared across shards, one compilation serves all of them.
+            max_workers: Thread-pool width for the scatter phase; ``1`` runs
+                the shards sequentially (the modelled latency is identical —
+                it is always max-over-shards).
+        """
+        self.sharded = sharded
+        self.config = (
+            config if config is not None else sharded.module.system_config
+        )
+        self.label = label
+        self.compiler = compiler if compiler is not None else ProgramCompiler()
+        self.vectorized = bool(vectorized)
+        self.max_workers = max(1, int(max_workers))
+        # The scatter thread pool is created lazily and reused across
+        # queries; close() (or the context manager) releases its threads.
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self.shard_engines: List[PimQueryEngine] = [
+            PimQueryEngine(
+                stored,
+                config=self.config,
+                label=f"{label}/s{index}",
+                cost_model=cost_model,
+                sample_pages=sample_pages,
+                timing_scale=timing_scale,
+                compiler=self.compiler,
+                vectorized=self.vectorized,
+            )
+            for index, stored in enumerate(sharded.shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_engines)
+
+    def make_executors(self) -> List[PimExecutor]:
+        """Fresh per-shard executors (a batching service keeps one set)."""
+        return self.sharded.make_executors(self.config)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the scatter thread pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ main
+    def execute(
+        self,
+        query: Query,
+        executor: Optional[Sequence[PimExecutor]] = None,
+    ) -> ShardedQueryExecution:
+        """Scatter ``query`` over the shards and gather the merged result.
+
+        ``executor``, when given, must hold one :class:`PimExecutor` per
+        shard (see :meth:`make_executors`); each shard binds its own
+        per-query stats to its own executor, which is what makes the
+        thread-pool scatter safe.
+        """
+        executors = self._resolve_executors(executor)
+        if self.max_workers > 1 and self.num_shards > 1:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=min(self.max_workers, self.num_shards)
+                )
+            shard_executions = list(
+                self._pool.map(
+                    lambda pair: pair[0].execute(query, executor=pair[1]),
+                    zip(self.shard_engines, executors),
+                )
+            )
+        else:
+            shard_executions = [
+                engine.execute(query, executor=shard_executor)
+                for engine, shard_executor in zip(self.shard_engines, executors)
+            ]
+        return self._gather(query, shard_executions)
+
+    # ---------------------------------------------------------------- gather
+    def _gather(
+        self, query: Query, shard_executions: List[QueryExecution]
+    ) -> ShardedQueryExecution:
+        """Merge per-shard executions: results, latency model and metadata."""
+        stats = PimStats()
+        stats.merge_parallel(
+            [execution.stats for execution in shard_executions], phase="scatter"
+        )
+        scatter_time = stats.total_time_s
+        rows = merge_shard_rows(
+            [execution.rows for execution in shard_executions],
+            query.aggregates,
+            config=self.config.host,
+            stats=stats,
+        )
+        merge_time = stats.total_time_s - scatter_time
+        serial_time = sum(e.stats.total_time_s for e in shard_executions)
+        weighted_selectivity = sum(
+            e.selectivity * engine.stored.num_records
+            for e, engine in zip(shard_executions, self.shard_engines)
+        )
+        return ShardedQueryExecution(
+            query=query,
+            label=self.label,
+            rows=rows,
+            stats=stats,
+            selectivity=weighted_selectivity / self.sharded.num_records,
+            # Plans are per shard, so cost-like metadata reports the
+            # critical-path (maximum) figures.  total_subgroups is a data
+            # property: each shard only enumerates candidates among its own
+            # records, so the per-shard maximum can undercount the global
+            # figure — the merged result rows are a guaranteed lower bound.
+            total_subgroups=max(
+                max(e.total_subgroups for e in shard_executions),
+                len(rows) if query.group_by else 1,
+            ),
+            subgroups_in_sample=max(e.subgroups_in_sample for e in shard_executions),
+            pim_subgroups=max(e.pim_subgroups for e in shard_executions),
+            max_writes_per_row=stats.max_writes_per_row,
+            plan=None,
+            shard_executions=shard_executions,
+            merge_time_s=merge_time,
+            parallel_speedup=(
+                serial_time / scatter_time if scatter_time > 0 else 1.0
+            ),
+        )
+
+    # -------------------------------------------------------------- internals
+    def _resolve_executors(
+        self, executor: Optional[Sequence[PimExecutor]]
+    ) -> List[PimExecutor]:
+        return self.sharded.resolve_executors(executor, self.config)

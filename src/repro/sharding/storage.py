@@ -1,0 +1,196 @@
+"""Horizontal sharding of a PIM-resident relation.
+
+A :class:`ShardedStoredRelation` splits a relation's records into ``K``
+contiguous horizontal shards and stores each shard in its own crossbar
+allocation (its own run of 2 MB huge pages) inside one PIM module.  Every
+shard is a full :class:`~repro.db.storage.StoredRelation` — same schema, same
+vertical partitioning, and crucially the *same* :class:`~repro.db.encoding.RowLayout`
+objects — so
+
+* a NOR program compiled once against the shared layout executes verbatim on
+  every shard (the :class:`~repro.service.cache.ProgramCache` keys on layout
+  identity and therefore hits across shards), and
+* the per-shard results merge through the existing partial-aggregate
+  machinery with bit-exact global answers.
+
+The shard relations are NumPy *views* into the parent relation's columns, so
+the parent stays the single functional ground truth: an in-memory UPDATE
+applied through one shard (see :mod:`repro.sharding.update`) is immediately
+visible in the parent relation and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.relation import Relation
+from repro.db.storage import StoredRelation
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+
+
+def shard_bounds(num_records: int, shards: int) -> List[Tuple[int, int]]:
+    """Balanced contiguous ``[start, stop)`` record ranges for ``shards``.
+
+    The first ``num_records % shards`` shards receive one extra record, so
+    shard sizes differ by at most one and every shard is non-empty.
+    """
+    if num_records <= 0:
+        raise ValueError("num_records must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards > num_records:
+        raise ValueError(
+            f"cannot split {num_records} records into {shards} non-empty shards"
+        )
+    base, extra = divmod(num_records, shards)
+    bounds: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+class ShardedStoredRelation:
+    """A relation split into K horizontal shards of PIM memory."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        module: PimModule,
+        shards: int = 2,
+        label: Optional[str] = None,
+        partitions: Optional[Sequence[Sequence[str]]] = None,
+        aggregation_width: Optional[int] = None,
+        reserve_bulk_aggregation: bool = True,
+    ) -> None:
+        """Store ``relation`` as ``shards`` horizontal shards in ``module``.
+
+        Args:
+            relation: The full relation; it remains the functional ground
+                truth shared (by view) with every shard.
+            module: PIM module receiving one allocation per shard (per
+                vertical partition).
+            shards: Number of horizontal shards (``1 <= shards <= records``).
+            label: Base label; shard ``k`` is stored as ``"{label}/s{k}"``.
+            partitions / aggregation_width / reserve_bulk_aggregation:
+                Forwarded to every shard's :class:`StoredRelation`; all
+                shards share one layout per vertical partition.
+        """
+        self.relation = relation
+        self.module = module
+        self.label = label or relation.schema.name
+        self.num_records = len(relation)
+        self.bounds = shard_bounds(self.num_records, shards)
+        self.num_shards = len(self.bounds)
+
+        self.shards: List[StoredRelation] = []
+        shared_layouts = None
+        for index, (start, stop) in enumerate(self.bounds):
+            shard_relation = Relation(
+                relation.schema,
+                {name: relation.columns[name][start:stop]
+                 for name in relation.schema.names},
+            )
+            stored = StoredRelation(
+                shard_relation,
+                module,
+                label=f"{self.label}/s{index}",
+                partitions=partitions,
+                aggregation_width=aggregation_width,
+                reserve_bulk_aggregation=reserve_bulk_aggregation,
+                layouts=shared_layouts,
+            )
+            if shared_layouts is None:
+                shared_layouts = stored.layouts
+            self.shards.append(stored)
+
+    # ------------------------------------------------------------- geometry
+    @property
+    def layouts(self):
+        """The layouts shared by every shard (one per vertical partition)."""
+        return self.shards[0].layouts
+
+    @property
+    def partitions(self) -> int:
+        """Number of vertical partitions within each shard."""
+        return self.shards[0].partitions
+
+    @property
+    def pages(self) -> int:
+        """Total huge pages across all shards (per vertical partition)."""
+        return sum(shard.pages for shard in self.shards)
+
+    @property
+    def max_shard_pages(self) -> int:
+        """Pages of the largest shard — the scatter phase's critical path."""
+        return max(shard.pages for shard in self.shards)
+
+    def shard_of_record(self, record_index: int) -> int:
+        """Index of the shard holding a record of the parent relation."""
+        if not 0 <= record_index < self.num_records:
+            raise IndexError(f"record {record_index} out of range")
+        for index, (start, stop) in enumerate(self.bounds):
+            if record_index < stop:
+                return index
+        raise AssertionError("unreachable: bounds cover every record")
+
+    # ------------------------------------------------------------- executors
+    def make_executors(self, config=None) -> List[PimExecutor]:
+        """One executor per shard, forked from a shared prototype.
+
+        Scatter execution (queries and broadcast UPDATEs alike) gives every
+        shard its own executor so per-shard stats never race.
+        """
+        base = PimExecutor(config if config is not None else self.module.system_config)
+        return [base.fork() for _ in self.shards]
+
+    def resolve_executors(
+        self, executors: Optional[Sequence[PimExecutor]], config=None
+    ) -> List[PimExecutor]:
+        """Validate a caller-supplied executor set, or build a fresh one."""
+        if executors is None:
+            return self.make_executors(config)
+        executors = list(executors)
+        if len(executors) != self.num_shards:
+            raise ValueError(
+                f"need one executor per shard ({self.num_shards}), "
+                f"got {len(executors)}"
+            )
+        return executors
+
+    # ------------------------------------------------------------ functional
+    def decode_column(self, attribute: str) -> np.ndarray:
+        """Decode an attribute of every record, concatenated across shards."""
+        return np.concatenate(
+            [shard.decode_column(attribute) for shard in self.shards]
+        )
+
+    # ------------------------------------------------------------------ wear
+    def wear_snapshot(self) -> List[List[np.ndarray]]:
+        """Per-shard wear snapshots (each a per-partition list)."""
+        return [shard.wear_snapshot() for shard in self.shards]
+
+    def max_writes_since(self, snapshots: List[List[np.ndarray]]) -> int:
+        """Worst per-row write count over all shards since the snapshots."""
+        return max(
+            shard.max_writes_since(snapshot)
+            for shard, snapshot in zip(self.shards, snapshots)
+        )
+
+    def writes_per_shard_since(self, snapshots: List[List[np.ndarray]]) -> List[int]:
+        """Worst per-row write count of each shard since the snapshots."""
+        return [
+            shard.max_writes_since(snapshot)
+            for shard, snapshot in zip(self.shards, snapshots)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedStoredRelation({self.label!r}, records={self.num_records}, "
+            f"shards={self.num_shards}, pages={self.pages})"
+        )

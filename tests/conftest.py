@@ -50,6 +50,12 @@ def toy_relation() -> Relation:
 
 
 @pytest.fixture()
+def toy_relation_factory():
+    """Build fresh (mutation-safe) toy relations, e.g. for UPDATE tests."""
+    return make_toy_relation
+
+
+@pytest.fixture()
 def toy_stored(toy_relation):
     """The toy relation stored one-record-per-row in a fresh PIM module."""
     module = PimModule(DEFAULT_CONFIG)

@@ -200,7 +200,9 @@ def test_two_partition_group_by_edge_cases(toy_relation, vectorized):
     assert execution.rows == _reference(toy_relation, query)
 
 
-@pytest.mark.parametrize("vectorized", [False, True])
+@pytest.mark.parametrize(
+    "vectorized", [pytest.param(False, marks=pytest.mark.slow), True]
+)
 def test_three_partition_group_by_spanning_two_remotes(toy_relation, vectorized):
     """GROUP-BY attributes on two different remote partitions.
 
@@ -237,6 +239,7 @@ def test_three_partition_group_by_spanning_two_remotes(toy_relation, vectorized)
     assert execution.rows == _reference(toy_relation, query)
 
 
+@pytest.mark.slow
 def test_vectorized_engine_matches_gate_level_costs(toy_relation):
     """Vectorized host paths: same rows, same modelled costs, same wear."""
     query = Query("paths", SOME_FILTER, ALL_AGGREGATES, group_by=("region",))

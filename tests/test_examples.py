@@ -16,6 +16,7 @@ EXAMPLES = [
     "examples/update_in_place.py",
     "examples/derived_attribute_in_memory.py",
     "examples/service_batch.py",
+    "examples/sharded_service.py",
 ]
 
 

@@ -1,0 +1,56 @@
+"""Small-scale tests of the serving experiments (throughput + sharded scaling).
+
+The full sweeps run in ``benchmarks/``; these tests execute the same
+harnesses at reduced size so their result containers, acceptance properties
+and renderers stay covered by the tier-1 suite.
+"""
+
+import pytest
+
+from repro.experiments import service_throughput, sharded_scaling
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    return sharded_scaling.run_scaling(
+        shard_counts=(1, 2), queries=("Q1.1", "Q3.1")
+    )
+
+
+def test_sharded_scaling_smoke(scaling_results):
+    results = scaling_results
+    assert results.bit_exact
+    assert results.latency_monotonic
+    assert results.shard_counts == (1, 2)
+    # Pages divide evenly at every swept shard count.
+    assert results.records == sharded_scaling.aligned_record_count((1, 2))
+    assert results.pages % 2 == 0
+    # K=1 equals unsharded up to the (tiny) gather term.
+    assert results.point(1).total_time_s == pytest.approx(
+        results.unsharded_time_s, rel=1e-3
+    )
+    assert results.speedup(2) > 1.0
+    assert results.wear_ratio(2) <= 1.001
+    assert results.energy_ratio(2) <= 1.05
+    assert results.scalar_dynamic_energy_ratio(2) == pytest.approx(1.0, rel=1e-3)
+    with pytest.raises(KeyError):
+        results.point(8)
+
+
+def test_sharded_scaling_render(scaling_results):
+    text = sharded_scaling.render(scaling_results)
+    assert "latency monotonic" in text
+    assert "bit-exact" in text and "yes" in text
+    assert "K=2" in text
+
+
+def test_service_throughput_smoke():
+    results = service_throughput.run_throughput(
+        scale_factor=0.002, batch_sizes=(2,), baseline_batch=2
+    )
+    assert results.bit_exact
+    point = results.warm_point(2)
+    assert point.batch_size == 2 and point.wall_qps > 0
+    assert results.speedup > 0
+    text = service_throughput.render(results)
+    assert "batch" in text.lower()

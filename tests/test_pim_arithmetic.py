@@ -70,6 +70,7 @@ def test_lt_and_mux_fields(bank):
     assert np.array_equal(bank.read_field_all(30, 10), np.minimum(a, b))
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("operation", ["sum", "min", "max", "count"])
 def test_bulk_aggregation_gate_level_matches_reference(operation):
     rng = np.random.default_rng(9)

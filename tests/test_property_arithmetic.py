@@ -1,6 +1,7 @@
 """Property-based tests of the arithmetic circuits and reductions (hypothesis)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.pim.arithmetic import BulkAggregationPlan, build_ripple_add, build_subtract
@@ -61,6 +62,7 @@ aggregation_cases = st.tuples(
 )
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(case=aggregation_cases)
 def test_gate_level_reduction_equals_functional_reduction(case):

@@ -1,0 +1,357 @@
+"""Sharded scatter-gather execution: golden bit-exactness and merge laws.
+
+The golden test runs *all 13 SSB queries* at K = 1, 2 and 4 shards and
+requires the merged results to be identical to the unsharded engine and to
+the NumPy reference evaluator.  The property-based tests lock in the merge
+algebra: folding per-shard partial aggregates (SUM/COUNT/MIN/MAX, AVG
+through its SUM/COUNT decomposition, empty shards included) must equal
+aggregating the concatenated records — the invariant behind the PR 1
+empty-MIN fix.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db.query import (
+    Aggregate,
+    And,
+    BETWEEN,
+    Comparison,
+    IN,
+    Query,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.host.aggregator import merge_shard_rows
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.service import ProgramCache, QueryService
+from repro.sharding import (
+    ShardedQueryEngine,
+    ShardedStoredRelation,
+    shard_bounds,
+)
+from repro.ssb import ALL_QUERIES, QUERY_ORDER
+
+SHARD_COUNTS = (1, 2, 4)
+
+
+# ------------------------------------------------------------------ fixtures
+@pytest.fixture(scope="module")
+def sharded_engines(ssb_prejoined):
+    """One scatter-gather engine per shard count, sharing nothing across K."""
+    from repro.ssb.prejoined import max_aggregated_width
+
+    width = max_aggregated_width(ssb_prejoined)
+    engines = {}
+    for shards in SHARD_COUNTS:
+        module = PimModule(DEFAULT_CONFIG)
+        sharded = ShardedStoredRelation(
+            ssb_prejoined, module, shards=shards, label=f"ssb{shards}",
+            aggregation_width=width, reserve_bulk_aggregation=False,
+        )
+        engines[shards] = ShardedQueryEngine(
+            sharded, label=f"sharded{shards}", timing_scale=100.0,
+            compiler=ProgramCache(256), vectorized=True,
+        )
+    return engines
+
+
+# ------------------------------------------------------- golden bit-exactness
+@pytest.mark.parametrize("query_name", QUERY_ORDER)
+def test_all_ssb_queries_bit_exact_at_every_shard_count(
+    sharded_engines, ssb_one_xb_engine, ssb_prejoined, query_name
+):
+    """All 13 SSB queries, K=1/2/4: identical to unsharded and reference."""
+    query = ALL_QUERIES[query_name]
+    reference = reference_group_aggregate(
+        ssb_prejoined, evaluate_predicate(query.predicate, ssb_prejoined),
+        query.group_by, query.aggregates,
+    )
+    unsharded_rows = ssb_one_xb_engine.execute(query).rows
+    assert unsharded_rows == reference
+    for shards, engine in sharded_engines.items():
+        execution = engine.execute(query)
+        assert execution.rows == reference, (shards, query_name)
+        assert execution.rows == unsharded_rows, (shards, query_name)
+        assert execution.time_s > 0 and execution.energy_j > 0
+        assert len(execution.shard_executions) == shards
+
+
+def test_latency_is_max_over_shards_plus_merge(sharded_engines):
+    """The sharded latency model: max over the shards plus the gather term."""
+    query = ALL_QUERIES["Q1.1"]
+    for shards, engine in sharded_engines.items():
+        execution = engine.execute(query)
+        shard_total = sum(execution.shard_times_s)
+        expected = max(execution.shard_times_s) + execution.merge_time_s
+        assert execution.time_s == pytest.approx(expected, rel=1e-12)
+        if shards > 1:
+            assert execution.time_s < shard_total
+            assert execution.parallel_speedup > 1.0
+
+
+def test_programs_compile_once_across_shards(ssb_prejoined):
+    """Shards share layouts, so the program cache compiles each program once."""
+    from repro.ssb.prejoined import max_aggregated_width
+
+    query = ALL_QUERIES["Q1.1"]
+    misses = {}
+    for shards in (1, 4):
+        cache = ProgramCache(256)
+        sharded = ShardedStoredRelation(
+            ssb_prejoined, PimModule(DEFAULT_CONFIG), shards=shards,
+            label=f"compile{shards}",
+            aggregation_width=max_aggregated_width(ssb_prejoined),
+            reserve_bulk_aggregation=False,
+        )
+        engine = ShardedQueryEngine(
+            sharded, compiler=cache, vectorized=True, timing_scale=100.0
+        )
+        engine.execute(query)
+        misses[shards] = cache.stats.misses
+        for shard in sharded.shards[1:]:
+            assert shard.layouts[0] is sharded.shards[0].layouts[0]
+    assert misses[4] == misses[1]  # compile once, execute on every shard
+    assert misses[4] > 0
+
+
+def test_thread_pool_scatter_is_bit_exact(ssb_prejoined):
+    """max_workers > 1 changes wall-clock only, never results or costs."""
+    from repro.ssb.prejoined import max_aggregated_width
+
+    width = max_aggregated_width(ssb_prejoined)
+    engines = {}
+    for workers in (1, 4):
+        sharded = ShardedStoredRelation(
+            ssb_prejoined, PimModule(DEFAULT_CONFIG), shards=4,
+            label=f"workers{workers}", aggregation_width=width,
+            reserve_bulk_aggregation=False,
+        )
+        engines[workers] = ShardedQueryEngine(
+            sharded, compiler=ProgramCache(256), vectorized=True,
+            timing_scale=100.0, max_workers=workers,
+        )
+    for name in ("Q1.1", "Q2.1", "Q3.1"):
+        query = ALL_QUERIES[name]
+        sequential = engines[1].execute(query)
+        threaded = engines[4].execute(query)
+        assert threaded.rows == sequential.rows
+        assert threaded.time_s == pytest.approx(sequential.time_s, rel=1e-12)
+        assert threaded.energy_j == pytest.approx(sequential.energy_j, rel=1e-12)
+    # The lazily created scatter pool is reused across queries and released
+    # by close(); a closed engine rebuilds it on the next execution.
+    assert engines[4]._pool is not None
+    engines[4].close()
+    assert engines[4]._pool is None
+    with engines[4] as engine:
+        assert engine.execute(ALL_QUERIES["Q1.1"]).rows == \
+            engines[1].execute(ALL_QUERIES["Q1.1"]).rows
+    assert engines[4]._pool is None
+
+
+# ----------------------------------------------------------- shard geometry
+def test_shard_bounds_are_balanced_and_contiguous():
+    for records in (1, 7, 100, 4001):
+        for shards in (1, 2, 3, 4, 7):
+            if shards > records:
+                continue
+            bounds = shard_bounds(records, shards)
+            sizes = [stop - start for start, stop in bounds]
+            assert bounds[0][0] == 0 and bounds[-1][1] == records
+            assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+            assert max(sizes) - min(sizes) <= 1
+            assert min(sizes) >= 1
+    with pytest.raises(ValueError, match="non-empty"):
+        shard_bounds(3, 4)
+    with pytest.raises(ValueError):
+        shard_bounds(0, 1)
+    with pytest.raises(ValueError):
+        shard_bounds(10, 0)
+
+
+def test_sharded_relation_views_share_ground_truth(toy_relation):
+    relation = Relation(
+        toy_relation.schema,
+        {name: toy_relation.column(name).copy() for name in toy_relation.schema.names},
+    )
+    sharded = ShardedStoredRelation(
+        relation, PimModule(DEFAULT_CONFIG), shards=4, label="views",
+        aggregation_width=22, reserve_bulk_aggregation=False,
+    )
+    assert np.array_equal(sharded.decode_column("price"), relation.column("price"))
+    assert sharded.shard_of_record(0) == 0
+    assert sharded.shard_of_record(sharded.num_records - 1) == 3
+    with pytest.raises(IndexError):
+        sharded.shard_of_record(sharded.num_records)
+    # The shard relations are views into the parent's columns.
+    shard0 = sharded.shards[0].relation
+    relation.column("price")[0] = np.uint64(123)
+    assert int(shard0.column("price")[0]) == 123
+
+
+def test_total_subgroups_covers_groups_split_across_shards():
+    """Shard-disjoint groups: the merged subgroup count ≥ the result rows."""
+    schema = Schema("split", [int_attribute("g", 2), int_attribute("v", 8)])
+    relation = Relation(schema, {
+        "g": np.array([0] * 50 + [1] * 50, dtype=np.uint64),   # one group per shard
+        "v": np.arange(100, dtype=np.uint64) % 200,
+    })
+    sharded = ShardedStoredRelation(
+        relation, PimModule(DEFAULT_CONFIG), shards=2, label="split",
+    )
+    engine = ShardedQueryEngine(sharded, vectorized=True)
+    execution = engine.execute(
+        Query("split", None, (Aggregate("count"),), group_by=("g",))
+    )
+    assert len(execution.rows) == 2
+    assert all(e.total_subgroups == 1 for e in execution.shard_executions)
+    assert execution.total_subgroups >= len(execution.rows)
+
+
+def test_executor_count_must_match_shards(toy_relation):
+    sharded = ShardedStoredRelation(
+        toy_relation, PimModule(DEFAULT_CONFIG), shards=2, label="execs",
+        aggregation_width=22, reserve_bulk_aggregation=False,
+    )
+    engine = ShardedQueryEngine(sharded, vectorized=True)
+    query = Query("q", None, (Aggregate("count"),))
+    with pytest.raises(ValueError, match="one executor per shard"):
+        engine.execute(query, executor=[PimExecutor(DEFAULT_CONFIG)])
+    executions = engine.execute(query, executor=engine.make_executors())
+    assert executions.scalar("count") == len(toy_relation)
+
+
+# ------------------------------------------------------- service integration
+def test_service_register_sharded_routes_and_reports(toy_relation):
+    service = QueryService()
+    plain_store = StoredRelation(
+        Relation(
+            toy_relation.schema,
+            {n: toy_relation.column(n).copy() for n in toy_relation.schema.names},
+        ),
+        PimModule(DEFAULT_CONFIG), label="plain",
+        aggregation_width=22, reserve_bulk_aggregation=False,
+    )
+    service.register("plain", plain_store)
+    engine = service.register_sharded(
+        "sharded", toy_relation, shards=4,
+        aggregation_width=22, reserve_bulk_aggregation=False,
+    )
+    assert service.relations == ["plain", "sharded"]
+    assert engine.num_shards == 4
+
+    queries = [
+        Query("scalar",
+              And((Comparison("region", IN, values=("ASIA", "EUROPE")),
+                   Comparison("year", BETWEEN, low=1993, high=1996))),
+              (Aggregate("sum", "price"), Aggregate("count"),
+               Aggregate("min", "price"))),
+        Query("gb", Comparison("discount", ">=", 5),
+              (Aggregate("sum", "price"), Aggregate("max", "price")),
+              group_by=("city",)),
+    ]
+    for query in queries:
+        plain = service.execute(query, relation="plain")
+        sharded = service.execute(query, relation="sharded")
+        assert sharded.rows == plain.rows
+
+    result = service.execute_batch(queries, relation="sharded")
+    stats = result.stats
+    assert stats.sharded is not None
+    assert stats.sharded.shards == 4
+    assert stats.sharded.executions == len(queries)
+    assert 0 < stats.sharded.shard_p50_s <= stats.sharded.shard_p95_s
+    assert stats.sharded.parallel_speedup > 1.0
+    assert stats.sharded.max_shard_writes_per_row > 0
+    assert "parallel speedup" in stats.describe()
+    # A batch against the unsharded relation reports no sharded section.
+    plain_stats = service.execute_batch(queries, relation="plain").stats
+    assert plain_stats.sharded is None
+    with pytest.raises(ValueError, match="already registered"):
+        service.register_sharded("sharded", toy_relation, shards=2)
+
+
+# -------------------------------------------------- merge algebra (property)
+AGGREGATES = (
+    Aggregate("sum", "v"),
+    Aggregate("count"),
+    Aggregate("min", "v"),
+    Aggregate("max", "v"),
+)
+
+shards_strategy = st.lists(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=3),      # group key
+                  st.integers(min_value=0, max_value=(1 << 20) - 1)),  # value
+        min_size=0, max_size=30,                               # empty shards!
+    ),
+    min_size=1, max_size=5,
+)
+
+
+def _relation_from(records):
+    schema = Schema("part", [int_attribute("g", 2), int_attribute("v", 20)])
+    groups = np.array([g for g, _ in records], dtype=np.uint64)
+    values = np.array([v for _, v in records], dtype=np.uint64)
+    return Relation(schema, {"g": groups, "v": values})
+
+
+@settings(max_examples=60, deadline=None)
+@given(shards=shards_strategy, group_by=st.booleans())
+def test_merging_shard_partials_equals_concatenated_aggregation(shards, group_by):
+    """merge(shard partials) == aggregate(concat(shards)), empty shards too."""
+    group_columns = ("g",) if group_by else ()
+    per_shard = []
+    for records in shards:
+        relation = _relation_from(records)
+        per_shard.append(reference_group_aggregate(
+            relation, np.ones(len(relation), dtype=bool),
+            group_columns, AGGREGATES,
+        ))
+    merged = merge_shard_rows(per_shard, AGGREGATES)
+
+    concatenated = _relation_from([r for shard in shards for r in shard])
+    expected = reference_group_aggregate(
+        concatenated, np.ones(len(concatenated), dtype=bool),
+        group_columns, AGGREGATES,
+    )
+    assert merged == expected
+
+    # AVG merges through its SUM/COUNT decomposition: the merged partials
+    # reproduce the average of the concatenated records exactly.
+    for key, entry in expected.items():
+        merged_avg = Fraction(merged[key]["sum_v"], merged[key]["count"])
+        values = [v for shard in shards for g, v in shard
+                  if not group_by or (g,) == key]
+        assert merged_avg == Fraction(sum(values), len(values))
+
+
+def test_merge_skips_absent_min_partials():
+    """A shard-side None (empty min, the PR 1 fix) never poisons the merge."""
+    first = {(1,): {"sum_v": 10, "count": 2, "min_v": None, "max_v": 7}}
+    second = {(1,): {"sum_v": 5, "count": 1, "min_v": 3, "max_v": 3},
+              (2,): {"sum_v": 1, "count": 1, "min_v": 1, "max_v": 1}}
+    merged = merge_shard_rows([first, second], AGGREGATES)
+    assert merged[(1,)]["min_v"] == 3          # not min(None-placeholder, 3)
+    assert merged[(1,)]["sum_v"] == 15 and merged[(1,)]["count"] == 3
+    assert merged[(2,)] == second[(2,)]
+    assert merge_shard_rows([{}, {}], AGGREGATES) == {}
+
+
+def test_merge_charges_the_gather_term():
+    from repro.pim.stats import PimStats
+
+    stats = PimStats()
+    rows = {(0,): {"sum_v": 1, "count": 1, "min_v": 1, "max_v": 1}}
+    merge_shard_rows([rows, rows], AGGREGATES,
+                     config=DEFAULT_CONFIG.host, stats=stats)
+    assert stats.time_by_phase["shard-merge"] > 0
