@@ -1,0 +1,84 @@
+"""Backend speed — the 13 SSB queries on the packed vs boolean backends.
+
+As a pytest benchmark this executes every SSB query gate level (each NOR
+primitive applied to the stored bits) on both simulation backends, gates
+bit-exactness of the result rows, bit-identical :class:`PimStats`, and a
+>=5x wall-clock speedup for the packed backend, and writes the
+``BENCH_backend.json`` trajectory artifact at the repository root.  It is
+also runnable as a plain script for CI smoke tests::
+
+    PYTHONPATH=src python benchmarks/bench_backend_speed.py
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import backend_speed
+
+ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_backend.json"
+
+MIN_SPEEDUP = 5.0
+
+
+def test_backend_speed(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: backend_speed.run_backend_speed(), rounds=1, iterations=1
+    )
+    publish("backend_speed", backend_speed.render(results))
+    backend_speed.write_artifact(results, ARTIFACT_PATH)
+    assert results.bit_exact
+    assert results.stats_identical
+    # Acceptance gate on the gate-level (simulation-bound) query path.  The
+    # measured total speedup is ~8-9x at both the default and the CI scale
+    # factor (individual host-gb-dominated queries dip to ~3.5x), so the
+    # headroom over the 5x gate is real but not unlimited — investigate any
+    # regression rather than bumping the gate down.
+    assert results.speedup >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="generated SSB scale factor (default: REPRO_SSB_SF or 0.01)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail unless the packed backend beats the boolean backend on "
+             "the gate-level path by this factor (0 disables the check)",
+    )
+    parser.add_argument(
+        "--no-service", action="store_true",
+        help="skip the vectorized service-batch comparison",
+    )
+    parser.add_argument(
+        "--artifact", default=str(ARTIFACT_PATH),
+        help="path of the BENCH_backend.json trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    results = backend_speed.run_backend_speed(
+        scale_factor=args.scale_factor, with_service=not args.no_service
+    )
+    print(backend_speed.render(results))
+    backend_speed.write_artifact(results, args.artifact)
+    print(f"wrote {args.artifact}")
+    if not results.bit_exact:
+        print("FAIL: backends returned different result rows")
+        return 1
+    if not results.stats_identical:
+        print("FAIL: backends charged different modelled statistics")
+        return 1
+    if args.min_speedup and results.speedup < args.min_speedup:
+        print(
+            f"FAIL: packed speedup {results.speedup:.2f}x "
+            f"below {args.min_speedup}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

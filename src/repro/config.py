@@ -15,7 +15,24 @@ field name says otherwise.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
+
+#: Functional simulation backends for the crossbar banks.  ``"packed"``
+#: stores each column as row-packed uint64 words (64 rows per machine word,
+#: see :mod:`repro.pim.packed`); ``"bool"`` is the byte-per-bit reference
+#: implementation.  Both are bit-exact and report identical modelled stats.
+BACKENDS = ("packed", "bool")
+
+
+def default_backend() -> str:
+    """The simulation backend, overridable via ``REPRO_BACKEND``."""
+    backend = os.environ.get("REPRO_BACKEND", "packed")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"REPRO_BACKEND={backend!r} is not a backend; choose from {BACKENDS}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -179,10 +196,25 @@ class SystemConfig:
     pim: PimModuleConfig = field(default_factory=PimModuleConfig)
     host: HostConfig = field(default_factory=HostConfig)
     columnar: ColumnarServerConfig = field(default_factory=ColumnarServerConfig)
+    #: Functional crossbar-simulation backend used for every bank allocated
+    #: under this configuration.  Purely a simulator-speed knob: both
+    #: backends are bit-exact and charge identical modelled statistics.
+    backend: str = field(default_factory=default_backend)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown simulation backend {self.backend!r}; "
+                f"choose from {BACKENDS}"
+            )
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy of this configuration with some fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+    def with_backend(self, backend: str) -> "SystemConfig":
+        """Return a copy of this configuration using ``backend`` banks."""
+        return dataclasses.replace(self, backend=backend)
 
     def without_aggregation_circuit(self) -> "SystemConfig":
         """Return a configuration with the aggregation circuit disabled.

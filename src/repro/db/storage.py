@@ -132,7 +132,11 @@ class StoredRelation:
                 )
             valid = np.zeros(capacity, dtype=bool)
             valid[: self.num_records] = True
-            bank.bits[:, :, layout.valid_column] = valid.reshape(bank.count, bank.rows)
+            bank.write_bool_column(
+                layout.valid_column,
+                valid.reshape(bank.count, bank.rows),
+                count_wear=False,
+            )
             bank.reset_wear()
 
     # ------------------------------------------------------------- geometry
@@ -212,9 +216,9 @@ class StoredRelation:
         capacity = self.allocations[partition].record_capacity
         padded = np.zeros(capacity, dtype=bool)
         padded[: self.num_records] = np.asarray(values, dtype=bool)[: self.num_records]
-        bank.bits[:, :, column] = padded.reshape(bank.count, bank.rows)
-        if count_wear:
-            bank.writes_per_row += 1
+        bank.write_bool_column(
+            column, padded.reshape(bank.count, bank.rows), count_wear=count_wear
+        )
 
     # ------------------------------------------------------------------ wear
     def wear_snapshot(self) -> List[np.ndarray]:

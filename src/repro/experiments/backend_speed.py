@@ -1,0 +1,260 @@
+"""Backend speed: packed vs boolean simulation of the 13 SSB queries.
+
+The packed crossbar backend (:mod:`repro.pim.packed`) exists purely to make
+the *functional simulation* faster — the modelled hardware is unchanged.
+This experiment proves both halves of that claim at once:
+
+* **equivalence** — every SSB query must produce bit-identical result rows
+  and bit-identical :class:`~repro.pim.stats.PimStats` (latency, energy,
+  power samples, wear) on both backends, gate level (every NOR primitive
+  executed on the stored bits) and through the vectorized batched service;
+* **speed** — the packed backend must beat the boolean reference by a
+  configurable wall-clock factor (>=5x by default) on the gate-level query
+  path, which is the simulation-bound regime every experiment, benchmark and
+  the sharded service ultimately sit on.
+
+``render`` produces the human-readable table and ``artifact`` the
+``BENCH_backend.json`` trajectory record consumed by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import DEFAULT_CONFIG, SystemConfig
+from repro.core.executor import PimQueryEngine, QueryExecution
+from repro.db.storage import StoredRelation
+from repro.experiments.common import default_scale_factor
+from repro.pim.module import PimModule
+from repro.pim.stats import PimStats
+from repro.service import QueryService
+from repro.ssb import ALL_QUERIES, QUERY_ORDER, build_ssb_prejoined, generate
+from repro.ssb.prejoined import max_aggregated_width
+
+BACKENDS = ("bool", "packed")
+
+
+def stats_identical(a: PimStats, b: PimStats) -> bool:
+    """Whether two executions charged bit-identical modelled statistics.
+
+    :class:`PimStats` is a dataclass, so equality compares every field
+    (per-phase times, per-component energies, counters, power samples,
+    wear) — including fields added in the future.
+    """
+    return a == b
+
+
+@dataclass
+class QueryComparison:
+    """One SSB query timed on both backends (gate-level execution)."""
+
+    query: str
+    bool_s: float
+    packed_s: float
+    rows_match: bool
+    stats_match: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.bool_s / self.packed_s if self.packed_s > 0 else float("inf")
+
+
+@dataclass
+class ServiceComparison:
+    """The warm vectorized service batch timed on both backends."""
+
+    bool_s: float
+    packed_s: float
+    rows_match: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.bool_s / self.packed_s if self.packed_s > 0 else float("inf")
+
+
+@dataclass
+class BackendSpeedResults:
+    """Everything ``bench_backend_speed`` reports and gates on."""
+
+    scale_factor: float
+    records: int
+    queries: List[QueryComparison] = field(default_factory=list)
+    service: Optional[ServiceComparison] = None
+
+    @property
+    def bool_total_s(self) -> float:
+        return sum(q.bool_s for q in self.queries)
+
+    @property
+    def packed_total_s(self) -> float:
+        return sum(q.packed_s for q in self.queries)
+
+    @property
+    def speedup(self) -> float:
+        packed = self.packed_total_s
+        return self.bool_total_s / packed if packed > 0 else float("inf")
+
+    @property
+    def bit_exact(self) -> bool:
+        return all(q.rows_match for q in self.queries) and (
+            self.service is None or self.service.rows_match
+        )
+
+    @property
+    def stats_identical(self) -> bool:
+        return all(q.stats_match for q in self.queries)
+
+
+def _gate_level_engine(prejoined, config: SystemConfig) -> PimQueryEngine:
+    stored = StoredRelation(
+        prejoined, PimModule(config), label="one_xb",
+        aggregation_width=max_aggregated_width(prejoined),
+        reserve_bulk_aggregation=False,
+    )
+    return PimQueryEngine(stored, config=config, label="one_xb", vectorized=False)
+
+
+def _timed_executions(engine) -> Dict[str, tuple]:
+    out: Dict[str, tuple] = {}
+    for name in QUERY_ORDER:
+        start = time.perf_counter()
+        execution: QueryExecution = engine.execute(ALL_QUERIES[name])
+        out[name] = (time.perf_counter() - start, execution)
+    return out
+
+
+def _timed_service_batch(prejoined, config: SystemConfig):
+    service = QueryService(vectorized=True)
+    stored = StoredRelation(
+        prejoined, PimModule(config), label="ssb",
+        aggregation_width=max_aggregated_width(prejoined),
+        reserve_bulk_aggregation=False,
+    )
+    service.register("ssb", stored, config=config)
+    queries = [ALL_QUERIES[name] for name in QUERY_ORDER]
+    service.execute_batch(queries)          # warm the program cache
+    start = time.perf_counter()
+    batch = service.execute_batch(queries)
+    return time.perf_counter() - start, batch
+
+
+def run_backend_speed(
+    scale_factor: Optional[float] = None,
+    skew: float = 0.5,
+    seed: int = 42,
+    with_service: bool = True,
+) -> BackendSpeedResults:
+    """Time the 13 SSB queries on both backends and verify equivalence."""
+    if scale_factor is None:
+        scale_factor = default_scale_factor()
+    dataset = generate(scale_factor=scale_factor, skew=skew, seed=seed)
+    prejoined = build_ssb_prejoined(dataset.database)
+    configs = {
+        backend: DEFAULT_CONFIG.with_backend(backend) for backend in BACKENDS
+    }
+
+    engines = {
+        backend: _gate_level_engine(prejoined, configs[backend])
+        for backend in BACKENDS
+    }
+    timed = {backend: _timed_executions(engines[backend]) for backend in BACKENDS}
+
+    results = BackendSpeedResults(
+        scale_factor=scale_factor, records=len(prejoined)
+    )
+    for name in QUERY_ORDER:
+        bool_s, bool_exec = timed["bool"][name]
+        packed_s, packed_exec = timed["packed"][name]
+        results.queries.append(QueryComparison(
+            query=name,
+            bool_s=bool_s,
+            packed_s=packed_s,
+            rows_match=packed_exec.rows == bool_exec.rows,
+            stats_match=stats_identical(packed_exec.stats, bool_exec.stats),
+        ))
+
+    if with_service:
+        bool_s, bool_batch = _timed_service_batch(prejoined, configs["bool"])
+        packed_s, packed_batch = _timed_service_batch(prejoined, configs["packed"])
+        results.service = ServiceComparison(
+            bool_s=bool_s,
+            packed_s=packed_s,
+            rows_match=all(
+                p.rows == b.rows
+                for p, b in zip(packed_batch.executions, bool_batch.executions)
+            ),
+        )
+    return results
+
+
+def render(results: BackendSpeedResults) -> str:
+    """Paper-style comparison table of the two backends."""
+    lines = [
+        f"Backend speed, SSB SF={results.scale_factor} "
+        f"({results.records} pre-joined records), gate-level NOR execution",
+        f"{'query':<8} {'bool [s]':>10} {'packed [s]':>11} "
+        f"{'speedup':>8}  rows  stats",
+    ]
+    for q in results.queries:
+        lines.append(
+            f"{q.query:<8} {q.bool_s:>10.4f} {q.packed_s:>11.4f} "
+            f"{q.speedup:>7.1f}x  {'ok' if q.rows_match else 'DIFF':<4}  "
+            f"{'ok' if q.stats_match else 'DIFF'}"
+        )
+    lines.append(
+        f"{'total':<8} {results.bool_total_s:>10.4f} "
+        f"{results.packed_total_s:>11.4f} {results.speedup:>7.1f}x"
+    )
+    if results.service is not None:
+        s = results.service
+        lines.append(
+            f"vectorized service batch (13 queries, warm): "
+            f"bool {s.bool_s:.4f}s / packed {s.packed_s:.4f}s "
+            f"= {s.speedup:.1f}x, rows {'ok' if s.rows_match else 'DIFF'}"
+        )
+    return "\n".join(lines)
+
+
+def artifact(results: BackendSpeedResults) -> Dict:
+    """The ``BENCH_backend.json`` trajectory record."""
+    record = {
+        "benchmark": "backend_speed",
+        "scale_factor": results.scale_factor,
+        "records": results.records,
+        "gate_level": {
+            "bool_total_s": results.bool_total_s,
+            "packed_total_s": results.packed_total_s,
+            "speedup": results.speedup,
+        },
+        "queries": [
+            {
+                "query": q.query,
+                "bool_s": q.bool_s,
+                "packed_s": q.packed_s,
+                "speedup": q.speedup,
+                "rows_match": q.rows_match,
+                "stats_match": q.stats_match,
+            }
+            for q in results.queries
+        ],
+        "bit_exact": results.bit_exact,
+        "stats_identical": results.stats_identical,
+    }
+    if results.service is not None:
+        record["service_vectorized"] = {
+            "bool_s": results.service.bool_s,
+            "packed_s": results.service.packed_s,
+            "speedup": results.service.speedup,
+            "rows_match": results.service.rows_match,
+        }
+    return record
+
+
+def write_artifact(results: BackendSpeedResults, path) -> None:
+    """Persist the trajectory artifact as JSON."""
+    with open(path, "w") as handle:
+        json.dump(artifact(results), handle, indent=2)
+        handle.write("\n")

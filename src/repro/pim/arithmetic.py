@@ -472,11 +472,10 @@ class BulkAggregationPlan:
                 level.src_rows, level.dst_rows,
                 self.acc_offset, self.operand_offset, self.acc_width,
             )
-            for row in level.unpaired_dst_rows:
-                for xbar in range(bank.count):
-                    bank.write_field(
-                        xbar, int(row), self.operand_offset, self.acc_width, identity
-                    )
+            bank.write_field_rows(
+                level.unpaired_dst_rows, self.operand_offset, self.acc_width,
+                identity,
+            )
             combine.execute(bank)
         return bank.read_field_all(self.acc_offset, self.acc_width)[:, 0].copy()
 
@@ -493,8 +492,7 @@ class BulkAggregationPlan:
         results = aggregate_reference(
             values, mask, self.operation, self.acc_width
         )
-        for xbar in range(bank.count):
-            bank.write_field(xbar, 0, self.acc_offset, self.acc_width, int(results[xbar]))
+        bank.write_field_row(0, self.acc_offset, self.acc_width, results)
         return results
 
 

@@ -189,8 +189,7 @@ class PimExecutor:
         from repro.pim.arithmetic import aggregate_reference
 
         results = aggregate_reference(values, mask, operation, result_width)
-        for i in range(bank.count):
-            bank.write_field(i, 0, destination_offset, result_width, int(results[i]))
+        bank.write_field_row(0, destination_offset, result_width, results)
 
         reads_per_row = int(math.ceil(field_width / xbar.read_width_bits))
         request_time = (

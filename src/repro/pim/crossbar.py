@@ -28,7 +28,16 @@ import numpy as np
 
 
 class CrossbarBank:
-    """A bank of identical memory crossbars operated in lock step."""
+    """A bank of identical memory crossbars operated in lock step.
+
+    This is the byte-per-bit *reference* backend; the default simulation
+    backend is the bit-packed :class:`~repro.pim.packed.PackedCrossbarBank`,
+    which implements the identical surface (including the wear-counter side
+    effects) on row-packed uint64 words.  Both are selected through
+    :attr:`repro.config.SystemConfig.backend`.
+    """
+
+    backend = "bool"
 
     def __init__(self, count: int, rows: int, columns: int) -> None:
         if count <= 0 or rows <= 0 or columns <= 0:
@@ -55,10 +64,16 @@ class CrossbarBank:
                 f"0..{self.columns}"
             )
 
+    def _check_rows(self, rows) -> None:
+        rows = np.asarray(rows)
+        if rows.size and (np.any(rows < 0) or np.any(rows >= self.rows)):
+            raise ValueError(f"row index outside crossbar rows 0..{self.rows}")
+
     # -------------------------------------------------------------- load/read
     def write_field(self, xbar: int, row: int, offset: int, width: int, value: int) -> None:
         """Write an unsigned ``width``-bit ``value`` into one crossbar row."""
         self._check_field(offset, width)
+        self._check_rows(row)
         if value < 0 or value >= (1 << width):
             raise ValueError(f"value {value} does not fit in {width} bits")
         bits = (value >> np.arange(width)) & 1
@@ -68,6 +83,7 @@ class CrossbarBank:
     def read_field(self, xbar: int, row: int, offset: int, width: int) -> int:
         """Read an unsigned ``width``-bit value from one crossbar row."""
         self._check_field(offset, width)
+        self._check_rows(row)
         bits = self.bits[xbar, row, offset:offset + width]
         weights = (1 << np.arange(width, dtype=np.uint64))
         return int(np.sum(bits.astype(np.uint64) * weights))
@@ -121,6 +137,61 @@ class CrossbarBank:
         if column < 0 or column >= self.columns:
             raise ValueError(f"column {column} out of range")
         return self.bits[:, :, column].copy()
+
+    def write_bool_column(
+        self, column: int, values: np.ndarray, count_wear: bool = True
+    ) -> None:
+        """Overwrite one bit column from booleans of shape ``(count, rows)``."""
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (self.count, self.rows):
+            raise ValueError(
+                f"expected values of shape {(self.count, self.rows)}, "
+                f"got {values.shape}"
+            )
+        self.bits[:, :, column] = values
+        if count_wear:
+            self.writes_per_row += 1
+
+    def write_field_rows(
+        self, rows: np.ndarray, offset: int, width: int, value: int
+    ) -> None:
+        """Write one immediate into a field of several (distinct) rows.
+
+        A broadcast equivalent of calling :meth:`write_field` for every
+        crossbar and every row of ``rows``, with identical wear accounting.
+        """
+        self._check_field(offset, width)
+        self._check_rows(rows)
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        bits = ((value >> np.arange(width)) & 1).astype(bool)
+        self.bits[:, rows, offset:offset + width] = bits
+        self.writes_per_row[:, rows] += width
+
+    def write_field_row(
+        self, row: int, offset: int, width: int, values: np.ndarray
+    ) -> None:
+        """Write a per-crossbar value into a field of one row everywhere.
+
+        A broadcast equivalent of ``write_field(xbar, row, ...)`` for every
+        crossbar, with ``values`` of shape ``(count,)``.
+        """
+        self._check_field(offset, width)
+        self._check_rows(row)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.count,):
+            raise ValueError(f"expected values of shape {(self.count,)}, got {values.shape}")
+        if width < 64 and np.any(values >= np.uint64(1 << width)):
+            raise ValueError(f"some values do not fit in {width} bits")
+        shifts = np.arange(width, dtype=np.uint64)
+        bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
+        self.bits[:, row, offset:offset + width] = bits.astype(bool)
+        self.writes_per_row[:, row] += width
 
     # ----------------------------------------------------- bulk primitives
     def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:

@@ -57,8 +57,24 @@ class Program:
     """
 
     def __init__(self, ops: Sequence[Operation], result_column: Optional[int] = None):
-        self.ops: List[Operation] = list(ops)
+        # Frozen: execute() dispatches the pre-split _steps, so a mutable op
+        # list could silently desync the executed bits from the cycle/wear
+        # accounting derived from len(self.ops).
+        self.ops: Tuple[Operation, ...] = tuple(ops)
         self.result_column = result_column
+        # Pre-split the op stream into a flat typed dispatch list once, so
+        # execute() does not re-discriminate op types on every invocation
+        # (programs are compiled once and — with the service's program cache
+        # — executed many times, on either backend).
+        steps = []
+        for op in self.ops:
+            if isinstance(op, NorOp):
+                steps.append((True, op.dest, op.srcs))
+            elif isinstance(op, InitOp):
+                steps.append((False, op.dest, op.value))
+            else:
+                raise TypeError(f"unknown operation {op!r}")
+        self._steps: Tuple[Tuple[bool, int, object], ...] = tuple(steps)
 
     @property
     def cycles(self) -> int:
@@ -70,15 +86,21 @@ class Program:
         """Cell writes each row experiences (one per primitive)."""
         return len(self.ops)
 
-    def execute(self, bank: CrossbarBank) -> None:
-        """Apply the program to every row of every crossbar of ``bank``."""
-        for op in self.ops:
-            if isinstance(op, NorOp):
-                bank.nor_columns(op.dest, op.srcs)
-            elif isinstance(op, InitOp):
-                bank.set_column(op.dest, op.value)
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown operation {op!r}")
+    def execute(self, bank: "CrossbarBank") -> None:
+        """Apply the program to every row of every crossbar of ``bank``.
+
+        ``bank`` may be either functional backend
+        (:class:`~repro.pim.crossbar.CrossbarBank` or
+        :class:`~repro.pim.packed.PackedCrossbarBank`); the pre-split flat
+        op stream is dispatched against pre-bound primitive methods.
+        """
+        nor_columns = bank.nor_columns
+        set_column = bank.set_column
+        for is_nor, dest, payload in self._steps:
+            if is_nor:
+                nor_columns(dest, payload)
+            else:
+                set_column(dest, payload)
 
     def __len__(self) -> int:
         return len(self.ops)

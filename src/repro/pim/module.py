@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.config import PimModuleConfig, SystemConfig
-from repro.pim.crossbar import CrossbarBank
+from repro.pim.packed import AnyCrossbarBank, make_bank
 
 
 @dataclass
@@ -25,7 +25,7 @@ class PimAllocation:
     label: str
     first_page: int
     pages: int
-    bank: CrossbarBank
+    bank: AnyCrossbarBank
     config: PimModuleConfig
 
     @property
@@ -88,7 +88,8 @@ class PimModule:
                 f"{self.pages_free} free)"
             )
         xbar = self.config.crossbar
-        bank = CrossbarBank(
+        bank = make_bank(
+            self.system_config.backend,
             count=pages * self.config.crossbars_per_page,
             rows=xbar.rows,
             columns=xbar.columns,

@@ -1,0 +1,324 @@
+"""Bit-packed functional model of a crossbar bank.
+
+:class:`PackedCrossbarBank` is a drop-in replacement for
+:class:`~repro.pim.crossbar.CrossbarBank` that stores each *column* of the
+bank as row-packed 64-bit words instead of one byte per cell: the cell at
+``(xbar, row, column)`` lives in bit ``row % 64`` of
+``words[xbar, column, row // 64]``.  A bulk-bitwise primitive — the paper's
+column NOR executing concurrently on every row of every crossbar — then
+becomes a whole-word bitwise operation (``~(a | b)`` folds 64 rows per
+machine word), which is exactly the row parallelism the hardware model
+assumes and makes the functional simulation 64x denser in memory and far
+cheaper per primitive than the boolean reference backend.
+
+Two invariants keep the backends interchangeable:
+
+* **Bit exactness** — every method produces the same stored bits, decoded
+  fields and error behaviour as :class:`CrossbarBank`; the padding bits of
+  the last word of a column (rows beyond ``rows``) are always zero.
+* **Stats are metadata** — timing, energy and wear are charged by
+  :class:`~repro.pim.controller.PimExecutor` from *program* metadata (cycle
+  counts, writes per row), never from backend internals, so both backends
+  report identical :class:`~repro.pim.stats.PimStats`.  The bank itself only
+  maintains the same per-row ``writes_per_row`` counters as the boolean
+  backend.
+
+The backend is selected by :attr:`repro.config.SystemConfig.backend`
+(``"packed"`` by default, ``"bool"`` for the reference implementation) and
+instantiated through :func:`make_bank` by
+:meth:`repro.pim.module.PimModule.allocate_pages`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.config import BACKENDS
+from repro.pim.crossbar import CrossbarBank
+
+_ONE = np.uint64(1)
+_WORD_BITS = 64
+
+
+class PackedCrossbarBank:
+    """A bank of identical crossbars stored as row-packed uint64 words.
+
+    The array layout is ``(count, columns, rows_words)`` with
+    ``rows_words = ceil(rows / 64)``; bit ``row % 64`` of word ``row // 64``
+    holds the cell of ``row``.  All methods mirror
+    :class:`~repro.pim.crossbar.CrossbarBank` bit-exactly, including the
+    wear-counter side effects and validation errors.
+    """
+
+    backend = "packed"
+
+    def __init__(self, count: int, rows: int, columns: int) -> None:
+        if count <= 0 or rows <= 0 or columns <= 0:
+            raise ValueError("count, rows and columns must all be positive")
+        self.count = int(count)
+        self.rows = int(rows)
+        self.columns = int(columns)
+        self.rows_words = (self.rows + _WORD_BITS - 1) // _WORD_BITS
+        self.words = np.zeros(
+            (self.count, self.columns, self.rows_words), dtype=np.uint64
+        )
+        self.writes_per_row = np.zeros((self.count, self.rows), dtype=np.int64)
+        # Valid-bit mask of each word of a column: all ones except the
+        # padding bits of the last word, which stay zero forever.
+        tail = np.full(self.rows_words, np.uint64(0xFFFFFFFFFFFFFFFF))
+        spare = self.rows_words * _WORD_BITS - self.rows
+        if spare:
+            tail[-1] = np.uint64((1 << (_WORD_BITS - spare)) - 1)
+        self._row_mask = tail
+
+    # ------------------------------------------------------------------ misc
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PackedCrossbarBank(count={self.count}, rows={self.rows}, "
+            f"columns={self.columns})"
+        )
+
+    def _check_field(self, offset: int, width: int) -> None:
+        if width <= 0 or width > 64:
+            raise ValueError(f"field width must be in [1, 64], got {width}")
+        if offset < 0 or offset + width > self.columns:
+            raise ValueError(
+                f"field [{offset}, {offset + width}) outside crossbar columns "
+                f"0..{self.columns}"
+            )
+
+    def _check_rows(self, rows) -> None:
+        # Out-of-range rows must fail loudly (and before any mutation): the
+        # word arithmetic would otherwise silently target padding bits.
+        rows = np.asarray(rows)
+        if rows.size and (np.any(rows < 0) or np.any(rows >= self.rows)):
+            raise ValueError(f"row index outside crossbar rows 0..{self.rows}")
+
+    # ------------------------------------------------------- pack/unpack core
+    def _unpack_columns(self, offset: int, width: int) -> np.ndarray:
+        """Column slab as booleans, shape ``(count, width, rows)``."""
+        raw = np.ascontiguousarray(
+            self.words[:, offset:offset + width, :], dtype="<u8"
+        ).view(np.uint8)
+        bits = np.unpackbits(raw, axis=-1, bitorder="little")
+        return bits[:, :, : self.rows].astype(bool)
+
+    def _pack_columns(self, offset: int, width: int, slab: np.ndarray) -> None:
+        """Store a boolean slab of shape ``(count, width, rows)``."""
+        packed = np.packbits(slab, axis=-1, bitorder="little")
+        out = np.zeros(
+            (self.count, width, self.rows_words * 8), dtype=np.uint8
+        )
+        out[:, :, : packed.shape[-1]] = packed
+        self.words[:, offset:offset + width, :] = out.view("<u8")
+
+    @staticmethod
+    def _value_bits(value: int, width: int) -> np.ndarray:
+        """LSB-first bits of an immediate, shape ``(width,)`` uint64."""
+        shifts = np.arange(width, dtype=np.uint64)
+        return (np.uint64(value) >> shifts) & _ONE
+
+    # -------------------------------------------------------------- load/read
+    def write_field(self, xbar: int, row: int, offset: int, width: int, value: int) -> None:
+        """Write an unsigned ``width``-bit ``value`` into one crossbar row."""
+        self._check_field(offset, width)
+        self._check_rows(row)
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        word, bit = row // _WORD_BITS, np.uint64(row % _WORD_BITS)
+        mask = _ONE << bit
+        current = self.words[xbar, offset:offset + width, word]
+        self.words[xbar, offset:offset + width, word] = (
+            (current & ~mask) | (self._value_bits(value, width) << bit)
+        )
+        self.writes_per_row[xbar, row] += width
+
+    def read_field(self, xbar: int, row: int, offset: int, width: int) -> int:
+        """Read an unsigned ``width``-bit value from one crossbar row."""
+        self._check_field(offset, width)
+        self._check_rows(row)
+        word, bit = row // _WORD_BITS, np.uint64(row % _WORD_BITS)
+        bits = (self.words[xbar, offset:offset + width, word] >> bit) & _ONE
+        weights = bits << np.arange(width, dtype=np.uint64)
+        return int(np.bitwise_or.reduce(weights))
+
+    def write_field_column(
+        self, offset: int, width: int, values: np.ndarray, count_wear: bool = True
+    ) -> None:
+        """Write a field of every row of every crossbar in one shot."""
+        self._check_field(offset, width)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.count, self.rows):
+            raise ValueError(
+                f"expected values of shape {(self.count, self.rows)}, "
+                f"got {values.shape}"
+            )
+        if width < 64 and np.any(values >= np.uint64(1 << width)):
+            raise ValueError(f"some values do not fit in {width} bits")
+        raw = np.ascontiguousarray(values, dtype="<u8").view(np.uint8)
+        raw = raw.reshape(self.count, self.rows, 8)
+        bits = np.unpackbits(raw, axis=-1, bitorder="little")[:, :, :width]
+        # (count, rows, width) -> (count, width, rows) and pack along rows.
+        self._pack_columns(offset, width, np.ascontiguousarray(bits.swapaxes(1, 2)))
+        if count_wear:
+            self.writes_per_row += width
+
+    def read_field_all(self, offset: int, width: int) -> np.ndarray:
+        """Decode a field from every row of every crossbar, ``(count, rows)``."""
+        self._check_field(offset, width)
+        slab = self._unpack_columns(offset, width)          # (count, width, rows)
+        bits = np.ascontiguousarray(slab.swapaxes(1, 2))    # (count, rows, width)
+        packed = np.packbits(bits, axis=-1, bitorder="little")
+        out = np.zeros((self.count, self.rows, 8), dtype=np.uint8)
+        out[:, :, : packed.shape[-1]] = packed
+        return out.view("<u8")[:, :, 0]
+
+    def read_column(self, column: int) -> np.ndarray:
+        """Return one bit column of every crossbar, shape ``(count, rows)``."""
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        return self._unpack_columns(column, 1)[:, 0, :]
+
+    def write_bool_column(
+        self, column: int, values: np.ndarray, count_wear: bool = True
+    ) -> None:
+        """Overwrite one bit column from booleans of shape ``(count, rows)``."""
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (self.count, self.rows):
+            raise ValueError(
+                f"expected values of shape {(self.count, self.rows)}, "
+                f"got {values.shape}"
+            )
+        self._pack_columns(column, 1, values[:, None, :])
+        if count_wear:
+            self.writes_per_row += 1
+
+    # ----------------------------------------------------- bulk primitives
+    def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:
+        """Stateful NOR of whole columns — 64 rows per machine word."""
+        if not srcs:
+            raise ValueError("NOR needs at least one source column")
+        acc = self.words[:, srcs[0], :].copy()
+        for src in srcs[1:]:
+            np.bitwise_or(acc, self.words[:, src, :], out=acc)
+        np.invert(acc, out=acc)
+        np.bitwise_and(acc, self._row_mask, out=acc)
+        self.words[:, dest, :] = acc
+        self.writes_per_row += 1
+
+    def set_column(self, dest: int, value: bool) -> None:
+        """Initialise a column of every row to a constant (a bulk write)."""
+        if value:
+            self.words[:, dest, :] = self._row_mask
+        else:
+            self.words[:, dest, :] = 0
+        self.writes_per_row += 1
+
+    def copy_row_pairs(
+        self,
+        src_rows: np.ndarray,
+        dst_rows: np.ndarray,
+        src_offset: int,
+        dst_offset: int,
+        width: int,
+    ) -> None:
+        """Copy a field from ``src_rows`` to the same field area of ``dst_rows``."""
+        self._check_field(src_offset, width)
+        self._check_field(dst_offset, width)
+        src_rows = np.asarray(src_rows, dtype=np.int64)
+        dst_rows = np.asarray(dst_rows, dtype=np.int64)
+        if src_rows.shape != dst_rows.shape:
+            raise ValueError("src_rows and dst_rows must have the same shape")
+        src_slab = self._unpack_columns(src_offset, width)
+        dst_slab = self._unpack_columns(dst_offset, width)
+        dst_slab[:, :, dst_rows] = src_slab[:, :, src_rows]
+        self._pack_columns(dst_offset, width, dst_slab)
+        self.writes_per_row[:, dst_rows] += width
+
+    # -------------------------------------------------- broadcast field writes
+    def write_field_rows(
+        self, rows: np.ndarray, offset: int, width: int, value: int
+    ) -> None:
+        """Write one immediate into a field of several (distinct) rows.
+
+        Equivalent to calling :meth:`write_field` for every crossbar and
+        every row of ``rows`` — one vectorised read-modify-write over the
+        touched words instead.
+        """
+        self._check_field(offset, width)
+        self._check_rows(rows)
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        touched = np.zeros(self.rows_words, dtype=np.uint64)
+        np.bitwise_or.at(
+            touched, rows // _WORD_BITS,
+            _ONE << (rows % _WORD_BITS).astype(np.uint64),
+        )
+        vbits = self._value_bits(value, width)              # (width,)
+        sub = self.words[:, offset:offset + width, :]
+        sub &= ~touched
+        sub |= vbits[None, :, None] * touched[None, None, :]
+        self.writes_per_row[:, rows] += width
+
+    def write_field_row(
+        self, row: int, offset: int, width: int, values: np.ndarray
+    ) -> None:
+        """Write a per-crossbar value into a field of one row everywhere.
+
+        Equivalent to ``write_field(xbar, row, ...)`` for every crossbar,
+        with ``values`` of shape ``(count,)``.
+        """
+        self._check_field(offset, width)
+        self._check_rows(row)
+        values = np.asarray(values, dtype=np.uint64)
+        if values.shape != (self.count,):
+            raise ValueError(f"expected values of shape {(self.count,)}, got {values.shape}")
+        if width < 64 and np.any(values >= np.uint64(1 << width)):
+            raise ValueError(f"some values do not fit in {width} bits")
+        word, bit = row // _WORD_BITS, np.uint64(row % _WORD_BITS)
+        mask = _ONE << bit
+        shifts = np.arange(width, dtype=np.uint64)
+        bits = (values[:, None] >> shifts[None, :]) & _ONE  # (count, width)
+        current = self.words[:, offset:offset + width, word]
+        self.words[:, offset:offset + width, word] = (
+            (current & ~mask) | (bits << bit)
+        )
+        self.writes_per_row[:, row] += width
+
+    # ---------------------------------------------------------------- wear
+    def wear_snapshot(self) -> np.ndarray:
+        """Return a copy of the per-row write counters."""
+        return self.writes_per_row.copy()
+
+    def max_writes_since(self, snapshot: Optional[np.ndarray] = None) -> int:
+        """Maximum per-row write count, optionally relative to a snapshot."""
+        if snapshot is None:
+            return int(self.writes_per_row.max())
+        delta = self.writes_per_row - snapshot
+        return int(delta.max())
+
+    def reset_wear(self) -> None:
+        """Zero the wear counters (used after the initial data load)."""
+        self.writes_per_row[:] = 0
+
+
+#: Either functional backend — they expose the identical bank surface.
+AnyCrossbarBank = Union[CrossbarBank, PackedCrossbarBank]
+
+
+def make_bank(backend: str, count: int, rows: int, columns: int) -> AnyCrossbarBank:
+    """Instantiate the crossbar bank for a configured simulation backend."""
+    if backend == "packed":
+        return PackedCrossbarBank(count=count, rows=rows, columns=columns)
+    if backend == "bool":
+        return CrossbarBank(count=count, rows=rows, columns=columns)
+    raise ValueError(
+        f"unknown simulation backend {backend!r}; choose from {BACKENDS}"
+    )

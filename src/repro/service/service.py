@@ -156,6 +156,7 @@ class QueryService:
         aggregation_width: Optional[int] = None,
         reserve_bulk_aggregation: bool = True,
         default: bool = False,
+        backend: Optional[str] = None,
     ) -> ShardedQueryEngine:
         """Shard ``relation`` horizontally and register the scatter-gather engine.
 
@@ -168,8 +169,22 @@ class QueryService:
         modelled latency follows max-over-shards plus the merge term.
         Programs compile once: the shards share layouts, so the service's
         program cache hits across shards (and across queries, as usual).
+
+        ``backend`` overrides the functional simulation backend
+        (``"packed"`` or ``"bool"``, see :mod:`repro.pim.packed`) of the
+        shard allocations; by default the configuration's backend is used.
+        It only applies when the service creates the module itself.
         """
         self._check_name_free(name)
+        if backend is not None:
+            if module is not None:
+                raise ValueError(
+                    "backend= only applies when the service allocates the "
+                    "module; pass a module built with the desired backend "
+                    "configuration instead"
+                )
+            base = config if config is not None else SystemConfig()
+            config = base.with_backend(backend)
         if module is None:
             module = PimModule(config)
         sharded = ShardedStoredRelation(

@@ -46,8 +46,11 @@ ALL_AGGREGATES = (
 TWO_XB = [["key", "price", "discount", "quantity"], ["city", "region", "year"]]
 
 
-def _engine(relation, partitions=None, **kwargs):
-    module = PimModule(DEFAULT_CONFIG)
+def _engine(relation, partitions=None, backend=None, **kwargs):
+    config = (
+        DEFAULT_CONFIG if backend is None else DEFAULT_CONFIG.with_backend(backend)
+    )
+    module = PimModule(config)
     stored = StoredRelation(
         relation, module, label="edge-test",
         partitions=partitions, aggregation_width=22,
@@ -201,9 +204,18 @@ def test_two_partition_group_by_edge_cases(toy_relation, vectorized):
 
 
 @pytest.mark.parametrize(
-    "vectorized", [pytest.param(False, marks=pytest.mark.slow), True]
+    "vectorized,backend",
+    [
+        # The gate-level NOR simulation is fast enough on the packed backend
+        # to run in the default tier; the boolean reference run stays slow.
+        (False, "packed"),
+        pytest.param(False, "bool", marks=pytest.mark.slow),
+        (True, None),
+    ],
 )
-def test_three_partition_group_by_spanning_two_remotes(toy_relation, vectorized):
+def test_three_partition_group_by_spanning_two_remotes(
+    toy_relation, vectorized, backend
+):
     """GROUP-BY attributes on two different remote partitions.
 
     Every remote partition ships a bit-vector into the same landing column,
@@ -232,19 +244,21 @@ def test_three_partition_group_by_spanning_two_remotes(toy_relation, vectorized)
     )
     engine = _engine(
         toy_relation, partitions=partitions, vectorized=vectorized,
-        cost_model=all_pim_model,
+        backend=backend, cost_model=all_pim_model,
     )
     execution = engine.execute(query)
     assert execution.pim_subgroups > 0  # the folded remote path actually ran
     assert execution.rows == _reference(toy_relation, query)
 
 
-@pytest.mark.slow
-def test_vectorized_engine_matches_gate_level_costs(toy_relation):
+@pytest.mark.parametrize(
+    "backend", ["packed", pytest.param("bool", marks=pytest.mark.slow)]
+)
+def test_vectorized_engine_matches_gate_level_costs(toy_relation, backend):
     """Vectorized host paths: same rows, same modelled costs, same wear."""
     query = Query("paths", SOME_FILTER, ALL_AGGREGATES, group_by=("region",))
-    gate = _engine(toy_relation).execute(query)
-    fast = _engine(toy_relation, vectorized=True).execute(query)
+    gate = _engine(toy_relation, backend=backend).execute(query)
+    fast = _engine(toy_relation, backend=backend, vectorized=True).execute(query)
     assert fast.rows == gate.rows
     assert fast.time_s == pytest.approx(gate.time_s, rel=1e-12)
     assert fast.energy_j == pytest.approx(gate.energy_j, rel=1e-12)

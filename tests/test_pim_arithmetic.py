@@ -13,6 +13,7 @@ from repro.pim.arithmetic import (
     build_subtract,
 )
 from repro.pim.crossbar import CrossbarBank
+from repro.pim.packed import make_bank
 from repro.pim.logic import ProgramBuilder
 
 
@@ -70,15 +71,17 @@ def test_lt_and_mux_fields(bank):
     assert np.array_equal(bank.read_field_all(30, 10), np.minimum(a, b))
 
 
-@pytest.mark.slow
+@pytest.mark.parametrize(
+    "backend", ["packed", pytest.param("bool", marks=pytest.mark.slow)]
+)
 @pytest.mark.parametrize("operation", ["sum", "min", "max", "count"])
-def test_bulk_aggregation_gate_level_matches_reference(operation):
+def test_bulk_aggregation_gate_level_matches_reference(operation, backend):
     rng = np.random.default_rng(9)
-    bank = CrossbarBank(count=3, rows=32, columns=220)
+    bank = make_bank(backend, count=3, rows=32, columns=220)
     values = rng.integers(0, 1 << 12, (3, 32)).astype(np.uint64)
     mask = rng.integers(0, 2, (3, 32)).astype(bool)
     bank.write_field_column(0, 12, values)
-    bank.bits[:, :, 20] = mask
+    bank.write_bool_column(20, mask)
     plan = BulkAggregationPlan(
         rows=32, field_offset=0, field_width=12, mask_column=20,
         acc_offset=30, operand_offset=60,
@@ -89,9 +92,9 @@ def test_bulk_aggregation_gate_level_matches_reference(operation):
 
     # The functional fast path produces the same values and leaves the result
     # in the same place.
-    bank2 = CrossbarBank(count=3, rows=32, columns=220)
+    bank2 = make_bank(backend, count=3, rows=32, columns=220)
     bank2.write_field_column(0, 12, values)
-    bank2.bits[:, :, 20] = mask
+    bank2.write_bool_column(20, mask)
     assert np.array_equal(plan.run_functional(bank2), expected)
     assert np.array_equal(
         bank2.read_field_all(30, plan.acc_width)[:, 0], expected

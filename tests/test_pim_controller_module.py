@@ -8,15 +8,16 @@ from repro.pim.arithmetic import BulkAggregationPlan
 from repro.pim.controller import PimExecutor
 from repro.pim.crossbar import CrossbarBank
 from repro.pim.logic import ProgramBuilder
+from repro.pim.packed import make_bank
 from repro.pim.module import OutOfPimMemoryError, PimModule
 from repro.pim.stats import PimStats, combine_parallel
 
 
-def _bank(count=2, rows=16, columns=128, seed=0):
-    bank = CrossbarBank(count=count, rows=rows, columns=columns)
+def _bank(count=2, rows=16, columns=128, seed=0, backend="bool"):
+    bank = make_bank(backend, count=count, rows=rows, columns=columns)
     rng = np.random.default_rng(seed)
     bank.write_field_column(0, 12, rng.integers(0, 1 << 12, (count, rows)).astype(np.uint64))
-    bank.bits[:, :, 20] = rng.integers(0, 2, (count, rows)).astype(bool)
+    bank.write_bool_column(20, rng.integers(0, 2, (count, rows)).astype(bool))
     return bank
 
 
@@ -83,13 +84,15 @@ def test_bulk_bitwise_aggregation_costs_more_than_circuit():
     assert bulk.stats.total_energy_j > circuit.stats.total_energy_j
 
 
-@pytest.mark.slow
-def test_gate_level_and_functional_bulk_aggregation_agree():
+@pytest.mark.parametrize(
+    "backend", ["packed", pytest.param("bool", marks=pytest.mark.slow)]
+)
+def test_gate_level_and_functional_bulk_aggregation_agree(backend):
     plan = BulkAggregationPlan(
         rows=16, field_offset=0, field_width=12, mask_column=20,
         acc_offset=40, operand_offset=70, scratch_columns=range(100, 128),
     )
-    bank_a, bank_b = _bank(seed=8), _bank(seed=8)
+    bank_a, bank_b = _bank(seed=8, backend=backend), _bank(seed=8, backend=backend)
     functional = PimExecutor(DEFAULT_CONFIG)
     gate = PimExecutor(DEFAULT_CONFIG)
     res_f = functional.aggregate_bulk_bitwise(bank_a, plan, pages=1)

@@ -7,6 +7,7 @@ from hypothesis import given, settings, strategies as st
 from repro.pim.arithmetic import BulkAggregationPlan, build_ripple_add, build_subtract
 from repro.pim.crossbar import CrossbarBank
 from repro.pim.logic import ProgramBuilder
+from repro.pim.packed import make_bank
 
 
 WIDTH = 9
@@ -62,10 +63,12 @@ aggregation_cases = st.tuples(
 )
 
 
-@pytest.mark.slow
+@pytest.mark.parametrize(
+    "backend", ["packed", pytest.param("bool", marks=pytest.mark.slow)]
+)
 @settings(max_examples=30, deadline=None)
 @given(case=aggregation_cases)
-def test_gate_level_reduction_equals_functional_reduction(case):
+def test_gate_level_reduction_equals_functional_reduction(case, backend):
     values, mask, operation = case
     rows = min(len(values), len(mask))
     values, mask = values[:rows], mask[:rows]
@@ -76,9 +79,9 @@ def test_gate_level_reduction_equals_functional_reduction(case):
     )
 
     def loaded():
-        bank = CrossbarBank(count=1, rows=rows, columns=140)
+        bank = make_bank(backend, count=1, rows=rows, columns=140)
         bank.write_field_column(0, WIDTH, np.array([values], dtype=np.uint64))
-        bank.bits[0, :, 25] = np.array(mask, dtype=bool)
+        bank.write_bool_column(25, np.array([mask], dtype=bool))
         return bank
 
     gate = plan.run_gate_level(loaded())
