@@ -1,0 +1,82 @@
+"""DML churn — sustained insert/delete/update/query traffic, both backends.
+
+As a pytest benchmark this replays one generated churn workload through a
+sharded :class:`~repro.service.QueryService` on both simulation backends,
+gating that every round's probe queries are bit-exact with the functional
+ground truth, that the backends agree with each other, and that every DML
+phase (insert-write, delete-filter/-clear, compact-read/-write) charged
+modelled stats.  It writes the ``BENCH_dml.json`` trajectory artifact at the
+repository root and is also runnable as a plain script for CI::
+
+    PYTHONPATH=src python benchmarks/bench_dml_churn.py
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import dml_churn
+
+ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_dml.json"
+
+
+def test_dml_churn(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: dml_churn.run_dml_churn(), rounds=1, iterations=1
+    )
+    publish("dml_churn", dml_churn.render(results))
+    dml_churn.write_artifact(results, ARTIFACT_PATH)
+    assert results.bit_exact
+    assert results.backends_agree
+    assert results.all_phases_charged
+    assert results.stats_identical
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--records", type=int, default=2000,
+        help="initial relation size before churn starts",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=6,
+        help="churn rounds (each: insert batch, delete, update, compact, probes)",
+    )
+    parser.add_argument(
+        "--inserts-per-round", type=int, default=120,
+        help="records inserted per round",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="horizontal shards the relation is served from",
+    )
+    parser.add_argument(
+        "--artifact", default=str(ARTIFACT_PATH),
+        help="path of the BENCH_dml.json trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    results = dml_churn.run_dml_churn(
+        records=args.records,
+        rounds=args.rounds,
+        inserts_per_round=args.inserts_per_round,
+        shards=args.shards,
+    )
+    print(dml_churn.render(results))
+    dml_churn.write_artifact(results, args.artifact)
+    print(f"wrote {args.artifact}")
+    if not results.bit_exact:
+        print("FAIL: churn workload diverged from the functional ground truth")
+        return 1
+    if not results.all_phases_charged:
+        print("FAIL: some DML phase charged no modelled stats")
+        return 1
+    if not results.stats_identical:
+        print("FAIL: backends charged different modelled DML stats")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

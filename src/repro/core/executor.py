@@ -230,6 +230,11 @@ class PimQueryEngine:
             else:
                 rows = {}
             total_subgroups, in_sample, pim_subgroups = 1, 0, 1
+        elif self.stored.num_records == 0:
+            # Every slot was deleted and compacted away: there is nothing to
+            # sample or plan over, and no subgroup can produce a row.
+            rows = {}
+            total_subgroups, in_sample, pim_subgroups = 0, 0, 0
         else:
             rows, plan = self._execute_group_by(
                 query, primary, mask, executor, read_model

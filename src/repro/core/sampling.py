@@ -106,7 +106,8 @@ def estimate_subgroups(
     unseen = [key for key in candidate_groups if key not in observed_set]
     ordered = observed + unseen
 
-    selectivity = float(len(selected)) / float(sample_size)
+    # A relation whose every slot was compacted away has an empty sample.
+    selectivity = float(len(selected)) / float(sample_size) if sample_size else 0.0
     return SubgroupEstimate(
         ordered_groups=ordered,
         group_fractions=fractions,

@@ -83,6 +83,41 @@ class ProgramCompiler:
         )
 
 
+def apply_program(
+    stored: StoredRelation,
+    partition: int,
+    program: Program,
+    executor: PimExecutor,
+    phase: str,
+    pages: float,
+    result_bits: Optional[np.ndarray] = None,
+) -> None:
+    """Run a program gate-level, or write its known result and charge it.
+
+    This is the one definition of the two execution modes' contract, shared
+    by the query stages and the DML subsystem: without ``result_bits`` the
+    program's NOR primitives execute on the stored bits; with them (one bool
+    per slot in use) the bits are written into the program's result column
+    and the program's cycles and wear are charged analytically — identical
+    stored bits, identical modelled cost.
+    """
+    allocation = stored.allocations[partition]
+    if result_bits is None:
+        executor.run_program(allocation.bank, program, pages=pages, phase=phase)
+        return
+    stored.write_bit_column(
+        partition, program.result_column, result_bits, count_wear=False
+    )
+    executor.charge_program_cost(
+        allocation.bank,
+        program.cycles,
+        pages=pages,
+        phase=phase,
+        writes_per_row=program.writes_per_row,
+        add_wear=True,
+    )
+
+
 class _Stage:
     """Shared plumbing of the execution stages."""
 
@@ -110,29 +145,17 @@ class _Stage:
         phase: str,
         result_bits: Optional[np.ndarray] = None,
     ) -> None:
-        """Run a program gate-level, or write its known result and charge it.
+        """Apply a program through :func:`apply_program`.
 
         In vectorized mode ``result_bits`` (one bool per record) is written
         into the program's result column and the program's cycles and wear are
         charged analytically — identical cost and identical stored bits, with
         the NOR-by-NOR simulation skipped.
         """
-        allocation = self.stored.allocations[partition]
-        if not self.vectorized or result_bits is None:
-            executor.run_program(
-                allocation.bank, program, pages=self._pages(partition), phase=phase
-            )
-            return
-        self.stored.write_bit_column(
-            partition, program.result_column, result_bits, count_wear=False
-        )
-        executor.charge_program_cost(
-            allocation.bank,
-            program.cycles,
+        apply_program(
+            self.stored, partition, program, executor, phase,
             pages=self._pages(partition),
-            phase=phase,
-            writes_per_row=program.writes_per_row,
-            add_wear=True,
+            result_bits=result_bits if self.vectorized else None,
         )
 
     def _equality_mask(self, values: Dict[str, int]) -> np.ndarray:

@@ -13,6 +13,8 @@ query-processing contribution of the paper:
 * the predicate-to-NOR-program compiler (:mod:`repro.db.compiler`),
 * UPDATE statements executed in memory with Algorithm 1
   (:mod:`repro.db.update`),
+* the rest of the data lifecycle — in-place INSERT/DELETE with slot reuse
+  and compaction (:mod:`repro.db.dml`),
 * a small catalog tying relations and their dictionaries together
   (:mod:`repro.db.catalog`).
 """
@@ -20,7 +22,7 @@ query-processing contribution of the paper:
 from repro.db.schema import Attribute, Dictionary, Schema
 from repro.db.relation import Relation
 from repro.db.encoding import RowLayout
-from repro.db.storage import StoredRelation
+from repro.db.storage import RelationFullError, StoredRelation
 from repro.db.query import (
     Aggregate,
     And,
@@ -35,6 +37,7 @@ __all__ = [
     "Dictionary",
     "Schema",
     "Relation",
+    "RelationFullError",
     "RowLayout",
     "StoredRelation",
     "Aggregate",

@@ -1,0 +1,462 @@
+"""In-place INSERT / DELETE / compaction on a PIM-resident relation.
+
+The paper's core argument is that bulk-bitwise PIM makes the denormalised,
+pre-joined store cheap to *modify* in place.  :mod:`repro.db.update`
+implements the UPDATE half (Algorithm 1); this module completes the data
+lifecycle:
+
+* **DELETE** compiles the predicate into the standard PIM filter program and
+  then clears the valid bit of the selected rows with one more bulk-bitwise
+  pass (``valid &= ~filter``) — no record is ever read by the host.  The
+  cleared rows become *tombstones*: every query path already conjoins with
+  the valid column (gate-level programs AND it in, the vectorized stages AND
+  the functional mask with :meth:`~repro.db.storage.StoredRelation.valid_mask`),
+  so tombstones provably drop out of every filter, group mask and aggregate.
+* **INSERT** writes new records through the host store path into free slots —
+  tombstones first (lowest slot first), then the allocation's spare
+  ``record_capacity`` tail — and sets the valid bit.  The slot-aligned
+  ground-truth :class:`~repro.db.relation.Relation` is updated in the same
+  step, so the functional reference and the stored bits never diverge.
+* **Compaction** rewrites the live rows densely into the lowest slots when
+  the tombstoned fraction crosses a threshold, shrinking the slot high-water
+  mark (and with it every per-record host cost: filter bit-vector reads,
+  sampling, record reads).
+
+Every phase charges the modelled :class:`~repro.pim.stats.PimStats`:
+``delete-filter`` / ``delete-clear`` / ``delete-transfer`` (two-xb),
+``insert-write``, and ``compact-read`` / ``compact-write``.
+
+Like UPDATE, the layout-dependent programs are compiled once
+(:func:`compile_delete`) and are valid for every relation sharing the layout
+— in particular for every shard of a
+:class:`~repro.sharding.storage.ShardedStoredRelation`, whose broadcast
+lives in :mod:`repro.sharding.dml`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.stages import ProgramCompiler, apply_program
+from repro.db.compiler import CompilationError
+from repro.db.query import Predicate, attributes_referenced, evaluate_predicate
+from repro.db.storage import RelationFullError, StoredRelation
+from repro.host import dram
+from repro.host.dram import CACHE_LINE_BYTES
+from repro.host.readpath import HostReadModel
+from repro.pim.controller import PimExecutor
+from repro.pim.logic import Program, ProgramBuilder
+
+__all__ = [
+    "CompiledDelete",
+    "DeleteResult",
+    "InsertResult",
+    "CompactionResult",
+    "RelationFullError",
+    "compile_delete",
+    "execute_delete",
+    "execute_insert",
+    "execute_compaction",
+]
+
+#: Default tombstone fraction above which :func:`execute_compaction` rewrites.
+DEFAULT_COMPACTION_THRESHOLD = 0.3
+
+
+# --------------------------------------------------------------------- DELETE
+@dataclass(frozen=True)
+class CompiledDelete:
+    """The layout-dependent programs of a DELETE, compiled once.
+
+    Valid for any stored relation sharing the layouts it was compiled
+    against (every shard of a sharded relation).  ``clear_programs`` maps
+    each vertical partition to its ``valid &= ~mask`` program; the mask is
+    the filter column in the predicate's partition and the remote (landing)
+    column everywhere else.
+    """
+
+    partition: int
+    filter_program: Program
+    clear_programs: Dict[int, Program]
+    predicate: Optional[Predicate] = None
+
+
+@dataclass
+class DeleteResult:
+    """Outcome of an in-memory DELETE."""
+
+    records_deleted: int
+    filter_cycles: int
+    clear_cycles: int
+    live_records: int
+    tombstones: int
+
+
+#: Per-layout cache of the valid-clearing programs.  They are pure functions
+#: of the layout (no predicate dependence), so every DELETE against the same
+#: layout — any shard, any statement — reuses one compiled program.
+_CLEAR_PROGRAMS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _clear_valid_program(layout, mask_column: int) -> Program:
+    """``valid &= ~mask_column``, leaving the result in the valid column."""
+    per_layout = _CLEAR_PROGRAMS.setdefault(layout, {})
+    program = per_layout.get(mask_column)
+    if program is None:
+        builder = ProgramBuilder(layout.scratch_columns)
+        remaining = builder.and_not(layout.valid_column, mask_column)
+        builder.store(remaining, layout.valid_column)
+        builder.free(remaining)
+        program = builder.build(result_column=layout.valid_column)
+        per_layout[mask_column] = program
+    return program
+
+
+def compile_delete(
+    stored: StoredRelation,
+    predicate: Predicate,
+    compiler=None,
+) -> CompiledDelete:
+    """Compile the filter and valid-clearing programs of a DELETE.
+
+    The predicate's attributes must live in a single vertical partition
+    (like UPDATE); the resulting tombstone bit-vector is shipped to the
+    other partitions through the host, exactly like a two-xb filter.
+    ``compiler`` is the :class:`~repro.core.stages.ProgramCompiler` seam —
+    pass the service's :class:`~repro.service.cache.ProgramCache` to reuse
+    the filter program across shards and repeated statements.
+    """
+    if compiler is None:
+        compiler = ProgramCompiler()
+    partitions = {stored.partition_of(a) for a in attributes_referenced(predicate)}
+    if len(partitions) > 1:
+        raise CompilationError(
+            "DELETE across vertical partitions is not supported; keep the "
+            "predicate attributes in the same partition"
+        )
+    partition = partitions.pop() if partitions else 0
+    layout = stored.layouts[partition]
+    schema = stored.relation.schema
+    filter_program = compiler.filter_program(predicate, schema, layout)
+
+    clear_programs = {
+        partition: _clear_valid_program(layout, layout.filter_column)
+    }
+    for index, other in enumerate(stored.layouts):
+        if index != partition:
+            clear_programs[index] = _clear_valid_program(other, other.remote_column)
+    return CompiledDelete(
+        partition=partition,
+        filter_program=filter_program,
+        clear_programs=clear_programs,
+        predicate=predicate,
+    )
+
+
+def execute_delete(
+    stored: StoredRelation,
+    predicate: Predicate,
+    executor: PimExecutor,
+    compiled: Optional[CompiledDelete] = None,
+    vectorized: bool = False,
+    timing_scale: float = 1.0,
+) -> DeleteResult:
+    """Tombstone the records selected by ``predicate`` — in memory.
+
+    The valid bit of the selected rows is cleared by a bulk-bitwise program
+    in every vertical partition (the tombstone bit-vector crosses partitions
+    through the host, charged as ``delete-transfer``).  The ground-truth
+    relation keeps the tombstoned rows slot-aligned; they are masked out of
+    :meth:`~repro.db.storage.StoredRelation.live_relation` and of every query
+    path by the cleared valid bit.  ``vectorized`` computes the result bits
+    with NumPy and charges the compiled programs' costs analytically —
+    identical stored bits, wear and statistics (the same contract as the
+    query stages).
+    """
+    if compiled is None:
+        compiled = compile_delete(stored, predicate)
+    elif compiled.predicate != predicate:
+        raise ValueError("compiled delete does not match the given predicate")
+    primary = compiled.partition
+    allocation = stored.allocations[primary]
+    pages = allocation.pages * timing_scale
+    read_model = HostReadModel(
+        executor.config, executor.stats, traffic_scale=timing_scale
+    )
+
+    valid_before = stored.valid_mask(primary)
+    doomed = evaluate_predicate(predicate, stored.relation) & valid_before
+
+    # Select the rows to delete (the standard PIM filter, valid-conjoined).
+    apply_program(
+        stored, primary, compiled.filter_program, executor,
+        phase="delete-filter", pages=pages,
+        result_bits=doomed if vectorized else None,
+    )
+    # Clear the valid bit where the filter hit.
+    apply_program(
+        stored, primary, compiled.clear_programs[primary], executor,
+        phase="delete-clear", pages=pages,
+        result_bits=(valid_before & ~doomed) if vectorized else None,
+    )
+    # Other vertical partitions: ship the tombstone bit-vector through the
+    # host (the two-xb transfer path) and clear their valid bits too.
+    for index in range(stored.partitions):
+        if index == primary:
+            continue
+        read_model.transfer_bit_column(
+            stored,
+            primary, stored.layouts[primary].filter_column,
+            index, stored.layouts[index].remote_column,
+            phase="delete-transfer",
+        )
+        apply_program(
+            stored, index, compiled.clear_programs[index], executor,
+            phase="delete-clear",
+            pages=stored.allocations[index].pages * timing_scale,
+            result_bits=(valid_before & ~doomed) if vectorized else None,
+        )
+
+    stored.register_tombstones(np.nonzero(doomed)[0])
+    clear_cycles = sum(p.cycles for p in compiled.clear_programs.values())
+    return DeleteResult(
+        records_deleted=int(doomed.sum()),
+        filter_cycles=compiled.filter_program.cycles,
+        clear_cycles=clear_cycles,
+        live_records=stored.live_count,
+        tombstones=stored.tombstone_count,
+    )
+
+
+# --------------------------------------------------------------------- INSERT
+@dataclass
+class InsertResult:
+    """Outcome of an INSERT batch."""
+
+    #: Slot index of every inserted record, in input order.
+    slots: List[int] = field(default_factory=list)
+    #: How many inserts reused a tombstoned slot.
+    reused_slots: int = 0
+    #: How many inserts grew the high-water mark into the spare tail.
+    appended_slots: int = 0
+    live_records: int = 0
+    tombstones: int = 0
+
+    @property
+    def records_inserted(self) -> int:
+        return len(self.slots)
+
+
+def execute_insert(
+    stored: StoredRelation,
+    records: Sequence[Mapping[str, object]],
+    executor: PimExecutor,
+    phase: str = "insert-write",
+    encoded: bool = False,
+) -> InsertResult:
+    """Insert ``records`` (``{attribute: value}`` mappings) into free slots.
+
+    Tombstones are reused lowest-first; further records land in the spare
+    capacity tail, growing ``num_records`` and the ground-truth relation
+    together.  Each record is written through the host store path — one
+    field store per attribute plus the bookkeeping bits — charging write
+    latency, energy and wear per store (the ``insert-write`` phase).  The
+    batch is all-or-nothing against caller errors: capacity and every
+    record's encoding are validated before the first write, so a bad record
+    raises (:class:`RelationFullError` / :class:`ValueError`) with nothing
+    applied.  ``encoded=True`` trusts the records to be
+    :meth:`~repro.db.relation.Relation.encode_record` results (the sharded
+    router validates once for all shards).
+    """
+    records = list(records)
+    if len(records) > stored.free_slots:
+        raise RelationFullError(
+            f"cannot insert {len(records)} records into {stored.label!r}: "
+            f"only {stored.free_slots} free slots"
+        )
+    relation = stored.relation
+    encoded_records = (
+        records if encoded
+        else [relation.encode_record(values) for values in records]
+    )
+
+    result = InsertResult()
+    tail_records: List[Dict] = []
+    for record in encoded_records:
+        slot, reused = stored.acquire_slot()
+        if reused:
+            relation.set_row(slot, record, encoded=True)
+            result.reused_slots += 1
+        else:
+            # Ground-truth growth is deferred and done in one reallocation
+            # below; the slot count is claimed now so the next record lands
+            # behind this one.
+            tail_records.append(record)
+            stored.num_records += 1
+            result.appended_slots += 1
+        stored.live_count += 1
+        result.slots.append(slot)
+
+        for layout, allocation, attrs in zip(
+            stored.layouts, stored.allocations, stored.partition_attributes
+        ):
+            bank = allocation.bank
+            xbar = allocation.crossbar_of_record(slot)
+            row = allocation.row_of_record(slot)
+            for name in attrs:
+                offset, width = layout.fields[name]
+                executor.host_write_field(
+                    bank, xbar, row, offset, width, int(record[name]), phase=phase
+                )
+            # Raise the valid bit last and scrub the bookkeeping bits a
+            # tombstone may have left behind.
+            for column, bit in (
+                (layout.filter_column, 0),
+                (layout.group_column, 0),
+                (layout.remote_column, 0),
+                (layout.valid_column, 1),
+            ):
+                executor.host_write_field(bank, xbar, row, column, 1, bit, phase=phase)
+
+    relation.append_rows(tail_records, encoded=True)
+    assert len(relation) == stored.num_records, (
+        "ground-truth relation out of sync with the slot high-water mark"
+    )
+    result.live_records = stored.live_count
+    result.tombstones = stored.tombstone_count
+    return result
+
+
+# ----------------------------------------------------------------- COMPACTION
+@dataclass
+class CompactionResult:
+    """Outcome of a compaction pass."""
+
+    performed: bool
+    fragmentation_before: float
+    records_moved: int = 0
+    slots_reclaimed: int = 0
+    slots_before: int = 0
+    slots_after: int = 0
+
+
+def execute_compaction(
+    stored: StoredRelation,
+    executor: PimExecutor,
+    threshold: float = DEFAULT_COMPACTION_THRESHOLD,
+    force: bool = False,
+    timing_scale: float = 1.0,
+) -> CompactionResult:
+    """Rewrite the live rows densely when fragmentation crosses ``threshold``.
+
+    The host reads every live record (``compact-read``, the scattered
+    cache-line read path) and streams the dense image back
+    (``compact-write``, charging write bandwidth, crossbar write energy and
+    one full-row write of wear per rewritten slot).  Afterwards the slot
+    high-water mark equals the live count, the free-slot list is empty and
+    the bookkeeping bit columns are clean.  A fully-deleted relation (no
+    live rows) reclaims all its slots with a metadata-only pass: every slot
+    already holds a cleared valid bit, so nothing needs rewriting.
+    """
+    fragmentation = stored.fragmentation
+    if stored.tombstone_count == 0:
+        return CompactionResult(performed=False, fragmentation_before=fragmentation)
+    if not force and fragmentation < threshold:
+        return CompactionResult(performed=False, fragmentation_before=fragmentation)
+
+    slots_before = stored.num_records
+    if stored.live_count == 0:
+        relation = stored.relation
+        for name in relation.schema.names:
+            relation.columns[name] = relation.columns[name][:0]
+        relation.num_records = 0
+        stored.reset_slots_after_compaction()
+        return CompactionResult(
+            performed=True,
+            fragmentation_before=fragmentation,
+            records_moved=0,
+            slots_reclaimed=slots_before,
+            slots_before=slots_before,
+            slots_after=0,
+        )
+    valid = stored.valid_mask(0)
+    live_indices = np.nonzero(valid)[0]
+    new_count = int(len(live_indices))
+    read_model = HostReadModel(
+        executor.config, executor.stats, traffic_scale=timing_scale
+    )
+
+    # Phase 1: the host reads every live record (per vertical partition).
+    for partition, attrs in enumerate(stored.partition_attributes):
+        read_model.read_records(
+            stored, partition, live_indices, attrs, phase="compact-read"
+        )
+
+    # The slot-aligned ground truth drops its tombstone rows.
+    relation = stored.relation
+    for name in relation.schema.names:
+        relation.columns[name] = relation.columns[name][valid]
+    relation.num_records = new_count
+
+    # Phase 2: stream the dense image back into the crossbars.
+    host = executor.config.host
+    xbar_cfg = executor.config.pim.crossbar
+    total_bits_written = 0
+    for layout, allocation, attrs in zip(
+        stored.layouts, stored.allocations, stored.partition_attributes
+    ):
+        bank = allocation.bank
+        capacity = allocation.record_capacity
+        row_bits = (
+            sum(layout.fields[name][1] for name in attrs)
+            + layout.bookkeeping_columns
+        )
+        for name in attrs:
+            offset, width = layout.fields[name]
+            padded = np.zeros(capacity, dtype=np.uint64)
+            padded[:new_count] = relation.column(name)
+            bank.write_field_column(
+                offset, width,
+                padded.reshape(bank.count, bank.rows),
+                count_wear=False,
+            )
+        fresh_valid = np.zeros(capacity, dtype=bool)
+        fresh_valid[:new_count] = True
+        bank.write_bool_column(
+            layout.valid_column,
+            fresh_valid.reshape(bank.count, bank.rows),
+            count_wear=False,
+        )
+        clean = np.zeros((bank.count, bank.rows), dtype=bool)
+        for column in (layout.filter_column, layout.group_column, layout.remote_column):
+            bank.write_bool_column(column, clean, count_wear=False)
+        # Wear: every slot in use before compaction is rewritten once
+        # (values moved into the dense prefix, tombstones scrubbed behind it).
+        flat_wear = bank.writes_per_row.reshape(-1)
+        flat_wear[:slots_before] += row_bits
+        total_bits_written += slots_before * row_bits
+
+    scaled_bits = int(round(total_bits_written * timing_scale))
+    num_bytes = scaled_bits / 8
+    executor.stats.add_time(
+        "compact-write", dram.write_time(host, num_bytes, host.query_threads)
+    )
+    executor.stats.add_energy("write", scaled_bits * xbar_cfg.write_energy_per_bit_j)
+    executor.stats.bits_written += scaled_bits
+    executor.stats.host_lines_written += int(
+        np.ceil(num_bytes / CACHE_LINE_BYTES)
+    )
+
+    stored.reset_slots_after_compaction()
+    return CompactionResult(
+        performed=True,
+        fragmentation_before=fragmentation,
+        records_moved=new_count,
+        slots_reclaimed=slots_before - new_count,
+        slots_before=slots_before,
+        slots_after=new_count,
+    )

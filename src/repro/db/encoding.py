@@ -61,7 +61,10 @@ class RowLayout:
         # Landing column for bits transferred from another vertical partition
         # through the host (the two-xb intermediate-result path).
         self.remote_column = cursor + 3
-        cursor += 4
+        #: Bookkeeping bits per record (valid/filter/group/remote) — anything
+        #: charging per-row rewrite costs derives the count from here.
+        self.bookkeeping_columns = 4
+        cursor += self.bookkeeping_columns
 
         if aggregation_width is None:
             aggregation_width = max((a.width for a in schema), default=1)

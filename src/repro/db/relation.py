@@ -57,6 +57,73 @@ class Relation:
         column = self.column(name)
         return [attribute.decode_value(v) for v in column]
 
+    # ------------------------------------------------------------- mutation
+    def encode_record(self, values: Mapping[str, object]) -> Dict[str, np.uint64]:
+        """Validate and encode one record given as ``{attribute: value}``.
+
+        Values may be raw (e.g. a dictionary-encoded string) or already
+        encoded integers; either way the encoded code must fit the
+        attribute's bit width.  Unknown or missing attributes fail loudly.
+        """
+        unknown = set(values) - set(self.schema.names)
+        if unknown:
+            raise ValueError(
+                f"record has attributes {sorted(unknown)} not in schema "
+                f"{self.schema.name!r}"
+            )
+        encoded: Dict[str, np.uint64] = {}
+        for attribute in self.schema:
+            if attribute.name not in values:
+                raise ValueError(f"record is missing attribute {attribute.name!r}")
+            raw = values[attribute.name]
+            code = raw if isinstance(raw, (int, np.integer)) else attribute.encode_value(raw)
+            code = int(code)
+            if code < 0 or (attribute.width < 64 and code > attribute.max_value):
+                raise ValueError(
+                    f"value {raw!r} for attribute {attribute.name!r} does not "
+                    f"fit in {attribute.width} bits"
+                )
+            encoded[attribute.name] = np.uint64(code)
+        return encoded
+
+    def set_row(
+        self, index: int, values: Mapping[str, object], encoded: bool = False
+    ) -> None:
+        """Overwrite one record in place (slot reuse of the DML path).
+
+        ``encoded=True`` trusts ``values`` to be an :meth:`encode_record`
+        result and skips re-validation.
+        """
+        if not 0 <= index < self.num_records:
+            raise IndexError(f"row {index} out of range 0..{self.num_records - 1}")
+        record = values if encoded else self.encode_record(values)
+        for name in self.schema.names:
+            self.columns[name][index] = record[name]
+
+    def append_rows(
+        self, rows: Sequence[Mapping[str, object]], encoded: bool = False
+    ) -> List[int]:
+        """Append records, growing every column once; returns the new indices.
+
+        Growth reallocates the column arrays, so any NumPy views previously
+        taken of them (e.g. a parent relation's columns) stop aliasing this
+        relation — callers that rely on view-sharing must only grow through
+        their own coordination layer.
+        """
+        if not rows:
+            return []
+        records = list(rows) if encoded else [self.encode_record(r) for r in rows]
+        for name in self.schema.names:
+            tail = np.array([r[name] for r in records], dtype=np.uint64)
+            self.columns[name] = np.concatenate([self.columns[name], tail])
+        first = self.num_records
+        self.num_records += len(records)
+        return list(range(first, self.num_records))
+
+    def append_row(self, values: Mapping[str, object], encoded: bool = False) -> int:
+        """Append one record (see :meth:`append_rows`); returns the new index."""
+        return self.append_rows([values], encoded=encoded)[0]
+
     # ----------------------------------------------------------- operations
     def select(self, mask: np.ndarray) -> "Relation":
         """Return a new relation containing only the rows where ``mask``."""

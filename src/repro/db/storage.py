@@ -15,8 +15,9 @@ it.
 
 from __future__ import annotations
 
+import heapq
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,8 +27,27 @@ from repro.db.schema import Schema
 from repro.pim.module import PimAllocation, PimModule
 
 
+class RelationFullError(RuntimeError):
+    """An INSERT found no free slot (no tombstone and no spare capacity)."""
+
+
 class StoredRelation:
-    """A relation resident in bulk-bitwise PIM memory."""
+    """A relation resident in bulk-bitwise PIM memory.
+
+    Slot semantics (the DML subsystem, :mod:`repro.db.dml`):
+
+    * ``num_records`` is the number of *slots in use* — the high-water mark of
+      rows ever written.  It grows when an INSERT lands in the allocation's
+      spare capacity tail and shrinks when compaction rewrites the live rows
+      densely.
+    * The layout's valid bit distinguishes **live** rows from **tombstones**
+      (rows cleared by DELETE, awaiting reuse or compaction).  Every query
+      path already ANDs with the valid column, so tombstones never contribute
+      to any result.
+    * ``self.relation`` stays *slot-aligned*: ground-truth row ``i`` describes
+      slot ``i``, including tombstoned slots (whose values are stale but
+      masked).  The live contents are :meth:`live_relation`.
+    """
 
     def __init__(
         self,
@@ -91,6 +111,10 @@ class StoredRelation:
         for index, attrs in enumerate(self.partition_attributes):
             for name in attrs:
                 self._attribute_partition[name] = index
+        # DML bookkeeping: tombstoned slots available for reuse (a min-heap,
+        # so reuse fills the lowest slots first) and the live-row counter.
+        self._free_slots: List[int] = []
+        self.live_count = self.num_records
         self._load()
 
     # ---------------------------------------------------------------- set-up
@@ -162,6 +186,57 @@ class StoredRelation:
     def crossbars_per_partition(self) -> int:
         return self.allocations[0].crossbars
 
+    @property
+    def record_capacity(self) -> int:
+        """Slots the allocations can hold (every partition has the same)."""
+        return min(a.record_capacity for a in self.allocations)
+
+    # ------------------------------------------------------- slot accounting
+    @property
+    def tombstone_count(self) -> int:
+        """Slots in use whose valid bit was cleared by a DELETE."""
+        return self.num_records - self.live_count
+
+    @property
+    def free_slots(self) -> int:
+        """Slots an INSERT can claim: tombstones plus the spare capacity tail."""
+        return self.record_capacity - self.live_count
+
+    @property
+    def fragmentation(self) -> float:
+        """Tombstoned fraction of the slots in use (compaction trigger)."""
+        if self.num_records == 0:
+            return 0.0
+        return self.tombstone_count / self.num_records
+
+    def acquire_slot(self) -> Tuple[int, bool]:
+        """Pick the slot for one INSERT: ``(slot, reused)``.
+
+        Tombstones are reused lowest-first; otherwise the slot after the
+        high-water mark is returned (the caller grows ``num_records`` and the
+        ground-truth relation together).  Raises :class:`RelationFullError`
+        when the allocation is full of live rows.
+        """
+        if self._free_slots:
+            return heapq.heappop(self._free_slots), True
+        if self.num_records < self.record_capacity:
+            return self.num_records, False
+        raise RelationFullError(
+            f"{self.label!r} is full: {self.live_count} live records in "
+            f"{self.record_capacity} slots"
+        )
+
+    def register_tombstones(self, slots: np.ndarray) -> None:
+        """Record slots whose valid bit a DELETE just cleared."""
+        for slot in np.asarray(slots, dtype=np.int64):
+            heapq.heappush(self._free_slots, int(slot))
+        self.live_count -= len(slots)
+
+    def reset_slots_after_compaction(self) -> None:
+        """All live rows were rewritten densely into the lowest slots."""
+        self._free_slots = []
+        self.num_records = self.live_count
+
     def partition_of(self, attribute: str) -> int:
         """Index of the vertical partition storing an attribute."""
         try:
@@ -179,7 +254,13 @@ class StoredRelation:
 
     # ------------------------------------------------------------ functional
     def decode_column(self, attribute: str) -> np.ndarray:
-        """Decode an attribute of every stored record from the crossbar bits."""
+        """Decode an attribute of every slot in use from the crossbar bits.
+
+        The result is *slot-aligned* with the ground-truth relation: one
+        value per slot up to the valid-mask high-water mark ``num_records``
+        (tombstoned slots included), not a fixed load-time prefix — indices
+        from a filter bit-vector index it directly.
+        """
         partition = self.partition_of(attribute)
         layout = self.layouts[partition]
         bank = self.allocations[partition].bank
@@ -188,7 +269,7 @@ class StoredRelation:
         return flat[: self.num_records]
 
     def column_bit(self, partition: int, column: int) -> np.ndarray:
-        """Read one bookkeeping bit column of every stored record."""
+        """Read one bookkeeping bit column of every slot in use (slot-aligned)."""
         bank = self.allocations[partition].bank
         flat = bank.read_column(column).reshape(-1)
         return flat[: self.num_records]
@@ -198,13 +279,22 @@ class StoredRelation:
         return self.column_bit(partition, self.layouts[partition].filter_column)
 
     def valid_mask(self, partition: int = 0) -> np.ndarray:
-        """The valid bit of every record (true for real records)."""
+        """The valid bit of every slot in use (true for live records)."""
         return self.column_bit(partition, self.layouts[partition].valid_column)
+
+    def live_relation(self) -> Relation:
+        """The live ground truth: slot-aligned relation minus the tombstones."""
+        return self.relation.select(self.valid_mask(0))
 
     def write_bit_column(
         self, partition: int, column: int, values: np.ndarray, count_wear: bool = True
     ) -> None:
         """Overwrite a bookkeeping bit column (functional host-write helper).
+
+        ``values`` must hold exactly one bit per slot in use
+        (``num_records``); a wrong-length array is a caller bug and fails
+        loudly instead of being silently truncated or zero-padded.  Slots
+        beyond the high-water mark are always cleared.
 
         The caller is responsible for charging the corresponding write
         traffic; the executor's two-xb filter-transfer path does so.  With
@@ -212,10 +302,16 @@ class StoredRelation:
         the vectorized execution stages, which charge the gate-level
         program's wear analytically instead.
         """
+        values = np.asarray(values, dtype=bool)
+        if values.shape != (self.num_records,):
+            raise ValueError(
+                f"bit column needs one value per slot in use "
+                f"({self.num_records}), got shape {values.shape}"
+            )
         bank = self.allocations[partition].bank
         capacity = self.allocations[partition].record_capacity
         padded = np.zeros(capacity, dtype=bool)
-        padded[: self.num_records] = np.asarray(values, dtype=bool)[: self.num_records]
+        padded[: self.num_records] = values
         bank.write_bool_column(
             column, padded.reshape(bank.count, bank.rows), count_wear=count_wear
         )

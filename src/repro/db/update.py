@@ -52,7 +52,7 @@ class CompiledUpdate:
     filter_program: Program
     update_program: Program
     encoded_assignments: Dict[str, int]
-    predicate: Predicate = None
+    predicate: Optional[Predicate] = None
     assignments: Optional[Dict[str, object]] = None
 
 
@@ -144,8 +144,12 @@ def execute_update(
         pages=allocation.pages, phase="update-mux",
     )
 
-    # Keep the functional ground truth in sync.
+    # Keep the functional ground truth in sync.  Tombstoned rows are masked
+    # out: the stored-bits mux never touches them (the filter program ANDs
+    # with the valid column), so rewriting their ground-truth values would
+    # silently diverge from the stored bits.
     mask = evaluate_predicate(predicate, stored.relation)
+    mask &= stored.valid_mask(compiled.partition)
     for name, encoded in compiled.encoded_assignments.items():
         column = stored.relation.columns[name]
         column[mask] = np.uint64(encoded)

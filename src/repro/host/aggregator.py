@@ -21,6 +21,19 @@ from repro.db.query import Aggregate
 from repro.host.processor import cpu_time
 from repro.pim.stats import PimStats
 
+#: Aggregate operations the host can combine and merge.  An AVG never reaches
+#: these functions directly — it is decomposed into its SUM and COUNT parts
+#: upstream and re-assembled after the merge.
+SUPPORTED_MERGE_OPS = ("sum", "count", "min", "max")
+
+
+def _check_merge_op(operation: str) -> None:
+    if operation not in SUPPORTED_MERGE_OPS:
+        raise ValueError(
+            f"unsupported aggregation {operation!r}; mergeable operations are "
+            f"{SUPPORTED_MERGE_OPS} (decompose an avg into sum and count)"
+        )
+
 
 def host_group_aggregate(
     group_columns: Mapping[str, np.ndarray],
@@ -49,6 +62,7 @@ def host_group_aggregate(
         raise ValueError("group and value columns have different lengths")
     count = lengths.pop() if lengths else 0
     for aggregate in aggregates:
+        _check_merge_op(aggregate.op)
         if aggregate.op != "count" and aggregate.attribute not in value_columns:
             raise ValueError(
                 f"aggregate {aggregate.name!r} needs value column "
@@ -114,17 +128,22 @@ def combine_partials(
     An empty ``min``/``max`` has no defined value: no crossbar contributed a
     partial (every one held the identity), so the combination returns ``None``
     rather than a spurious ``0`` that would poison later min/max merging.
-    Empty sums and counts are genuinely ``0``.
+    Empty sums and counts are genuinely ``0``.  The same identities apply when
+    ``partials`` itself is empty (no crossbar produced anything at all, e.g. a
+    fully compacted-away allocation).
     """
-    values = np.concatenate([np.asarray(p, dtype=np.uint64).reshape(-1) for p in partials])
+    _check_merge_op(operation)
+    arrays = [np.asarray(p, dtype=np.uint64).reshape(-1) for p in partials]
+    if arrays:
+        values = np.concatenate(arrays)
+    else:
+        values = np.zeros(0, dtype=np.uint64)
     if operation in ("sum", "count"):
         result: Optional[int] = int(values.sum())
     elif operation == "min":
         result = int(values.min()) if values.size else None
-    elif operation == "max":
+    else:  # max
         result = int(values.max()) if values.size else None
-    else:
-        raise ValueError(f"unsupported aggregation {operation!r}")
     if stats is not None:
         stats.add_time(phase, cpu_time(config, len(values), 4.0, threads=1))
     return result
@@ -172,7 +191,13 @@ def merge_group_results(
     selection on that side was empty — does not constrain the merge: the other
     side's value is kept as-is instead of being min/max-ed against a
     placeholder.
+
+    Only ``sum``/``count``/``min``/``max`` merge; anything else (a raw
+    ``avg``, a typo) raises :class:`ValueError` instead of being silently
+    folded as a ``max`` and corrupting the result.
     """
+    for aggregate in aggregates:
+        _check_merge_op(aggregate.op)
     merged = {key: dict(value) for key, value in first.items()}
     for key, entry in second.items():
         if key not in merged:
@@ -189,6 +214,6 @@ def merge_group_results(
                 target[name] += entry[name]
             elif aggregate.op == "min":
                 target[name] = min(target[name], entry[name])
-            else:
+            else:  # max — the only remaining validated operation
                 target[name] = max(target[name], entry[name])
     return merged

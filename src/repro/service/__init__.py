@@ -7,12 +7,14 @@ and batch scheduling through shared per-relation executors.
 """
 
 from repro.service.cache import CacheStats, ProgramCache
-from repro.service.service import BatchResult, QueryRequest, QueryService
-from repro.service.stats import ServiceStats, ShardStats
+from repro.service.service import BatchResult, DmlOutcome, QueryRequest, QueryService
+from repro.service.stats import DmlStats, ServiceStats, ShardStats
 
 __all__ = [
     "BatchResult",
     "CacheStats",
+    "DmlOutcome",
+    "DmlStats",
     "ProgramCache",
     "QueryRequest",
     "QueryService",

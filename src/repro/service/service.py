@@ -35,18 +35,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from repro.config import SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
-from repro.db.query import Query
+from repro.db import dml
+from repro.db.query import Predicate, Query
 from repro.db.relation import Relation
 from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
+from repro.pim.stats import PimStats
 from repro.service.cache import ProgramCache
-from repro.service.stats import ServiceStats
+from repro.service.stats import DmlStats, ServiceStats
+from repro.sharding import dml as sharded_dml
 from repro.sharding.executor import ShardedQueryEngine
 from repro.sharding.storage import ShardedStoredRelation
 
@@ -64,6 +67,22 @@ class QueryRequest:
 
     query: Query
     relation: Optional[str] = None
+
+
+@dataclass
+class DmlOutcome:
+    """One DML call served by the service: the outcome plus modelled stats.
+
+    ``stats`` merges the per-shard executors of a sharded relation —
+    broadcast deletes and compactions combine as parallel phases
+    (max-over-shards), routed inserts as serial work.  ``shard_stats`` keeps
+    the unmerged per-shard breakdown (one entry for an unsharded relation),
+    which is where the per-phase detail lives.
+    """
+
+    result: object
+    stats: PimStats
+    shard_stats: List[PimStats] = field(default_factory=list)
 
 
 @dataclass
@@ -102,6 +121,7 @@ class QueryService:
         self.vectorized = bool(vectorized)
         self._engines: Dict[str, ServiceEngine] = {}
         self._executors: Dict[str, ServiceExecutors] = {}
+        self._dml_counters: Dict[str, Dict[str, int]] = {}
         self._default: Optional[str] = None
 
     # -------------------------------------------------------------- registry
@@ -136,6 +156,7 @@ class QueryService:
         )
         self._engines[name] = engine
         self._executors[name] = PimExecutor(engine.config)
+        self._dml_counters[name] = self._fresh_counters()
         if default or self._default is None:
             self._default = name
         return engine
@@ -209,9 +230,14 @@ class QueryService:
         )
         self._engines[name] = engine
         self._executors[name] = engine.make_executors()
+        self._dml_counters[name] = self._fresh_counters()
         if default or self._default is None:
             self._default = name
         return engine
+
+    @staticmethod
+    def _fresh_counters() -> Dict[str, int]:
+        return {"inserted": 0, "deleted": 0, "compactions": 0, "slots_reclaimed": 0}
 
     def _check_name_free(self, name: str) -> None:
         if name in self._engines:
@@ -278,6 +304,168 @@ class QueryService:
                 raise AssertionError(f"request {index} was never scheduled")
             executions.append(execution)
         stats = ServiceStats.from_executions(
-            executions, wall, cache=self.cache.stats.snapshot() - cache_before
+            executions, wall,
+            cache=self.cache.stats.snapshot() - cache_before,
+            dml=self._dml_snapshot(),
         )
         return BatchResult(executions=executions, stats=stats)
+
+    # ------------------------------------------------------------------- DML
+    def insert(
+        self,
+        records: Sequence[Mapping[str, object]],
+        relation: Optional[str] = None,
+    ) -> DmlOutcome:
+        """Insert records into a registered relation (slot reuse, then tail).
+
+        A sharded relation routes each record to its currently least-full
+        shard.  Raises :class:`~repro.db.storage.RelationFullError` when the
+        batch does not fit.
+        """
+        name = self._resolve(relation)
+        engine = self._engines[name]
+        executors = self._bind_dml_stats(name)
+        if isinstance(engine, ShardedQueryEngine):
+            result = sharded_dml.execute_sharded_insert(
+                engine.sharded, records, executors=executors
+            )
+        else:
+            result = dml.execute_insert(engine.stored, records, executors[0])
+        self._dml_counters[name]["inserted"] += result.records_inserted
+        return DmlOutcome(
+            result,
+            self._merge_dml_stats(executors, parallel=False),
+            [executor.stats.copy() for executor in executors],
+        )
+
+    def delete(
+        self, predicate: Predicate, relation: Optional[str] = None
+    ) -> DmlOutcome:
+        """Tombstone the records selected by ``predicate`` — in memory.
+
+        The filter program compiles through the service's program cache (a
+        repeated DELETE, or a DELETE matching a cached WHERE clause, skips
+        compilation); a sharded relation broadcasts the once-compiled
+        programs to every shard.
+        """
+        name = self._resolve(relation)
+        engine = self._engines[name]
+        executors = self._bind_dml_stats(name)
+        if isinstance(engine, ShardedQueryEngine):
+            result = sharded_dml.execute_sharded_delete(
+                engine.sharded, predicate,
+                executors=executors,
+                compiler=self.cache,
+                vectorized=self.vectorized,
+            )
+        else:
+            compiled = dml.compile_delete(engine.stored, predicate, compiler=self.cache)
+            result = dml.execute_delete(
+                engine.stored, predicate, executors[0],
+                compiled=compiled, vectorized=self.vectorized,
+            )
+        self._dml_counters[name]["deleted"] += result.records_deleted
+        return DmlOutcome(
+            result,
+            self._merge_dml_stats(executors, parallel=True),
+            [executor.stats.copy() for executor in executors],
+        )
+
+    def compact(
+        self,
+        relation: Optional[str] = None,
+        threshold: float = dml.DEFAULT_COMPACTION_THRESHOLD,
+        force: bool = False,
+    ) -> DmlOutcome:
+        """Compact a relation's tombstones away when fragmentation warrants it."""
+        name = self._resolve(relation)
+        engine = self._engines[name]
+        executors = self._bind_dml_stats(name)
+        if isinstance(engine, ShardedQueryEngine):
+            result = sharded_dml.execute_sharded_compaction(
+                engine.sharded, executors=executors,
+                threshold=threshold, force=force,
+            )
+            performed = result.shards_compacted
+            reclaimed = result.slots_reclaimed
+        else:
+            result = dml.execute_compaction(
+                engine.stored, executors[0], threshold=threshold, force=force
+            )
+            performed = int(result.performed)
+            reclaimed = result.slots_reclaimed
+        self._dml_counters[name]["compactions"] += performed
+        self._dml_counters[name]["slots_reclaimed"] += reclaimed
+        return DmlOutcome(
+            result,
+            self._merge_dml_stats(executors, parallel=True),
+            [executor.stats.copy() for executor in executors],
+        )
+
+    def dml_stats(self, relation: Optional[str] = None) -> DmlStats:
+        """Live-row / tombstone / lifecycle counters of one relation."""
+        name = self._resolve(relation)
+        return self._relation_dml_stats(name)
+
+    def _relation_dml_stats(self, name: str) -> DmlStats:
+        engine = self._engines[name]
+        if isinstance(engine, ShardedQueryEngine):
+            storage = engine.sharded
+            capacity = sum(shard.record_capacity for shard in storage.shards)
+        else:
+            storage = engine.stored
+            capacity = storage.record_capacity
+        counters = self._dml_counters[name]
+        return DmlStats(
+            live_rows=storage.live_count,
+            tombstones=storage.tombstone_count,
+            slots_in_use=storage.num_records,
+            capacity=capacity,
+            inserted=counters["inserted"],
+            deleted=counters["deleted"],
+            compactions=counters["compactions"],
+            slots_reclaimed=counters["slots_reclaimed"],
+        )
+
+    def _dml_snapshot(self) -> Optional[DmlStats]:
+        """Aggregate DML state over all relations; ``None`` before any DML."""
+        if not any(
+            any(counters.values()) for counters in self._dml_counters.values()
+        ):
+            return None
+        per_relation = [self._relation_dml_stats(name) for name in self._engines]
+        return DmlStats(
+            live_rows=sum(s.live_rows for s in per_relation),
+            tombstones=sum(s.tombstones for s in per_relation),
+            slots_in_use=sum(s.slots_in_use for s in per_relation),
+            capacity=sum(s.capacity for s in per_relation),
+            inserted=sum(s.inserted for s in per_relation),
+            deleted=sum(s.deleted for s in per_relation),
+            compactions=sum(s.compactions for s in per_relation),
+            slots_reclaimed=sum(s.slots_reclaimed for s in per_relation),
+        )
+
+    def _bind_dml_stats(self, name: str) -> List[PimExecutor]:
+        """Attach fresh per-call stats to the relation's executor(s)."""
+        executors = self._executors[name]
+        if isinstance(executors, PimExecutor):
+            executors = [executors]
+        for executor in executors:
+            executor.stats = PimStats()
+        return executors
+
+    def _merge_dml_stats(
+        self, executors: Sequence[PimExecutor], parallel: bool
+    ) -> PimStats:
+        """One stats roll-up per DML call: parallel broadcast or serial routing."""
+        if len(executors) == 1:
+            return executors[0].stats
+        merged = PimStats()
+        if parallel:
+            merged.merge_parallel(
+                [executor.stats for executor in executors], phase="dml-scatter"
+            )
+        else:
+            for executor in executors:
+                merged.merge(executor.stats)
+        return merged

@@ -75,6 +75,30 @@ class ShardStats:
 
 
 @dataclass(frozen=True)
+class DmlStats:
+    """Data-lifecycle counters of the service's registered relations.
+
+    ``live_rows``/``tombstones``/``slots_in_use`` are a point-in-time
+    snapshot of the storage state; the remaining fields count DML executed
+    through the service since it was created.
+    """
+
+    live_rows: int = 0
+    tombstones: int = 0
+    slots_in_use: int = 0
+    capacity: int = 0
+    inserted: int = 0
+    deleted: int = 0
+    compactions: int = 0
+    slots_reclaimed: int = 0
+
+    @property
+    def fragmentation(self) -> float:
+        """Tombstoned fraction of the slots in use."""
+        return self.tombstones / self.slots_in_use if self.slots_in_use else 0.0
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Throughput and latency summary of one served batch."""
 
@@ -89,6 +113,8 @@ class ServiceStats:
     cache: Optional[CacheStats] = None
     #: Scatter-gather figures; ``None`` when no execution was sharded.
     sharded: Optional[ShardStats] = None
+    #: Data-lifecycle state/counters; ``None`` for a service without DML.
+    dml: Optional[DmlStats] = None
 
     @classmethod
     def from_executions(
@@ -96,6 +122,7 @@ class ServiceStats:
         executions: Sequence[QueryExecution],
         wall_time_s: float,
         cache: Optional[CacheStats] = None,
+        dml: Optional[DmlStats] = None,
     ) -> "ServiceStats":
         """Summarise a batch of executions measured over ``wall_time_s``."""
         latencies = np.array([e.time_s for e in executions], dtype=float)
@@ -115,6 +142,7 @@ class ServiceStats:
             modelled_energy_j=float(sum(e.energy_j for e in executions)),
             cache=cache,
             sharded=ShardStats.from_executions(sharded),
+            dml=dml,
         )
 
     def describe(self) -> str:
@@ -141,5 +169,13 @@ class ServiceStats:
                 f"{s.parallel_speedup:.2f}x parallel speedup, "
                 f"merge {s.merge_time_s * 1e6:.3f} us, "
                 f"max shard wear {s.max_shard_writes_per_row} writes/row"
+            )
+        if self.dml is not None:
+            d = self.dml
+            lines.append(
+                f"dml: {d.live_rows} live rows, {d.tombstones} tombstones "
+                f"({d.fragmentation:.0%} fragmentation), "
+                f"{d.inserted} inserted / {d.deleted} deleted, "
+                f"{d.compactions} compactions ({d.slots_reclaimed} slots reclaimed)"
             )
         return "\n".join(lines)

@@ -10,15 +10,29 @@ engine; the modelled end-to-end latency is max-over-shards plus a merge
 term, never the sum.
 """
 
+from repro.sharding.dml import (
+    ShardedCompactionResult,
+    ShardedDeleteResult,
+    ShardedInsertResult,
+    execute_sharded_compaction,
+    execute_sharded_delete,
+    execute_sharded_insert,
+)
 from repro.sharding.executor import ShardedQueryEngine, ShardedQueryExecution
 from repro.sharding.storage import ShardedStoredRelation, shard_bounds
 from repro.sharding.update import ShardedUpdateResult, execute_sharded_update
 
 __all__ = [
+    "ShardedCompactionResult",
+    "ShardedDeleteResult",
+    "ShardedInsertResult",
     "ShardedQueryEngine",
     "ShardedQueryExecution",
     "ShardedStoredRelation",
     "ShardedUpdateResult",
+    "execute_sharded_compaction",
+    "execute_sharded_delete",
+    "execute_sharded_insert",
     "execute_sharded_update",
     "shard_bounds",
 ]

@@ -1,0 +1,184 @@
+"""DML over a horizontally sharded relation.
+
+* **INSERT** has a natural routing decision where UPDATE/DELETE do not: each
+  record goes to the *least-full* shard (most free slots — tombstones plus
+  spare capacity tail), re-evaluated record by record so a large batch
+  spreads across shards instead of piling onto one.
+* **DELETE** is broadcast like UPDATE: the predicate may select records in
+  any shard, so the filter and valid-clearing programs are compiled **once**
+  against the shared layouts (:func:`repro.db.dml.compile_delete`) and
+  replayed verbatim on every shard, each charging its own executor.
+* **Compaction** is per shard — each shard rewrites its own live rows when
+  its own fragmentation crosses the threshold (a churn workload rarely
+  fragments all shards equally).
+
+Per-shard stats stay on the per-shard executors, exactly like the sharded
+query scatter; callers that want one roll-up can merge them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.db.dml import (
+    DEFAULT_COMPACTION_THRESHOLD,
+    CompactionResult,
+    DeleteResult,
+    InsertResult,
+    compile_delete,
+    execute_compaction,
+    execute_delete,
+    execute_insert,
+)
+from repro.db.query import Predicate
+from repro.db.storage import RelationFullError
+from repro.pim.controller import PimExecutor
+from repro.sharding.storage import ShardedStoredRelation
+
+
+@dataclass
+class ShardedInsertResult:
+    """Outcome of an INSERT batch routed across the shards."""
+
+    #: ``(shard, slot)`` of every inserted record, in input order.
+    placements: List[tuple] = field(default_factory=list)
+    #: Per-shard insert outcomes (shards that received nothing are absent).
+    shard_results: Dict[int, InsertResult] = field(default_factory=dict)
+
+    @property
+    def records_inserted(self) -> int:
+        return len(self.placements)
+
+    @property
+    def shards_touched(self) -> int:
+        return len(self.shard_results)
+
+
+@dataclass
+class ShardedDeleteResult:
+    """Outcome of a DELETE broadcast to every shard."""
+
+    records_deleted: int
+    shard_results: List[DeleteResult]
+    #: NOR cycles of the (shared) filter program, per shard.
+    filter_cycles: int
+    #: NOR cycles of the (shared) valid-clearing programs, per shard.
+    clear_cycles: int
+
+    @property
+    def shards_with_matches(self) -> int:
+        return sum(1 for result in self.shard_results if result.records_deleted)
+
+
+@dataclass
+class ShardedCompactionResult:
+    """Per-shard compaction outcomes."""
+
+    shard_results: List[CompactionResult]
+
+    @property
+    def shards_compacted(self) -> int:
+        return sum(1 for result in self.shard_results if result.performed)
+
+    @property
+    def slots_reclaimed(self) -> int:
+        return sum(result.slots_reclaimed for result in self.shard_results)
+
+
+def execute_sharded_insert(
+    sharded: ShardedStoredRelation,
+    records: Sequence[Mapping[str, object]],
+    executors: Optional[Sequence[PimExecutor]] = None,
+) -> ShardedInsertResult:
+    """Insert ``records``, routing each to the currently least-full shard.
+
+    Like the unsharded path, the batch is all-or-nothing against caller
+    errors: capacity and every record's encoding are validated before the
+    first record is routed, so a bad record anywhere in the batch raises
+    with no shard touched.
+    """
+    records = list(records)
+    if len(records) > sharded.free_slots:
+        raise RelationFullError(
+            f"cannot insert {len(records)} records into {sharded.label!r}: "
+            f"only {sharded.free_slots} free slots across "
+            f"{sharded.num_shards} shards"
+        )
+    # The shards share one schema; encoding through the first shard's
+    # relation validates the whole batch up-front (all-or-nothing).
+    probe = sharded.shards[0].relation
+    records = [probe.encode_record(record) for record in records]
+    executors = sharded.resolve_executors(executors)
+
+    # Simulate the record-by-record least-full routing over a local copy of
+    # the free counts, then execute one sub-batch per shard — each shard
+    # grows its ground-truth columns at most once per call.
+    free = [shard.free_slots for shard in sharded.shards]
+    assignments: List[int] = []
+    for _ in records:
+        shard_index = sharded.route_insert(free)
+        assignments.append(shard_index)
+        free[shard_index] -= 1
+
+    result = ShardedInsertResult()
+    result.placements = [None] * len(records)
+    by_shard: Dict[int, List[int]] = {}
+    for index, shard_index in enumerate(assignments):
+        by_shard.setdefault(shard_index, []).append(index)
+    for shard_index, indices in sorted(by_shard.items()):
+        shard_result = execute_insert(
+            sharded.shards[shard_index],
+            [records[i] for i in indices],
+            executors[shard_index],
+            encoded=True,
+        )
+        for index, slot in zip(indices, shard_result.slots):
+            result.placements[index] = (shard_index, slot)
+        result.shard_results[shard_index] = shard_result
+    return result
+
+
+def execute_sharded_delete(
+    sharded: ShardedStoredRelation,
+    predicate: Predicate,
+    executors: Optional[Sequence[PimExecutor]] = None,
+    compiler=None,
+    vectorized: bool = False,
+) -> ShardedDeleteResult:
+    """Tombstone the selected records of every shard (broadcast DELETE).
+
+    The shards share layout objects, so the filter and valid-clearing
+    programs are compiled once — through ``compiler`` (e.g. the service's
+    program cache) when given — and broadcast verbatim.
+    """
+    executors = sharded.resolve_executors(executors)
+    compiled = compile_delete(sharded.shards[0], predicate, compiler=compiler)
+    shard_results = [
+        execute_delete(
+            shard, predicate, executor, compiled=compiled, vectorized=vectorized
+        )
+        for shard, executor in zip(sharded.shards, executors)
+    ]
+    return ShardedDeleteResult(
+        records_deleted=sum(r.records_deleted for r in shard_results),
+        shard_results=shard_results,
+        filter_cycles=shard_results[0].filter_cycles,
+        clear_cycles=shard_results[0].clear_cycles,
+    )
+
+
+def execute_sharded_compaction(
+    sharded: ShardedStoredRelation,
+    executors: Optional[Sequence[PimExecutor]] = None,
+    threshold: float = DEFAULT_COMPACTION_THRESHOLD,
+    force: bool = False,
+) -> ShardedCompactionResult:
+    """Compact every shard whose own fragmentation crosses ``threshold``."""
+    executors = sharded.resolve_executors(executors)
+    return ShardedCompactionResult(
+        shard_results=[
+            execute_compaction(shard, executor, threshold=threshold, force=force)
+            for shard, executor in zip(sharded.shards, executors)
+        ]
+    )

@@ -221,7 +221,11 @@ class ShardedQueryEngine:
             label=self.label,
             rows=rows,
             stats=stats,
-            selectivity=weighted_selectivity / self.sharded.num_records,
+            selectivity=(
+                weighted_selectivity / self.sharded.num_records
+                if self.sharded.num_records
+                else 0.0
+            ),
             # Plans are per shard, so cost-like metadata reports the
             # critical-path (maximum) figures.  total_subgroups is a data
             # property: each shard only enumerates candidates among its own

@@ -13,19 +13,25 @@ objects — so
 * the per-shard results merge through the existing partial-aggregate
   machinery with bit-exact global answers.
 
-The shard relations are NumPy *views* into the parent relation's columns, so
-the parent stays the single functional ground truth: an in-memory UPDATE
-applied through one shard (see :mod:`repro.sharding.update`) is immediately
-visible in the parent relation and vice versa.
+The shard relations start out as NumPy *views* into the parent relation's
+columns, so at load time the parent is the single functional ground truth:
+an in-memory UPDATE applied through one shard (see
+:mod:`repro.sharding.update`) is immediately visible in the parent relation
+and vice versa.  DML (:mod:`repro.sharding.dml`) can grow a shard — a tail
+INSERT or a compaction reallocates that shard's columns, decoupling it from
+the parent — after which :meth:`ShardedStoredRelation.live_relation` is the
+authoritative ground truth and ``self.relation`` is just the load-time
+snapshot.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.db.relation import Relation
+from repro.db.relation import Relation, concatenate
 from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
@@ -84,8 +90,9 @@ class ShardedStoredRelation:
         self.relation = relation
         self.module = module
         self.label = label or relation.schema.name
-        self.num_records = len(relation)
-        self.bounds = shard_bounds(self.num_records, shards)
+        self.initial_records = len(relation)
+        self.bounds = shard_bounds(self.initial_records, shards)
+        self._stops = [stop for _, stop in self.bounds]
         self.num_shards = len(self.bounds)
 
         self.shards: List[StoredRelation] = []
@@ -111,6 +118,30 @@ class ShardedStoredRelation:
 
     # ------------------------------------------------------------- geometry
     @property
+    def num_records(self) -> int:
+        """Slots in use across all shards (grows/shrinks with DML)."""
+        return sum(shard.num_records for shard in self.shards)
+
+    @property
+    def live_count(self) -> int:
+        """Live (non-tombstoned) records across all shards."""
+        return sum(shard.live_count for shard in self.shards)
+
+    @property
+    def tombstone_count(self) -> int:
+        return sum(shard.tombstone_count for shard in self.shards)
+
+    @property
+    def free_slots(self) -> int:
+        return sum(shard.free_slots for shard in self.shards)
+
+    @property
+    def fragmentation(self) -> float:
+        """Tombstoned fraction of the slots in use, over all shards."""
+        slots = self.num_records
+        return self.tombstone_count / slots if slots else 0.0
+
+    @property
     def layouts(self):
         """The layouts shared by every shard (one per vertical partition)."""
         return self.shards[0].layouts
@@ -131,13 +162,31 @@ class ShardedStoredRelation:
         return max(shard.pages for shard in self.shards)
 
     def shard_of_record(self, record_index: int) -> int:
-        """Index of the shard holding a record of the parent relation."""
-        if not 0 <= record_index < self.num_records:
+        """Index of the shard a record of the *loaded* relation was placed in.
+
+        Defined over the load-time contiguous bounds (DML inserts are routed
+        by :meth:`route_insert` instead).  Binary search over the shard
+        ``stop`` offsets: stops are exclusive, so the number of stops at or
+        below the index is exactly its shard.
+        """
+        if not 0 <= record_index < self._stops[-1]:
             raise IndexError(f"record {record_index} out of range")
-        for index, (start, stop) in enumerate(self.bounds):
-            if record_index < stop:
-                return index
-        raise AssertionError("unreachable: bounds cover every record")
+        return bisect_right(self._stops, record_index)
+
+    def route_insert(self, free_slots: Optional[Sequence[int]] = None) -> int:
+        """Shard index an INSERT should target: the least-full shard.
+
+        "Least full" means the most free slots (tombstones plus spare
+        capacity tail); ties resolve to the lowest shard index, keeping the
+        routing deterministic.  ``free_slots`` substitutes the live per-shard
+        counts — the batch router simulates the routing ahead of the actual
+        inserts with it.
+        """
+        free = (
+            list(free_slots) if free_slots is not None
+            else [shard.free_slots for shard in self.shards]
+        )
+        return int(max(range(len(free)), key=lambda i: (free[i], -i)))
 
     # ------------------------------------------------------------- executors
     def make_executors(self, config=None) -> List[PimExecutor]:
@@ -165,10 +214,20 @@ class ShardedStoredRelation:
 
     # ------------------------------------------------------------ functional
     def decode_column(self, attribute: str) -> np.ndarray:
-        """Decode an attribute of every record, concatenated across shards."""
+        """Decode an attribute of every slot in use, concatenated across shards."""
         return np.concatenate(
             [shard.decode_column(attribute) for shard in self.shards]
         )
+
+    def live_relation(self) -> Relation:
+        """The live ground truth: every shard's live rows, in shard order.
+
+        After DML the parent ``self.relation`` is only the load-time
+        snapshot — a shard that grew its columns (tail INSERT or compaction)
+        reallocates them and stops aliasing the parent — so this concatenation
+        over the shard relations is the authoritative functional reference.
+        """
+        return concatenate([shard.live_relation() for shard in self.shards])
 
     # ------------------------------------------------------------------ wear
     def wear_snapshot(self) -> List[List[np.ndarray]]:

@@ -102,6 +102,58 @@ def test_combine_partials_empty_min_max_is_none():
     assert combine_partials([np.array([], dtype=np.uint64)], "sum", HOST) == 0
 
 
+def test_combine_partials_empty_iterable_returns_identity():
+    """No partials at all: sum/count are 0, min/max undefined (None)."""
+    assert combine_partials([], "sum", HOST) == 0
+    assert combine_partials([], "count", HOST) == 0
+    assert combine_partials([], "min", HOST) is None
+    assert combine_partials([], "max", HOST) is None
+    assert combine_partials(iter(()), "sum", HOST) == 0
+
+
+def test_combine_partials_rejects_unsupported_op():
+    with pytest.raises(ValueError, match="unsupported aggregation 'avg'"):
+        combine_partials([np.array([1], dtype=np.uint64)], "avg", HOST)
+
+
+class _RawAggregate:
+    """Stand-in with an op the IR would reject at construction time.
+
+    :class:`Aggregate` refuses ``avg`` in ``__post_init__``, but the merge
+    functions are also fed aggregate-shaped objects by callers composing
+    results by hand — those must fail loudly, not silently merge as ``max``.
+    """
+
+    def __init__(self, op, name):
+        self.op = op
+        self.name = name
+        self.attribute = name
+
+
+def test_merge_group_results_rejects_raw_avg():
+    aggregates = (_RawAggregate("avg", "avg_x"),)
+    with pytest.raises(ValueError, match="unsupported aggregation 'avg'"):
+        merge_group_results(
+            {(1,): {"avg_x": 10}}, {(1,): {"avg_x": 20}}, aggregates
+        )
+
+
+def test_merge_group_results_rejects_unknown_op_even_without_overlap():
+    """Validation is up-front: corruption must not depend on key overlap."""
+    with pytest.raises(ValueError, match="unsupported aggregation"):
+        merge_group_results({}, {(1,): {"x": 1}}, (_RawAggregate("median", "x"),))
+
+
+def test_host_group_aggregate_rejects_raw_avg():
+    with pytest.raises(ValueError, match="unsupported aggregation 'avg'"):
+        host_group_aggregate(
+            {"g": np.array([1], dtype=np.uint64)},
+            {"x": np.array([2], dtype=np.uint64)},
+            (_RawAggregate("avg", "x"),),
+            HOST,
+        )
+
+
 def test_merge_skips_absent_min():
     """An absent/None min on one side must not clamp the other side's min."""
     aggregates = (Aggregate("min", "x"), Aggregate("sum", "x"))

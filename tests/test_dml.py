@@ -1,0 +1,658 @@
+"""The DML subsystem: in-place INSERT/DELETE with slot reuse and compaction.
+
+The contract under test: after *any* interleaving of INSERT, DELETE, UPDATE
+and queries, every engine path — gate-level NOR, vectorized, packed or
+boolean backend, unsharded or sharded — returns rows bit-exact with an
+independently maintained functional ground truth, and deleted rows never
+contribute to any aggregate.  A hypothesis state-machine-style property test
+drives random interleavings at K=1 and sharded K=4 on both backends; focused
+unit tests pin down slot reuse order, capacity errors, compaction thresholds,
+two-xb tombstone propagation and the hardened validation paths.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db.dml import (
+    compile_delete,
+    execute_compaction,
+    execute_delete,
+    execute_insert,
+)
+from repro.db.query import (
+    Aggregate,
+    Comparison,
+    Query,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema, dict_attribute, int_attribute
+from repro.db.storage import RelationFullError, StoredRelation
+from repro.db.update import execute_update
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.sharding import (
+    ShardedQueryEngine,
+    ShardedStoredRelation,
+    execute_sharded_compaction,
+    execute_sharded_delete,
+    execute_sharded_insert,
+    execute_sharded_update,
+)
+
+BACKENDS = ("packed", "bool")
+CITIES = ["LYON", "OSLO", "PERTH"]
+
+
+def small_schema() -> Schema:
+    return Schema("dml", [
+        int_attribute("key", 8, source="fact"),
+        int_attribute("value", 10, source="fact"),
+        dict_attribute("city", CITIES, source="dim"),
+    ])
+
+
+def small_relation(records: int = 48, seed: int = 7) -> Relation:
+    rng = np.random.default_rng(seed)
+    schema = small_schema()
+    return Relation(schema, {
+        "key": rng.integers(0, 256, records).astype(np.uint64),
+        "value": rng.integers(0, 1024, records).astype(np.uint64),
+        "city": rng.integers(0, len(CITIES), records).astype(np.uint64),
+    })
+
+
+def config_for(backend: str):
+    return DEFAULT_CONFIG.with_backend(backend)
+
+
+SCALAR_QUERY = Query(
+    "scalar", Comparison("value", "<", 700),
+    (Aggregate("sum", "value"), Aggregate("count"), Aggregate("min", "value")),
+)
+GROUP_QUERY = Query(
+    "grouped", Comparison("value", ">=", 100),
+    (Aggregate("sum", "value"), Aggregate("count"), Aggregate("max", "value")),
+    group_by=("city",),
+)
+
+
+def reference_rows(live: Relation, query: Query):
+    mask = evaluate_predicate(query.predicate, live)
+    return reference_group_aggregate(live, mask, query.group_by, query.aggregates)
+
+
+def assert_live_matches(live: Relation, model_rows) -> None:
+    """The stored live ground truth equals the independent model (as bags)."""
+    got = sorted(
+        tuple(int(live.columns[n][i]) for n in live.schema.names)
+        for i in range(len(live))
+    )
+    expected = sorted(
+        tuple(int(row[n]) for n in live.schema.names) for row in model_rows
+    )
+    assert got == expected
+
+
+# ------------------------------------------------------------------- DELETE
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_delete_tombstones_every_query_path(backend, vectorized):
+    config = config_for(backend)
+    relation = small_relation(64)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    engine = PimQueryEngine(stored, config=config, vectorized=vectorized)
+    executor = PimExecutor(config)
+
+    predicate = Comparison("city", "==", "OSLO")
+    doomed = evaluate_predicate(predicate, relation)
+    result = execute_delete(stored, predicate, executor, vectorized=vectorized)
+
+    assert result.records_deleted == int(doomed.sum()) > 0
+    assert stored.tombstone_count == result.records_deleted
+    assert stored.live_count == 64 - result.records_deleted
+    assert not stored.valid_mask()[doomed].any()
+
+    live = stored.live_relation()
+    for query in (SCALAR_QUERY, GROUP_QUERY):
+        execution = engine.execute(query)
+        assert execution.rows == reference_rows(live, query)
+    # Deleted rows never contribute: the OSLO group is gone entirely.
+    grouped = engine.execute(GROUP_QUERY).rows
+    oslo = CITIES.index("OSLO")
+    assert all(key != (oslo,) for key in grouped)
+    # Modelled stats were charged for both DELETE phases.
+    assert executor.stats.time_by_phase["delete-filter"] > 0
+    assert executor.stats.time_by_phase["delete-clear"] > 0
+
+
+def test_delete_two_xb_propagates_tombstones_across_partitions():
+    config = config_for("packed")
+    relation = small_relation(40)
+    stored = StoredRelation(
+        relation, PimModule(config), label="two",
+        partitions=[["key", "value"], ["city"]],
+    )
+    executor = PimExecutor(config)
+    result = execute_delete(stored, Comparison("city", "==", "LYON"), executor)
+    assert result.records_deleted > 0
+    # Both partitions' valid columns agree after the host transfer.
+    assert np.array_equal(stored.valid_mask(0), stored.valid_mask(1))
+    assert executor.stats.time_by_phase["delete-transfer"] > 0
+    engine = PimQueryEngine(stored, config=config)
+    live = stored.live_relation()
+    assert engine.execute(SCALAR_QUERY).rows == reference_rows(live, SCALAR_QUERY)
+
+
+def test_delete_rejects_mismatched_compiled_statement():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(), PimModule(config), label="t")
+    compiled = compile_delete(stored, Comparison("value", "<", 10))
+    with pytest.raises(ValueError, match="compiled delete"):
+        execute_delete(
+            stored, Comparison("value", "<", 20), PimExecutor(config),
+            compiled=compiled,
+        )
+
+
+def test_delete_everything_then_queries_return_no_rows():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(32), PimModule(config), label="t")
+    engine = PimQueryEngine(stored, config=config, vectorized=True)
+    execute_delete(stored, None, PimExecutor(config), vectorized=True)
+    assert stored.live_count == 0
+    assert engine.execute(SCALAR_QUERY).rows == {}
+    assert engine.execute(GROUP_QUERY).rows == {}
+
+
+# ------------------------------------------------------------------- INSERT
+def test_insert_reuses_lowest_tombstones_then_grows_tail():
+    config = config_for("packed")
+    schema = small_schema()
+    relation = Relation(schema, {
+        "key": np.arange(30, dtype=np.uint64),
+        "value": np.arange(30, dtype=np.uint64) * 30 % 1024,
+        "city": np.arange(30, dtype=np.uint64) % 3,
+    })
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    executor = PimExecutor(config)
+    execute_delete(
+        stored, Comparison("key", "in", values=(3, 11, 20)), executor
+    )
+    tombstones = sorted(np.nonzero(~stored.valid_mask())[0])
+    assert tombstones == [3, 11, 20]
+    fresh = [{"key": 1, "value": 2, "city": "LYON"}
+             for _ in range(len(tombstones) + 2)]
+    result = execute_insert(stored, fresh, executor)
+    # Tombstones reused lowest-first, then the spare tail grows num_records.
+    assert result.slots[: len(tombstones)] == [int(t) for t in tombstones]
+    assert result.slots[len(tombstones):] == [30, 31]
+    assert result.reused_slots == len(tombstones)
+    assert result.appended_slots == 2
+    assert stored.num_records == 32 == len(stored.relation)
+    assert stored.tombstone_count == 0
+    # The inserted rows are live and visible to queries and ground truth.
+    live = stored.live_relation()
+    assert len(live) == stored.live_count == 32
+    engine = PimQueryEngine(stored, config=config, vectorized=True)
+    assert engine.execute(GROUP_QUERY).rows == reference_rows(live, GROUP_QUERY)
+    assert executor.stats.time_by_phase["insert-write"] > 0
+
+
+def test_insert_validates_records_loudly_and_atomically():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(16), PimModule(config), label="t")
+    executor = PimExecutor(config)
+    good = {"key": 1, "value": 2, "city": "LYON"}
+    with pytest.raises(ValueError, match="missing attribute"):
+        execute_insert(stored, [good, {"key": 1, "value": 2}], executor)
+    with pytest.raises(ValueError, match="does not fit"):
+        execute_insert(
+            stored, [good, {"key": 1 << 9, "value": 2, "city": "LYON"}], executor
+        )
+    with pytest.raises(KeyError):
+        execute_insert(
+            stored, [good, {"key": 1, "value": 2, "city": "ATLANTIS"}], executor
+        )
+    # A bad record anywhere in the batch means nothing was applied: the good
+    # record ahead of it must not have been half-inserted.
+    assert stored.live_count == 16
+    assert stored.num_records == 16 == len(stored.relation)
+    assert executor.stats.total_time_s == 0.0
+
+
+def test_insert_full_relation_raises_before_touching_anything():
+    config = config_for("packed")
+    relation = small_relation(20)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    stored.num_records = stored.record_capacity  # pretend the tail is gone
+    stored.live_count = stored.record_capacity
+    with pytest.raises(RelationFullError):
+        execute_insert(
+            stored, [{"key": 1, "value": 2, "city": "LYON"}], PimExecutor(config)
+        )
+
+
+# --------------------------------------------------------------- COMPACTION
+def test_compaction_threshold_and_slot_reclaim():
+    config = config_for("packed")
+    relation = small_relation(50)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    executor = PimExecutor(config)
+    execute_delete(stored, Comparison("value", "<", 200), executor)
+    fragmentation = stored.fragmentation
+    assert 0 < fragmentation < 1
+
+    skipped = execute_compaction(stored, executor, threshold=1.1)
+    assert not skipped.performed
+
+    before_live = stored.live_relation()
+    result = execute_compaction(stored, executor, threshold=fragmentation / 2)
+    assert result.performed
+    assert result.slots_after == stored.num_records == stored.live_count
+    assert result.slots_reclaimed == result.slots_before - result.slots_after
+    assert stored.tombstone_count == 0
+    assert stored.fragmentation == 0.0
+    # Compaction preserves the live contents exactly (dense, order-preserving).
+    after_live = stored.live_relation()
+    for name in relation.schema.names:
+        assert np.array_equal(after_live.columns[name], before_live.columns[name])
+        assert np.array_equal(stored.decode_column(name), after_live.columns[name])
+    assert executor.stats.time_by_phase["compact-read"] > 0
+    assert executor.stats.time_by_phase["compact-write"] > 0
+
+    engine = PimQueryEngine(stored, config=config, vectorized=True)
+    assert engine.execute(GROUP_QUERY).rows == reference_rows(after_live, GROUP_QUERY)
+
+
+def test_compaction_noop_without_tombstones():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(16), PimModule(config), label="t")
+    assert not execute_compaction(stored, PimExecutor(config), force=True).performed
+
+
+def test_compaction_of_fully_deleted_relation_reclaims_all_slots():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(16), PimModule(config), label="t")
+    executor = PimExecutor(config)
+    engine = PimQueryEngine(stored, config=config, vectorized=True)
+    execute_delete(stored, None, executor)
+    assert stored.live_count == 0
+
+    # Metadata-only reclaim: nothing to rewrite, all 16 slots come back.
+    result = execute_compaction(stored, executor, force=True)
+    assert result.performed
+    assert result.slots_reclaimed == 16
+    assert stored.num_records == 0 == len(stored.relation)
+    assert stored.fragmentation == 0.0
+    # Queries over the emptied relation still work and return no rows.
+    assert engine.execute(SCALAR_QUERY).rows == {}
+    assert engine.execute(GROUP_QUERY).rows == {}
+    # And the relation is usable again: inserts land in the reclaimed slots.
+    insert = execute_insert(
+        stored, [{"key": 1, "value": 150, "city": "OSLO"}] * 2, executor
+    )
+    assert insert.slots == [0, 1]
+    live = stored.live_relation()
+    assert engine.execute(GROUP_QUERY).rows == reference_rows(live, GROUP_QUERY)
+
+
+# ------------------------------------------------------- hardened validation
+def test_write_bit_column_rejects_wrong_length():
+    config = config_for("packed")
+    stored = StoredRelation(small_relation(24), PimModule(config), label="t")
+    layout = stored.layouts[0]
+    with pytest.raises(ValueError, match="one value per slot"):
+        stored.write_bit_column(0, layout.remote_column, np.zeros(23, dtype=bool))
+    with pytest.raises(ValueError, match="one value per slot"):
+        stored.write_bit_column(0, layout.remote_column, np.zeros(25, dtype=bool))
+    stored.write_bit_column(0, layout.remote_column, np.ones(24, dtype=bool))
+    assert stored.column_bit(0, layout.remote_column).all()
+
+
+def test_update_skips_tombstoned_rows():
+    config = config_for("packed")
+    relation = small_relation(40)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    executor = PimExecutor(config)
+    predicate = Comparison("city", "==", "PERTH")
+    perth_rows = int(evaluate_predicate(predicate, relation).sum())
+    deleted = execute_delete(stored, Comparison("value", ">=", 512), executor)
+    assert deleted.records_deleted > 0
+    live_perth = int(
+        (evaluate_predicate(predicate, relation) & stored.valid_mask()).sum()
+    )
+    result = execute_update(stored, predicate, {"value": 3}, executor)
+    # Only live rows are updated — in the stored bits *and* the ground truth.
+    assert result.records_updated == live_perth < perth_rows
+    assert np.array_equal(stored.decode_column("value"), relation.columns["value"])
+
+
+# ------------------------------------------------ sharded routing & boundary
+def test_shard_of_record_bisect_boundaries():
+    config = config_for("packed")
+    relation = small_relation(10)
+    sharded = ShardedStoredRelation(relation, PimModule(config), shards=3)
+    assert sharded.bounds == [(0, 4), (4, 7), (7, 10)]
+    # Every record maps to the shard whose [start, stop) contains it,
+    # including both edges of every boundary.
+    for shard_index, (start, stop) in enumerate(sharded.bounds):
+        assert sharded.shard_of_record(start) == shard_index
+        assert sharded.shard_of_record(stop - 1) == shard_index
+    with pytest.raises(IndexError):
+        sharded.shard_of_record(-1)
+    with pytest.raises(IndexError):
+        sharded.shard_of_record(10)
+
+
+def test_sharded_insert_routes_to_least_full_shard():
+    config = config_for("packed")
+    relation = small_relation(40)
+    sharded = ShardedStoredRelation(relation, PimModule(config), shards=4)
+    executors = sharded.make_executors()
+    # Tombstone a chunk of shard 2 only: it becomes the least-full shard.
+    target = sharded.shards[2]
+    values = tuple(int(v) for v in target.relation.columns["value"][:5])
+    execute_delete(target, Comparison("value", "in", values=values), executors[2])
+    tombstones = target.tombstone_count
+    assert tombstones > 0
+
+    result = execute_sharded_insert(
+        sharded,
+        [{"key": 9, "value": 9, "city": "OSLO"} for _ in range(tombstones)],
+        executors,
+    )
+    assert all(shard == 2 for shard, _ in result.placements)
+    assert result.shard_results[2].reused_slots == tombstones
+    assert sharded.tombstone_count == 0
+
+
+def test_sharded_insert_is_atomic_against_bad_records():
+    config = config_for("packed")
+    sharded = ShardedStoredRelation(small_relation(40), PimModule(config), shards=4)
+    executors = sharded.make_executors()
+    good = {"key": 1, "value": 2, "city": "LYON"}
+    with pytest.raises(ValueError, match="does not fit"):
+        execute_sharded_insert(
+            sharded, [good, {"key": 1, "value": 1 << 11, "city": "LYON"}], executors
+        )
+    # The good record ahead of the bad one must not have reached any shard.
+    assert sharded.live_count == 40
+    assert sharded.num_records == 40
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_sharded_dml_stays_bit_exact(backend):
+    config = config_for(backend)
+    relation = small_relation(60)
+    sharded = ShardedStoredRelation(relation, PimModule(config), shards=4)
+    engine = ShardedQueryEngine(sharded, config=config, vectorized=True)
+    executors = sharded.make_executors()
+
+    def check():
+        live = sharded.live_relation()
+        for query in (SCALAR_QUERY, GROUP_QUERY):
+            assert engine.execute(query).rows == reference_rows(live, query)
+
+    delete = execute_sharded_delete(
+        sharded, Comparison("value", "<", 300), executors, vectorized=True
+    )
+    assert delete.records_deleted == sum(
+        r.records_deleted for r in delete.shard_results
+    ) > 0
+    check()
+    execute_sharded_insert(
+        sharded,
+        [{"key": i, "value": 100 + i, "city": CITIES[i % 3]} for i in range(15)],
+        executors,
+    )
+    check()
+    execute_sharded_update(sharded, Comparison("city", "==", "LYON"), {"value": 777})
+    check()
+    compaction = execute_sharded_compaction(sharded, executors, force=True)
+    assert compaction.shards_compacted > 0
+    assert sharded.tombstone_count == 0
+    check()
+
+
+# ---------------------------------------------------------- service surface
+def test_service_dml_entry_points_and_counters():
+    from repro.service import QueryService
+
+    config = config_for("packed")
+    relation = small_relation(40)
+    service = QueryService()
+    engine = service.register("t", StoredRelation(relation, PimModule(config), label="t"),
+                              config=config)
+    stored = engine.stored
+
+    out = service.delete(Comparison("value", "<", 400))
+    assert out.result.records_deleted > 0
+    assert out.stats.time_by_phase["delete-filter"] > 0
+    out = service.insert([{"key": 1, "value": 450, "city": "LYON"}] * 3)
+    assert out.result.records_inserted == 3
+    assert out.stats.time_by_phase["insert-write"] > 0
+    out = service.compact(force=True)
+    assert out.result.performed
+    assert out.stats.time_by_phase["compact-write"] > 0
+
+    stats = service.dml_stats("t")
+    assert stats.inserted == 3
+    assert stats.deleted > 0
+    assert stats.compactions == 1
+    assert stats.live_rows == stored.live_count
+    assert stats.tombstones == 0 and stats.fragmentation == 0.0
+
+    # The batch summary carries the lifecycle snapshot once DML happened.
+    batch = service.execute_batch([SCALAR_QUERY, GROUP_QUERY])
+    assert batch.stats.dml is not None
+    assert batch.stats.dml.inserted == 3
+    assert "tombstones" in batch.stats.describe()
+    live = stored.live_relation()
+    assert batch.executions[0].rows == reference_rows(live, SCALAR_QUERY)
+    assert batch.executions[1].rows == reference_rows(live, GROUP_QUERY)
+
+
+def test_service_delete_compiles_through_program_cache():
+    from repro.service import QueryService
+
+    config = config_for("packed")
+    service = QueryService()
+    service.register_sharded(
+        "t", small_relation(40), shards=4, config=config
+    )
+    predicate = Comparison("value", "<", 100)
+    before = service.cache.stats.snapshot()
+    service.delete(predicate)
+    first = service.cache.stats.snapshot() - before
+    # One compilation serves all four shards (layouts are shared) ...
+    assert first.misses == 1
+    assert first.hits == 0
+    service.delete(predicate)
+    second = service.cache.stats.snapshot() - before
+    # ... and the repeated statement compiles nothing at all.
+    assert second.misses == 1
+    assert second.hits == 1
+
+
+# ------------------------------------------------- property: interleaved DML
+def _operation_strategy():
+    record = st.fixed_dictionaries({
+        "key": st.integers(0, 255),
+        "value": st.integers(0, 1023),
+        "city": st.sampled_from(CITIES),
+    })
+    value_predicate = st.tuples(
+        st.sampled_from(["<", ">=", "=="]), st.integers(0, 1023)
+    ).map(lambda t: Comparison("value", t[0], t[1]))
+    city_predicate = st.sampled_from(CITIES).map(
+        lambda c: Comparison("city", "==", c)
+    )
+    predicate = st.one_of(value_predicate, city_predicate)
+    return st.one_of(
+        st.tuples(st.just("insert"), st.lists(record, min_size=1, max_size=3)),
+        st.tuples(st.just("delete"), predicate),
+        st.tuples(st.just("update"), predicate, st.integers(0, 1023)),
+        st.tuples(st.just("compact"), st.booleans()),
+    )
+
+
+class _Model:
+    """Independent functional model: a plain list of row dicts."""
+
+    def __init__(self, relation: Relation):
+        self.schema = relation.schema
+        self.rows = [
+            {name: int(relation.columns[name][i]) for name in relation.schema.names}
+            for i in range(len(relation))
+        ]
+
+    def as_relation(self) -> Relation:
+        return Relation(self.schema, {
+            name: np.array([row[name] for row in self.rows], dtype=np.uint64)
+            for name in self.schema.names
+        })
+
+    def _matches(self, predicate):
+        relation = self.as_relation()
+        if not self.rows:
+            return []
+        return list(evaluate_predicate(predicate, relation))
+
+    def insert(self, records):
+        for record in records:
+            encoded = dict(record)
+            encoded["city"] = CITIES.index(record["city"])
+            self.rows.append(encoded)
+
+    def delete(self, predicate):
+        mask = self._matches(predicate)
+        self.rows = [row for row, hit in zip(self.rows, mask) if not hit]
+
+    def update(self, predicate, value):
+        for row, hit in zip(self.rows, self._matches(predicate)):
+            if hit:
+                row["value"] = value
+
+
+def _apply_and_check(apply_op, query_rows, live_relation, model, operations):
+    for operation in operations:
+        kind = operation[0]
+        if kind == "insert":
+            model.insert(operation[1])
+        elif kind == "delete":
+            model.delete(operation[1])
+        elif kind == "update":
+            model.update(operation[1], operation[2])
+        apply_op(operation)
+        reference = model.as_relation()
+        for query in (SCALAR_QUERY, GROUP_QUERY):
+            assert query_rows(query) == reference_rows(reference, query)
+        assert_live_matches(live_relation(), model.rows)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=12, deadline=None)
+@given(operations=st.lists(_operation_strategy(), min_size=1, max_size=6))
+def test_property_interleaved_dml_unsharded(backend, operations):
+    config = config_for(backend)
+    relation = small_relation(32)
+    model = _Model(relation)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    engine = PimQueryEngine(stored, config=config, vectorized=True)
+    executor = PimExecutor(config)
+
+    def apply_op(operation):
+        if operation[0] == "insert":
+            execute_insert(stored, operation[1], executor)
+        elif operation[0] == "delete":
+            execute_delete(stored, operation[1], executor, vectorized=True)
+        elif operation[0] == "update":
+            if stored.live_count:
+                execute_update(stored, operation[1], {"value": operation[2]}, executor)
+        else:
+            execute_compaction(stored, executor, force=operation[1])
+
+    _apply_and_check(
+        apply_op,
+        lambda query: engine.execute(query).rows,
+        stored.live_relation,
+        model,
+        operations,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=8, deadline=None)
+@given(operations=st.lists(_operation_strategy(), min_size=1, max_size=5))
+def test_property_interleaved_dml_sharded(backend, operations):
+    config = config_for(backend)
+    relation = small_relation(32)
+    model = _Model(relation)
+    sharded = ShardedStoredRelation(relation, PimModule(config), shards=4)
+    engine = ShardedQueryEngine(sharded, config=config, vectorized=True)
+    executors = sharded.make_executors()
+
+    def apply_op(operation):
+        if operation[0] == "insert":
+            execute_sharded_insert(sharded, operation[1], executors)
+        elif operation[0] == "delete":
+            execute_sharded_delete(sharded, operation[1], executors, vectorized=True)
+        elif operation[0] == "update":
+            if sharded.live_count:
+                execute_sharded_update(
+                    sharded, operation[1], {"value": operation[2]}, executors
+                )
+        else:
+            execute_sharded_compaction(sharded, executors, force=operation[1])
+
+    _apply_and_check(
+        apply_op,
+        lambda query: engine.execute(query).rows,
+        sharded.live_relation,
+        model,
+        operations,
+    )
+
+
+@pytest.mark.slow
+def test_gate_level_interleaving_matches_ground_truth():
+    """One fixed interleaving with every NOR primitive actually executed."""
+    config = config_for("packed")
+    relation = small_relation(24)
+    model = _Model(relation)
+    stored = StoredRelation(relation, PimModule(config), label="t")
+    engine = PimQueryEngine(stored, config=config, vectorized=False)
+    executor = PimExecutor(config)
+
+    operations = [
+        ("delete", Comparison("value", "<", 400)),
+        ("insert", [{"key": 3, "value": 500, "city": "LYON"},
+                    {"key": 4, "value": 20, "city": "PERTH"}]),
+        ("update", Comparison("city", "==", "PERTH"), 999),
+        ("compact", True),
+        ("insert", [{"key": 5, "value": 640, "city": "OSLO"}]),
+        ("delete", Comparison("city", "==", "LYON")),
+    ]
+
+    def apply_op(operation):
+        if operation[0] == "insert":
+            execute_insert(stored, operation[1], executor)
+        elif operation[0] == "delete":
+            execute_delete(stored, operation[1], executor)
+        elif operation[0] == "update":
+            execute_update(stored, operation[1], {"value": operation[2]}, executor)
+        else:
+            execute_compaction(stored, executor, force=operation[1])
+
+    _apply_and_check(
+        apply_op,
+        lambda query: engine.execute(query).rows,
+        stored.live_relation,
+        model,
+        operations,
+    )
