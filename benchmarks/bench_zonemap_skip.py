@@ -1,0 +1,98 @@
+"""Zone-map crossbar skipping — pruned vs broadcast execution.
+
+As a pytest benchmark this runs selective point/range queries (plus an
+unclustered control) over a day-clustered relation with zone-map pruning on
+and off, on both simulation backends, gating bit-exact rows everywhere
+(including after a DML interlude that exercises the maintenance hooks),
+strictly fewer crossbars scanned and a >=2x modelled-latency reduction on
+the selective queries, and shard-level skipping through a K=4 sharded
+service.  It writes the ``BENCH_planner.json`` trajectory artifact at the
+repository root and is also runnable as a plain script for CI::
+
+    PYTHONPATH=src python benchmarks/bench_zonemap_skip.py
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import zonemap_skip
+
+ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+MIN_SPEEDUP = 2.0
+
+
+def test_zonemap_skip(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: zonemap_skip.run_zonemap_skip(), rounds=1, iterations=1
+    )
+    publish("zonemap_skip", zonemap_skip.render(results))
+    zonemap_skip.write_artifact(results, ARTIFACT_PATH)
+    assert results.bit_exact
+    assert results.strictly_fewer_scanned
+    assert results.maintenance_charged
+    assert results.shards_skipped > 0
+    # Acceptance gate: the measured minimum over the selective queries is
+    # ~2.4x (the point query reaches ~2.9x), so the headroom over the 2x
+    # gate is real but bounded — investigate a regression, don't lower it.
+    assert results.min_selective_speedup() >= MIN_SPEEDUP
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--records", type=int, default=65536,
+        help="stored relation size (two 2 MB pages at the default)",
+    )
+    parser.add_argument(
+        "--timing-scale", type=float, default=zonemap_skip.DEFAULT_TIMING_SCALE,
+        help="modelled-relation extrapolation factor",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4,
+        help="shard count of the shard-skipping demonstration",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=MIN_SPEEDUP,
+        help="fail unless every selective query's modelled latency improves "
+             "by this factor under pruning (0 disables the check)",
+    )
+    parser.add_argument(
+        "--artifact", default=str(ARTIFACT_PATH),
+        help="path of the BENCH_planner.json trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    results = zonemap_skip.run_zonemap_skip(
+        records=args.records,
+        timing_scale=args.timing_scale,
+        shards=args.shards,
+    )
+    print(zonemap_skip.render(results))
+    zonemap_skip.write_artifact(results, args.artifact)
+    print(f"wrote {args.artifact}")
+    if not results.bit_exact:
+        print("FAIL: pruned execution diverged from the broadcast execution")
+        return 1
+    if not results.strictly_fewer_scanned:
+        print("FAIL: pruning did not reduce the crossbars scanned")
+        return 1
+    if not results.maintenance_charged:
+        print("FAIL: DML charged no zone-map maintenance time")
+        return 1
+    if results.shards_skipped <= 0:
+        print("FAIL: the sharded service skipped no shard")
+        return 1
+    if args.min_speedup and results.min_selective_speedup() < args.min_speedup:
+        print(
+            f"FAIL: min selective modelled speedup "
+            f"{results.min_selective_speedup():.2f}x below {args.min_speedup}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

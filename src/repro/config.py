@@ -25,14 +25,26 @@ from dataclasses import dataclass, field
 BACKENDS = ("packed", "bool")
 
 
+def validate_backend(backend: str, source: str = "backend=") -> str:
+    """Validate a backend name, naming the ``source`` that supplied it.
+
+    Every backend-accepting entry point (:func:`default_backend`,
+    :class:`SystemConfig`, :func:`repro.pim.packed.make_bank`,
+    :meth:`repro.service.service.QueryService.register_sharded`) validates
+    through here, so a typo fails immediately with the same clear message
+    instead of surfacing later inside allocation.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"{source}{backend!r} is not a backend; choose from {BACKENDS}"
+        )
+    return backend
+
+
 def default_backend() -> str:
     """The simulation backend, overridable via ``REPRO_BACKEND``."""
     backend = os.environ.get("REPRO_BACKEND", "packed")
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"REPRO_BACKEND={backend!r} is not a backend; choose from {BACKENDS}"
-        )
-    return backend
+    return validate_backend(backend, source="REPRO_BACKEND=")
 
 
 @dataclass(frozen=True)
@@ -202,11 +214,7 @@ class SystemConfig:
     backend: str = field(default_factory=default_backend)
 
     def __post_init__(self) -> None:
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown simulation backend {self.backend!r}; "
-                f"choose from {BACKENDS}"
-            )
+        validate_backend(self.backend)
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy of this configuration with some fields replaced."""

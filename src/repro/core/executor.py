@@ -70,6 +70,12 @@ class QueryExecution:
     pim_subgroups: int
     max_writes_per_row: int
     plan: Optional[GroupByPlan] = None
+    #: Crossbars a full broadcast would touch (summed over the partitions).
+    crossbars_total: int = 0
+    #: Crossbars the filter actually scanned (== total without pruning).
+    crossbars_scanned: int = 0
+    #: Planner's selectivity estimate (``None`` when no planner consulted).
+    estimated_selectivity: Optional[float] = None
 
     @property
     def time_s(self) -> float:
@@ -131,6 +137,7 @@ class PimQueryEngine:
         timing_scale: float = 1.0,
         compiler: Optional[ProgramCompiler] = None,
         vectorized: bool = False,
+        pruning: bool = False,
         filter_stage: Optional[FilterStage] = None,
         group_stage: Optional[GroupMaskStage] = None,
         aggregation_stage: Optional[AggregationStage] = None,
@@ -158,6 +165,13 @@ class PimQueryEngine:
             vectorized: Compute filter and group-mask bits with one NumPy
                 pass instead of simulating every NOR primitive (identical
                 results, wear and statistics; see :mod:`repro.core.stages`).
+            pruning: Consult the relation's zone maps before every filter
+                and broadcast the NOR program (and the aggregation-circuit
+                pass) only to candidate crossbars — bit-exact with the full
+                broadcast, charging :class:`~repro.pim.stats.PimStats` for
+                exactly the crossbars touched plus the modelled zone-map
+                check.  A query whose predicate matches no crossbar at all
+                skips execution entirely.
             filter_stage / group_stage / aggregation_stage: Fully custom
                 stage objects; built from the arguments above when omitted.
         """
@@ -180,6 +194,7 @@ class PimQueryEngine:
         self.planner = GroupByPlanner(cost_model)
         self.compiler = compiler if compiler is not None else ProgramCompiler()
         self.vectorized = bool(vectorized)
+        self.pruning = bool(pruning)
         self.filter_stage = filter_stage or FilterStage(
             stored, self.compiler, self.timing_scale, self.vectorized
         )
@@ -212,14 +227,41 @@ class PimQueryEngine:
         wear_before = self.stored.wear_snapshot()
 
         primary = self._primary_partition(query)
-        self.filter_stage.run(query, primary, executor, read_model)
+        crossbars_total = sum(a.crossbars for a in self.stored.allocations)
+        crossbars_scanned = crossbars_total
+        estimated_selectivity: Optional[float] = None
+        prune = None
+        if self.pruning:
+            statistics = self.stored.statistics
+            prune = statistics.plan(
+                query.predicate,
+                self.stored.partition_attributes,
+                self.config.pim.crossbars_per_page,
+            )
+            statistics.charge_check(
+                stats, self.config.host,
+                prune.entries_checked * self.timing_scale,
+            )
+            estimated_selectivity = statistics.estimate(query.predicate)
+            crossbars_scanned = prune.crossbars_scanned
+            if prune.empty:
+                # Some partition's conjunction matches no crossbar: the
+                # selection is provably empty, so no filter broadcast, no
+                # aggregation and no result row — this is also how a sharded
+                # engine skips entire shards.
+                return self._pruned_out_execution(
+                    query, stats, crossbars_total, estimated_selectivity
+                )
+
+        self.filter_stage.run(query, primary, executor, read_model, prune=prune)
         mask = self.stored.filter_mask(primary)
         selectivity = float(mask.mean()) if len(mask) else 0.0
+        candidates = prune.candidates[primary] if prune is not None else None
 
         plan: Optional[GroupByPlan] = None
         if not query.group_by:
             entry = self.aggregation_stage.aggregate_all(
-                query, primary, executor, read_model
+                query, primary, executor, read_model, candidates=candidates
             )
             # An empty selection yields no result row (matching the columnar
             # reference engines); otherwise an absent min collapses to the
@@ -237,7 +279,8 @@ class PimQueryEngine:
             total_subgroups, in_sample, pim_subgroups = 0, 0, 0
         else:
             rows, plan = self._execute_group_by(
-                query, primary, mask, executor, read_model
+                query, primary, mask, executor, read_model,
+                prune_candidates=candidates,
             )
             total_subgroups = plan.total_subgroups
             in_sample = plan.estimate.observed_subgroups
@@ -256,6 +299,37 @@ class PimQueryEngine:
             pim_subgroups=pim_subgroups,
             max_writes_per_row=max_writes,
             plan=plan,
+            crossbars_total=crossbars_total,
+            crossbars_scanned=crossbars_scanned,
+            estimated_selectivity=estimated_selectivity,
+        )
+
+    def _pruned_out_execution(
+        self,
+        query: Query,
+        stats: PimStats,
+        crossbars_total: int,
+        estimated_selectivity: Optional[float],
+    ) -> QueryExecution:
+        """The (empty) execution of a query the zone maps ruled out entirely."""
+        if query.group_by:
+            total_subgroups, in_sample, pim_subgroups = 0, 0, 0
+        else:
+            total_subgroups, in_sample, pim_subgroups = 1, 0, 1
+        return QueryExecution(
+            query=query,
+            label=self.label,
+            rows={},
+            stats=stats,
+            selectivity=0.0,
+            total_subgroups=total_subgroups,
+            subgroups_in_sample=in_sample,
+            pim_subgroups=pim_subgroups,
+            max_writes_per_row=0,
+            plan=None,
+            crossbars_total=crossbars_total,
+            crossbars_scanned=0,
+            estimated_selectivity=estimated_selectivity,
         )
 
     # ---------------------------------------------------------------- filter
@@ -295,6 +369,7 @@ class PimQueryEngine:
         mask: np.ndarray,
         executor: PimExecutor,
         read_model: HostReadModel,
+        prune_candidates: Optional[np.ndarray] = None,
     ) -> Tuple[Dict[GroupKey, Dict[str, int]], GroupByPlan]:
         group_attributes = list(query.group_by)
         candidates = self._candidate_groups(query)
@@ -317,7 +392,8 @@ class PimQueryEngine:
         rows: Dict[GroupKey, Dict[str, int]] = {}
         for key in plan.pim_groups:
             entry = self._pim_aggregate_group(
-                query, primary, group_attributes, key, executor, read_model
+                query, primary, group_attributes, key, executor, read_model,
+                candidates=prune_candidates,
             )
             if self._group_selected(mask, group_attributes, key):
                 rows[key] = self._finalize_entry(entry, primary)
@@ -338,15 +414,21 @@ class PimQueryEngine:
         key: GroupKey,
         executor: PimExecutor,
         read_model: HostReadModel,
+        candidates: Optional[np.ndarray] = None,
     ) -> Dict[str, Optional[int]]:
-        """pim-gb for one subgroup: subgroup filter, aggregate, combine."""
+        """pim-gb for one subgroup: subgroup filter, aggregate, combine.
+
+        The subgroup mask is a subset of the query filter, so the zone-map
+        candidate crossbars of the filter bound the subgroup aggregation too.
+        """
         group_values = dict(zip(group_attributes, key))
         mask_column = self.group_stage.prepare(
             group_values, primary, executor, read_model
         )
         return {
             aggregate.name: self.aggregation_stage.aggregate(
-                aggregate, primary, mask_column, executor, read_model
+                aggregate, primary, mask_column, executor, read_model,
+                candidates=candidates,
             )
             for aggregate in query.aggregates
         }

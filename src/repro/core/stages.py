@@ -104,18 +104,84 @@ def apply_program(
     allocation = stored.allocations[partition]
     if result_bits is None:
         executor.run_program(allocation.bank, program, pages=pages, phase=phase)
-        return
-    stored.write_bit_column(
-        partition, program.result_column, result_bits, count_wear=False
-    )
-    executor.charge_program_cost(
-        allocation.bank,
-        program.cycles,
-        pages=pages,
-        phase=phase,
-        writes_per_row=program.writes_per_row,
-        add_wear=True,
-    )
+    else:
+        stored.write_bit_column(
+            partition, program.result_column, result_bits, count_wear=False
+        )
+        executor.charge_program_cost(
+            allocation.bank,
+            program.cycles,
+            pages=pages,
+            phase=phase,
+            writes_per_row=program.writes_per_row,
+            add_wear=True,
+        )
+    # A broadcast that lands in the filter column may leave ones in any
+    # crossbar; the pruned path consults this to know what needs clearing.
+    if program.result_column == stored.layouts[partition].filter_column:
+        stored.mark_filter_dirty(partition)
+
+
+def apply_filter_program_pruned(
+    stored: StoredRelation,
+    partition: int,
+    program: Program,
+    executor: PimExecutor,
+    phase: str,
+    pages: float,
+    candidates: np.ndarray,
+    result_bits: Optional[np.ndarray] = None,
+) -> None:
+    """Run a filter program on the zone-map candidate crossbars only.
+
+    The same two-mode contract as :func:`apply_program`, restricted to the
+    candidate crossbars: the program's cost, wear and requests are charged
+    for exactly the crossbars touched.  Skipped crossbars provably hold no
+    matching live row, so their correct filter bits are all-zero — they are
+    left untouched when already clean and receive a single-cycle clear when a
+    previous broadcast left stale ones behind.
+    """
+    layout = stored.layouts[partition]
+    if program.result_column != layout.filter_column:
+        raise ValueError("pruned execution only applies to filter programs")
+    allocation = stored.allocations[partition]
+    stale = stored.filter_dirty_mask(partition) & ~candidates
+    if result_bits is None:
+        executor.run_program_pruned(
+            allocation.bank, program, candidates, pages, phase,
+            clear_crossbars=stale,
+        )
+    else:
+        _check_pruned_bits(result_bits, candidates, allocation)
+        stored.write_bit_column(
+            partition, program.result_column, result_bits, count_wear=False
+        )
+        executor.charge_pruned_program_cost(
+            allocation.bank, program, candidates, pages, phase,
+            clear_crossbars=stale,
+        )
+    stored.mark_filter_dirty(partition, candidates)
+
+
+def _check_pruned_bits(
+    result_bits: np.ndarray, candidates: np.ndarray, allocation
+) -> None:
+    """Assert the conservative-statistics invariant on known result bits.
+
+    Zone maps are maintained to only ever err on the wide side; a matching
+    row inside a pruned crossbar means the maintenance contract was broken
+    somewhere, which must fail loudly rather than silently drop rows.
+    """
+    padded = np.zeros(allocation.record_capacity, dtype=bool)
+    padded[: len(result_bits)] = result_bits
+    hits = padded.reshape(
+        allocation.crossbars, allocation.rows_per_crossbar
+    ).any(axis=1)
+    if np.any(hits & ~np.asarray(candidates, dtype=bool)):
+        raise RuntimeError(
+            "zone maps pruned a crossbar holding matching rows; the "
+            "conservative-maintenance invariant was violated"
+        )
 
 
 class _Stage:
@@ -175,8 +241,14 @@ class FilterStage(_Stage):
         primary: int,
         executor: PimExecutor,
         read_model: HostReadModel,
+        prune=None,
     ) -> None:
-        """Evaluate the predicate; the combined result lands in ``primary``."""
+        """Evaluate the predicate; the combined result lands in ``primary``.
+
+        ``prune`` (a :class:`~repro.planner.zonemap.PruneDecision`) restricts
+        each partition's filter broadcast to its zone-map candidate
+        crossbars; without it the program is broadcast to every page.
+        """
         schema = self.stored.relation.schema
         per_partition = partition_conjuncts(
             query.predicate, self.stored.partition_attributes
@@ -188,7 +260,17 @@ class FilterStage(_Stage):
             if self.vectorized:
                 bits = evaluate_predicate(predicate, self.stored.relation)
                 bits = bits & self.stored.valid_mask(index)
-            self._apply(program, index, executor, phase="filter", result_bits=bits)
+            if prune is not None:
+                apply_filter_program_pruned(
+                    self.stored, index, program, executor,
+                    phase="filter", pages=self._pages(index),
+                    candidates=prune.candidates[index],
+                    result_bits=bits if self.vectorized else None,
+                )
+            else:
+                self._apply(
+                    program, index, executor, phase="filter", result_bits=bits
+                )
         # Fold the other partitions' filter bits into the primary partition.
         for index, predicate in enumerate(per_partition):
             if index == primary or predicate is None:
@@ -373,12 +455,14 @@ class AggregationStage(_Stage):
         primary: int,
         executor: PimExecutor,
         read_model: HostReadModel,
+        candidates: Optional[np.ndarray] = None,
     ) -> Dict[str, Optional[int]]:
         """Aggregate the filtered records of the whole relation with PIM."""
         layout = self.stored.layouts[primary]
         return {
             aggregate.name: self.aggregate(
-                aggregate, primary, layout.filter_column, executor, read_model
+                aggregate, primary, layout.filter_column, executor, read_model,
+                candidates=candidates,
             )
             for aggregate in query.aggregates
         }
@@ -390,6 +474,7 @@ class AggregationStage(_Stage):
         mask_column: int,
         executor: PimExecutor,
         read_model: HostReadModel,
+        candidates: Optional[np.ndarray] = None,
     ) -> Optional[int]:
         """One PIM aggregation (circuit or bulk-bitwise) plus host combination.
 
@@ -398,6 +483,12 @@ class AggregationStage(_Stage):
         equals the accumulator's all-ones identity — the two are
         indistinguishable in the partials the hardware exposes; the engine
         resolves the ambiguity from the selection mask it already holds).
+
+        ``candidates`` (the zone-map candidate crossbars of the partition)
+        restricts the aggregation-circuit pass to those crossbars: the others
+        hold an all-zero mask column, so their partials would be the
+        operation's identity and are not worth streaming.  The bulk-bitwise
+        fallback (the PIMDB baseline) always runs unpruned.
         """
         layout = self.stored.layouts[partition]
         allocation = self.stored.allocations[partition]
@@ -416,6 +507,7 @@ class AggregationStage(_Stage):
                 pages=self._pages(partition),
                 operation=operation,
                 result_width=layout.accumulator_width,
+                crossbars=candidates,
             )
         else:
             if layout.operand_offset is None:
@@ -436,7 +528,12 @@ class AggregationStage(_Stage):
             partials = executor.aggregate_bulk_bitwise(
                 allocation.bank, plan, pages=self._pages(partition)
             )
-        read_model.read_aggregation_results(self.stored, partition)
+        fraction = 1.0
+        if candidates is not None and self.use_aggregation_circuit:
+            fraction = float(np.count_nonzero(candidates)) / allocation.crossbars
+        read_model.read_aggregation_results(
+            self.stored, partition, pages_fraction=fraction
+        )
         if aggregate.op == "min":
             # Crossbars with no selected record hold the identity (all ones);
             # they do not contribute to the final minimum.

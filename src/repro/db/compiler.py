@@ -31,6 +31,8 @@ from repro.db.query import (
     NE,
     Or,
     Predicate,
+    clamp_between,
+    fold_comparison,
 )
 from repro.db.schema import Schema
 from repro.pim.logic import Program, ProgramBuilder
@@ -150,14 +152,19 @@ def _compile_node(
 
 
 def _encode(schema: Schema, attribute: str, value) -> Optional[int]:
+    """Translate a constant to the stored code; ``None`` = not in dictionary.
+
+    Integer constants outside the attribute's encoded domain are *not*
+    folded to ``None`` here: ``field < 1024`` on a 4-bit field is true for
+    every record, so the comparison compilers fold out-of-domain constants
+    against the domain boundary instead (matching
+    :func:`repro.db.query.evaluate_predicate` exactly).
+    """
     attr = schema.attribute(attribute)
     try:
-        encoded = attr.encode_value(value)
+        return int(attr.encode_value(value))
     except KeyError:
         return None
-    if encoded < 0 or encoded > attr.max_value:
-        return None
-    return int(encoded)
 
 
 def _compile_comparison(
@@ -168,25 +175,35 @@ def _compile_comparison(
             f"attribute {node.attribute!r} is not stored in this partition"
         )
     columns = layout.field_columns(node.attribute)
+    max_value = schema.attribute(node.attribute).max_value
     op = node.op
     if op == IN:
-        encoded_values = []
-        for value in node.values:
-            encoded = _encode(schema, node.attribute, value)
-            if encoded is not None:
-                encoded_values.append(encoded)
+        encoded_values = [
+            encoded
+            for encoded in (
+                _encode(schema, node.attribute, value) for value in node.values
+            )
+            # Out-of-domain constants can never equal a stored value.
+            if encoded is not None and 0 <= encoded <= max_value
+        ]
         if not encoded_values:
             return builder.const(False)
         return builder.isin_const(columns, encoded_values)
     if op == BETWEEN:
-        low = _encode(schema, node.attribute, node.low)
-        high = _encode(schema, node.attribute, node.high)
-        if low is None or high is None:
+        bounds = clamp_between(
+            _encode(schema, node.attribute, node.low),
+            _encode(schema, node.attribute, node.high),
+            max_value,
+        )
+        if bounds is None:
             return builder.const(False)
-        return builder.between_const(columns, low, high)
+        return builder.between_const(columns, *bounds)
+    if op not in (EQ, NE, LT, LE, GT, GE):
+        raise CompilationError(f"unknown operator {op!r}")
     encoded = _encode(schema, node.attribute, node.value)
-    if encoded is None:
-        return builder.const(op == NE)
+    folded = fold_comparison(op, encoded, max_value)
+    if folded is not None:
+        return builder.const(folded)
     if op == EQ:
         return builder.eq_const(columns, encoded)
     if op == NE:
@@ -197,9 +214,7 @@ def _compile_comparison(
         return builder.le_const(columns, encoded)
     if op == GT:
         return builder.gt_const(columns, encoded)
-    if op == GE:
-        return builder.ge_const(columns, encoded)
-    raise CompilationError(f"unknown operator {op!r}")
+    return builder.ge_const(columns, encoded)
 
 
 def partition_conjuncts(

@@ -221,7 +221,14 @@ def execute_delete(
             result_bits=(valid_before & ~doomed) if vectorized else None,
         )
 
-    stored.register_tombstones(np.nonzero(doomed)[0])
+    doomed_slots = np.nonzero(doomed)[0]
+    stored.register_tombstones(doomed_slots)
+    # Zone-map maintenance: one live-counter decrement per touched crossbar
+    # (bounds stay conservatively wide until the next compaction).
+    touched = np.unique(doomed_slots // stored.rows_per_crossbar).size
+    stored.statistics.charge_maintenance(
+        executor.stats, executor.config.host, touched * timing_scale
+    )
     clear_cycles = sum(p.cycles for p in compiled.clear_programs.values())
     return DeleteResult(
         records_deleted=int(doomed.sum()),
@@ -299,6 +306,7 @@ def execute_insert(
             stored.num_records += 1
             result.appended_slots += 1
         stored.live_count += 1
+        stored.note_insert(slot, record)
         result.slots.append(slot)
 
         for layout, allocation, attrs in zip(
@@ -325,6 +333,13 @@ def execute_insert(
     relation.append_rows(tail_records, encoded=True)
     assert len(relation) == stored.num_records, (
         "ground-truth relation out of sync with the slot high-water mark"
+    )
+    # Zone-map maintenance: each insert widened one crossbar's bounds for
+    # every attribute and bumped its live counter.
+    stored.statistics.charge_maintenance(
+        executor.stats,
+        executor.config.host,
+        len(records) * (len(relation.schema.names) + 1),
     )
     result.live_records = stored.live_count
     result.tombstones = stored.tombstone_count
@@ -369,12 +384,18 @@ def execute_compaction(
         return CompactionResult(performed=False, fragmentation_before=fragmentation)
 
     slots_before = stored.num_records
+    crossbar_entries = stored.crossbars_per_partition * (
+        len(stored.relation.schema.names) + 1
+    )
     if stored.live_count == 0:
         relation = stored.relation
         for name in relation.schema.names:
             relation.columns[name] = relation.columns[name][:0]
         relation.num_records = 0
         stored.reset_slots_after_compaction()
+        stored.statistics.charge_maintenance(
+            executor.stats, executor.config.host, crossbar_entries * timing_scale
+        )
         return CompactionResult(
             performed=True,
             fragmentation_before=fragmentation,
@@ -452,6 +473,11 @@ def execute_compaction(
     )
 
     stored.reset_slots_after_compaction()
+    # Zone-map maintenance: compaction moved every row, so the statistics
+    # were rebuilt exactly — one pass over every crossbar's entries.
+    stored.statistics.charge_maintenance(
+        executor.stats, executor.config.host, crossbar_entries * timing_scale
+    )
     return CompactionResult(
         performed=True,
         fragmentation_before=fragmentation,

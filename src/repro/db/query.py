@@ -201,27 +201,75 @@ def _encode_constant(relation: Relation, attribute: str, value) -> Optional[int]
         return None
 
 
+def fold_comparison(op: str, encoded: Optional[int], max_value: int) -> Optional[bool]:
+    """Constant-fold a scalar comparison against the field domain.
+
+    ``encoded`` is the constant's stored code (``None`` when the raw value
+    is missing from the attribute's dictionary); ``max_value`` is the
+    largest code the field can hold.  Returns ``True``/``False`` when every
+    in-domain stored value compares the same way — a value missing from the
+    dictionary matches nothing (everything for ``!=``), and an integer
+    outside ``[0, max_value]`` puts the whole domain on one side of the
+    comparison — and ``None`` when the constant is in-domain and must be
+    compared for real.
+
+    This is *the* definition of out-of-domain comparison semantics.  The
+    NOR compiler, the reference evaluator, the zone maps and the
+    selectivity model all fold through here; the planner's pruning
+    soundness depends on them agreeing bit for bit.
+    """
+    if op not in (EQ, NE, LT, LE, GT, GE):
+        raise ValueError(f"unknown operator {op!r}")
+    if encoded is None:
+        return op == NE
+    if 0 <= encoded <= max_value:
+        return None
+    if op in (EQ, NE):
+        return op == NE
+    below = encoded > max_value
+    return below if op in (LT, LE) else not below
+
+
+def clamp_between(
+    low: Optional[int], high: Optional[int], max_value: int
+) -> Optional[Tuple[int, int]]:
+    """Clamp BETWEEN bounds into the field domain (``None`` = empty range).
+
+    The companion of :func:`fold_comparison` for the inclusive range
+    operator: a bound missing from the dictionary, a range entirely outside
+    the domain, or an inverted range selects nothing; anything else clamps
+    to the representable ``[max(low, 0), min(high, max_value)]``.
+    """
+    if low is None or high is None or high < 0 or low > max_value or low > high:
+        return None
+    return max(low, 0), min(high, max_value)
+
+
 def _evaluate_comparison(comparison: Comparison, relation: Relation) -> np.ndarray:
     column = relation.column(comparison.attribute)
+    max_value = relation.schema.attribute(comparison.attribute).max_value
     op = comparison.op
     if op == IN:
         mask = np.zeros(len(relation), dtype=bool)
         for value in comparison.values:
             encoded = _encode_constant(relation, comparison.attribute, value)
-            if encoded is not None:
+            if encoded is not None and 0 <= encoded <= max_value:
                 mask |= column == np.uint64(encoded)
         return mask
     if op == BETWEEN:
-        low = _encode_constant(relation, comparison.attribute, comparison.low)
-        high = _encode_constant(relation, comparison.attribute, comparison.high)
-        if low is None or high is None:
+        bounds = clamp_between(
+            _encode_constant(relation, comparison.attribute, comparison.low),
+            _encode_constant(relation, comparison.attribute, comparison.high),
+            max_value,
+        )
+        if bounds is None:
             return np.zeros(len(relation), dtype=bool)
+        low, high = bounds
         return (column >= np.uint64(low)) & (column <= np.uint64(high))
     encoded = _encode_constant(relation, comparison.attribute, comparison.value)
-    if encoded is None:
-        if op == NE:
-            return np.ones(len(relation), dtype=bool)
-        return np.zeros(len(relation), dtype=bool)
+    folded = fold_comparison(op, encoded, max_value)
+    if folded is not None:
+        return np.full(len(relation), folded, dtype=bool)
     value = np.uint64(encoded)
     if op == EQ:
         return column == value

@@ -116,6 +116,20 @@ class StoredRelation:
         self._free_slots: List[int] = []
         self.live_count = self.num_records
         self._load()
+        # Per-crossbar "the filter column may hold ones" flags, one array per
+        # vertical partition.  Pruned execution clears the filter column only
+        # of crossbars that are both skipped and dirty, so a run over a clean
+        # relation pays no clear broadcast at all.
+        self._filter_dirty: List[np.ndarray] = [
+            np.zeros(allocation.crossbars, dtype=bool)
+            for allocation in self.allocations
+        ]
+        # Imported lazily: the planner package reaches back into the host
+        # read-path model, which imports this module.
+        from repro.planner.planner import RelationStatistics
+
+        #: Zone maps + selectivity histograms, maintained under DML.
+        self.statistics = RelationStatistics.from_stored(self)
 
     # ---------------------------------------------------------------- set-up
     def _validate_partitions(self) -> None:
@@ -228,14 +242,60 @@ class StoredRelation:
 
     def register_tombstones(self, slots: np.ndarray) -> None:
         """Record slots whose valid bit a DELETE just cleared."""
-        for slot in np.asarray(slots, dtype=np.int64):
+        slots = np.asarray(slots, dtype=np.int64)
+        for slot in slots:
             heapq.heappush(self._free_slots, int(slot))
         self.live_count -= len(slots)
+        # Count-decrement the zone maps: a tombstoned value may keep a
+        # crossbar a candidate (bounds stay wide), never hide a live match.
+        self.statistics.note_delete(slots, self.relation)
+
+    def note_insert(self, slot: int, record) -> None:
+        """Widen the statistics with one freshly inserted (encoded) record."""
+        self.statistics.note_insert(slot, record)
+
+    def note_update(self, attribute: str, encoded: int, mask: np.ndarray) -> None:
+        """Widen the statistics with an UPDATE's assignment.
+
+        ``mask`` selects the updated slots; the zone maps of the crossbars
+        they live in are widened with the assigned constant and the
+        histogram moves the old values to the new bucket.
+        """
+        slots = np.nonzero(np.asarray(mask, dtype=bool))[0]
+        if slots.size == 0:
+            return
+        crossbars = np.unique(slots // self.rows_per_crossbar)
+        old_values = self.relation.columns[attribute][slots]
+        self.statistics.note_update(attribute, encoded, crossbars, old_values)
 
     def reset_slots_after_compaction(self) -> None:
         """All live rows were rewritten densely into the lowest slots."""
         self._free_slots = []
         self.num_records = self.live_count
+        # Compaction rewrote every row and scrubbed the bookkeeping columns:
+        # rebuild the statistics exactly and mark every filter column clean.
+        self.statistics.rebuild(self.relation)
+        for dirty in self._filter_dirty:
+            dirty[:] = False
+
+    # ------------------------------------------------------- filter dirtiness
+    def filter_dirty_mask(self, partition: int) -> np.ndarray:
+        """Crossbars whose filter column may hold ones (per partition)."""
+        return self._filter_dirty[partition]
+
+    def mark_filter_dirty(
+        self, partition: int, candidates: Optional[np.ndarray] = None
+    ) -> None:
+        """Record which crossbars a filter program just wrote.
+
+        An unpruned broadcast (``candidates=None``) dirties every crossbar; a
+        pruned run leaves exactly its candidate set dirty (skipped crossbars
+        were cleared or already clean).
+        """
+        if candidates is None:
+            self._filter_dirty[partition][:] = True
+        else:
+            np.copyto(self._filter_dirty[partition], candidates)
 
     def partition_of(self, attribute: str) -> int:
         """Index of the vertical partition storing an attribute."""

@@ -144,6 +144,9 @@ def execute_update(
         pages=allocation.pages, phase="update-mux",
     )
 
+    # The filter program left the selection in the partition's filter column.
+    stored.mark_filter_dirty(compiled.partition)
+
     # Keep the functional ground truth in sync.  Tombstoned rows are masked
     # out: the stored-bits mux never touches them (the filter program ANDs
     # with the valid column), so rewriting their ground-truth values would
@@ -151,8 +154,19 @@ def execute_update(
     mask = evaluate_predicate(predicate, stored.relation)
     mask &= stored.valid_mask(compiled.partition)
     for name, encoded in compiled.encoded_assignments.items():
+        # Widen the zone maps with the assigned constant before the sync
+        # overwrites the old values the histograms must forget.
+        stored.note_update(name, encoded, mask)
         column = stored.relation.columns[name]
         column[mask] = np.uint64(encoded)
+    touched = np.unique(
+        np.nonzero(mask)[0] // stored.rows_per_crossbar
+    ).size
+    stored.statistics.charge_maintenance(
+        executor.stats,
+        executor.config.host,
+        touched * len(compiled.encoded_assignments),
+    )
 
     return UpdateResult(
         records_updated=int(mask.sum()),

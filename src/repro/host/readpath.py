@@ -125,24 +125,43 @@ class HostReadModel:
         """The paper's ``s``: 16-bit reads needed per record for ``attributes``."""
         return len(stored.layouts[partition].words_for_fields(attributes))
 
+    # ------------------------------------------------------------- streaming
+    def charge_stream_lines(self, lines: float, phase: str) -> None:
+        """Charge a bandwidth-bound stream of ``lines`` cache lines.
+
+        Used by the planner's host-scan route, which reads whole columns
+        sequentially instead of chasing the filter bit-vector.
+        """
+        lines = int(round(lines * self.traffic_scale))
+        time_s = dram.stream_read_time(
+            self.config.host, lines * CACHE_LINE_BYTES
+        )
+        self._charge(phase, time_s, lines)
+
     # ----------------------------------------------------- aggregation results
     def read_aggregation_results(
         self,
         stored: StoredRelation,
         partition: int,
         phase: str = "host-read-agg",
+        pages_fraction: float = 1.0,
     ) -> int:
         """Charge the reads of the per-crossbar aggregation results.
 
         The results of all 32 crossbars of a page share cache lines (one line
         per 16-bit result word), so the host reads
-        ``pages x result_words`` lines.  The decoded values themselves are
-        returned by the executor that triggered the aggregation; this method
-        only accounts for the traffic and returns the line count.
+        ``pages x result_words`` lines.  ``pages_fraction`` scales the page
+        count when a pruned aggregation only wrote results into candidate
+        crossbars.  The decoded values themselves are returned by the executor
+        that triggered the aggregation; this method only accounts for the
+        traffic and returns the line count.
         """
         layout = stored.layouts[partition]
         words = len(layout.result_word_indexes)
-        lines = int(round(stored.allocations[partition].pages * words * self.traffic_scale))
+        lines = int(round(
+            stored.allocations[partition].pages * pages_fraction
+            * words * self.traffic_scale
+        ))
         time_s = dram.scattered_read_time(self.config.host, lines, self.threads)
         self._charge(phase, time_s, lines)
         return lines

@@ -155,6 +155,87 @@ class PimExecutor:
         self.stats.logic_ops += cycles * crossbars
         self._record_phase(phase, pages, request_time, energy, "logic")
 
+    # ------------------------------------------------------ crossbar skipping
+    def run_program_pruned(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        candidates: np.ndarray,
+        pages: float,
+        phase: str,
+        clear_crossbars: Optional[np.ndarray] = None,
+        clear_phase: str = "prune-clear",
+    ) -> None:
+        """Execute a program on the candidate crossbars only.
+
+        ``candidates`` is a boolean mask over the bank's crossbars (from the
+        zone maps); the program's latency, energy, wear and requests are
+        charged for exactly that fraction of the broadcast.  ``clear_crossbars``
+        marks skipped crossbars whose result column may hold stale ones from
+        an earlier broadcast: they receive a single-cycle column clear instead
+        of the full program (charged as ``clear_phase``), restoring the
+        invariant that a skipped crossbar's result column reads all-zero.
+        """
+        if program.result_column is None:
+            raise ValueError("pruned execution needs a program result column")
+        candidate_idx = np.nonzero(np.asarray(candidates, dtype=bool))[0]
+        if candidate_idx.size:
+            program.execute_at(bank, candidate_idx)
+            self._charge_program(
+                bank, program.cycles,
+                pages * candidate_idx.size / bank.count, phase,
+            )
+        self._clear_stale(bank, program.result_column, clear_crossbars,
+                          pages, clear_phase)
+
+    def charge_pruned_program_cost(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        candidates: np.ndarray,
+        pages: float,
+        phase: str,
+        clear_crossbars: Optional[np.ndarray] = None,
+        clear_phase: str = "prune-clear",
+    ) -> None:
+        """The vectorized twin of :meth:`run_program_pruned`.
+
+        The caller has already written the known result bits into the result
+        column; this charges the pruned program cost analytically and adds the
+        per-row wear the masked gate-level execution would have caused —
+        identical stored bits, identical modelled cost.
+        """
+        candidate_idx = np.nonzero(np.asarray(candidates, dtype=bool))[0]
+        if candidate_idx.size:
+            self._charge_program(
+                bank, program.cycles,
+                pages * candidate_idx.size / bank.count, phase,
+            )
+            bank.writes_per_row[candidate_idx] += int(program.writes_per_row)
+        if clear_crossbars is not None and clear_crossbars.any():
+            clear_idx = np.nonzero(clear_crossbars)[0]
+            self._charge_program(
+                bank, 1, pages * clear_idx.size / bank.count, clear_phase
+            )
+            bank.writes_per_row[clear_idx] += 1
+
+    def _clear_stale(
+        self,
+        bank: CrossbarBank,
+        column: int,
+        clear_crossbars: Optional[np.ndarray],
+        pages: float,
+        clear_phase: str,
+    ) -> None:
+        """Single-cycle column clear of skipped-but-stale crossbars."""
+        if clear_crossbars is None or not clear_crossbars.any():
+            return
+        clear_idx = np.nonzero(clear_crossbars)[0]
+        bank.set_column_at(column, False, clear_idx)
+        self._charge_program(
+            bank, 1, pages * clear_idx.size / bank.count, clear_phase
+        )
+
     # ---------------------------------------------------- aggregation circuit
     def aggregate_with_circuit(
         self,
@@ -167,6 +248,7 @@ class PimExecutor:
         operation: str = "sum",
         phase: str = "pim-agg",
         result_width: Optional[int] = None,
+        crossbars: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Aggregate a field with the per-crossbar aggregation circuit (Fig. 3).
 
@@ -174,6 +256,12 @@ class PimExecutor:
         16-bit read port, accumulates it in a CMOS ALU and writes the final
         value back into the crossbar at ``destination_offset``.  Returns the
         per-crossbar aggregates.
+
+        ``crossbars`` restricts the aggregation to a candidate subset (a
+        boolean mask over the bank's crossbars, from the zone maps): only
+        those crossbars stream their rows, receive the write-back and are
+        charged for — the skipped ones hold an all-zero mask column, so their
+        partials would be the operation's identity and contribute nothing.
         """
         if not self._pim.aggregation_circuit.enabled:
             raise RuntimeError(
@@ -189,20 +277,32 @@ class PimExecutor:
         from repro.pim.arithmetic import aggregate_reference
 
         results = aggregate_reference(values, mask, operation, result_width)
-        bank.write_field_row(0, destination_offset, result_width, results)
+        if crossbars is None:
+            active = bank.count
+            bank.write_field_row(0, destination_offset, result_width, results)
+        else:
+            candidate_idx = np.nonzero(np.asarray(crossbars, dtype=bool))[0]
+            active = int(candidate_idx.size)
+            results = results[candidate_idx]
+            if active == 0:
+                return results
+            bank.write_field_row(
+                0, destination_offset, result_width, results, xbars=candidate_idx
+            )
+            pages = pages * active / bank.count
 
         reads_per_row = int(math.ceil(field_width / xbar.read_width_bits))
         request_time = (
             xbar.rows * reads_per_row * circuit.cycle_s
             + result_width / xbar.read_width_bits * xbar.write_latency_s
         )
-        crossbars = pages * self._crossbars_per_page()
-        read_bits = xbar.rows * reads_per_row * xbar.read_width_bits * crossbars
-        write_bits = result_width * crossbars
+        active_crossbars = pages * self._crossbars_per_page()
+        read_bits = xbar.rows * reads_per_row * xbar.read_width_bits * active_crossbars
+        write_bits = result_width * active_crossbars
         energy = (
             read_bits * xbar.read_energy_per_bit_j
             + write_bits * xbar.write_energy_per_bit_j
-            + circuit.power_w * request_time * crossbars
+            + circuit.power_w * request_time * active_crossbars
         )
         self.stats.bits_read += read_bits
         self.stats.bits_written += write_bits

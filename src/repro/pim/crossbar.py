@@ -174,24 +174,65 @@ class CrossbarBank:
         self.writes_per_row[:, rows] += width
 
     def write_field_row(
-        self, row: int, offset: int, width: int, values: np.ndarray
+        self,
+        row: int,
+        offset: int,
+        width: int,
+        values: np.ndarray,
+        xbars: Optional[np.ndarray] = None,
     ) -> None:
         """Write a per-crossbar value into a field of one row everywhere.
 
         A broadcast equivalent of ``write_field(xbar, row, ...)`` for every
-        crossbar, with ``values`` of shape ``(count,)``.
+        crossbar, with ``values`` of shape ``(count,)``.  With ``xbars`` the
+        write (and its wear) is restricted to those crossbars — ``values``
+        then carries one value per listed crossbar.
         """
         self._check_field(offset, width)
         self._check_rows(row)
         values = np.asarray(values, dtype=np.uint64)
-        if values.shape != (self.count,):
-            raise ValueError(f"expected values of shape {(self.count,)}, got {values.shape}")
+        targets = self.count if xbars is None else len(np.asarray(xbars))
+        if values.shape != (targets,):
+            raise ValueError(f"expected values of shape {(targets,)}, got {values.shape}")
         if width < 64 and np.any(values >= np.uint64(1 << width)):
             raise ValueError(f"some values do not fit in {width} bits")
         shifts = np.arange(width, dtype=np.uint64)
-        bits = (values[:, None] >> shifts[None, :]) & np.uint64(1)
-        self.bits[:, row, offset:offset + width] = bits.astype(bool)
-        self.writes_per_row[:, row] += width
+        bits = ((values[:, None] >> shifts[None, :]) & np.uint64(1)).astype(bool)
+        if xbars is None:
+            self.bits[:, row, offset:offset + width] = bits
+            self.writes_per_row[:, row] += width
+        else:
+            xbars = np.asarray(xbars, dtype=np.int64)
+            self.bits[xbars, row, offset:offset + width] = bits
+            self.writes_per_row[xbars, row] += width
+
+    # ------------------------------------------------- masked bulk primitives
+    def nor_columns_at(self, dest: int, srcs: Sequence[int], xbars: np.ndarray) -> None:
+        """:meth:`nor_columns` restricted to the crossbars in ``xbars``.
+
+        This is the functional side of crossbar skipping: the controller
+        broadcasts the operation only to the pages holding candidate
+        crossbars, so the other crossbars' cells (and wear counters) are
+        untouched.
+        """
+        if not srcs:
+            raise ValueError("NOR needs at least one source column")
+        xbars = np.asarray(xbars, dtype=np.int64)
+        if xbars.size == 0:
+            return
+        acc = self.bits[xbars, :, srcs[0]].copy()
+        for src in srcs[1:]:
+            acc |= self.bits[xbars, :, src]
+        self.bits[xbars, :, dest] = ~acc
+        self.writes_per_row[xbars] += 1
+
+    def set_column_at(self, dest: int, value: bool, xbars: np.ndarray) -> None:
+        """:meth:`set_column` restricted to the crossbars in ``xbars``."""
+        xbars = np.asarray(xbars, dtype=np.int64)
+        if xbars.size == 0:
+            return
+        self.bits[xbars, :, dest] = bool(value)
+        self.writes_per_row[xbars] += 1
 
     # ----------------------------------------------------- bulk primitives
     def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:

@@ -102,6 +102,22 @@ class Program:
             else:
                 set_column(dest, payload)
 
+    def execute_at(self, bank: "CrossbarBank", xbars) -> None:
+        """Apply the program to the listed crossbars of ``bank`` only.
+
+        The functional side of crossbar skipping: every primitive operates
+        column-wise and independently per crossbar, so running the program on
+        a subset produces on that subset exactly the bits a full broadcast
+        would — while the other crossbars' cells and wear stay untouched.
+        """
+        nor_columns_at = bank.nor_columns_at
+        set_column_at = bank.set_column_at
+        for is_nor, dest, payload in self._steps:
+            if is_nor:
+                nor_columns_at(dest, payload, xbars)
+            else:
+                set_column_at(dest, payload, xbars)
+
     def __len__(self) -> int:
         return len(self.ops)
 

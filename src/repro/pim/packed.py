@@ -35,7 +35,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.config import BACKENDS
+from repro.config import validate_backend
 from repro.pim.crossbar import CrossbarBank
 
 _ONE = np.uint64(1)
@@ -197,6 +197,33 @@ class PackedCrossbarBank:
         if count_wear:
             self.writes_per_row += 1
 
+    # ------------------------------------------------- masked bulk primitives
+    def nor_columns_at(self, dest: int, srcs: Sequence[int], xbars: np.ndarray) -> None:
+        """:meth:`nor_columns` restricted to the crossbars in ``xbars``."""
+        if not srcs:
+            raise ValueError("NOR needs at least one source column")
+        xbars = np.asarray(xbars, dtype=np.int64)
+        if xbars.size == 0:
+            return
+        acc = self.words[xbars, srcs[0], :].copy()
+        for src in srcs[1:]:
+            np.bitwise_or(acc, self.words[xbars, src, :], out=acc)
+        np.invert(acc, out=acc)
+        np.bitwise_and(acc, self._row_mask, out=acc)
+        self.words[xbars, dest, :] = acc
+        self.writes_per_row[xbars] += 1
+
+    def set_column_at(self, dest: int, value: bool, xbars: np.ndarray) -> None:
+        """:meth:`set_column` restricted to the crossbars in ``xbars``."""
+        xbars = np.asarray(xbars, dtype=np.int64)
+        if xbars.size == 0:
+            return
+        if value:
+            self.words[xbars, dest, :] = self._row_mask
+        else:
+            self.words[xbars, dest, :] = 0
+        self.writes_per_row[xbars] += 1
+
     # ----------------------------------------------------- bulk primitives
     def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:
         """Stateful NOR of whole columns — 64 rows per machine word."""
@@ -268,29 +295,45 @@ class PackedCrossbarBank:
         self.writes_per_row[:, rows] += width
 
     def write_field_row(
-        self, row: int, offset: int, width: int, values: np.ndarray
+        self,
+        row: int,
+        offset: int,
+        width: int,
+        values: np.ndarray,
+        xbars: Optional[np.ndarray] = None,
     ) -> None:
         """Write a per-crossbar value into a field of one row everywhere.
 
         Equivalent to ``write_field(xbar, row, ...)`` for every crossbar,
-        with ``values`` of shape ``(count,)``.
+        with ``values`` of shape ``(count,)``.  With ``xbars`` the write (and
+        its wear) is restricted to those crossbars — ``values`` then carries
+        one value per listed crossbar.
         """
         self._check_field(offset, width)
         self._check_rows(row)
         values = np.asarray(values, dtype=np.uint64)
-        if values.shape != (self.count,):
-            raise ValueError(f"expected values of shape {(self.count,)}, got {values.shape}")
+        targets = self.count if xbars is None else len(np.asarray(xbars))
+        if values.shape != (targets,):
+            raise ValueError(f"expected values of shape {(targets,)}, got {values.shape}")
         if width < 64 and np.any(values >= np.uint64(1 << width)):
             raise ValueError(f"some values do not fit in {width} bits")
         word, bit = row // _WORD_BITS, np.uint64(row % _WORD_BITS)
         mask = _ONE << bit
         shifts = np.arange(width, dtype=np.uint64)
-        bits = (values[:, None] >> shifts[None, :]) & _ONE  # (count, width)
-        current = self.words[:, offset:offset + width, word]
-        self.words[:, offset:offset + width, word] = (
-            (current & ~mask) | (bits << bit)
-        )
-        self.writes_per_row[:, row] += width
+        bits = (values[:, None] >> shifts[None, :]) & _ONE  # (targets, width)
+        if xbars is None:
+            current = self.words[:, offset:offset + width, word]
+            self.words[:, offset:offset + width, word] = (
+                (current & ~mask) | (bits << bit)
+            )
+            self.writes_per_row[:, row] += width
+        else:
+            xbars = np.asarray(xbars, dtype=np.int64)
+            current = self.words[xbars, offset:offset + width, word]
+            self.words[xbars, offset:offset + width, word] = (
+                (current & ~mask) | (bits << bit)
+            )
+            self.writes_per_row[xbars, row] += width
 
     # ---------------------------------------------------------------- wear
     def wear_snapshot(self) -> np.ndarray:
@@ -315,10 +358,7 @@ AnyCrossbarBank = Union[CrossbarBank, PackedCrossbarBank]
 
 def make_bank(backend: str, count: int, rows: int, columns: int) -> AnyCrossbarBank:
     """Instantiate the crossbar bank for a configured simulation backend."""
+    validate_backend(backend)
     if backend == "packed":
         return PackedCrossbarBank(count=count, rows=rows, columns=columns)
-    if backend == "bool":
-        return CrossbarBank(count=count, rows=rows, columns=columns)
-    raise ValueError(
-        f"unknown simulation backend {backend!r}; choose from {BACKENDS}"
-    )
+    return CrossbarBank(count=count, rows=rows, columns=columns)

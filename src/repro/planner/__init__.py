@@ -1,0 +1,33 @@
+"""Statistics and planning: zone maps, selectivity, crossbar skipping.
+
+The subsystem has three layers:
+
+* :mod:`repro.planner.zonemap` — conservative per-crossbar ``(min, max,
+  live)`` statistics that prove crossbars irrelevant to a predicate;
+* :mod:`repro.planner.selectivity` — per-column histograms estimating
+  selected fractions, driving conjunct ordering and routing;
+* :mod:`repro.planner.planner` — :class:`RelationStatistics` (the bundle a
+  :class:`~repro.db.storage.StoredRelation` carries and DML maintains) and
+  :class:`CostPlanner` (the query service's pim-vs-host routing).
+"""
+
+from repro.planner.planner import (
+    CostPlanner,
+    PlanDecision,
+    RelationStatistics,
+    execute_host_scan,
+)
+from repro.planner.selectivity import ColumnHistogram, SelectivityModel
+from repro.planner.zonemap import PruneDecision, ZoneCheck, ZoneMaps
+
+__all__ = [
+    "ColumnHistogram",
+    "CostPlanner",
+    "PlanDecision",
+    "PruneDecision",
+    "RelationStatistics",
+    "SelectivityModel",
+    "ZoneCheck",
+    "ZoneMaps",
+    "execute_host_scan",
+]

@@ -1,0 +1,356 @@
+"""Cost-based query planning over zone maps and histograms.
+
+Three planner responsibilities live here:
+
+* :class:`RelationStatistics` bundles the per-crossbar
+  :class:`~repro.planner.zonemap.ZoneMaps` and the per-column
+  :class:`~repro.planner.selectivity.SelectivityModel` of one stored
+  relation.  Every :class:`~repro.db.storage.StoredRelation` builds one at
+  load time and the DML paths keep it maintained, so engines and the service
+  can consult it at any point of the relation's lifecycle.
+* :meth:`RelationStatistics.plan` turns a WHERE clause into a
+  :class:`~repro.planner.zonemap.PruneDecision` — per-partition candidate
+  crossbars, with the conjuncts ordered most-selective first so the zone-map
+  walk exits early.
+* :class:`CostPlanner` makes the pim-vs-host routing decision for the query
+  service: a selective query runs on the PIM engine (broadcast cost bounded
+  by the pruned crossbars), while a high-selectivity query over a small
+  relation can be cheaper to stream through the host's load path and
+  hash-aggregate on the CPU — :func:`execute_host_scan` is that path,
+  charging the same :class:`~repro.pim.stats.PimStats` machinery so the two
+  routes stay comparable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.db.compiler import CompilationError, partition_conjuncts
+from repro.db.query import Predicate, Query, evaluate_predicate
+from repro.host import dram
+from repro.host.processor import cpu_time
+from repro.pim.stats import PimStats
+from repro.planner.selectivity import SelectivityModel
+from repro.planner.zonemap import PruneDecision, ZoneMaps
+
+
+#: Memoized :meth:`RelationStatistics.plan` decisions kept per relation.
+_PLAN_CACHE_CAPACITY = 64
+
+
+class RelationStatistics:
+    """Zone maps plus histograms of one stored relation, kept under DML."""
+
+    def __init__(self, zonemaps: ZoneMaps, selectivity: SelectivityModel) -> None:
+        self.zonemaps = zonemaps
+        self.selectivity = selectivity
+        # plan() memo: the service's cost router and the engine both plan
+        # the same predicate back to back, and serving workloads replay
+        # predicates — invalidated wholesale by any DML maintenance.
+        self._plan_cache: "OrderedDict[object, PruneDecision]" = OrderedDict()
+
+    @classmethod
+    def from_stored(cls, stored) -> "RelationStatistics":
+        return cls(
+            ZoneMaps.from_stored(stored),
+            SelectivityModel.from_relation(stored.relation),
+        )
+
+    # ------------------------------------------------------------------ plan
+    def plan(
+        self,
+        predicate: Predicate,
+        partition_attributes: Sequence[Sequence[str]],
+        crossbars_per_page: int,
+    ) -> PruneDecision:
+        """Candidate crossbars for every vertical partition of a predicate.
+
+        Decisions are memoized (keyed by the frozen predicate IR) until the
+        next maintenance event; callers treat the returned decision — in
+        particular its candidate masks — as read-only.
+        """
+        key = (
+            predicate,
+            tuple(tuple(attrs) for attrs in partition_attributes),
+            crossbars_per_page,
+        )
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache.move_to_end(key)
+            return cached
+        per_partition = partition_conjuncts(predicate, partition_attributes)
+        candidates: List[np.ndarray] = []
+        entries = 0
+        conjuncts_checked = 0
+        for conjunct in per_partition:
+            ordered = self.selectivity.order_conjuncts(conjunct)
+            check = self.zonemaps.check(ordered, crossbars_per_page)
+            candidates.append(check.candidates)
+            entries += check.entries_checked
+            conjuncts_checked += check.conjuncts_checked
+        decision = PruneDecision(
+            candidates=candidates,
+            crossbars_total=self.zonemaps.crossbars * len(candidates),
+            crossbars_scanned=int(sum(mask.sum() for mask in candidates)),
+            entries_checked=entries,
+            conjuncts_checked=conjuncts_checked,
+        )
+        self._plan_cache[key] = decision
+        if len(self._plan_cache) > _PLAN_CACHE_CAPACITY:
+            self._plan_cache.popitem(last=False)
+        return decision
+
+    def _invalidate_plans(self) -> None:
+        self._plan_cache.clear()
+
+    def estimate(self, predicate: Predicate) -> float:
+        """Estimated selected fraction of the live records."""
+        return self.selectivity.estimate(predicate)
+
+    # ------------------------------------------------------------ maintenance
+    def note_insert(self, slot: int, record) -> None:
+        self.zonemaps.note_insert(slot, record)
+        self.selectivity.note_insert(record)
+        self._invalidate_plans()
+
+    def note_delete(self, slots: np.ndarray, relation) -> None:
+        slots = np.asarray(slots, dtype=np.int64)
+        self.zonemaps.note_delete(slots)
+        if slots.size:
+            self.selectivity.note_remove(
+                {
+                    name: relation.columns[name][slots]
+                    for name in relation.schema.names
+                }
+            )
+        self._invalidate_plans()
+
+    def note_update(
+        self, attribute: str, encoded: int, crossbars: np.ndarray, old_values
+    ) -> None:
+        self.zonemaps.note_update(attribute, encoded, crossbars)
+        self.selectivity.note_update(attribute, old_values, encoded)
+        self._invalidate_plans()
+
+    def rebuild(self, relation, valid=None) -> None:
+        self.zonemaps.rebuild(relation, valid)
+        self.selectivity.rebuild(relation, valid)
+        self._invalidate_plans()
+
+    # ------------------------------------------------------------ cost model
+    charge_check = staticmethod(ZoneMaps.charge_check)
+    charge_maintenance = staticmethod(ZoneMaps.charge_maintenance)
+
+
+# ---------------------------------------------------------------------------
+# pim-vs-host routing
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One routing decision of the cost planner."""
+
+    #: Chosen execution route: ``"pim"`` or ``"host"``.
+    target: str
+    #: Estimated selected fraction of the records.
+    estimated_selectivity: float
+    #: Modelled cost estimates the decision compared, seconds.
+    est_pim_time_s: float
+    est_host_time_s: float
+
+
+def _host_scan_read_plan(stored, query: Query) -> Dict[int, Tuple[List[str], int]]:
+    """Columns a host scan must stream, per partition: ``(names, lines)``.
+
+    The host streams the 16-bit words covering the referenced attributes of
+    every slot; a cache line carries one word of the 32 records interleaved
+    across a page's crossbars, so the line count is
+    ``pages x rows x distinct words``.
+    """
+    by_partition: Dict[int, List[str]] = {}
+    for name in query.referenced_attributes:
+        by_partition.setdefault(stored.partition_of(name), []).append(name)
+    plan: Dict[int, Tuple[List[str], int]] = {}
+    for partition, names in by_partition.items():
+        layout = stored.layouts[partition]
+        words = len(layout.words_for_fields(names))
+        allocation = stored.allocations[partition]
+        lines = allocation.pages * allocation.rows_per_crossbar * words
+        plan[partition] = (names, lines)
+    return plan
+
+
+class CostPlanner:
+    """Chooses between the PIM engine and a host scan for each query."""
+
+    def route(self, query: Query, engine) -> PlanDecision:
+        """Decide the route for one query on one (unsharded) engine."""
+        stored = engine.stored
+        statistics = getattr(stored, "statistics", None)
+        if statistics is None:
+            return PlanDecision("pim", 1.0, 0.0, float("inf"))
+        selectivity = statistics.estimate(query.predicate)
+        est_host = self._estimate_host(query, engine, selectivity)
+        est_pim = self._estimate_pim(query, engine, selectivity)
+        target = "host" if est_host < est_pim else "pim"
+        return PlanDecision(target, selectivity, est_pim, est_host)
+
+    # ------------------------------------------------------------- estimates
+    def _estimate_host(self, query: Query, engine, selectivity: float) -> float:
+        """Modelled time of :func:`execute_host_scan` for this query."""
+        stored = engine.stored
+        config: SystemConfig = engine.config
+        scale = engine.timing_scale
+        host = config.host
+        read_time = sum(
+            dram.stream_read_time(host, lines * dram.CACHE_LINE_BYTES * scale)
+            for _, lines in _host_scan_read_plan(stored, query).values()
+        )
+        selected = selectivity * stored.live_count * scale
+        agg_time = cpu_time(
+            host, selected, host.host_agg_cycles_per_record, host.query_threads
+        )
+        return read_time + agg_time
+
+    def _estimate_pim(self, query: Query, engine, selectivity: float) -> float:
+        """Rough modelled time of the (pruned) PIM execution."""
+        stored = engine.stored
+        config: SystemConfig = engine.config
+        scale = engine.timing_scale
+        xbar = config.pim.crossbar
+        gap = config.pim.request_issue_gap_s
+        cp = config.pim.crossbars_per_page
+        statistics = stored.statistics
+        try:
+            per_partition = partition_conjuncts(
+                query.predicate, stored.partition_attributes
+            )
+            # The memoized plan: the engine re-requests the identical
+            # decision right after routing, paying the walk only once.
+            prune = (
+                statistics.plan(query.predicate, stored.partition_attributes, cp)
+                if getattr(engine, "pruning", False)
+                else None
+            )
+        except CompilationError:
+            return 0.0  # the engine will raise the real error — stay on PIM
+        schema = stored.relation.schema
+        total = 0.0
+        scanned_pages = stored.pages * scale
+        for index, conjunct in enumerate(per_partition):
+            layout = stored.layouts[index]
+            pages = stored.allocations[index].pages * scale
+            if prune is not None:
+                mask = prune.candidates[index]
+                pages *= mask.sum() / max(1, len(mask))
+            try:
+                program = engine.compiler.filter_program(conjunct, schema, layout)
+                cycles = program.cycles
+            except CompilationError:
+                cycles = 64
+            total += pages * gap + cycles * xbar.logic_cycle_s
+            scanned_pages = min(scanned_pages, pages)
+        # Aggregation: the circuit streams every row of the scanned pages.
+        layout = stored.layouts[0]
+        circuit = config.pim.aggregation_circuit
+        for aggregate in query.aggregates:
+            if aggregate.attribute is None:
+                reads = 1
+            else:
+                width = stored.layout_of(aggregate.attribute).field_width(
+                    aggregate.attribute
+                )
+                reads = int(math.ceil(width / xbar.read_width_bits))
+            total += scanned_pages * gap + layout.rows * reads * circuit.cycle_s
+        total += dram.scattered_read_time(
+            config.host,
+            scanned_pages * len(layout.result_word_indexes),
+            config.host.query_threads,
+        )
+        if query.group_by:
+            # host-gb over the selected records (the common residual pass):
+            # distinct (page, row) line groups, then the hash aggregation.
+            pages = stored.pages * scale
+            pairs = pages * layout.rows * (1.0 - (1.0 - selectivity) ** cp)
+            words = len(layout.words_for_fields(query.referenced_attributes))
+            total += dram.scattered_read_time(
+                config.host, pairs * words, config.host.query_threads
+            )
+            total += cpu_time(
+                config.host,
+                selectivity * stored.live_count * scale,
+                config.host.host_agg_cycles_per_record,
+                config.host.query_threads,
+            )
+            total += dram.stream_read_time(
+                config.host, stored.num_records / 8 * scale
+            )
+        return total
+
+
+def execute_host_scan(engine, query: Query, decision: Optional[PlanDecision] = None):
+    """Execute a query by streaming the relation through the host load path.
+
+    The functional answer is the reference aggregation over the live ground
+    truth — bit-exact with the PIM engine by construction.  The modelled cost
+    is a bandwidth-bound stream of the referenced columns plus the host-side
+    hash aggregation of the selected records, charged through the same
+    :class:`~repro.pim.stats.PimStats` the PIM path uses.
+    """
+    from repro.core.executor import QueryExecution
+    from repro.host.aggregator import host_group_aggregate
+    from repro.host.readpath import HostReadModel
+
+    stored = engine.stored
+    config: SystemConfig = engine.config
+    scale = engine.timing_scale
+    stats = PimStats()
+    read_model = HostReadModel(config, stats, traffic_scale=scale)
+
+    mask = evaluate_predicate(query.predicate, stored.relation)
+    mask &= stored.valid_mask(0)
+    for _, lines in _host_scan_read_plan(stored, query).values():
+        read_model.charge_stream_lines(lines, phase="host-scan-read")
+    group_columns = {
+        name: stored.relation.column(name)[mask] for name in query.group_by
+    }
+    value_columns = {
+        a.attribute: stored.relation.column(a.attribute)[mask]
+        for a in query.aggregates
+        if a.attribute is not None
+    }
+    rows = host_group_aggregate(
+        group_columns,
+        value_columns,
+        query.aggregates,
+        config.host,
+        stats=stats,
+        threads=config.host.query_threads,
+        phase="host-scan-agg",
+        workload_scale=scale,
+    )
+    selectivity = float(mask.mean()) if len(mask) else 0.0
+    total_crossbars = sum(a.crossbars for a in stored.allocations)
+    return QueryExecution(
+        query=query,
+        label=f"{engine.label}/host-scan",
+        rows=rows,
+        stats=stats,
+        selectivity=selectivity,
+        total_subgroups=len(rows) if query.group_by else 1,
+        subgroups_in_sample=0,
+        pim_subgroups=0,
+        max_writes_per_row=0,
+        plan=None,
+        crossbars_total=total_crossbars,
+        crossbars_scanned=0,
+        estimated_selectivity=(
+            decision.estimated_selectivity if decision is not None else None
+        ),
+    )

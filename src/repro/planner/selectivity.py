@@ -1,0 +1,253 @@
+"""Selectivity estimation from small per-column histograms.
+
+The planner needs two estimates the zone maps alone cannot give:
+
+* the *fraction of records* a predicate selects (zone maps only bound which
+  crossbars may contain a match), which drives the pim-vs-host routing of
+  the query service, and
+* the relative selectivity of the individual conjuncts, which orders the
+  zone-map checks so the most selective conjunct prunes first (the NOR
+  program itself evaluates every conjunct regardless of order — bulk-bitwise
+  logic has no short circuit — so ordering only matters for the checks).
+
+:class:`ColumnHistogram` is a classic equi-width histogram over the encoded
+domain of one attribute; :class:`SelectivityModel` combines them with the
+textbook independence assumptions (conjunctions multiply, disjunctions
+combine by inclusion–exclusion).  Estimates are *estimates*: the DML hooks
+keep them in sync (inserts/deletes adjust bucket counts, compaction rebuilds
+exactly), but no correctness property depends on them — pruning soundness
+rests solely on the zone maps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.db.query import And, Comparison, Or, Predicate
+from repro.db.query import (
+    BETWEEN,
+    EQ,
+    GE,
+    GT,
+    IN,
+    LE,
+    LT,
+    NE,
+    clamp_between,
+    fold_comparison,
+)
+from repro.db.schema import Schema
+
+#: Target bucket count of a column histogram (power of two; narrow columns
+#: get one bucket per value).
+DEFAULT_BUCKETS = 16
+
+
+class ColumnHistogram:
+    """Equi-width histogram over the encoded domain of one attribute."""
+
+    def __init__(self, width: int, buckets: int = DEFAULT_BUCKETS) -> None:
+        self.width = int(width)
+        bucket_bits = max(0, self.width - int(buckets).bit_length() + 1)
+        #: Encoded values shift right by this much to find their bucket.
+        self.shift = bucket_bits
+        #: Number of encoded values an individual bucket spans.
+        self.span = 1 << self.shift
+        self.buckets = 1 << max(0, self.width - self.shift)
+        self.counts = np.zeros(self.buckets, dtype=np.int64)
+        self.total = 0
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, width: int, buckets: int = DEFAULT_BUCKETS
+    ) -> "ColumnHistogram":
+        histogram = cls(width, buckets)
+        histogram.add(values)
+        return histogram
+
+    # ---------------------------------------------------------------- updates
+    def _bucket_of(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.uint64) >> np.uint64(self.shift)).astype(
+            np.int64
+        )
+
+    def add(self, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if values.size == 0:
+            return
+        self.counts += np.bincount(
+            np.clip(self._bucket_of(values), 0, self.buckets - 1),
+            minlength=self.buckets,
+        )
+        self.total += int(values.size)
+
+    def remove(self, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if values.size == 0:
+            return
+        self.counts -= np.bincount(
+            np.clip(self._bucket_of(values), 0, self.buckets - 1),
+            minlength=self.buckets,
+        )
+        np.maximum(self.counts, 0, out=self.counts)
+        self.total = max(0, self.total - int(values.size))
+
+    # -------------------------------------------------------------- estimates
+    def fraction_eq(self, encoded: int) -> float:
+        """Estimated fraction of records equal to ``encoded``."""
+        if self.total == 0:
+            return 0.0
+        bucket = min(encoded >> self.shift, self.buckets - 1)
+        return self.counts[bucket] / self.total / self.span
+
+    def fraction_below(self, encoded: int, inclusive: bool) -> float:
+        """Estimated fraction of records ``<`` (or ``<=``) ``encoded``."""
+        if self.total == 0:
+            return 0.0
+        limit = encoded + 1 if inclusive else encoded
+        if limit <= 0:
+            return 0.0
+        full_buckets = min(limit >> self.shift, self.buckets)
+        below = int(self.counts[:full_buckets].sum())
+        if full_buckets < self.buckets:
+            # Partial bucket: assume values spread uniformly inside it.
+            within = limit - (full_buckets << self.shift)
+            below += self.counts[full_buckets] * within / self.span
+        return min(1.0, below / self.total)
+
+    def fraction_between(self, low: int, high: int) -> float:
+        """Estimated fraction of records in ``[low, high]`` (inclusive)."""
+        if low > high:
+            return 0.0
+        return max(
+            0.0,
+            self.fraction_below(high, inclusive=True)
+            - self.fraction_below(low, inclusive=False),
+        )
+
+
+class SelectivityModel:
+    """Predicate selectivity estimates over one relation's histograms."""
+
+    def __init__(self, schema: Schema, histograms: Dict[str, ColumnHistogram]):
+        self.schema = schema
+        self.histograms = histograms
+
+    @classmethod
+    def from_relation(cls, relation, buckets: int = DEFAULT_BUCKETS) -> "SelectivityModel":
+        histograms = {
+            attribute.name: ColumnHistogram.from_values(
+                relation.column(attribute.name), attribute.width, buckets
+            )
+            for attribute in relation.schema
+        }
+        return cls(relation.schema, histograms)
+
+    # ---------------------------------------------------------------- updates
+    def note_insert(self, record: Mapping[str, object]) -> None:
+        for name, histogram in self.histograms.items():
+            histogram.add(np.uint64(record[name]))
+
+    def note_remove(self, columns: Mapping[str, np.ndarray]) -> None:
+        for name, values in columns.items():
+            self.histograms[name].remove(values)
+
+    def note_update(self, attribute: str, old_values: np.ndarray, encoded: int) -> None:
+        histogram = self.histograms[attribute]
+        histogram.remove(old_values)
+        histogram.add(np.full(len(old_values), encoded, dtype=np.uint64))
+
+    def rebuild(self, relation, valid: Optional[np.ndarray] = None) -> None:
+        for attribute in self.schema:
+            values = relation.column(attribute.name)
+            if valid is not None:
+                values = values[np.asarray(valid, dtype=bool)]
+            fresh = ColumnHistogram(attribute.width, DEFAULT_BUCKETS)
+            fresh.add(values)
+            self.histograms[attribute.name] = fresh
+
+    # -------------------------------------------------------------- estimates
+    def _encode(self, attribute: str, value) -> Optional[int]:
+        attr = self.schema.attribute(attribute)
+        try:
+            return int(attr.encode_value(value))
+        except KeyError:
+            return None
+
+    def estimate(self, predicate: Predicate) -> float:
+        """Estimated selected fraction of the live records, in ``[0, 1]``."""
+        if predicate is None:
+            return 1.0
+        if isinstance(predicate, Comparison):
+            return self._estimate_comparison(predicate)
+        if isinstance(predicate, And):
+            product = 1.0
+            for child in predicate.children:
+                product *= self.estimate(child)
+            return product
+        if isinstance(predicate, Or):
+            missing = 1.0
+            for child in predicate.children:
+                missing *= 1.0 - self.estimate(child)
+            return 1.0 - missing
+        return 1.0
+
+    def _estimate_comparison(self, node: Comparison) -> float:
+        histogram = self.histograms.get(node.attribute)
+        if histogram is None:
+            return 1.0
+        max_value = self.schema.attribute(node.attribute).max_value
+        op = node.op
+        if op == IN:
+            fraction = 0.0
+            for value in node.values:
+                encoded = self._encode(node.attribute, value)
+                if encoded is not None and 0 <= encoded <= max_value:
+                    fraction += histogram.fraction_eq(encoded)
+            return min(1.0, fraction)
+        if op == BETWEEN:
+            bounds = clamp_between(
+                self._encode(node.attribute, node.low),
+                self._encode(node.attribute, node.high),
+                max_value,
+            )
+            if bounds is None:
+                return 0.0
+            return histogram.fraction_between(*bounds)
+        encoded = self._encode(node.attribute, node.value)
+        # Folded comparisons (the shared definition): all or nothing.
+        folded = fold_comparison(op, encoded, max_value)
+        if folded is not None:
+            return 1.0 if folded else 0.0
+        if op == EQ:
+            return histogram.fraction_eq(encoded)
+        if op == NE:
+            return 1.0 - histogram.fraction_eq(encoded)
+        if op == LT:
+            return histogram.fraction_below(encoded, inclusive=False)
+        if op == LE:
+            return histogram.fraction_below(encoded, inclusive=True)
+        if op == GT:
+            return 1.0 - histogram.fraction_below(encoded, inclusive=True)
+        if op == GE:
+            return 1.0 - histogram.fraction_below(encoded, inclusive=False)
+        return 1.0
+
+    def order_conjuncts(self, predicate: Predicate) -> list:
+        """Top-level conjuncts ordered most-selective first (stable ties).
+
+        Bulk-bitwise programs evaluate every conjunct regardless of order, so
+        ordering drives the *zone-map check*: the conjunct expected to prune
+        hardest runs first and the check exits as soon as no candidate
+        crossbar remains.
+        """
+        if predicate is None:
+            return []
+        conjuncts = (
+            list(predicate.children) if isinstance(predicate, And) else [predicate]
+        )
+        indexed = list(enumerate(conjuncts))
+        indexed.sort(key=lambda pair: (self.estimate(pair[1]), pair[0]))
+        return [conjunct for _, conjunct in indexed]

@@ -1,0 +1,331 @@
+"""Per-crossbar zone-map statistics for crossbar skipping.
+
+A relation stored in bulk-bitwise PIM memory places record ``i`` at row
+``i % rows`` of crossbar ``i // rows``.  A filter program is normally
+broadcast to *every* page of the relation, so its modelled latency, energy
+and wear scale with the total crossbar count even when a selective predicate
+can only match rows in a few of them.
+
+:class:`ZoneMaps` keeps the classic lightweight per-partition statistics that
+let the controller prove most crossbars irrelevant: for every encoded column
+the minimum and maximum value stored in each crossbar, plus the live-row
+count per crossbar.  The maps are **conservative, never wrong**:
+
+* built exactly at load time;
+* *widened* on INSERT (bounds only ever grow looser, so a skipped crossbar
+  can never hide a freshly inserted match);
+* count-decremented on DELETE (bounds untouched — tombstoned values may keep
+  a crossbar a candidate, never the other way around);
+* widened with the assigned constant on UPDATE;
+* rebuilt exactly on compaction, when every row moves anyway.
+
+Consequently ``candidates(...) == False`` for a crossbar *proves* that no
+live row in it satisfies the conjunction, which is what makes pruned
+execution bit-exact with the broadcast path.
+
+The check itself is modelled as host-side work on a two-level summary
+(per-page ranges first, per-crossbar ranges only inside surviving pages) and
+charged to :class:`~repro.pim.stats.PimStats` as the ``zonemap-check`` phase;
+maintenance under DML is charged as ``zonemap-maintain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.config import HostConfig
+from repro.db.query import And, Comparison, Or, Predicate
+from repro.db.query import (
+    BETWEEN,
+    EQ,
+    GE,
+    GT,
+    IN,
+    LE,
+    LT,
+    NE,
+    clamp_between,
+    fold_comparison,
+)
+from repro.db.schema import Schema
+from repro.pim.stats import PimStats
+
+#: Host cycles to test one zone-map entry (one crossbar's ``(min, max)``
+#: range) against one conjunct — a compare pair on cached, SIMD-friendly
+#: metadata (two 64-bit compares per entry, vectorized 4-wide).
+CHECK_CYCLES = 2.0
+
+#: Host cycles to update one zone-map entry under DML maintenance.
+MAINTAIN_CYCLES = 8.0
+
+_U64_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class ZoneCheck:
+    """Outcome of matching one conjunction against the zone maps."""
+
+    #: Candidate mask over the crossbars (``True`` = must be scanned).
+    candidates: np.ndarray
+    #: Top-level conjuncts actually evaluated (early exit may skip some).
+    conjuncts_checked: int
+    #: Zone-map entries consulted (two-level: pages, then crossbars of
+    #: surviving pages) — the unit of the modelled check cost.
+    entries_checked: int
+
+
+class ZoneMaps:
+    """Per-crossbar ``(min, max, live)`` statistics of a stored relation."""
+
+    def __init__(self, crossbars: int, rows: int, schema: Schema) -> None:
+        self.crossbars = int(crossbars)
+        self.rows = int(rows)
+        self.schema = schema
+        self.live = np.zeros(self.crossbars, dtype=np.int64)
+        self.mins: Dict[str, np.ndarray] = {
+            name: np.full(self.crossbars, _U64_MAX, dtype=np.uint64)
+            for name in schema.names
+        }
+        self.maxs: Dict[str, np.ndarray] = {
+            name: np.zeros(self.crossbars, dtype=np.uint64)
+            for name in schema.names
+        }
+
+    # ------------------------------------------------------------------ build
+    @classmethod
+    def from_stored(cls, stored) -> "ZoneMaps":
+        """Build exact zone maps for a freshly loaded stored relation."""
+        maps = cls(
+            stored.allocations[0].crossbars,
+            stored.rows_per_crossbar,
+            stored.relation.schema,
+        )
+        valid = np.ones(stored.num_records, dtype=bool)
+        maps.rebuild(stored.relation, valid)
+        return maps
+
+    def rebuild(self, relation, valid: Optional[np.ndarray] = None) -> None:
+        """Recompute every entry exactly from the slot-aligned ground truth.
+
+        ``valid`` masks tombstoned slots (all-live when omitted); slots past
+        ``len(relation)`` are unused capacity and count as dead.
+        """
+        records = len(relation)
+        capacity = self.crossbars * self.rows
+        live = np.zeros(capacity, dtype=bool)
+        if valid is None:
+            live[:records] = True
+        else:
+            live[:records] = np.asarray(valid, dtype=bool)
+        live = live.reshape(self.crossbars, self.rows)
+        self.live = live.sum(axis=1).astype(np.int64)
+        for name in self.schema.names:
+            padded = np.zeros(capacity, dtype=np.uint64)
+            padded[:records] = relation.column(name)
+            grid = padded.reshape(self.crossbars, self.rows)
+            self.mins[name] = np.where(live, grid, _U64_MAX).min(axis=1)
+            self.maxs[name] = np.where(live, grid, np.uint64(0)).max(axis=1)
+
+    # ------------------------------------------------------------ maintenance
+    def note_insert(self, slot: int, record: Mapping[str, object]) -> None:
+        """Widen the bounds of the crossbar an INSERT landed in."""
+        crossbar = slot // self.rows
+        fresh = self.live[crossbar] == 0
+        for name in self.schema.names:
+            value = np.uint64(record[name])
+            if fresh:
+                self.mins[name][crossbar] = value
+                self.maxs[name][crossbar] = value
+            else:
+                self.mins[name][crossbar] = min(self.mins[name][crossbar], value)
+                self.maxs[name][crossbar] = max(self.maxs[name][crossbar], value)
+        self.live[crossbar] += 1
+
+    def note_delete(self, slots: np.ndarray) -> None:
+        """Decrement the live counts (bounds stay conservatively wide)."""
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size == 0:
+            return
+        counts = np.bincount(slots // self.rows, minlength=self.crossbars)
+        self.live -= counts.astype(np.int64)
+
+    def note_update(self, attribute: str, encoded: int, crossbars: np.ndarray) -> None:
+        """Widen an attribute's bounds with an UPDATE's assigned constant."""
+        crossbars = np.asarray(crossbars, dtype=np.int64)
+        if crossbars.size == 0:
+            return
+        value = np.uint64(encoded)
+        mins = self.mins[attribute]
+        maxs = self.maxs[attribute]
+        mins[crossbars] = np.minimum(mins[crossbars], value)
+        maxs[crossbars] = np.maximum(maxs[crossbars], value)
+
+    # -------------------------------------------------------------- candidates
+    def check(
+        self,
+        conjuncts: Sequence[Predicate],
+        crossbars_per_page: int,
+    ) -> ZoneCheck:
+        """Candidate crossbars for a conjunction, with the modelled check cost.
+
+        Conjuncts are evaluated in the given order (the planner orders them
+        most-selective first) and the walk exits early once no candidate
+        remains.  The entry count models a two-level check: the per-page
+        summaries are consulted first and the per-crossbar entries only for
+        pages the summary could not rule out.
+        """
+        candidates = self.live > 0
+        pages = max(1, -(-self.crossbars // crossbars_per_page))
+        entries = 0
+        checked = 0
+        for conjunct in conjuncts:
+            if conjunct is None:
+                continue
+            if not candidates.any():
+                break
+            possible = self._possible(conjunct)
+            checked += 1
+            page_pad = pages * crossbars_per_page
+            padded = np.zeros(page_pad, dtype=bool)
+            padded[: self.crossbars] = possible & candidates
+            surviving_pages = int(
+                padded.reshape(pages, crossbars_per_page).any(axis=1).sum()
+            )
+            entries += pages + surviving_pages * crossbars_per_page
+            candidates = candidates & possible
+        return ZoneCheck(
+            candidates=candidates,
+            conjuncts_checked=checked,
+            entries_checked=entries,
+        )
+
+    def _possible(self, node: Predicate) -> np.ndarray:
+        """Per-crossbar "some live row *may* satisfy ``node``" (conservative)."""
+        if node is None:
+            return np.ones(self.crossbars, dtype=bool)
+        if isinstance(node, Comparison):
+            return self._comparison_possible(node)
+        if isinstance(node, And):
+            mask = np.ones(self.crossbars, dtype=bool)
+            for child in node.children:
+                mask &= self._possible(child)
+            return mask
+        if isinstance(node, Or):
+            mask = np.zeros(self.crossbars, dtype=bool)
+            for child in node.children:
+                mask |= self._possible(child)
+            return mask
+        # Unknown node: never prune on something we cannot reason about.
+        return np.ones(self.crossbars, dtype=bool)
+
+    def _encode(self, attribute: str, value) -> Optional[int]:
+        """Encode a constant like the compiler (None = not in dictionary)."""
+        attr = self.schema.attribute(attribute)
+        try:
+            return int(attr.encode_value(value))
+        except KeyError:
+            return None
+
+    def _comparison_possible(self, node: Comparison) -> np.ndarray:
+        if node.attribute not in self.mins:
+            return np.ones(self.crossbars, dtype=bool)
+        lo = self.mins[node.attribute]
+        hi = self.maxs[node.attribute]
+        max_value = self.schema.attribute(node.attribute).max_value
+        op = node.op
+        if op == IN:
+            mask = np.zeros(self.crossbars, dtype=bool)
+            for value in node.values:
+                encoded = self._encode(node.attribute, value)
+                if encoded is not None and 0 <= encoded <= max_value:
+                    v = np.uint64(encoded)
+                    mask |= (lo <= v) & (v <= hi)
+            return mask
+        if op == BETWEEN:
+            bounds = clamp_between(
+                self._encode(node.attribute, node.low),
+                self._encode(node.attribute, node.high),
+                max_value,
+            )
+            if bounds is None:
+                return np.zeros(self.crossbars, dtype=bool)
+            low, high = bounds
+            return (hi >= np.uint64(low)) & (lo <= np.uint64(high))
+        encoded = self._encode(node.attribute, node.value)
+        # The shared fold defines the out-of-domain semantics: when the
+        # compiler folds the comparison to a constant, every (live) crossbar
+        # either matches or none does.
+        folded = fold_comparison(op, encoded, max_value)
+        if folded is not None:
+            return np.full(self.crossbars, folded, dtype=bool)
+        v = np.uint64(encoded)
+        if op == EQ:
+            return (lo <= v) & (v <= hi)
+        if op == NE:
+            # Impossible only when every live value in the crossbar equals v.
+            return ~((lo == v) & (hi == v))
+        if op == LT:
+            return lo < v
+        if op == LE:
+            return lo <= v
+        if op == GT:
+            return hi > v
+        if op == GE:
+            return hi >= v
+        return np.ones(self.crossbars, dtype=bool)
+
+    # ------------------------------------------------------------ cost model
+    @staticmethod
+    def charge_check(
+        stats: PimStats,
+        host: HostConfig,
+        entries: float,
+        phase: str = "zonemap-check",
+    ) -> None:
+        """Charge the host-side cost of consulting ``entries`` zone entries."""
+        if entries <= 0:
+            return
+        stats.add_time(phase, entries * CHECK_CYCLES / host.frequency_hz)
+
+    @staticmethod
+    def charge_maintenance(
+        stats: PimStats,
+        host: HostConfig,
+        entries: float,
+        phase: str = "zonemap-maintain",
+    ) -> None:
+        """Charge the host-side cost of updating ``entries`` zone entries."""
+        if entries <= 0:
+            return
+        stats.add_time(phase, entries * MAINTAIN_CYCLES / host.frequency_hz)
+
+
+@dataclass
+class PruneDecision:
+    """Per-partition candidate crossbars for one query's WHERE clause.
+
+    Produced by :meth:`repro.planner.planner.RelationStatistics.plan` from the
+    per-partition conjunctions of the predicate.  ``empty`` means some
+    partition's conjunction matches no crossbar at all — the whole filter is
+    provably empty and the engine can skip the execution outright (which is
+    how the sharded engine skips entire shards).
+    """
+
+    #: One candidate mask per vertical partition.
+    candidates: List[np.ndarray]
+    #: Crossbars across all partitions (the unpruned broadcast width).
+    crossbars_total: int
+    #: Candidate crossbars across all partitions (the pruned width).
+    crossbars_scanned: int
+    #: Zone-map entries consulted, summed over the partitions.
+    entries_checked: int
+    #: Top-level conjuncts evaluated before the walk exited.
+    conjuncts_checked: int
+
+    @property
+    def empty(self) -> bool:
+        """No crossbar can satisfy the conjunction of some partition."""
+        return any(not mask.any() for mask in self.candidates)

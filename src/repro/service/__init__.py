@@ -8,13 +8,14 @@ and batch scheduling through shared per-relation executors.
 
 from repro.service.cache import CacheStats, ProgramCache
 from repro.service.service import BatchResult, DmlOutcome, QueryRequest, QueryService
-from repro.service.stats import DmlStats, ServiceStats, ShardStats
+from repro.service.stats import DmlStats, PlannerStats, ServiceStats, ShardStats
 
 __all__ = [
     "BatchResult",
     "CacheStats",
     "DmlOutcome",
     "DmlStats",
+    "PlannerStats",
     "ProgramCache",
     "QueryRequest",
     "QueryService",

@@ -25,11 +25,19 @@ from repro.pim.logic import Program
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters of a :class:`ProgramCache`."""
+    """Hit/miss/eviction counters of a :class:`ProgramCache`.
+
+    ``capacity`` and ``entries`` describe the cache the counters came from —
+    they are carried by :meth:`ProgramCache.snapshot` (and preserved across
+    the ``-`` used to delta two snapshots) so reports can show the occupancy
+    next to the hit rate.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    capacity: Optional[int] = None
+    entries: Optional[int] = None
 
     @property
     def lookups(self) -> int:
@@ -41,13 +49,17 @@ class CacheStats:
 
     def snapshot(self) -> "CacheStats":
         """An immutable-in-spirit copy taken at a point in time."""
-        return CacheStats(self.hits, self.misses, self.evictions)
+        return CacheStats(
+            self.hits, self.misses, self.evictions, self.capacity, self.entries
+        )
 
     def __sub__(self, other: "CacheStats") -> "CacheStats":
         return CacheStats(
             self.hits - other.hits,
             self.misses - other.misses,
             self.evictions - other.evictions,
+            self.capacity,
+            self.entries,
         )
 
 
@@ -74,6 +86,14 @@ class ProgramCache(ProgramCompiler):
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def snapshot(self) -> CacheStats:
+        """A point-in-time :class:`CacheStats` including capacity/occupancy."""
+        with self._lock:
+            stats = self.stats.snapshot()
+            stats.capacity = self.capacity
+            stats.entries = len(self._entries)
+            return stats
 
     def clear(self) -> None:
         """Drop every cached program (the counters are kept)."""

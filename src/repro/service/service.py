@@ -37,7 +37,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-from repro.config import SystemConfig
+from repro.config import SystemConfig, validate_backend
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
 from repro.db import dml
@@ -47,7 +47,8 @@ from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
 from repro.pim.stats import PimStats
-from repro.service.cache import ProgramCache
+from repro.planner.planner import CostPlanner, execute_host_scan
+from repro.service.cache import CacheStats, ProgramCache
 from repro.service.stats import DmlStats, ServiceStats
 from repro.sharding import dml as sharded_dml
 from repro.sharding.executor import ShardedQueryEngine
@@ -107,6 +108,8 @@ class QueryService:
         cache_capacity: int = 512,
         vectorized: bool = True,
         cache: Optional[ProgramCache] = None,
+        pruning: bool = True,
+        planner: bool = True,
     ) -> None:
         """Create an empty service.
 
@@ -116,13 +119,23 @@ class QueryService:
                 (bit-exact, cost-identical) host paths; disable to force the
                 gate-level NOR simulation everywhere.
             cache: Share an existing :class:`ProgramCache` between services.
+            pruning: Run the registered engines with zone-map crossbar
+                skipping (bit-exact; see :mod:`repro.planner`).
+            planner: Route each query cost-based between the PIM engine and
+                the host-scan path instead of always executing on PIM.
+                Results are identical either way; only the modelled (and
+                wall-clock) cost differs.
         """
         self.cache = cache if cache is not None else ProgramCache(cache_capacity)
         self.vectorized = bool(vectorized)
+        self.pruning = bool(pruning)
+        self.planner_enabled = bool(planner)
+        self._planner = CostPlanner()
         self._engines: Dict[str, ServiceEngine] = {}
         self._executors: Dict[str, ServiceExecutors] = {}
         self._dml_counters: Dict[str, Dict[str, int]] = {}
         self._default: Optional[str] = None
+        self._host_routed_total = 0
 
     # -------------------------------------------------------------- registry
     def register(
@@ -153,6 +166,7 @@ class QueryService:
             timing_scale=timing_scale,
             compiler=self.cache,
             vectorized=self.vectorized,
+            pruning=self.pruning,
         )
         self._engines[name] = engine
         self._executors[name] = PimExecutor(engine.config)
@@ -198,6 +212,7 @@ class QueryService:
         """
         self._check_name_free(name)
         if backend is not None:
+            validate_backend(backend)
             if module is not None:
                 raise ValueError(
                     "backend= only applies when the service allocates the "
@@ -226,6 +241,7 @@ class QueryService:
             timing_scale=timing_scale,
             compiler=self.cache,
             vectorized=self.vectorized,
+            pruning=self.pruning,
             max_workers=max_workers,
         )
         self._engines[name] = engine
@@ -265,9 +281,26 @@ class QueryService:
 
     # ------------------------------------------------------------- execution
     def execute(self, query: Query, relation: Optional[str] = None) -> QueryExecution:
-        """Execute a single query through the service's shared machinery."""
+        """Execute a single query through the service's shared machinery.
+
+        With the planner enabled the query is routed cost-based: a
+        high-selectivity query over a small relation streams through the
+        host-scan path, everything else executes on the (pruned) PIM engine.
+        Results are bit-exact either way.
+        """
         name = self._resolve(relation)
-        return self._engines[name].execute(query, executor=self._executors[name])
+        execution, _ = self._execute_routed(name, query)
+        return execution
+
+    def _execute_routed(self, name: str, query: Query):
+        """Execute one query on its cost-chosen route: ``(execution, host?)``."""
+        engine = self._engines[name]
+        if self.planner_enabled and isinstance(engine, PimQueryEngine):
+            decision = self._planner.route(query, engine)
+            if decision.target == "host":
+                self._host_routed_total += 1
+                return execute_host_scan(engine, query, decision), True
+        return engine.execute(query, executor=self._executors[name]), False
 
     def execute_batch(
         self,
@@ -287,14 +320,16 @@ class QueryService:
         targets = [self._resolve(r.relation or relation) for r in requests]
         schedule = sorted(range(len(requests)), key=lambda i: (targets[i], i))
 
-        cache_before = self.cache.stats.snapshot()
+        cache_before = self.cache.snapshot()
         pending: List[Optional[QueryExecution]] = [None] * len(requests)
+        host_routed = 0
         start = time.perf_counter()
         for index in schedule:
-            name = targets[index]
-            pending[index] = self._engines[name].execute(
-                requests[index].query, executor=self._executors[name]
+            execution, routed_to_host = self._execute_routed(
+                targets[index], requests[index].query
             )
+            pending[index] = execution
+            host_routed += int(routed_to_host)
         wall = time.perf_counter() - start
         # The schedule is a permutation of the request indices, so after the
         # loop every slot holds an execution; narrow the Optional away.
@@ -305,10 +340,15 @@ class QueryService:
             executions.append(execution)
         stats = ServiceStats.from_executions(
             executions, wall,
-            cache=self.cache.stats.snapshot() - cache_before,
+            cache=self.cache.snapshot() - cache_before,
             dml=self._dml_snapshot(),
+            host_routed=host_routed,
         )
         return BatchResult(executions=executions, stats=stats)
+
+    def cache_stats(self) -> CacheStats:
+        """Point-in-time snapshot of the shared program cache's counters."""
+        return self.cache.snapshot()
 
     # ------------------------------------------------------------------- DML
     def insert(

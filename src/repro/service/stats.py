@@ -99,6 +99,64 @@ class DmlStats:
 
 
 @dataclass(frozen=True)
+class PlannerStats:
+    """Planning summary of one served batch.
+
+    Crossbar counts come from the executions' pruning metadata (scanned ==
+    total when pruning is disabled); the routing counters record how many
+    queries the cost planner sent to the PIM engines versus the host-scan
+    path; the selectivity pair compares the planner's estimates with the
+    fractions the executions actually selected.
+    """
+
+    #: Queries executed on the PIM engines / routed to the host scan.
+    pim_queries: int
+    host_routed: int
+    #: Crossbars a full broadcast would have touched across the batch.
+    crossbars_total: int
+    #: Crossbars the filters actually scanned.
+    crossbars_scanned: int
+    #: Mean estimated and actual selected fractions (queries with estimates).
+    estimated_selectivity: float
+    actual_selectivity: float
+
+    @property
+    def crossbars_skipped(self) -> int:
+        return self.crossbars_total - self.crossbars_scanned
+
+    @property
+    def skip_rate(self) -> float:
+        if self.crossbars_total == 0:
+            return 0.0
+        return self.crossbars_skipped / self.crossbars_total
+
+    @classmethod
+    def from_executions(
+        cls, executions: Sequence[QueryExecution], host_routed: int = 0
+    ) -> Optional["PlannerStats"]:
+        """Summarise the planner's work over a batch (``None`` if idle)."""
+        estimated = [
+            e for e in executions if e.estimated_selectivity is not None
+        ]
+        if not estimated and host_routed == 0:
+            return None
+        return cls(
+            pim_queries=len(executions) - host_routed,
+            host_routed=host_routed,
+            crossbars_total=sum(e.crossbars_total for e in executions),
+            crossbars_scanned=sum(e.crossbars_scanned for e in executions),
+            estimated_selectivity=(
+                float(np.mean([e.estimated_selectivity for e in estimated]))
+                if estimated else 0.0
+            ),
+            actual_selectivity=(
+                float(np.mean([e.selectivity for e in estimated]))
+                if estimated else 0.0
+            ),
+        )
+
+
+@dataclass(frozen=True)
 class ServiceStats:
     """Throughput and latency summary of one served batch."""
 
@@ -115,6 +173,8 @@ class ServiceStats:
     sharded: Optional[ShardStats] = None
     #: Data-lifecycle state/counters; ``None`` for a service without DML.
     dml: Optional[DmlStats] = None
+    #: Crossbar-skipping and routing figures; ``None`` without a planner.
+    planner: Optional[PlannerStats] = None
 
     @classmethod
     def from_executions(
@@ -123,6 +183,7 @@ class ServiceStats:
         wall_time_s: float,
         cache: Optional[CacheStats] = None,
         dml: Optional[DmlStats] = None,
+        host_routed: int = 0,
     ) -> "ServiceStats":
         """Summarise a batch of executions measured over ``wall_time_s``."""
         latencies = np.array([e.time_s for e in executions], dtype=float)
@@ -143,6 +204,7 @@ class ServiceStats:
             cache=cache,
             sharded=ShardStats.from_executions(sharded),
             dml=dml,
+            planner=PlannerStats.from_executions(executions, host_routed),
         )
 
     def describe(self) -> str:
@@ -157,9 +219,25 @@ class ServiceStats:
             f"{self.modelled_energy_j * 1e3:.3f} mJ",
         ]
         if self.cache is not None:
-            lines.append(
+            cache_line = (
                 f"program cache: {self.cache.hits} hits / "
-                f"{self.cache.misses} misses ({self.cache.hit_rate:.0%})"
+                f"{self.cache.misses} misses ({self.cache.hit_rate:.0%}), "
+                f"{self.cache.evictions} evictions"
+            )
+            if self.cache.capacity is not None:
+                occupancy = (
+                    f"{self.cache.entries}/" if self.cache.entries is not None else ""
+                )
+                cache_line += f" (capacity {occupancy}{self.cache.capacity})"
+            lines.append(cache_line)
+        if self.planner is not None:
+            p = self.planner
+            lines.append(
+                f"planner: {p.pim_queries} pim / {p.host_routed} host-routed, "
+                f"scanned {p.crossbars_scanned} of {p.crossbars_total} "
+                f"crossbars ({p.skip_rate:.0%} skipped), "
+                f"selectivity est {p.estimated_selectivity:.4f} vs "
+                f"actual {p.actual_selectivity:.4f}"
             )
         if self.sharded is not None:
             s = self.sharded

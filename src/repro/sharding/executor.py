@@ -34,6 +34,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.config import SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
@@ -69,6 +71,15 @@ class ShardedQueryExecution(QueryExecution):
         return len(self.shard_executions)
 
     @property
+    def shards_skipped(self) -> int:
+        """Shards whose zone maps ruled the whole predicate out."""
+        return sum(
+            1
+            for execution in self.shard_executions
+            if execution.crossbars_total and execution.crossbars_scanned == 0
+        )
+
+    @property
     def shard_times_s(self) -> List[float]:
         """Modelled latency of every shard (the scatter critical path)."""
         return [execution.time_s for execution in self.shard_executions]
@@ -92,6 +103,7 @@ class ShardedQueryEngine:
         timing_scale: float = 1.0,
         compiler: Optional[ProgramCompiler] = None,
         vectorized: bool = False,
+        pruning: bool = False,
         max_workers: int = 1,
     ) -> None:
         """Create a scatter-gather engine over a sharded relation.
@@ -106,6 +118,10 @@ class ShardedQueryEngine:
                 ``timing_scale`` times the stored one, shard by shard.
             compiler: Shared program compiler; with the relation's layouts
                 shared across shards, one compilation serves all of them.
+            pruning: Forwarded to every shard engine — each shard consults
+                its own zone maps, and a shard whose maps rule the whole
+                predicate out is skipped entirely (no filter broadcast, no
+                aggregation; only the zone-map check is charged).
             max_workers: Thread-pool width for the scatter phase; ``1`` runs
                 the shards sequentially (the modelled latency is identical —
                 it is always max-over-shards).
@@ -117,6 +133,7 @@ class ShardedQueryEngine:
         self.label = label
         self.compiler = compiler if compiler is not None else ProgramCompiler()
         self.vectorized = bool(vectorized)
+        self.pruning = bool(pruning)
         self.max_workers = max(1, int(max_workers))
         # The scatter thread pool is created lazily and reused across
         # queries; close() (or the context manager) releases its threads.
@@ -131,6 +148,7 @@ class ShardedQueryEngine:
                 timing_scale=timing_scale,
                 compiler=self.compiler,
                 vectorized=self.vectorized,
+                pruning=self.pruning,
             )
             for index, stored in enumerate(sharded.shards)
         ]
@@ -216,6 +234,11 @@ class ShardedQueryEngine:
             e.selectivity * engine.stored.num_records
             for e, engine in zip(shard_executions, self.shard_engines)
         )
+        estimates = [
+            e.estimated_selectivity
+            for e in shard_executions
+            if e.estimated_selectivity is not None
+        ]
         return ShardedQueryExecution(
             query=query,
             label=self.label,
@@ -239,6 +262,11 @@ class ShardedQueryEngine:
             pim_subgroups=max(e.pim_subgroups for e in shard_executions),
             max_writes_per_row=stats.max_writes_per_row,
             plan=None,
+            crossbars_total=sum(e.crossbars_total for e in shard_executions),
+            crossbars_scanned=sum(e.crossbars_scanned for e in shard_executions),
+            estimated_selectivity=(
+                float(np.mean(estimates)) if estimates else None
+            ),
             shard_executions=shard_executions,
             merge_time_s=merge_time,
             parallel_speedup=(

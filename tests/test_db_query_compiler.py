@@ -148,3 +148,87 @@ def test_partition_conjuncts_split():
     assert partition_conjuncts(None, [["a"], ["b"]]) == [None, None]
     with pytest.raises(CompilationError):
         partition_conjuncts(Comparison("unknown", EQ, 1), [["a"], ["b"]])
+
+
+def test_compiler_unknown_attribute_everywhere(toy_stored, toy_relation):
+    """Unknown attributes raise CompilationError from every compile surface."""
+    layout = toy_stored.layouts[0]
+    nested = And((Comparison("price", LT, 10), Comparison("ghost", EQ, 1)))
+    with pytest.raises(CompilationError, match="ghost"):
+        compile_predicate(nested, toy_relation.schema, layout)
+    disjunct = Or((Comparison("ghost", EQ, 1), Comparison("price", LT, 10)))
+    with pytest.raises(CompilationError, match="ghost"):
+        compile_predicate(disjunct, toy_relation.schema, layout)
+
+
+def test_compiler_out_of_domain_constant_folds_like_the_reference(
+    toy_stored, toy_relation
+):
+    """Out-of-domain constants fold against the field domain.
+
+    A value missing from a dictionary matches nothing (everything for NE);
+    an integer beyond the encoded width puts the whole stored domain on one
+    side of the comparison.  The compiled program and the reference
+    evaluator must agree bit for bit on all of these.
+    """
+    layout = toy_stored.layouts[0]
+    executor = PimExecutor(DEFAULT_CONFIG)
+    bank = toy_stored.allocations[0].bank
+    for predicate, expected in [
+        # Dictionary value missing from the dictionary.
+        (Comparison("region", EQ, "ATLANTIS"), False),
+        (Comparison("region", "!=", "ATLANTIS"), True),
+        (Comparison("region", IN, values=("ATLANTIS", "MU")), False),
+        # Integers beyond the attribute's encoded width (discount is 4-bit).
+        (Comparison("discount", EQ, 1 << 10), False),
+        (Comparison("discount", "!=", 1 << 10), True),
+        (Comparison("discount", LT, 1 << 10), True),
+        (Comparison("discount", ">=", 1 << 10), False),
+        (Comparison("discount", BETWEEN, low=0, high=1 << 10), True),
+        (Comparison("discount", BETWEEN, low=1 << 10, high=1 << 11), False),
+        # Negative constants (the uint64 compare must not wrap).
+        (Comparison("discount", LT, -3), False),
+        (Comparison("discount", ">", -3), True),
+        (Comparison("discount", EQ, -3), False),
+    ]:
+        program = compile_predicate(predicate, toy_relation.schema, layout)
+        executor.run_program(bank, program, pages=1)
+        mask = toy_stored.filter_mask()
+        reference = evaluate_predicate(predicate, toy_relation)
+        assert np.array_equal(mask, reference), predicate
+        assert bool(mask.all()) == expected and bool(mask.any()) == expected, predicate
+
+
+def test_compiler_unsupported_operator_raises(toy_stored, toy_relation):
+    """An operator the NOR compiler does not know raises CompilationError."""
+    rogue = Comparison("price", LT, 10)
+    object.__setattr__(rogue, "op", "like")  # bypass the IR validation
+    with pytest.raises(CompilationError, match="unknown operator"):
+        compile_predicate(rogue, toy_relation.schema, toy_stored.layouts[0])
+    with pytest.raises(CompilationError, match="unknown predicate node"):
+        compile_predicate(object(), toy_relation.schema, toy_stored.layouts[0])
+
+
+def test_partition_conjuncts_atomic_and_spanning_predicates():
+    partitions = [["price", "quantity"], ["city", "year"]]
+    # A bare comparison is a one-conjunct conjunction.
+    parts = partition_conjuncts(Comparison("year", EQ, 1993), partitions)
+    assert parts[0] is None and attributes_referenced(parts[1]) == {"year"}
+    # A disjunction is atomic: it lands in the partition covering all of it.
+    local_or = Or((Comparison("city", EQ, "CITY1"), Comparison("year", EQ, 1993)))
+    parts = partition_conjuncts(local_or, partitions)
+    assert parts[0] is None and parts[1] is local_or
+    # ... and raises when no single partition covers it.
+    spanning = Or((Comparison("price", LT, 10), Comparison("year", EQ, 1993)))
+    with pytest.raises(CompilationError, match="spans multiple"):
+        partition_conjuncts(spanning, partitions)
+    # Multiple conjuncts per partition recombine into one conjunction each.
+    predicate = And((
+        Comparison("price", LT, 10),
+        Comparison("quantity", LT, 20),
+        Comparison("city", EQ, "CITY1"),
+    ))
+    parts = partition_conjuncts(predicate, partitions)
+    assert isinstance(parts[0], And)
+    assert attributes_referenced(parts[0]) == {"price", "quantity"}
+    assert attributes_referenced(parts[1]) == {"city"}

@@ -1,0 +1,412 @@
+"""Zone-map statistics, crossbar skipping and cost-based routing.
+
+The contract under test: zone maps are *conservative, never wrong* — a
+crossbar they prune provably holds no matching live row — so pruned
+execution is bit-exact with the full broadcast on every path (gate-level and
+vectorized, packed and boolean backends, unsharded and sharded), across the
+full SSB suite and under arbitrary interleavings of DML with queries, while
+scanning strictly fewer crossbars and charging less modelled time on
+selective queries.  The cost planner's host-scan route must return the same
+rows as the PIM engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import BACKENDS, DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db.dml import execute_compaction, execute_delete, execute_insert
+from repro.db.query import (
+    Aggregate,
+    And,
+    Comparison,
+    Or,
+    Query,
+    evaluate_predicate,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema, dict_attribute, int_attribute
+from repro.db.storage import StoredRelation
+from repro.db.update import execute_update
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.planner import CostPlanner, execute_host_scan
+from repro.planner.selectivity import SelectivityModel
+from repro.planner.zonemap import ZoneMaps
+from repro.service import QueryService
+
+CITIES = ["LYON", "OSLO", "PERTH", "QUITO"]
+
+
+def planner_schema() -> Schema:
+    return Schema("pl", [
+        int_attribute("key", 12, source="fact"),
+        int_attribute("value", 10, source="fact"),
+        dict_attribute("city", CITIES, source="dim"),
+    ])
+
+
+def clustered_relation(records: int = 4000, seed: int = 5) -> Relation:
+    """Sorted by ``key``: each crossbar covers a narrow key range."""
+    rng = np.random.default_rng(seed)
+    return Relation(planner_schema(), {
+        "key": np.sort(rng.integers(0, 1 << 12, records).astype(np.uint64)),
+        "value": rng.integers(0, 1 << 10, records).astype(np.uint64),
+        "city": rng.integers(0, len(CITIES), records).astype(np.uint64),
+    })
+
+
+def _store(relation, backend="packed", **kwargs):
+    config = DEFAULT_CONFIG.with_backend(backend)
+    return StoredRelation(
+        relation, PimModule(config), label=kwargs.pop("label", "pl"), **kwargs
+    )
+
+
+POINT = Query(
+    "point", Comparison("key", "==", 1234),
+    (Aggregate("sum", "value"), Aggregate("count")),
+)
+RANGE = Query(
+    "range", And((
+        Comparison("key", "between", low=100, high=400),
+        Comparison("city", "==", "OSLO"),
+    )),
+    (Aggregate("sum", "value"), Aggregate("min", "value")),
+    group_by=("city",),
+)
+NOTHING = Query(
+    "nothing", Comparison("key", "==", (1 << 12) - 1),
+    (Aggregate("sum", "value"), Aggregate("count")),
+)
+
+
+# ----------------------------------------------------------------- zone maps
+def test_zonemaps_are_conservative_for_random_predicates():
+    """A pruned crossbar never holds a matching live row (the soundness core)."""
+    relation = clustered_relation()
+    stored = _store(relation)
+    maps = stored.statistics.zonemaps
+    rows = stored.rows_per_crossbar
+    rng = np.random.default_rng(11)
+    comparisons = [
+        Comparison("key", op, int(rng.integers(0, 1 << 12)))
+        for op in ("==", "!=", "<", "<=", ">", ">=")
+    ] + [
+        Comparison("key", "between", low=700, high=900),
+        Comparison("value", "in", values=(3, 900, 1023)),
+        Or((Comparison("key", "==", 10), Comparison("city", "==", "LYON"))),
+        And((Comparison("key", "<", 2000), Comparison("value", ">=", 512))),
+    ]
+    for predicate in comparisons:
+        check = maps.check([predicate], DEFAULT_CONFIG.pim.crossbars_per_page)
+        matches = evaluate_predicate(predicate, relation)
+        padded = np.zeros(maps.crossbars * rows, dtype=bool)
+        padded[: len(matches)] = matches
+        per_crossbar = padded.reshape(maps.crossbars, rows).any(axis=1)
+        assert not np.any(per_crossbar & ~check.candidates), predicate
+
+
+def test_zonemaps_match_constants_like_the_compiler():
+    """Out-of-domain constants follow the compiler's const-fold semantics."""
+    stored = _store(clustered_relation())
+    maps = stored.statistics.zonemaps
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    # An unknown dictionary value selects nothing -> no candidates at all.
+    none = maps.check([Comparison("city", "==", "ATLANTIS")], cp)
+    assert not none.candidates.any()
+    # ... except for NE, which the compiler folds to const True.
+    everything = maps.check([Comparison("city", "!=", "ATLANTIS")], cp)
+    assert everything.candidates.sum() == (maps.live > 0).sum()
+
+
+def test_zonemaps_maintenance_under_dml_stays_conservative_and_charged():
+    relation = clustered_relation(records=3000)
+    stored = _store(relation)
+    executor = PimExecutor(DEFAULT_CONFIG)
+    maps = stored.statistics.zonemaps
+    live_before = maps.live.copy()
+
+    # DELETE decrements the live counters, bounds stay wide.
+    predicate = Comparison("key", "<", 500)
+    doomed = int(evaluate_predicate(predicate, relation).sum())
+    execute_delete(stored, predicate, executor, vectorized=True)
+    assert int(live_before.sum() - maps.live.sum()) == doomed
+
+    # INSERT with a brand-new maximum widens the target crossbar's bounds.
+    record = {"key": (1 << 12) - 1, "value": 7, "city": "LYON"}
+    result = execute_insert(stored, [record], executor)
+    slot = result.slots[0]
+    crossbar = slot // stored.rows_per_crossbar
+    assert maps.maxs["key"][crossbar] == (1 << 12) - 1
+
+    # UPDATE widens with the assigned constant.
+    execute_update(stored, Comparison("city", "==", "OSLO"), {"value": 1023}, executor)
+    updated = evaluate_predicate(Comparison("city", "==", "OSLO"), stored.relation)
+    updated &= stored.valid_mask()
+    touched = np.unique(np.nonzero(updated)[0] // stored.rows_per_crossbar)
+    assert (maps.maxs["value"][touched] == 1023).all()
+
+    # Compaction rebuilds exactly: equal to a from-scratch rebuild.
+    execute_compaction(stored, executor, force=True)
+    fresh = ZoneMaps.from_stored(stored)
+    assert (maps.live == fresh.live).all()
+    for name in stored.relation.schema.names:
+        live = maps.live > 0
+        assert (maps.mins[name][live] == fresh.mins[name][live]).all()
+        assert (maps.maxs[name][live] == fresh.maxs[name][live]).all()
+
+    # Every maintenance path charged modelled host time.
+    assert executor.stats.time_by_phase["zonemap-maintain"] > 0
+
+
+# --------------------------------------------------------------- selectivity
+def test_histogram_estimates_track_actual_fractions():
+    relation = clustered_relation(records=4000)
+    model = SelectivityModel.from_relation(relation)
+    for predicate, tolerance in [
+        (Comparison("key", "<", 2048), 0.1),
+        (Comparison("value", ">=", 512), 0.1),
+        (Comparison("city", "==", "OSLO"), 0.1),
+        (And((Comparison("key", "<", 2048), Comparison("value", "<", 512))), 0.15),
+    ]:
+        actual = float(evaluate_predicate(predicate, relation).mean())
+        estimate = model.estimate(predicate)
+        assert abs(estimate - actual) < tolerance, predicate
+    assert model.estimate(None) == 1.0
+    assert model.estimate(Comparison("city", "==", "ATLANTIS")) == 0.0
+
+
+def test_conjunct_ordering_puts_the_most_selective_first():
+    relation = clustered_relation()
+    model = SelectivityModel.from_relation(relation)
+    predicate = And((
+        Comparison("value", ">=", 0),            # ~everything
+        Comparison("key", "==", 7),              # ~nothing
+        Comparison("city", "==", "OSLO"),        # ~quarter
+    ))
+    ordered = model.order_conjuncts(predicate)
+    estimates = [model.estimate(conjunct) for conjunct in ordered]
+    assert estimates == sorted(estimates)
+    assert ordered[0].attribute == "key"
+
+
+# ------------------------------------------------- pruned execution, bit-exact
+@pytest.mark.parametrize("backend", ["packed", "bool"])
+@pytest.mark.parametrize("vectorized", [True, False])
+def test_pruned_execution_bit_exact_and_cheaper(backend, vectorized):
+    relation = clustered_relation()
+    full_engine = PimQueryEngine(
+        _store(clustered_relation(), backend), vectorized=vectorized,
+        timing_scale=64.0,
+    )
+    pruned_engine = PimQueryEngine(
+        _store(clustered_relation(), backend), vectorized=vectorized,
+        pruning=True, timing_scale=64.0,
+    )
+    for query in (POINT, RANGE, NOTHING):
+        full = full_engine.execute(query)
+        pruned = pruned_engine.execute(query)
+        assert pruned.rows == full.rows, query.name
+        assert pruned.crossbars_scanned < pruned.crossbars_total
+        assert pruned.time_s < full.time_s
+    # The provably-empty query skips execution entirely.
+    empty = pruned_engine.execute(NOTHING)
+    assert empty.rows == {} and empty.crossbars_scanned == 0
+    del relation
+
+
+def test_pruned_gate_level_and_vectorized_charge_identical_stats():
+    """The two execution modes stay cost-identical under pruning too."""
+    results = {}
+    for vectorized in (False, True):
+        engine = PimQueryEngine(
+            _store(clustered_relation()), vectorized=vectorized, pruning=True
+        )
+        # Two rounds: the second exercises the stale-filter clear path (the
+        # first query dirtied its candidate crossbars).
+        for query in (RANGE, POINT):
+            execution = engine.execute(query)
+        results[vectorized] = execution
+    gate, vector = results[False], results[True]
+    assert gate.rows == vector.rows
+    assert gate.stats.time_by_phase == vector.stats.time_by_phase
+    assert gate.stats.energy_by_component == vector.stats.energy_by_component
+    assert gate.max_writes_per_row == vector.max_writes_per_row
+    assert gate.stats.logic_ops == vector.stats.logic_ops
+
+
+def test_pruned_ssb_suite_bit_exact_both_backends(ssb_prejoined):
+    """The full SSB query suite: pruned == unpruned rows on both backends."""
+    from repro.ssb import ALL_QUERIES, QUERY_ORDER
+    from repro.ssb.prejoined import max_aggregated_width
+
+    width = max_aggregated_width(ssb_prejoined)
+    reference_rows = {}
+    for backend in BACKENDS:
+        config = DEFAULT_CONFIG.with_backend(backend)
+        engines = {}
+        for pruning in (False, True):
+            module = PimModule(config)
+            stored = StoredRelation(
+                ssb_prejoined, module, label=f"ssb/{backend}/{pruning}",
+                aggregation_width=width, reserve_bulk_aggregation=False,
+            )
+            engines[pruning] = PimQueryEngine(
+                stored, config=config, vectorized=True, pruning=pruning
+            )
+        for name in QUERY_ORDER:
+            query = ALL_QUERIES[name]
+            full = engines[False].execute(query)
+            pruned = engines[True].execute(query)
+            assert pruned.rows == full.rows, (backend, name)
+            assert pruned.crossbars_scanned <= pruned.crossbars_total
+            if name not in reference_rows:
+                reference_rows[name] = pruned.rows
+            else:
+                assert pruned.rows == reference_rows[name], (backend, name)
+
+
+@pytest.mark.parametrize("shards", [1, 4])
+def test_pruned_sharded_service_bit_exact(shards):
+    """K=1 and K=4 service pruning vs an unpruned service, SSB point/range."""
+    pruned = QueryService(planner=False)
+    unpruned = QueryService(pruning=False, planner=False)
+    pruned.register_sharded("pl", clustered_relation(), shards=shards)
+    unpruned.register_sharded("pl", clustered_relation(), shards=shards)
+    for query in (POINT, RANGE, NOTHING):
+        a = pruned.execute(query)
+        b = unpruned.execute(query)
+        assert a.rows == b.rows, query.name
+    if shards > 1:
+        execution = pruned.execute(POINT)
+        assert execution.shards_skipped >= shards - 1
+
+
+# --------------------------------------------- hypothesis: DML x query churn
+_OPS = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update", "compact"]),
+        st.integers(0, (1 << 12) - 1),
+        st.integers(0, (1 << 10) - 1),
+    ),
+    min_size=1, max_size=6,
+)
+
+
+@pytest.mark.parametrize("backend", ["packed", "bool"])
+@pytest.mark.parametrize("shards", [1, 4])
+@settings(max_examples=12, deadline=None)
+@given(ops=_OPS, probe_key=st.integers(0, (1 << 12) - 1))
+def test_pruned_bit_exact_under_interleaved_dml(backend, shards, ops, probe_key):
+    """Any DML interleaving: pruned rows == unpruned rows after every op."""
+    services = {}
+    for pruning in (False, True):
+        service = QueryService(planner=False, pruning=pruning)
+        service.register_sharded(
+            "pl", clustered_relation(records=640, seed=3), shards=shards,
+            backend=backend,
+        )
+        services[pruning] = service
+
+    probes = [
+        Query("probe-point", Comparison("key", "==", probe_key),
+              (Aggregate("sum", "value"), Aggregate("count"))),
+        Query("probe-range", Comparison("key", "between",
+                                        low=probe_key // 2, high=probe_key),
+              (Aggregate("max", "value"), Aggregate("count")),
+              group_by=("city",)),
+    ]
+    for op, key, value in ops:
+        for service in services.values():
+            if op == "insert":
+                records = [
+                    {"key": key, "value": value, "city": CITIES[key % len(CITIES)]}
+                ]
+                service.insert(records)
+            elif op == "delete":
+                service.delete(Comparison("key", "between", low=key,
+                                          high=min(key + 64, (1 << 12) - 1)))
+            elif op == "update":
+                from repro.sharding import execute_sharded_update
+
+                execute_sharded_update(
+                    service.engine("pl").sharded,
+                    Comparison("key", ">=", key), {"value": value},
+                )
+            else:
+                service.compact(force=True)
+        for probe in probes:
+            full = services[False].execute(probe)
+            pruned = services[True].execute(probe)
+            assert pruned.rows == full.rows, (op, probe.name)
+            assert pruned.crossbars_scanned <= full.crossbars_scanned
+
+
+# --------------------------------------------------------- cost-based routing
+def test_host_scan_route_matches_pim_rows():
+    engine = PimQueryEngine(_store(clustered_relation()), vectorized=True)
+    for query in (POINT, RANGE, NOTHING):
+        host = execute_host_scan(engine, query)
+        pim = engine.execute(query)
+        assert host.rows == pim.rows, query.name
+        assert host.label.endswith("/host-scan")
+        assert host.time_s > 0 or query is NOTHING
+
+
+def test_cost_planner_prefers_pim_at_scale_and_host_for_small_scans():
+    planner = CostPlanner()
+    # Serving scale: the PIM path wins on a selective query.
+    big = PimQueryEngine(
+        _store(clustered_relation()), vectorized=True, pruning=True,
+        timing_scale=1024.0,
+    )
+    decision = planner.route(POINT, big)
+    assert decision.target == "pim"
+    assert decision.est_pim_time_s < decision.est_host_time_s
+    # A small, unscaled relation with a near-unselective scan: the host wins.
+    small = PimQueryEngine(_store(clustered_relation()), vectorized=True)
+    broad = Query(
+        "broad", Comparison("value", ">=", 0),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    )
+    decision = planner.route(broad, small)
+    assert decision.target == "host"
+    assert 0.9 <= decision.estimated_selectivity <= 1.0
+
+
+def test_service_routes_and_reports_planner_stats():
+    service = QueryService()
+    service.register("pl", _store(clustered_relation()), timing_scale=1024.0)
+    reference = PimQueryEngine(_store(clustered_relation()), timing_scale=1024.0)
+    batch = service.execute_batch([POINT, RANGE, NOTHING])
+    for execution, query in zip(batch, (POINT, RANGE, NOTHING)):
+        assert execution.rows == reference.execute(query).rows
+    stats = batch.stats
+    assert stats.planner is not None
+    assert stats.planner.crossbars_scanned < stats.planner.crossbars_total
+    assert stats.planner.pim_queries + stats.planner.host_routed == 3
+    assert "planner:" in stats.describe()
+    assert "skipped" in stats.describe()
+
+
+# ----------------------------------------------------------------- satellites
+def test_register_sharded_validates_backend_early():
+    service = QueryService()
+    with pytest.raises(ValueError, match=r"backend='qbit' is not a backend"):
+        service.register_sharded("pl", clustered_relation(), backend="qbit")
+    assert service.relations == []
+
+
+def test_cache_snapshot_and_describe_report_evictions_and_capacity():
+    service = QueryService(cache_capacity=2)
+    service.register("pl", _store(clustered_relation()))
+    batch = service.execute_batch([POINT, RANGE, POINT])
+    snapshot = service.cache_stats()
+    assert snapshot.capacity == 2
+    assert snapshot.entries is not None and snapshot.entries <= 2
+    assert snapshot.lookups > 0
+    described = batch.stats.describe()
+    assert "evictions" in described
+    assert "capacity" in described

@@ -82,7 +82,9 @@ def test_multiple_relations_and_request_routing(toy_relation):
         QueryRequest(WORKLOAD[2], "a"),
     ]
     result = service.execute_batch(requests)
-    assert [e.label for e in result] == ["b", "a", "a"]
+    # The cost planner may route individual queries to the host-scan path
+    # (label suffix "/host-scan"); the relation routing must hold either way.
+    assert [e.label.split("/")[0] for e in result] == ["b", "a", "a"]
     reference = PimQueryEngine(_store(toy_relation))
     for execution, request in zip(result, requests):
         query = request.query if isinstance(request, QueryRequest) else request
