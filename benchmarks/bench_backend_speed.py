@@ -4,8 +4,11 @@ As a pytest benchmark this executes every SSB query gate level (each NOR
 primitive applied to the stored bits) on both simulation backends, gates
 bit-exactness of the result rows, bit-identical :class:`PimStats`, and a
 >=5x wall-clock speedup for the packed backend, and writes the
-``BENCH_backend.json`` trajectory artifact at the repository root.  It is
-also runnable as a plain script for CI smoke tests::
+``BENCH_backend.json`` trajectory artifact at the repository root.  Two
+further gates cover the fused kernel pipeline: the warm replay of the 13
+compiled filter programs must run >=5x faster fused than dispatched, and
+the thread-pooled 4-shard scatter must beat the sequential scatter (>1x).
+It is also runnable as a plain script for CI smoke tests::
 
     PYTHONPATH=src python benchmarks/bench_backend_speed.py
 """
@@ -18,6 +21,8 @@ from repro.experiments import backend_speed
 ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_backend.json"
 
 MIN_SPEEDUP = 5.0
+MIN_FUSED_SPEEDUP = 5.0
+MIN_SCATTER_SPEEDUP = 1.0
 
 
 def test_backend_speed(benchmark, publish):
@@ -34,6 +39,17 @@ def test_backend_speed(benchmark, publish):
     # headroom over the 5x gate is real but not unlimited — investigate any
     # regression rather than bumping the gate down.
     assert results.speedup >= MIN_SPEEDUP
+    # Fused-execution gates: the warm program replay must beat per-operation
+    # dispatch by >=5x (measured ~12x), and the thread-pooled kernel scatter
+    # must beat the sequential scatter outright (fused kernels release the
+    # GIL inside NumPy).  The scatter gate only applies on multi-core hosts
+    # — a single core serialises the pool by construction.
+    assert results.fused is not None
+    assert results.fused.speedup >= MIN_FUSED_SPEEDUP
+    assert results.scatter is not None
+    assert results.scatter.bits_match
+    if results.scatter.gateable:
+        assert results.scatter.speedup > MIN_SCATTER_SPEEDUP
 
 
 def main(argv=None) -> int:
@@ -50,8 +66,26 @@ def main(argv=None) -> int:
              "the gate-level path by this factor (0 disables the check)",
     )
     parser.add_argument(
+        "--min-fused-speedup", type=float, default=MIN_FUSED_SPEEDUP,
+        help="fail unless the fused program replay beats per-operation "
+             "dispatch by this factor (0 disables the check)",
+    )
+    parser.add_argument(
+        "--min-scatter-speedup", type=float, default=MIN_SCATTER_SPEEDUP,
+        help="fail unless the 4-worker scatter beats the sequential scatter "
+             "by strictly more than this factor (0 disables the check)",
+    )
+    parser.add_argument(
         "--no-service", action="store_true",
         help="skip the vectorized service-batch comparison",
+    )
+    parser.add_argument(
+        "--no-fused", action="store_true",
+        help="skip the fused program-replay microbenchmark",
+    )
+    parser.add_argument(
+        "--no-scatter", action="store_true",
+        help="skip the thread-pooled scatter comparison",
     )
     parser.add_argument(
         "--artifact", default=str(ARTIFACT_PATH),
@@ -60,7 +94,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = backend_speed.run_backend_speed(
-        scale_factor=args.scale_factor, with_service=not args.no_service
+        scale_factor=args.scale_factor,
+        with_service=not args.no_service,
+        with_fused=not args.no_fused,
+        with_scatter=not args.no_scatter,
     )
     print(backend_speed.render(results))
     backend_speed.write_artifact(results, args.artifact)
@@ -77,6 +114,26 @@ def main(argv=None) -> int:
             f"below {args.min_speedup}x"
         )
         return 1
+    if args.min_fused_speedup and results.fused is not None:
+        if results.fused.speedup < args.min_fused_speedup:
+            print(
+                f"FAIL: fused replay speedup {results.fused.speedup:.2f}x "
+                f"below {args.min_fused_speedup}x"
+            )
+            return 1
+    if args.min_scatter_speedup and results.scatter is not None:
+        if not results.scatter.bits_match:
+            print("FAIL: pooled scatter left different bits in the banks")
+            return 1
+        if (
+            results.scatter.gateable
+            and results.scatter.speedup <= args.min_scatter_speedup
+        ):
+            print(
+                f"FAIL: scatter speedup {results.scatter.speedup:.2f}x "
+                f"not above {args.min_scatter_speedup}x"
+            )
+            return 1
     return 0
 
 

@@ -13,7 +13,6 @@ extrapolated to the paper's SF=10) and can be overridden with the
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest

@@ -14,7 +14,7 @@ aggregation, which is why PIMDB assigns fewer subgroups to pim-gb
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.executor import PimQueryEngine

@@ -12,7 +12,7 @@ compute overlap in a column-at-a-time engine).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.config import ColumnarServerConfig

@@ -12,7 +12,7 @@ model of the paper's MonetDB server.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,14 +22,7 @@ from repro.columnar.cost import ColumnarCost
 from repro.config import ColumnarServerConfig, SystemConfig
 from repro.core.prejoin import DerivedAttribute
 from repro.db.catalog import Database
-from repro.db.query import (
-    Aggregate,
-    And,
-    Predicate,
-    Query,
-    attributes_referenced,
-    conj,
-)
+from repro.db.query import And, Predicate, Query, attributes_referenced, conj
 from repro.db.relation import Relation
 
 

@@ -12,16 +12,13 @@ hash table once per selected record.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Sequence, Tuple
 
 import numpy as np
 
 from repro.columnar.cost import ColumnarCost
 from repro.db.query import (
     Aggregate,
-    And,
-    Comparison,
-    Or,
     Predicate,
     attributes_referenced,
     evaluate_predicate,

@@ -47,6 +47,30 @@ def default_backend() -> str:
     return validate_backend(backend, source="REPRO_BACKEND=")
 
 
+#: Program-execution strategies of the functional simulation.  ``"fused"``
+#: lowers each compiled NOR program to an optimized DAG and evaluates it as
+#: whole-array NumPy expressions (see :mod:`repro.pim.fused`); ``"dispatch"``
+#: is the op-by-op reference interpreter.  Both are bit-exact on the output
+#: columns and charge identical modelled statistics.
+EXECUTIONS = ("fused", "dispatch")
+
+
+def validate_execution(execution: str, source: str = "execution=") -> str:
+    """Validate an execution-strategy name, naming the ``source``."""
+    if execution not in EXECUTIONS:
+        raise ValueError(
+            f"{source}{execution!r} is not an execution strategy; "
+            f"choose from {EXECUTIONS}"
+        )
+    return execution
+
+
+def default_execution() -> str:
+    """The program-execution strategy, overridable via ``REPRO_EXECUTION``."""
+    execution = os.environ.get("REPRO_EXECUTION", "fused")
+    return validate_execution(execution, source="REPRO_EXECUTION=")
+
+
 @dataclass(frozen=True)
 class CrossbarConfig:
     """Geometry and device parameters of a single memory crossbar array.
@@ -212,9 +236,14 @@ class SystemConfig:
     #: under this configuration.  Purely a simulator-speed knob: both
     #: backends are bit-exact and charge identical modelled statistics.
     backend: str = field(default_factory=default_backend)
+    #: Program-execution strategy: fused DAG kernels or op-by-op dispatch.
+    #: Like ``backend`` this is purely a simulator-speed knob — both
+    #: strategies are bit-exact and charge identical modelled statistics.
+    execution: str = field(default_factory=default_execution)
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)
+        validate_execution(self.execution)
 
     def replace(self, **kwargs) -> "SystemConfig":
         """Return a copy of this configuration with some fields replaced."""
@@ -223,6 +252,10 @@ class SystemConfig:
     def with_backend(self, backend: str) -> "SystemConfig":
         """Return a copy of this configuration using ``backend`` banks."""
         return dataclasses.replace(self, backend=backend)
+
+    def with_execution(self, execution: str) -> "SystemConfig":
+        """Return a copy of this configuration using ``execution`` programs."""
+        return dataclasses.replace(self, execution=execution)
 
     def without_aggregation_circuit(self) -> "SystemConfig":
         """Return a configuration with the aggregation circuit disabled.

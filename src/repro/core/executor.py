@@ -27,15 +27,15 @@ Table II.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.groupby import GroupByPlan, GroupByPlanner
 from repro.core.latency_model import GroupByCostModel, build_analytic_cost_model
-from repro.core.sampling import GroupKey, SubgroupEstimate, estimate_subgroups
+from repro.core.sampling import GroupKey, estimate_subgroups
 from repro.core.stages import (
     AggregationStage,
     FilterStage,
@@ -279,8 +279,7 @@ class PimQueryEngine:
             total_subgroups, in_sample, pim_subgroups = 0, 0, 0
         else:
             rows, plan = self._execute_group_by(
-                query, primary, mask, executor, read_model,
-                prune_candidates=candidates,
+                query, primary, mask, executor, read_model, prune=prune,
             )
             total_subgroups = plan.total_subgroups
             in_sample = plan.estimate.observed_subgroups
@@ -369,7 +368,7 @@ class PimQueryEngine:
         mask: np.ndarray,
         executor: PimExecutor,
         read_model: HostReadModel,
-        prune_candidates: Optional[np.ndarray] = None,
+        prune=None,
     ) -> Tuple[Dict[GroupKey, Dict[str, int]], GroupByPlan]:
         group_attributes = list(query.group_by)
         candidates = self._candidate_groups(query)
@@ -390,14 +389,17 @@ class PimQueryEngine:
         )
 
         rows: Dict[GroupKey, Dict[str, int]] = {}
+        primary_candidates = (
+            prune.candidates[primary] if prune is not None else None
+        )
         for key in plan.pim_groups:
             entry = self._pim_aggregate_group(
                 query, primary, group_attributes, key, executor, read_model,
-                candidates=prune_candidates,
+                prune=prune,
             )
             if self._group_selected(mask, group_attributes, key):
                 rows[key] = self._finalize_entry(entry, primary)
-            self.group_stage.clear(primary, executor)
+            self.group_stage.clear(primary, executor, candidates=primary_candidates)
 
         if plan.host_pass_needed:
             host_rows = self._host_group_by(
@@ -414,17 +416,19 @@ class PimQueryEngine:
         key: GroupKey,
         executor: PimExecutor,
         read_model: HostReadModel,
-        candidates: Optional[np.ndarray] = None,
+        prune=None,
     ) -> Dict[str, Optional[int]]:
         """pim-gb for one subgroup: subgroup filter, aggregate, combine.
 
         The subgroup mask is a subset of the query filter, so the zone-map
-        candidate crossbars of the filter bound the subgroup aggregation too.
+        candidate crossbars of the filter bound the subgroup mask programs
+        and the subgroup aggregation too.
         """
         group_values = dict(zip(group_attributes, key))
         mask_column = self.group_stage.prepare(
-            group_values, primary, executor, read_model
+            group_values, primary, executor, read_model, prune=prune
         )
+        candidates = prune.candidates[primary] if prune is not None else None
         return {
             aggregate.name: self.aggregation_stage.aggregate(
                 aggregate, primary, mask_column, executor, read_model,

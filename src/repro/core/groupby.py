@@ -10,8 +10,8 @@ choosing ``k`` by minimising the Eq. (3) cost model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.latency_model import GroupByCostModel
 from repro.core.sampling import GroupKey, SubgroupEstimate

@@ -18,7 +18,7 @@ occupy anyway (:func:`storage_overhead` quantifies this argument).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 

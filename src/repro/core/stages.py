@@ -116,13 +116,30 @@ def apply_program(
             writes_per_row=program.writes_per_row,
             add_wear=True,
         )
-    # A broadcast that lands in the filter column may leave ones in any
-    # crossbar; the pruned path consults this to know what needs clearing.
-    if program.result_column == stored.layouts[partition].filter_column:
-        stored.mark_filter_dirty(partition)
+    # A broadcast may leave ones in any crossbar; the pruned path consults
+    # this to know what needs clearing.  Marked in both modes so the stale
+    # sets (and their modelled clear cycles) stay identical.
+    if program.result_column is not None:
+        stored.mark_column_dirty(partition, program.result_column)
 
 
-def apply_filter_program_pruned(
+def candidate_rows(
+    stored: StoredRelation, partition: int, candidates: np.ndarray
+) -> np.ndarray:
+    """Expand a per-crossbar candidate mask to one bool per record slot.
+
+    Pruned execution leaves all-zero result bits on skipped crossbars; the
+    vectorized mode reproduces that bit-exactly by masking its analytically
+    computed result bits with this expansion before writing them.
+    """
+    allocation = stored.allocations[partition]
+    expanded = np.repeat(
+        np.asarray(candidates, dtype=bool), allocation.rows_per_crossbar
+    )
+    return expanded[: stored.relation.num_records]
+
+
+def apply_program_pruned(
     stored: StoredRelation,
     partition: int,
     program: Program,
@@ -132,20 +149,21 @@ def apply_filter_program_pruned(
     candidates: np.ndarray,
     result_bits: Optional[np.ndarray] = None,
 ) -> None:
-    """Run a filter program on the zone-map candidate crossbars only.
+    """Run a program on the zone-map candidate crossbars only.
 
     The same two-mode contract as :func:`apply_program`, restricted to the
     candidate crossbars: the program's cost, wear and requests are charged
     for exactly the crossbars touched.  Skipped crossbars provably hold no
-    matching live row, so their correct filter bits are all-zero — they are
+    matching live row, so their correct result bits are all-zero — they are
     left untouched when already clean and receive a single-cycle clear when a
-    previous broadcast left stale ones behind.
+    previous broadcast left stale ones behind.  ``result_bits`` must already
+    be zero outside the candidate crossbars (callers mask them through
+    :func:`candidate_rows` when the analytic bits can extend further).
     """
-    layout = stored.layouts[partition]
-    if program.result_column != layout.filter_column:
-        raise ValueError("pruned execution only applies to filter programs")
+    if program.result_column is None:
+        raise ValueError("pruned execution needs a program result column")
     allocation = stored.allocations[partition]
-    stale = stored.filter_dirty_mask(partition) & ~candidates
+    stale = stored.column_dirty_mask(partition, program.result_column) & ~candidates
     if result_bits is None:
         executor.run_program_pruned(
             allocation.bank, program, candidates, pages, phase,
@@ -160,7 +178,7 @@ def apply_filter_program_pruned(
             allocation.bank, program, candidates, pages, phase,
             clear_crossbars=stale,
         )
-    stored.mark_filter_dirty(partition, candidates)
+    stored.mark_column_dirty(partition, program.result_column, candidates)
 
 
 def _check_pruned_bits(
@@ -224,6 +242,23 @@ class _Stage:
             result_bits=result_bits if self.vectorized else None,
         )
 
+    def _apply_pruned(
+        self,
+        program: Program,
+        partition: int,
+        executor: PimExecutor,
+        phase: str,
+        candidates: np.ndarray,
+        result_bits: Optional[np.ndarray] = None,
+    ) -> None:
+        """Apply a program through :func:`apply_program_pruned`."""
+        apply_program_pruned(
+            self.stored, partition, program, executor, phase,
+            pages=self._pages(partition),
+            candidates=candidates,
+            result_bits=result_bits if self.vectorized else None,
+        )
+
     def _equality_mask(self, values: Dict[str, int]) -> np.ndarray:
         """Conjunction of ``attribute == value`` over the relation's records."""
         mask = np.ones(self.stored.num_records, dtype=bool)
@@ -261,7 +296,7 @@ class FilterStage(_Stage):
                 bits = evaluate_predicate(predicate, self.stored.relation)
                 bits = bits & self.stored.valid_mask(index)
             if prune is not None:
-                apply_filter_program_pruned(
+                apply_program_pruned(
                     self.stored, index, program, executor,
                     phase="filter", pages=self._pages(index),
                     candidates=prune.candidates[index],
@@ -322,8 +357,17 @@ class GroupMaskStage(_Stage):
         primary: int,
         executor: PimExecutor,
         read_model: HostReadModel,
+        prune=None,
     ) -> int:
-        """Build the subgroup mask in the primary partition's group column."""
+        """Build the subgroup mask in the primary partition's group column.
+
+        ``prune`` (the query's :class:`~repro.planner.zonemap.PruneDecision`)
+        restricts every subgroup program to each partition's zone-map
+        candidate crossbars.  The subgroup mask is ANDed with the (already
+        pruned) filter column, so rows on skipped crossbars can never reach
+        it — pruning the mask programs is bit-exact for the final mask while
+        charging only the candidate crossbars.
+        """
         by_partition: Dict[int, Dict[str, int]] = {}
         for name, value in group_values.items():
             by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
@@ -346,9 +390,24 @@ class GroupMaskStage(_Stage):
             bits: Optional[np.ndarray] = None
             if self.vectorized:
                 bits = self._equality_mask(values) & self.stored.valid_mask(partition)
-            self._apply(
-                program, partition, executor, phase="pim-gb-filter", result_bits=bits
-            )
+                if prune is not None:
+                    # Pruned execution leaves zeros on skipped crossbars even
+                    # where the subgroup equality holds; those rows fail the
+                    # partition's WHERE conjunct, so the final mask (which
+                    # ANDs the filter bits) is unchanged.
+                    bits &= candidate_rows(
+                        self.stored, partition, prune.candidates[partition]
+                    )
+            if prune is not None:
+                self._apply_pruned(
+                    program, partition, executor, phase="pim-gb-filter",
+                    candidates=prune.candidates[partition], result_bits=bits,
+                )
+            else:
+                self._apply(
+                    program, partition, executor, phase="pim-gb-filter",
+                    result_bits=bits,
+                )
             transferred = read_model.transfer_bit_column(
                 self.stored,
                 partition, layout.group_column,
@@ -375,6 +434,7 @@ class GroupMaskStage(_Stage):
                 self._fold_remote(
                     primary, executor, operands, destination,
                     result_bits=remote_bits,
+                    prune=prune,
                 )
 
         local_values = by_partition.get(primary, {})
@@ -387,7 +447,15 @@ class GroupMaskStage(_Stage):
             if remote_bits is not None:
                 bits &= remote_bits
             bits &= self.stored.column_bit(primary, primary_layout.filter_column)
-        self._apply(program, primary, executor, phase="pim-gb-filter", result_bits=bits)
+        if prune is not None:
+            self._apply_pruned(
+                program, primary, executor, phase="pim-gb-filter",
+                candidates=prune.candidates[primary], result_bits=bits,
+            )
+        else:
+            self._apply(
+                program, primary, executor, phase="pim-gb-filter", result_bits=bits
+            )
         return primary_layout.group_column
 
     def _fold_remote(
@@ -397,12 +465,20 @@ class GroupMaskStage(_Stage):
         operands: Sequence[int],
         destination: int,
         result_bits: Optional[np.ndarray],
+        prune=None,
     ) -> None:
         """Accumulate remote bit-vectors when more than one partition ships one.
 
         Copies (one operand) or ANDs (two operands) the given bit columns
         into ``destination``; ``result_bits`` carries the expected result for
         the vectorized mode.
+
+        Under pruning the running product parked in the group column is only
+        maintained on the primary partition's candidate crossbars (it is
+        zero elsewhere, like every pruned result).  The final fold into the
+        remote column — which the combine program reads — stays a broadcast,
+        but its group-column operand already zeroes the skipped crossbars,
+        so its result is the candidate-masked product in both modes.
         """
         layout = self.stored.layouts[primary]
         builder = ProgramBuilder(layout.scratch_columns)
@@ -413,13 +489,34 @@ class GroupMaskStage(_Stage):
         builder.store(folded, destination)
         builder.free(folded)
         program = builder.build(result_column=destination)
-        self._apply(
-            program, primary, executor, phase="pim-gb-filter",
-            result_bits=result_bits if self.vectorized else None,
-        )
+        bits = result_bits if self.vectorized else None
+        if bits is not None and prune is not None:
+            bits = bits & candidate_rows(
+                self.stored, primary, prune.candidates[primary]
+            )
+        if prune is not None and destination == layout.group_column:
+            self._apply_pruned(
+                program, primary, executor, phase="pim-gb-filter",
+                candidates=prune.candidates[primary], result_bits=bits,
+            )
+        else:
+            self._apply(
+                program, primary, executor, phase="pim-gb-filter",
+                result_bits=bits,
+            )
 
-    def clear(self, primary: int, executor: PimExecutor) -> None:
-        """Remove a PIM-aggregated subgroup's records from the host filter."""
+    def clear(
+        self,
+        primary: int,
+        executor: PimExecutor,
+        candidates: Optional[np.ndarray] = None,
+    ) -> None:
+        """Remove a PIM-aggregated subgroup's records from the host filter.
+
+        ``candidates`` (the primary partition's zone-map candidate crossbars)
+        restricts the update to the crossbars whose filter column can hold
+        ones at all — the others were pruned to zero by the filter stage.
+        """
         layout = self.stored.layouts[primary]
         builder = ProgramBuilder(layout.scratch_columns)
         remaining = builder.and_not(layout.filter_column, layout.group_column)
@@ -429,7 +526,15 @@ class GroupMaskStage(_Stage):
         bits: Optional[np.ndarray] = None
         if self.vectorized:
             bits = self.stored.column_bit(primary, layout.filter_column) & ~self.stored.column_bit(primary, layout.group_column)
-        self._apply(program, primary, executor, phase="pim-gb-filter", result_bits=bits)
+        if candidates is not None:
+            self._apply_pruned(
+                program, primary, executor, phase="pim-gb-filter",
+                candidates=candidates, result_bits=bits,
+            )
+        else:
+            self._apply(
+                program, primary, executor, phase="pim-gb-filter", result_bits=bits
+            )
 
 
 class AggregationStage(_Stage):

@@ -9,7 +9,7 @@ paths of every SSB query are derived from a single description.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.db.relation import Relation

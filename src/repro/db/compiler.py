@@ -15,7 +15,7 @@ the data movement overhead Section V-A attributes to the two-xb layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.db.encoding import RowLayout
 from repro.db.query import (

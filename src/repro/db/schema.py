@@ -11,8 +11,8 @@ compiler.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 

@@ -16,12 +16,11 @@ it.
 from __future__ import annotations
 
 import heapq
-import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.db.encoding import LayoutError, RowLayout
+from repro.db.encoding import RowLayout
 from repro.db.relation import Relation
 from repro.db.schema import Schema
 from repro.pim.module import PimAllocation, PimModule
@@ -116,13 +115,13 @@ class StoredRelation:
         self._free_slots: List[int] = []
         self.live_count = self.num_records
         self._load()
-        # Per-crossbar "the filter column may hold ones" flags, one array per
-        # vertical partition.  Pruned execution clears the filter column only
-        # of crossbars that are both skipped and dirty, so a run over a clean
+        # Per-crossbar "this bookkeeping column may hold ones" flags, one lazy
+        # map per vertical partition keyed by column index (filter and group
+        # columns in practice).  Pruned execution clears a column only on
+        # crossbars that are both skipped and dirty, so a run over a clean
         # relation pays no clear broadcast at all.
-        self._filter_dirty: List[np.ndarray] = [
-            np.zeros(allocation.crossbars, dtype=bool)
-            for allocation in self.allocations
+        self._column_dirty: List[Dict[int, np.ndarray]] = [
+            {} for _ in self.allocations
         ]
         # Imported lazily: the planner package reaches back into the host
         # read-path model, which imports this module.
@@ -273,29 +272,54 @@ class StoredRelation:
         self._free_slots = []
         self.num_records = self.live_count
         # Compaction rewrote every row and scrubbed the bookkeeping columns:
-        # rebuild the statistics exactly and mark every filter column clean.
+        # rebuild the statistics exactly and mark every tracked column clean.
         self.statistics.rebuild(self.relation)
-        for dirty in self._filter_dirty:
-            dirty[:] = False
+        for dirty in self._column_dirty:
+            for mask in dirty.values():
+                mask[:] = False
 
-    # ------------------------------------------------------- filter dirtiness
-    def filter_dirty_mask(self, partition: int) -> np.ndarray:
-        """Crossbars whose filter column may hold ones (per partition)."""
-        return self._filter_dirty[partition]
+    # ------------------------------------------------------- column dirtiness
+    def column_dirty_mask(self, partition: int, column: int) -> np.ndarray:
+        """Crossbars on which ``column`` may hold ones (per partition).
 
-    def mark_filter_dirty(
-        self, partition: int, candidates: Optional[np.ndarray] = None
+        Untracked columns start all-clean: bookkeeping columns are zero at
+        load time, and every path that can set their bits records it here.
+        """
+        masks = self._column_dirty[partition]
+        mask = masks.get(column)
+        if mask is None:
+            mask = np.zeros(self.allocations[partition].crossbars, dtype=bool)
+            masks[column] = mask
+        return mask
+
+    def mark_column_dirty(
+        self, partition: int, column: int, candidates: Optional[np.ndarray] = None
     ) -> None:
-        """Record which crossbars a filter program just wrote.
+        """Record which crossbars a program just wrote ``column`` on.
 
         An unpruned broadcast (``candidates=None``) dirties every crossbar; a
         pruned run leaves exactly its candidate set dirty (skipped crossbars
         were cleared or already clean).
         """
+        mask = self.column_dirty_mask(partition, column)
         if candidates is None:
-            self._filter_dirty[partition][:] = True
+            mask[:] = True
         else:
-            np.copyto(self._filter_dirty[partition], candidates)
+            np.copyto(mask, candidates)
+
+    def filter_dirty_mask(self, partition: int) -> np.ndarray:
+        """Crossbars whose filter column may hold ones (per partition)."""
+        return self.column_dirty_mask(
+            partition, self.layouts[partition].filter_column
+        )
+
+    def mark_filter_dirty(
+        self, partition: int, candidates: Optional[np.ndarray] = None
+    ) -> None:
+        """Record which crossbars a filter program just wrote."""
+        self.mark_column_dirty(
+            partition, self.layouts[partition].filter_column, candidates
+        )
 
     def partition_of(self, attribute: str) -> int:
         """Index of the vertical partition storing an attribute."""
@@ -372,9 +396,11 @@ class StoredRelation:
         capacity = self.allocations[partition].record_capacity
         padded = np.zeros(capacity, dtype=bool)
         padded[: self.num_records] = values
-        bank.write_bool_column(
-            column, padded.reshape(bank.count, bank.rows), count_wear=count_wear
-        )
+        shaped = padded.reshape(bank.count, bank.rows)
+        bank.write_bool_column(column, shaped, count_wear=count_wear)
+        # The whole column was just overwritten, so its dirtiness is known
+        # exactly: the crossbars that received at least one set bit.
+        self.mark_column_dirty(partition, column, shaped.any(axis=1))
 
     # ------------------------------------------------------------------ wear
     def wear_snapshot(self) -> List[np.ndarray]:

@@ -14,7 +14,7 @@ Three design choices DESIGN.md calls out are quantified here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.core.prejoin import storage_overhead
 from repro.experiments.common import ExperimentSetup, format_table

@@ -20,7 +20,7 @@ and reports the fit against the analytic model the engine uses by default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -32,8 +32,6 @@ from repro.core.latency_model import (
     PimGbLatencyModel,
     PimGbMeasurement,
     build_analytic_cost_model,
-    predict_host_gb,
-    predict_pim_gb,
 )
 from repro.db.compiler import compile_group_predicate, compile_predicate
 from repro.db.query import Comparison, LT
@@ -133,7 +131,6 @@ def run_fig4(
                 Comparison("key", LT, threshold), relation.schema, layout
             )
             executor.run_program(allocation.bank, program, pages=pages, phase="filter")
-            filter_time = stats.total_time_s
 
             for s in reads_per_record:
                 point_stats = PimStats()

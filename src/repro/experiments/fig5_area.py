@@ -8,7 +8,7 @@ to the PIMDB chip (which lacks them).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 from repro.config import SystemConfig
 from repro.experiments.common import format_table

@@ -6,7 +6,6 @@ from typing import Dict, List, Sequence
 
 from repro.experiments.common import (
     ALL_CONFIGS,
-    ExperimentSetup,
     QueryRecord,
     format_table,
     geomean,

@@ -10,7 +10,7 @@ so they can be compared side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.config import SystemConfig
 from repro.experiments.common import QueryRecord, format_table

@@ -16,10 +16,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.config import SystemConfig
-from repro.core.executor import PimQueryEngine
 from repro.db.query import Query
 from repro.experiments.common import build_setup, format_table
 from repro.service import QueryService

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.experiments.common import QueryRecord, format_table, records_by
 from repro.ssb import QUERY_ORDER

@@ -31,7 +31,7 @@ phase and hence the peak chip power reported in Fig. 8.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
@@ -48,6 +48,10 @@ class PimExecutor:
     def __init__(self, config: SystemConfig, stats: Optional[PimStats] = None):
         self.config = config
         self.stats = stats if stats is not None else PimStats()
+        # Program-execution strategy, resolved once: fused DAG kernels or
+        # op-by-op dispatch.  Both are bit-exact on program outputs and all
+        # costs are charged from program metadata either way.
+        self._fused = config.execution == "fused"
 
     def fork(self, stats: Optional[PimStats] = None) -> "PimExecutor":
         """A new executor sharing this one's configuration.
@@ -123,7 +127,10 @@ class PimExecutor:
         phase: str = "filter",
     ) -> None:
         """Execute a NOR program on every crossbar of ``pages`` pages."""
-        program.execute(bank)
+        if self._fused:
+            program.run_fused(bank)
+        else:
+            program.execute(bank)
         self._charge_program(bank, program.cycles, pages, phase)
 
     def charge_program_cost(
@@ -180,7 +187,10 @@ class PimExecutor:
             raise ValueError("pruned execution needs a program result column")
         candidate_idx = np.nonzero(np.asarray(candidates, dtype=bool))[0]
         if candidate_idx.size:
-            program.execute_at(bank, candidate_idx)
+            if self._fused:
+                program.run_fused(bank, candidate_idx)
+            else:
+                program.execute_at(bank, candidate_idx)
             self._charge_program(
                 bank, program.cycles,
                 pages * candidate_idx.size / bank.count, phase,
@@ -326,7 +336,7 @@ class PimExecutor:
         """
         cost = plan.cost()
         if gate_level:
-            results = plan.run_gate_level(bank)
+            results = plan.run_gate_level(bank, fused=self._fused)
         else:
             results = plan.run_functional(bank)
             bank.writes_per_row += cost.writes_per_row

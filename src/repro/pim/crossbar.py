@@ -22,7 +22,7 @@ column ``offset + width - 1``.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -233,6 +233,41 @@ class CrossbarBank:
             return
         self.bits[xbars, :, dest] = bool(value)
         self.writes_per_row[xbars] += 1
+
+    # ---------------------------------------------------- fused kernel surface
+    def kernel_read(self, column: int, xbars: Optional[np.ndarray] = None) -> np.ndarray:
+        """Native value of one column for fused evaluation, ``(count, rows)``.
+
+        Without ``xbars`` this is a live view — the fused kernel snapshots
+        any value it still needs before writing outputs back.
+        """
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        if xbars is None:
+            return self.bits[:, :, column]
+        return self.bits[xbars, :, column]
+
+    def kernel_write(
+        self, column: int, value, xbars: Optional[np.ndarray] = None
+    ) -> None:
+        """Store a fused output value; wear is charged in bulk by the caller."""
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        if xbars is None:
+            self.bits[:, :, column] = value
+        else:
+            self.bits[xbars, :, column] = value
+
+    def kernel_ones(self):
+        """The all-true value in this backend's native representation."""
+        return np.True_
+
+    def add_wear(self, writes: int, xbars: Optional[np.ndarray] = None) -> None:
+        """Charge ``writes`` cell writes to every row (of ``xbars`` if given)."""
+        if xbars is None:
+            self.writes_per_row += int(writes)
+        else:
+            self.writes_per_row[xbars] += int(writes)
 
     # ----------------------------------------------------- bulk primitives
     def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:

@@ -1,0 +1,87 @@
+"""Fused word-level execution of lowered NOR DAGs.
+
+:class:`FusedKernel` compiles a :class:`~repro.pim.ir.NorDag` once into a
+flat instruction list and evaluates it with whole-array NumPy bitwise
+expressions.  One kernel serves both backends: it only touches a bank
+through the four-method kernel surface (``kernel_read`` / ``kernel_write``
+/ ``kernel_ones`` / ``add_wear``), which the packed bank implements over
+``uint64`` words and the boolean reference bank over its bool cube.
+
+The NOR itself is computed as ``(a | b | ...) ^ ones``: on the packed
+backend every value in the dataflow keeps its padding bits zero (inputs by
+bank invariant, constants and gate outputs by construction), so XOR with
+the row mask is exactly the masked complement — one ufunc instead of an
+invert-then-mask pair, and the whole evaluation runs inside NumPy with the
+GIL released, which is what lets the sharded scatter pool scale.
+
+Bit-exactness contract: a fused run leaves every *output column* (and the
+wear counters) bit-identical to the op-by-op dispatch of the same program.
+Scratch columns are not written — they are dead storage between programs
+(no program reads scratch before writing it), exactly like the vectorized
+host path that already skips them.  Modelled costs are charged by the
+caller from the original program metadata, never from the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.pim.ir import INPUT, NOR, NorDag
+
+
+class FusedKernel:
+    """A compiled, backend-agnostic evaluator for one :class:`NorDag`."""
+
+    __slots__ = ("instructions", "outputs", "depth", "nor_count")
+
+    def __init__(self, dag: NorDag) -> None:
+        self.instructions: Tuple[Tuple[str, Hashable], ...] = tuple(
+            zip(dag.kinds, dag.payloads)
+        )
+        self.outputs: Tuple[Tuple[int, int], ...] = dag.outputs
+        self.depth: int = dag.depth
+        self.nor_count: int = dag.nor_count
+
+    def run(self, bank, xbars: Optional[Sequence[int]] = None) -> None:
+        """Evaluate the kernel on ``bank`` (optionally on ``xbars`` only).
+
+        Wear is *not* charged here — the caller adds the program's
+        per-cycle wear in bulk so the counters match dispatch exactly.
+        """
+        if xbars is not None and len(xbars) == 0:
+            return
+        ones = bank.kernel_ones()
+        values: List = [None] * len(self.instructions)
+        for index, (kind, payload) in enumerate(self.instructions):
+            if kind == NOR:
+                slots = payload
+                value = values[slots[0]]
+                if len(slots) == 1:
+                    value = np.bitwise_xor(value, ones)
+                else:
+                    value = np.bitwise_or(value, values[slots[1]])
+                    for slot in slots[2:]:
+                        np.bitwise_or(value, values[slot], out=value)
+                    np.bitwise_xor(value, ones, out=value)
+                values[index] = value
+            elif kind == INPUT:
+                values[index] = bank.kernel_read(payload, xbars)
+            else:  # CONST — only ever an output (folding strips const operands)
+                values[index] = ones if payload else np.bitwise_xor(ones, ones)
+        # Snapshot output values before any write: an output whose value is
+        # an INPUT node may be a live view into a column written below.
+        pending = []
+        for column, slot in self.outputs:
+            value = values[slot]
+            if self.instructions[slot][0] == INPUT:
+                value = np.array(value, copy=True)
+            pending.append((column, value))
+        for column, value in pending:
+            bank.kernel_write(column, value, xbars)
+
+
+def compile_dag(dag: NorDag) -> FusedKernel:
+    """Compile ``dag`` into a reusable :class:`FusedKernel`."""
+    return FusedKernel(dag)

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.pim.crossbar import CrossbarBank
 
 
 @dataclass(frozen=True)
@@ -56,7 +55,12 @@ class Program:
     :attr:`cycles` and :attr:`writes_per_row`.
     """
 
-    def __init__(self, ops: Sequence[Operation], result_column: Optional[int] = None):
+    def __init__(
+        self,
+        ops: Sequence[Operation],
+        result_column: Optional[int] = None,
+        output_columns: Optional[Sequence[int]] = None,
+    ):
         # Frozen: execute() dispatches the pre-split _steps, so a mutable op
         # list could silently desync the executed bits from the cycle/wear
         # accounting derived from len(self.ops).
@@ -75,6 +79,17 @@ class Program:
             else:
                 raise TypeError(f"unknown operation {op!r}")
         self._steps: Tuple[Tuple[bool, int, object], ...] = tuple(steps)
+        # Columns whose post-program value other code may observe.  A builder
+        # program reports its non-scratch destinations; a raw program defaults
+        # to every column it writes (fully conservative).  This is what the
+        # fused path materialises — scratch destinations are dead storage.
+        if output_columns is None:
+            output_columns = sorted({op.dest for op in self.ops})
+        self.output_columns: Tuple[int, ...] = tuple(output_columns)
+        # Lazily built fused artefacts (one DAG + kernel per program; the
+        # program cache therefore caches fusion alongside compilation).
+        self._dag = None
+        self._kernel = None
 
     @property
     def cycles(self) -> int:
@@ -86,6 +101,18 @@ class Program:
         """Cell writes each row experiences (one per primitive)."""
         return len(self.ops)
 
+    def _dispatch(self, nor_columns, set_column) -> None:
+        """Drive the pre-split step table against a pair of primitives.
+
+        The single integration point of op-by-op execution: the broadcast
+        and masked variants only differ in the primitives they bind.
+        """
+        for is_nor, dest, payload in self._steps:
+            if is_nor:
+                nor_columns(dest, payload)
+            else:
+                set_column(dest, payload)
+
     def execute(self, bank: "CrossbarBank") -> None:
         """Apply the program to every row of every crossbar of ``bank``.
 
@@ -94,13 +121,7 @@ class Program:
         :class:`~repro.pim.packed.PackedCrossbarBank`); the pre-split flat
         op stream is dispatched against pre-bound primitive methods.
         """
-        nor_columns = bank.nor_columns
-        set_column = bank.set_column
-        for is_nor, dest, payload in self._steps:
-            if is_nor:
-                nor_columns(dest, payload)
-            else:
-                set_column(dest, payload)
+        self._dispatch(bank.nor_columns, bank.set_column)
 
     def execute_at(self, bank: "CrossbarBank", xbars) -> None:
         """Apply the program to the listed crossbars of ``bank`` only.
@@ -110,13 +131,49 @@ class Program:
         a subset produces on that subset exactly the bits a full broadcast
         would — while the other crossbars' cells and wear stay untouched.
         """
-        nor_columns_at = bank.nor_columns_at
-        set_column_at = bank.set_column_at
-        for is_nor, dest, payload in self._steps:
-            if is_nor:
-                nor_columns_at(dest, payload, xbars)
-            else:
-                set_column_at(dest, payload, xbars)
+        self._dispatch(
+            lambda dest, srcs: bank.nor_columns_at(dest, srcs, xbars),
+            lambda dest, value: bank.set_column_at(dest, value, xbars),
+        )
+
+    # ------------------------------------------------------------ fused path
+    def ir(self):
+        """The program lowered to its optimized NOR DAG (memoised)."""
+        if self._dag is None:
+            from repro.pim.ir import lower_program
+
+            self._dag = lower_program(self)
+        return self._dag
+
+    def fused_kernel(self):
+        """The compiled fused kernel of this program (memoised).
+
+        Programs are immutable, so the kernel is built at most once per
+        program object; with the service's LRU program cache this makes the
+        fusion cost a per-template one-off, exactly like compilation.
+        """
+        if self._kernel is None:
+            from repro.pim.fused import compile_dag
+
+            self._kernel = compile_dag(self.ir())
+        return self._kernel
+
+    @property
+    def depth(self) -> int:
+        """Critical-path cycle depth of the optimized DAG (``<= cycles``)."""
+        return self.ir().depth
+
+    def run_fused(self, bank: "CrossbarBank", xbars=None) -> None:
+        """Execute the fused kernel — bit-exact with dispatch on the outputs.
+
+        Leaves every output column and the wear counters exactly as
+        :meth:`execute` (or :meth:`execute_at` for a crossbar subset) would;
+        scratch columns are not touched.  Wear is charged in bulk from the
+        program metadata: dispatch wears every row once per primitive, so
+        the totals are identical by construction.
+        """
+        self.fused_kernel().run(bank, xbars)
+        bank.add_wear(self.writes_per_row, xbars)
 
     def __len__(self) -> int:
         return len(self.ops)
@@ -168,8 +225,21 @@ class ProgramBuilder:
         self._ops.append(InitOp(dest, bool(value)))
 
     def build(self, result_column: Optional[int] = None) -> Program:
-        """Return the accumulated program."""
-        return Program(self._ops, result_column=result_column)
+        """Return the accumulated program.
+
+        The program's output columns are its non-scratch destinations —
+        the builder knows its scratch pool, so the emitted program carries
+        exactly the set of columns whose final value is observable.
+        """
+        scratch = set(self._all_scratch)
+        outputs = {op.dest for op in self._ops} - scratch
+        if result_column is not None:
+            outputs.add(result_column)
+        return Program(
+            self._ops,
+            result_column=result_column,
+            output_columns=sorted(outputs),
+        )
 
     @property
     def cycles(self) -> int:
@@ -262,22 +332,33 @@ class ProgramBuilder:
         return self._reduce(columns, self.or_, consume, identity=False)
 
     def _reduce(self, columns, gate, consume, identity: bool) -> int:
+        # Pairwise-balanced tree: the same n-1 gates (hence identical cycle
+        # and wear accounting) as a linear chain, but O(log n) combinational
+        # depth, which is what the fused kernel's critical path — and the
+        # refined latency term derived from it — actually executes.  Peak
+        # scratch use matches the chain: each combine allocates one column
+        # and releases its two owned operands.
         columns = list(columns)
         if not columns:
             return self.const(identity)
         if len(columns) == 1:
             return columns[0] if not consume else self._own(columns[0])
-        acc = columns[0]
-        owned = False
-        for col in columns[1:]:
-            new_acc = gate(acc, col)
-            if owned or consume:
-                self.free(acc)
-            if consume:
-                self.free(col)
-            acc = new_acc
-            owned = True
-        return acc
+        level = [(col, consume) for col in columns]
+        while len(level) > 1:
+            next_level = []
+            for i in range(0, len(level) - 1, 2):
+                a, a_owned = level[i]
+                b, b_owned = level[i + 1]
+                out = gate(a, b)
+                if a_owned:
+                    self.free(a)
+                if b_owned:
+                    self.free(b)
+                next_level.append((out, True))
+            if len(level) % 2:
+                next_level.append(level[-1])
+            level = next_level
+        return level[0][0]
 
     def _own(self, column: int) -> int:
         """Return a column the caller may free (copy if it is not scratch)."""

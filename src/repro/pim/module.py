@@ -11,7 +11,7 @@ unit on which bulk-bitwise operations are broadcast.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.config import PimModuleConfig, SystemConfig

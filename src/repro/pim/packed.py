@@ -224,6 +224,48 @@ class PackedCrossbarBank:
             self.words[xbars, dest, :] = 0
         self.writes_per_row[xbars] += 1
 
+    # ---------------------------------------------------- fused kernel surface
+    def kernel_read(self, column: int, xbars: Optional[np.ndarray] = None) -> np.ndarray:
+        """Native value of one column for fused evaluation, packed words.
+
+        Shape ``(count, rows_words)`` (or ``(len(xbars), rows_words)``); the
+        unmasked form is a live view — the fused kernel snapshots any value
+        it still needs before writing outputs back.  Padding bits are zero
+        by bank invariant.
+        """
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        if xbars is None:
+            return self.words[:, column, :]
+        return self.words[xbars, column, :]
+
+    def kernel_write(
+        self, column: int, value, xbars: Optional[np.ndarray] = None
+    ) -> None:
+        """Store a fused output value; wear is charged in bulk by the caller.
+
+        Values produced by the fused kernel keep their padding bits zero
+        (constants are built from the row mask and every NOR applies it), so
+        the bank invariant is preserved without re-masking here.
+        """
+        if column < 0 or column >= self.columns:
+            raise ValueError(f"column {column} out of range")
+        if xbars is None:
+            self.words[:, column, :] = value
+        else:
+            self.words[xbars, column, :] = value
+
+    def kernel_ones(self) -> np.ndarray:
+        """The all-true value: the row mask (padding bits stay zero)."""
+        return self._row_mask
+
+    def add_wear(self, writes: int, xbars: Optional[np.ndarray] = None) -> None:
+        """Charge ``writes`` cell writes to every row (of ``xbars`` if given)."""
+        if xbars is None:
+            self.writes_per_row += int(writes)
+        else:
+            self.writes_per_row[xbars] += int(writes)
+
     # ----------------------------------------------------- bulk primitives
     def nor_columns(self, dest: int, srcs: Sequence[int]) -> None:
         """Stateful NOR of whole columns — 64 rows per machine word."""

@@ -278,7 +278,15 @@ class CostPlanner:
             # distinct (page, row) line groups, then the hash aggregation.
             pages = stored.pages * scale
             pairs = pages * layout.rows * (1.0 - (1.0 - selectivity) ** cp)
-            words = len(layout.words_for_fields(query.referenced_attributes))
+            # Referenced attributes may be spread over the vertical
+            # partitions; count the touched row-fragment words in each.
+            words = sum(
+                len(part_layout.words_for_fields(
+                    [name for name in query.referenced_attributes
+                     if name in part_layout.fields]
+                ))
+                for part_layout in stored.layouts
+            )
             total += dram.scattered_read_time(
                 config.host, pairs * words, config.host.query_threads
             )

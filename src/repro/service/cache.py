@@ -100,6 +100,21 @@ class ProgramCache(ProgramCompiler):
         with self._lock:
             self._entries.clear()
 
+    def fused_kernels(self) -> int:
+        """Cached programs whose fused kernel has been compiled.
+
+        Programs memoize their optimized NOR DAG and fused kernel on first
+        fused execution (see :meth:`repro.pim.logic.Program.fused_kernel`),
+        so a cache hit reuses the kernel along with the program — this counts
+        how many entries currently carry one.
+        """
+        with self._lock:
+            return sum(
+                1
+                for program in self._entries.values()
+                if program._kernel is not None
+            )
+
     def _lookup(self, key: Hashable, build: Callable[[], Program]) -> Program:
         with self._lock:
             entry = self._entries.get(key)

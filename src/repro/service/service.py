@@ -243,6 +243,7 @@ class QueryService:
             vectorized=self.vectorized,
             pruning=self.pruning,
             max_workers=max_workers,
+            planner=self._planner if self.planner_enabled else None,
         )
         self._engines[name] = engine
         self._executors[name] = engine.make_executors()
@@ -293,14 +294,23 @@ class QueryService:
         return execution
 
     def _execute_routed(self, name: str, query: Query):
-        """Execute one query on its cost-chosen route: ``(execution, host?)``."""
+        """Execute one query on its cost-chosen route.
+
+        Returns ``(execution, host_routed)`` where ``host_routed`` counts the
+        engines served through the host-scan path — 0 or 1 for a plain
+        engine, up to the shard count for a sharded one (each shard routes
+        independently through the engine's planner).
+        """
         engine = self._engines[name]
         if self.planner_enabled and isinstance(engine, PimQueryEngine):
             decision = self._planner.route(query, engine)
             if decision.target == "host":
                 self._host_routed_total += 1
-                return execute_host_scan(engine, query, decision), True
-        return engine.execute(query, executor=self._executors[name]), False
+                return execute_host_scan(engine, query, decision), 1
+        execution = engine.execute(query, executor=self._executors[name])
+        host_routed = getattr(execution, "host_routed_shards", 0)
+        self._host_routed_total += host_routed
+        return execution, host_routed
 
     def execute_batch(
         self,
@@ -329,7 +339,7 @@ class QueryService:
                 targets[index], requests[index].query
             )
             pending[index] = execution
-            host_routed += int(routed_to_host)
+            host_routed += routed_to_host
         wall = time.perf_counter() - start
         # The schedule is a permutation of the request indices, so after the
         # loop every slot holds an execution; narrow the Optional away.

@@ -44,6 +44,7 @@ from repro.db.query import Query
 from repro.host.aggregator import merge_shard_rows
 from repro.pim.controller import PimExecutor
 from repro.pim.stats import PimStats
+from repro.planner.planner import CostPlanner, execute_host_scan
 from repro.sharding.storage import ShardedStoredRelation
 
 
@@ -80,6 +81,15 @@ class ShardedQueryExecution(QueryExecution):
         )
 
     @property
+    def host_routed_shards(self) -> int:
+        """Shards the cost planner served through the host-scan path."""
+        return sum(
+            1
+            for execution in self.shard_executions
+            if execution.label.endswith("/host-scan")
+        )
+
+    @property
     def shard_times_s(self) -> List[float]:
         """Modelled latency of every shard (the scatter critical path)."""
         return [execution.time_s for execution in self.shard_executions]
@@ -105,6 +115,7 @@ class ShardedQueryEngine:
         vectorized: bool = False,
         pruning: bool = False,
         max_workers: int = 1,
+        planner: Optional[CostPlanner] = None,
     ) -> None:
         """Create a scatter-gather engine over a sharded relation.
 
@@ -125,6 +136,11 @@ class ShardedQueryEngine:
             max_workers: Thread-pool width for the scatter phase; ``1`` runs
                 the shards sequentially (the modelled latency is identical —
                 it is always max-over-shards).
+            planner: Cost-based router consulted per shard: a shard whose
+                estimated host-scan time beats its estimated PIM time is
+                served through :func:`~repro.planner.planner.execute_host_scan`
+                instead (bit-exact rows, host-path cost model).  ``None``
+                always executes on PIM.
         """
         self.sharded = sharded
         self.config = (
@@ -134,6 +150,7 @@ class ShardedQueryEngine:
         self.compiler = compiler if compiler is not None else ProgramCompiler()
         self.vectorized = bool(vectorized)
         self.pruning = bool(pruning)
+        self.planner = planner
         self.max_workers = max(1, int(max_workers))
         # The scatter thread pool is created lazily and reused across
         # queries; close() (or the context manager) releases its threads.
@@ -201,16 +218,35 @@ class ShardedQueryEngine:
                 )
             shard_executions = list(
                 self._pool.map(
-                    lambda pair: pair[0].execute(query, executor=pair[1]),
+                    lambda pair: self._execute_shard(query, pair[0], pair[1]),
                     zip(self.shard_engines, executors),
                 )
             )
         else:
             shard_executions = [
-                engine.execute(query, executor=shard_executor)
+                self._execute_shard(query, engine, shard_executor)
                 for engine, shard_executor in zip(self.shard_engines, executors)
             ]
         return self._gather(query, shard_executions)
+
+    def _execute_shard(
+        self,
+        query: Query,
+        engine: PimQueryEngine,
+        shard_executor: PimExecutor,
+    ) -> QueryExecution:
+        """Run one shard of the scatter, cost-routing it when a planner is set.
+
+        Each shard decides independently: shards the query barely selects
+        from (or small residual shards) stream through the host while the
+        selective shards stay on PIM — the per-shard twin of the service's
+        whole-relation routing.
+        """
+        if self.planner is not None:
+            decision = self.planner.route(query, engine)
+            if decision.target == "host":
+                return execute_host_scan(engine, query, decision)
+        return engine.execute(query, executor=shard_executor)
 
     # ---------------------------------------------------------------- gather
     def _gather(

@@ -18,13 +18,12 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.db.catalog import Database, ForeignKey
 from repro.db.relation import Relation
-from repro.db.schema import Schema
 from repro.ssb import schema as ssb_schema
 
 

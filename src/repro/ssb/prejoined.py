@@ -21,7 +21,7 @@ the variant the timing results assume.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 from repro.core.prejoin import DerivedAttribute, build_prejoined_relation
 from repro.db.catalog import Database

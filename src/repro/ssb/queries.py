@@ -29,9 +29,7 @@ from repro.db.query import (
     BETWEEN,
     Comparison,
     EQ,
-    GE,
     IN,
-    LE,
     LT,
     Query,
 )

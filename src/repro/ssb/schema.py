@@ -18,7 +18,7 @@ inflate the baseline relations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.db.schema import Attribute, Schema, dict_attribute, int_attribute, width_for_count
 

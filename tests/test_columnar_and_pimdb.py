@@ -1,6 +1,5 @@
 """Tests of the columnar baseline engine and the PIMDB baseline wrapper."""
 
-import numpy as np
 import pytest
 
 from repro.baselines import build_pimdb_engine
@@ -9,10 +8,8 @@ from repro.columnar.cost import ColumnarCost
 from repro.config import DEFAULT_CONFIG
 from repro.db.query import (
     Aggregate,
-    And,
     Comparison,
     EQ,
-    IN,
     Query,
     evaluate_predicate,
     reference_group_aggregate,

@@ -4,7 +4,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import DEFAULT_CONFIG, SystemConfig, table1_rows
+from repro.config import DEFAULT_CONFIG, table1_rows
 
 
 def test_crossbar_geometry_matches_table1():

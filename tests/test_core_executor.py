@@ -1,6 +1,5 @@
 """Tests of the end-to-end PIM query engine on the toy relation."""
 
-import numpy as np
 import pytest
 
 from repro.config import DEFAULT_CONFIG

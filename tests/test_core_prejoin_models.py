@@ -16,7 +16,7 @@ from repro.core.latency_model import (
     predict_pim_gb,
 )
 from repro.core.prejoin import DerivedAttribute, build_prejoined_relation, storage_overhead
-from repro.core.sampling import SubgroupEstimate, estimate_subgroups
+from repro.core.sampling import estimate_subgroups
 from repro.db.compiler import compile_predicate
 from repro.db.query import Comparison, EQ
 from repro.db.storage import StoredRelation

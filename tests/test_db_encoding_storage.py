@@ -8,7 +8,6 @@ from repro.db.encoding import LayoutError, RowLayout
 from repro.db.schema import Schema, int_attribute
 from repro.db.storage import StoredRelation
 from repro.pim.module import PimModule
-from tests.conftest import make_toy_relation
 
 
 def test_row_layout_assigns_disjoint_fields(toy_relation):

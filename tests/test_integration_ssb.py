@@ -6,7 +6,6 @@ PIMDB / mnt-join / mnt-reg configurations) on the tiny generated instance and
 require bit-exact agreement with the NumPy reference evaluator.
 """
 
-import numpy as np
 import pytest
 
 from repro.baselines import build_pimdb_engine

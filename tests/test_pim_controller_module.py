@@ -6,7 +6,6 @@ import pytest
 from repro.config import DEFAULT_CONFIG
 from repro.pim.arithmetic import BulkAggregationPlan
 from repro.pim.controller import PimExecutor
-from repro.pim.crossbar import CrossbarBank
 from repro.pim.logic import ProgramBuilder
 from repro.pim.packed import make_bank
 from repro.pim.module import OutOfPimMemoryError, PimModule

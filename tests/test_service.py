@@ -1,6 +1,5 @@
 """Tests of the batched query service (cache, scheduling, stats)."""
 
-import numpy as np
 import pytest
 
 from repro.config import DEFAULT_CONFIG

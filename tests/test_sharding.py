@@ -16,7 +16,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DEFAULT_CONFIG
-from repro.core.executor import PimQueryEngine
 from repro.db.query import (
     Aggregate,
     And,
@@ -241,9 +240,11 @@ def test_service_register_sharded_routes_and_reports(toy_relation):
         PimModule(DEFAULT_CONFIG), label="plain",
         aggregation_width=22, reserve_bulk_aggregation=False,
     )
-    service.register("plain", plain_store)
+    # Serving scale: the cost planner keeps every shard on the PIM path
+    # (per-shard host routing on toy-sized shards is covered separately).
+    service.register("plain", plain_store, timing_scale=1024.0)
     engine = service.register_sharded(
-        "sharded", toy_relation, shards=4,
+        "sharded", toy_relation, shards=4, timing_scale=1024.0,
         aggregation_width=22, reserve_bulk_aggregation=False,
     )
     assert service.relations == ["plain", "sharded"]
@@ -278,6 +279,32 @@ def test_service_register_sharded_routes_and_reports(toy_relation):
     assert plain_stats.sharded is None
     with pytest.raises(ValueError, match="already registered"):
         service.register_sharded("sharded", toy_relation, shards=2)
+
+
+def test_per_shard_host_routing_bit_exact_and_counted(toy_relation):
+    """Small residual shards stream through the host; rows stay bit-exact."""
+    routed = QueryService()
+    reference = QueryService(planner=False)
+    for service in (routed, reference):
+        service.register_sharded(
+            "sharded", toy_relation, shards=4,
+            aggregation_width=22, reserve_bulk_aggregation=False,
+        )
+    query = Query(
+        "broad", Comparison("discount", ">=", 0),
+        (Aggregate("sum", "price"), Aggregate("count")),
+    )
+    execution = routed.execute(query)
+    assert execution.rows == reference.execute(query).rows
+    # A near-unselective scan over toy-sized shards routes to the host.
+    assert execution.host_routed_shards > 0
+    assert any(
+        shard.label.endswith("/host-scan")
+        for shard in execution.shard_executions
+    )
+    batch = routed.execute_batch([query])
+    assert batch.stats.planner is not None
+    assert batch.stats.planner.host_routed >= execution.host_routed_shards
 
 
 # -------------------------------------------------- merge algebra (property)
