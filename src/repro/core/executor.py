@@ -255,7 +255,14 @@ class PimQueryEngine:
 
         self.filter_stage.run(query, primary, executor, read_model, prune=prune)
         mask = self.stored.filter_mask(primary)
-        selectivity = float(mask.mean()) if len(mask) else 0.0
+        # Live-row fraction: the filter bit is ANDed with the valid column,
+        # so normalizing by all slots in use would dilute the figure with
+        # tombstones and skew the estimated-vs-actual feedback.
+        selectivity = (
+            float(mask.sum() / self.stored.live_count)
+            if self.stored.live_count
+            else 0.0
+        )
         candidates = prune.candidates[primary] if prune is not None else None
 
         plan: Optional[GroupByPlan] = None

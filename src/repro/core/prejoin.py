@@ -165,7 +165,9 @@ def storage_overhead(
     fact = database.fact_relation
     fact_bits = fact.schema.record_width
     prejoined_bits = prejoined.schema.record_width
-    pages = lambda records: int(np.ceil(records / records_per_page))
+    def pages(records: int) -> int:
+        return int(np.ceil(records / records_per_page))
+
     fits = prejoined_bits + bookkeeping_bits <= crossbar_row_bits
     return StorageOverheadReport(
         fact_records=len(fact),

@@ -224,7 +224,9 @@ def execute_delete(
     doomed_slots = np.nonzero(doomed)[0]
     stored.register_tombstones(doomed_slots)
     # Zone-map maintenance: one live-counter decrement per touched crossbar
-    # (bounds stay conservatively wide until the next compaction).
+    # (bounds stay conservatively wide until the next compaction).  DELETE
+    # never bumps candidate-cache epochs — cached fragment masks are
+    # bounds-only and stay exact; only the live prefilter shrinks.
     touched = np.unique(doomed_slots // stored.rows_per_crossbar).size
     stored.statistics.charge_maintenance(
         executor.stats, executor.config.host, touched * timing_scale
@@ -335,7 +337,9 @@ def execute_insert(
         "ground-truth relation out of sync with the slot high-water mark"
     )
     # Zone-map maintenance: each insert widened one crossbar's bounds for
-    # every attribute and bumped its live counter.
+    # every attribute and bumped its live counter — and bumped that
+    # crossbar's candidate-cache epoch, so cached fragment masks re-validate
+    # exactly the touched crossbars on their next lookup.
     stored.statistics.charge_maintenance(
         executor.stats,
         executor.config.host,
@@ -474,7 +478,9 @@ def execute_compaction(
 
     stored.reset_slots_after_compaction()
     # Zone-map maintenance: compaction moved every row, so the statistics
-    # were rebuilt exactly — one pass over every crossbar's entries.
+    # were rebuilt exactly — one pass over every crossbar's entries.  Every
+    # candidate-cache epoch was bumped: rows moved between crossbars and the
+    # rebuilt bounds may have narrowed, so no cached verdict survives.
     stored.statistics.charge_maintenance(
         executor.stats, executor.config.host, crossbar_entries * timing_scale
     )

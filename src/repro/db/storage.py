@@ -247,18 +247,25 @@ class StoredRelation:
         self.live_count -= len(slots)
         # Count-decrement the zone maps: a tombstoned value may keep a
         # crossbar a candidate (bounds stay wide), never hide a live match.
+        # Candidate-cache epochs are deliberately NOT bumped here — the
+        # cached per-fragment masks are bounds-only and remain exact.
         self.statistics.note_delete(slots, self.relation)
 
     def note_insert(self, slot: int, record) -> None:
-        """Widen the statistics with one freshly inserted (encoded) record."""
+        """Widen the statistics with one freshly inserted (encoded) record.
+
+        Also bumps the candidate-cache epoch of the one crossbar the record
+        landed in, so cached pruning verdicts re-validate just that crossbar.
+        """
         self.statistics.note_insert(slot, record)
 
     def note_update(self, attribute: str, encoded: int, mask: np.ndarray) -> None:
         """Widen the statistics with an UPDATE's assignment.
 
         ``mask`` selects the updated slots; the zone maps of the crossbars
-        they live in are widened with the assigned constant and the
-        histogram moves the old values to the new bucket.
+        they live in are widened with the assigned constant, the histogram
+        moves the old values to the new bucket, and the candidate-cache
+        epochs of exactly those crossbars are bumped.
         """
         slots = np.nonzero(np.asarray(mask, dtype=bool))[0]
         if slots.size == 0:

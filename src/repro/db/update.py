@@ -155,7 +155,9 @@ def execute_update(
     mask &= stored.valid_mask(compiled.partition)
     for name, encoded in compiled.encoded_assignments.items():
         # Widen the zone maps with the assigned constant before the sync
-        # overwrites the old values the histograms must forget.
+        # overwrites the old values the histograms must forget.  This also
+        # bumps the candidate-cache epochs of exactly the touched crossbars,
+        # so cached pruning verdicts re-validate only those.
         stored.note_update(name, encoded, mask)
         column = stored.relation.columns[name]
         column[mask] = np.uint64(encoded)

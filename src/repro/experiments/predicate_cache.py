@@ -1,0 +1,406 @@
+"""SSB template replay under DML churn — semantic candidate cache vs plan memo.
+
+The semantic candidate-set cache's acceptance story: a serving workload
+replays the 13 SSB query templates round after round while the relation
+churns underneath (tombstoning DELETEs, slot-reusing INSERTs, Algorithm 1
+UPDATEs).  The PR 5 planner memo is wholesale-invalidated by *every*
+maintenance event, so each replay round pays the full zone-map walk again;
+the semantic cache keyed on normalized predicate fragments re-validates only
+the crossbars whose epochs the DML actually bumped — and a DELETE bumps
+none.
+
+The experiment runs the same deterministic workload through four engines —
+{legacy memo, semantic cache} x {packed, bool backend} — over identical
+copies of the generated pre-joined relation and gates on:
+
+* **bit-exact rows** — every query, every round, legacy vs semantic and
+  packed vs bool;
+* **identical masks** — each round the semantic engine's cached decisions
+  are compared against a cold full walk over the same maintained zone maps;
+* **>= 5x fewer zone-map entries** consulted on the cached replay rounds
+  than the legacy memo bills for the same rounds.
+
+``render`` produces the human-readable report and ``artifact`` the
+``BENCH_pcache.json`` trajectory record consumed by CI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db import dml
+from repro.db.query import And, Comparison
+from repro.db.relation import Relation
+from repro.db.storage import StoredRelation
+from repro.db.update import execute_update
+from repro.experiments.common import default_scale_factor
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.planner.planner import RelationStatistics
+from repro.planner.zonemap import CHECK_CYCLES
+from repro.ssb import ALL_QUERIES, QUERY_ORDER, build_ssb_prejoined, generate
+from repro.ssb.prejoined import max_aggregated_width
+
+BACKENDS = ("packed", "bool")
+MODES = ("legacy", "semantic")
+
+#: Replay rounds after the cold first round; DML runs before each of them.
+DEFAULT_ROUNDS = 4
+
+#: INSERTs per round.  Kept small on purpose: each lands in (at most) one
+#: crossbar and bumps only that epoch, which is the locality the cache
+#: exploits.  The DELETE is deliberately *large* — it never bumps an epoch.
+DEFAULT_INSERTS_PER_ROUND = 8
+
+#: The acceptance gate on replay rounds (legacy entries / semantic entries).
+MIN_ENTRY_REDUCTION = 5.0
+
+
+def _generate_workload(
+    relation: Relation, rounds: int, inserts_per_round: int, seed: int
+) -> List[Dict]:
+    """One concrete op list per replay round, replayed verbatim everywhere.
+
+    All ops are pure data (encoded records, predicates), so the four engines
+    see byte-identical DML.
+    """
+    rng = np.random.default_rng(seed)
+    names = [a.name for a in relation.schema.attributes]
+    orderdates = np.unique(relation.columns["lo_orderdate"])
+    workload = []
+    for index in range(rounds):
+        # Re-insert copies of existing rows: already-encoded, guaranteed
+        # in-domain, and identical across the engines.
+        picks = rng.integers(0, len(relation), inserts_per_round)
+        records = [
+            {name: int(relation.columns[name][i]) for name in names}
+            for i in picks
+        ]
+        # A rotating quantity window tombstones a visible slice of the fact
+        # rows (lo_quantity is 1..50, so ~2-4% of the relation) — the cache
+        # must absorb this without re-checking a single zone-map entry.
+        low = 1 + (index * 11) % 45
+        delete = Comparison("lo_quantity", "between", low=low, high=low + 1)
+        # A near-point UPDATE: one order date x one quantity selects a
+        # handful of rows, so only their crossbars' epochs are bumped.
+        # (Predicate constants are raw values; the column holds dict codes.)
+        code = int(orderdates[int(rng.integers(0, len(orderdates)))])
+        date = relation.schema.attribute("lo_orderdate").decode_value(code)
+        update = (
+            And((
+                Comparison("lo_orderdate", "==", date),
+                Comparison("lo_quantity", "==", int(rng.integers(1, 51))),
+            )),
+            {"lo_tax": int(rng.integers(0, 9))},
+        )
+        workload.append({"insert": records, "delete": delete, "update": update})
+    return workload
+
+
+@dataclass
+class EngineReplayRun:
+    """One (backend, mode) engine's trip through the replay workload."""
+
+    backend: str
+    mode: str
+    wall_s: float
+    #: Zone-map entries billed to the queries of each round (round 0 is the
+    #: cold round; DML precedes every later round).
+    round_entries: List[float] = field(default_factory=list)
+    #: Per-round, per-query result rows (encoded), for cross-run comparison.
+    round_rows: List[List[Dict]] = field(default_factory=list)
+    #: Candidate-cache counters at the end of the run (semantic mode only).
+    cache: Optional[Dict] = None
+
+    @property
+    def cold_entries(self) -> float:
+        return self.round_entries[0] if self.round_entries else 0.0
+
+    @property
+    def replay_entries(self) -> float:
+        """Entries billed across the cached replay rounds (all but round 0)."""
+        return float(sum(self.round_entries[1:]))
+
+
+@dataclass
+class PredicateCacheResults:
+    """Everything ``bench_predicate_cache`` reports and gates on."""
+
+    scale_factor: float
+    rounds: int
+    inserts_per_round: int
+    queries: List[str]
+    runs: List[EngineReplayRun] = field(default_factory=list)
+    #: Every cached/re-validated semantic decision matched a cold full walk
+    #: over the same maintained zone maps.
+    masks_identical: bool = True
+
+    def run(self, backend: str, mode: str) -> EngineReplayRun:
+        for candidate in self.runs:
+            if candidate.backend == backend and candidate.mode == mode:
+                return candidate
+        raise KeyError(f"no run for {backend}/{mode}")
+
+    @property
+    def modes_agree(self) -> bool:
+        """Legacy and semantic rows identical on every backend."""
+        return all(
+            self.run(b, "legacy").round_rows == self.run(b, "semantic").round_rows
+            for b in BACKENDS
+        )
+
+    @property
+    def backends_agree(self) -> bool:
+        """Rows identical across the simulation backends."""
+        reference = BACKENDS[0]
+        return all(
+            self.run(b, mode).round_rows == self.run(reference, mode).round_rows
+            for b in BACKENDS[1:]
+            for mode in MODES
+        )
+
+    @property
+    def bit_exact(self) -> bool:
+        return self.modes_agree and self.backends_agree
+
+    def entry_reduction(self, backend: str) -> float:
+        """Replay-round entry ratio, legacy memo over semantic cache."""
+        legacy = self.run(backend, "legacy").replay_entries
+        semantic = self.run(backend, "semantic").replay_entries
+        if semantic <= 0:
+            return float("inf") if legacy > 0 else 1.0
+        return legacy / semantic
+
+    def min_entry_reduction(self) -> float:
+        return min(self.entry_reduction(b) for b in BACKENDS)
+
+
+def _copy_relation(relation: Relation) -> Relation:
+    """An independent functional copy (DML mutates the ground truth)."""
+    return Relation(
+        relation.schema,
+        {name: column.copy() for name, column in relation.columns.items()},
+    )
+
+
+def _build_engine(
+    relation: Relation, backend: str, mode: str, aggregation_width: int
+) -> PimQueryEngine:
+    system = DEFAULT_CONFIG.with_backend(backend)
+    module = PimModule(system)
+    stored = StoredRelation(
+        relation, module, label=f"{mode}-{backend}",
+        aggregation_width=aggregation_width,
+        reserve_bulk_aggregation=False,
+    )
+    stored.statistics.semantic_cache = mode == "semantic"
+    return PimQueryEngine(
+        stored, config=system, label=f"{mode}-{backend}",
+        vectorized=True, pruning=True,
+    )
+
+
+def _entries_billed(execution, engine: PimQueryEngine) -> float:
+    """Invert the zone-map cost model: billed entries from the check phase."""
+    seconds = execution.stats.time_by_phase.get("zonemap-check", 0.0)
+    return seconds * engine.config.host.frequency_hz / CHECK_CYCLES
+
+
+def _masks_match_cold_walk(engine: PimQueryEngine, queries: List[str]) -> bool:
+    """Compare the engine's cached decisions against a cold full walk.
+
+    The cold reference shares the *maintained* zone maps (a from-scratch
+    rebuild could legitimately have narrower bounds) but walks them without
+    any cache, exactly as PR 5 did.
+    """
+    stored = engine.stored
+    crossbars_per_page = engine.config.pim.crossbars_per_page
+    for name in queries:
+        predicate = ALL_QUERIES[name].predicate
+        cached = stored.statistics.plan(
+            predicate, stored.partition_attributes, crossbars_per_page,
+            peek=True,
+        )
+        cold = RelationStatistics(
+            stored.statistics.zonemaps,
+            stored.statistics.selectivity,
+            semantic_cache=False,
+        ).plan(predicate, stored.partition_attributes, crossbars_per_page)
+        if len(cached.candidates) != len(cold.candidates):
+            return False
+        if not all(
+            np.array_equal(a, b)
+            for a, b in zip(cached.candidates, cold.candidates)
+        ):
+            return False
+    return True
+
+
+def _apply_dml(engine: PimQueryEngine, ops: Dict) -> None:
+    executor = PimExecutor(engine.config)
+    dml.execute_delete(
+        engine.stored, ops["delete"], executor, vectorized=True
+    )
+    dml.execute_insert(engine.stored, ops["insert"], executor, encoded=True)
+    predicate, assignments = ops["update"]
+    execute_update(engine.stored, predicate, assignments, executor)
+
+
+def _run_engine(
+    engine: EngineReplayRun,
+    prejoined: Relation,
+    workload: List[Dict],
+    queries: List[str],
+    aggregation_width: int,
+) -> bool:
+    """Replay the workload through one engine; returns the mask verdict."""
+    pim = _build_engine(
+        _copy_relation(prejoined), engine.backend, engine.mode,
+        aggregation_width,
+    )
+    masks_ok = True
+    start = time.perf_counter()
+    for round_index in range(len(workload) + 1):
+        if round_index > 0:
+            _apply_dml(pim, workload[round_index - 1])
+        entries = 0.0
+        rows: List[Dict] = []
+        for name in queries:
+            execution = pim.execute(ALL_QUERIES[name])
+            entries += _entries_billed(execution, pim)
+            rows.append(
+                {str(k): dict(v) for k, v in sorted(execution.rows.items())}
+            )
+        engine.round_entries.append(entries)
+        engine.round_rows.append(rows)
+        if engine.mode == "semantic":
+            masks_ok = masks_ok and _masks_match_cold_walk(pim, queries)
+    engine.wall_s = time.perf_counter() - start
+    if engine.mode == "semantic":
+        engine.cache = asdict(pim.stored.statistics.candidate_stats())
+    return masks_ok
+
+
+def run_predicate_cache(
+    scale_factor: Optional[float] = None,
+    rounds: int = DEFAULT_ROUNDS,
+    inserts_per_round: int = DEFAULT_INSERTS_PER_ROUND,
+    seed: int = 23,
+    queries: Optional[List[str]] = None,
+) -> PredicateCacheResults:
+    """Replay the SSB templates under churn on every (backend, mode) engine."""
+    if scale_factor is None:
+        scale_factor = default_scale_factor()
+    if queries is None:
+        queries = list(QUERY_ORDER)
+    dataset = generate(scale_factor=scale_factor, skew=0.5, seed=42)
+    prejoined = build_ssb_prejoined(dataset.database)
+    aggregation_width = max_aggregated_width(prejoined)
+    workload = _generate_workload(prejoined, rounds, inserts_per_round, seed)
+
+    results = PredicateCacheResults(
+        scale_factor=scale_factor,
+        rounds=rounds,
+        inserts_per_round=inserts_per_round,
+        queries=queries,
+    )
+    for backend in BACKENDS:
+        for mode in MODES:
+            run = EngineReplayRun(backend=backend, mode=mode, wall_s=0.0)
+            masks_ok = _run_engine(
+                run, prejoined, workload, queries, aggregation_width
+            )
+            results.masks_identical = results.masks_identical and masks_ok
+            results.runs.append(run)
+    return results
+
+
+def render(results: PredicateCacheResults) -> str:
+    """Human-readable replay report."""
+    lines = [
+        f"Predicate-cache replay: SF {results.scale_factor}, "
+        f"{len(results.queries)} SSB templates x {results.rounds} replay "
+        f"rounds, {results.inserts_per_round} inserts + range DELETE + "
+        f"point UPDATE per round",
+        f"{'backend':<8} {'mode':<9} {'cold entries':>13} "
+        f"{'replay entries':>15} {'wall [s]':>9}",
+    ]
+    for run in results.runs:
+        lines.append(
+            f"{run.backend:<8} {run.mode:<9} {run.cold_entries:>13.0f} "
+            f"{run.replay_entries:>15.0f} {run.wall_s:>9.3f}"
+        )
+    for backend in BACKENDS:
+        lines.append(
+            f"{backend}: replay zone-map entries cut "
+            f"{results.entry_reduction(backend):.1f}x (gate "
+            f">= {MIN_ENTRY_REDUCTION:.0f}x)"
+        )
+    for run in results.runs:
+        if run.cache is not None:
+            c = run.cache
+            lines.append(
+                f"{run.backend} candidate cache: {c['hits']} hits / "
+                f"{c['misses']} misses / {c['revalidations']} re-validations "
+                f"({c['stale_crossbars']} stale crossbars re-checked), "
+                f"{c['evictions']} evictions"
+            )
+    lines.append(
+        f"bit-exact rows: {'yes' if results.bit_exact else 'NO'} "
+        f"(modes agree: {'yes' if results.modes_agree else 'NO'}, backends "
+        f"agree: {'yes' if results.backends_agree else 'NO'}); cached masks "
+        f"== cold walk: {'yes' if results.masks_identical else 'NO'}"
+    )
+    return "\n".join(lines)
+
+
+def artifact(results: PredicateCacheResults) -> Dict:
+    """The ``BENCH_pcache.json`` trajectory record."""
+    return {
+        "benchmark": "predicate_cache",
+        "scale_factor": results.scale_factor,
+        "rounds": results.rounds,
+        "inserts_per_round": results.inserts_per_round,
+        "queries": list(results.queries),
+        "bit_exact": results.bit_exact,
+        "modes_agree": results.modes_agree,
+        "backends_agree": results.backends_agree,
+        "masks_identical": results.masks_identical,
+        "min_entry_reduction": (
+            None if results.min_entry_reduction() == float("inf")
+            else results.min_entry_reduction()
+        ),
+        "entry_reduction": {
+            backend: (
+                None if results.entry_reduction(backend) == float("inf")
+                else results.entry_reduction(backend)
+            )
+            for backend in BACKENDS
+        },
+        "runs": [
+            {
+                "backend": run.backend,
+                "mode": run.mode,
+                "wall_s": run.wall_s,
+                "cold_entries": run.cold_entries,
+                "replay_entries": run.replay_entries,
+                "round_entries": list(run.round_entries),
+                "cache": run.cache,
+            }
+            for run in results.runs
+        ],
+    }
+
+
+def write_artifact(results: PredicateCacheResults, path) -> None:
+    """Persist the trajectory artifact as JSON."""
+    with open(path, "w") as handle:
+        json.dump(artifact(results), handle, indent=2)
+        handle.write("\n")

@@ -6,11 +6,19 @@ The subsystem has three layers:
   live)`` statistics that prove crossbars irrelevant to a predicate;
 * :mod:`repro.planner.selectivity` — per-column histograms estimating
   selected fractions, driving conjunct ordering and routing;
+* :mod:`repro.planner.candidates` — the semantic candidate-set cache:
+  memoized per-fragment pruning outcomes with per-crossbar epoch
+  invalidation, intersected per conjunctive query;
 * :mod:`repro.planner.planner` — :class:`RelationStatistics` (the bundle a
   :class:`~repro.db.storage.StoredRelation` carries and DML maintains) and
   :class:`CostPlanner` (the query service's pim-vs-host routing).
 """
 
+from repro.planner.candidates import (
+    CandidateCacheStats,
+    CandidateSetCache,
+    normalize_fragment,
+)
 from repro.planner.planner import (
     CostPlanner,
     PlanDecision,
@@ -21,6 +29,8 @@ from repro.planner.selectivity import ColumnHistogram, SelectivityModel
 from repro.planner.zonemap import PruneDecision, ZoneCheck, ZoneMaps
 
 __all__ = [
+    "CandidateCacheStats",
+    "CandidateSetCache",
     "ColumnHistogram",
     "CostPlanner",
     "PlanDecision",
@@ -30,4 +40,5 @@ __all__ = [
     "ZoneCheck",
     "ZoneMaps",
     "execute_host_scan",
+    "normalize_fragment",
 ]

@@ -1,0 +1,286 @@
+"""Semantic candidate-set cache: memoized pruning outcomes per predicate fragment.
+
+The :class:`~repro.service.cache.ProgramCache` memoizes *compilation*; this
+module memoizes *pruning outcomes*.  It is PartitionCache's core idea — cache
+partition identifiers per subquery and intersect the cached sets on reuse —
+transplanted to crossbars-as-partitions:
+
+* The cache is keyed by **normalized predicate fragments**, the top-level
+  conjuncts :func:`~repro.db.compiler.partition_conjuncts` already splits a
+  WHERE clause into.  Normalization (:func:`normalize_fragment`) flattens
+  nested AND/OR nests, deduplicates and canonically orders children, and
+  sorts IN lists, so syntactic variants of one fragment share an entry.
+  The normalizer is a process-wide memo, so the per-shard caches of a
+  sharded relation share the normalized keys (the expensive part of a
+  lookup) even though each shard caches its own masks.
+* Each entry stores the fragment's **candidate-crossbar bitmask** — the
+  conservative per-crossbar "some live row may satisfy this" verdict of the
+  zone maps, *excluding* the ``live > 0`` prefilter.  A conjunctive query
+  intersects the cached masks of its fragments (with the live mask applied
+  fresh at assembly time), so a partial hit still skips most of the walk: a
+  new conjunct only narrows the cached superset.
+* Invalidation is **per-crossbar epoch counters**, not a wholesale clear:
+  INSERT and UPDATE bump only the epochs of the crossbars whose bounds they
+  widened, and a cached set re-validates by re-checking just the stale
+  crossbars.  DELETE never invalidates — bounds only stay conservatively
+  wide, and the shrunken live set is intersected fresh by the caller.
+  Compaction moves rows between crossbars (and a fresh-crossbar INSERT can
+  *narrow* bounds), so both bump every epoch.
+
+The modelled cost follows the zone-map check's units: a cold fragment pays
+the two-level walk (pages, then crossbars of surviving pages), a
+re-validation pays one entry per stale crossbar, and a clean hit pays
+nothing.  Soundness is unchanged from :class:`~repro.planner.zonemap.ZoneMaps`
+— a cached mask is bit-identical to the mask a cold walk would produce,
+which is what keeps pruned execution bit-exact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.db.query import BETWEEN, IN, And, Comparison, Or, Predicate
+from repro.planner.zonemap import ZoneMaps
+
+#: Cached fragment masks kept per relation (fragments are small — a mask and
+#: an epoch vector — so the cache can be generous).
+DEFAULT_FRAGMENT_CAPACITY = 256
+
+
+# ---------------------------------------------------------------------------
+# fragment normalization
+# ---------------------------------------------------------------------------
+
+def _normalize(node: Predicate) -> Hashable:
+    if node is None:
+        return ("true",)
+    if isinstance(node, Comparison):
+        if node.op == IN:
+            # IN lists are sets: order (and duplicates) must not split keys.
+            values = tuple(sorted(set(node.values), key=repr))
+            return ("cmp", node.attribute, node.op, values)
+        if node.op == BETWEEN:
+            return ("cmp", node.attribute, node.op, (node.low, node.high))
+        return ("cmp", node.attribute, node.op, (node.value,))
+    if isinstance(node, (And, Or)):
+        tag = "and" if isinstance(node, And) else "or"
+        children = []
+        for child in node.children:
+            key = _normalize(child)
+            if isinstance(key, tuple) and key and key[0] == tag:
+                children.extend(key[1])  # flatten And(And(...)) / Or(Or(...))
+            else:
+                children.append(key)
+        return (tag, tuple(sorted(set(children), key=repr)))
+    # Unknown node kinds never prune (the zone maps return all-ones), so
+    # keying on the node itself is safe — distinct unknowns stay distinct.
+    return ("opaque", node)
+
+
+@lru_cache(maxsize=4096)
+def normalize_fragment(fragment: Predicate) -> Hashable:
+    """Canonical hashable key of one predicate fragment.
+
+    The memo is process-wide on purpose: the predicate IR is frozen and
+    hashable, and every :class:`CandidateSetCache` — in particular the K
+    per-shard caches of one sharded relation — shares the normalized keys.
+    """
+    return _normalize(fragment)
+
+
+# ---------------------------------------------------------------------------
+# counters
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CandidateCacheStats:
+    """Counters of a :class:`CandidateSetCache` (or a sum/delta of several).
+
+    ``entries_checked`` is in zone-map-entry units — the same unit
+    :meth:`~repro.planner.zonemap.ZoneMaps.charge_check` charges — so it is
+    directly comparable with the cost of uncached walks.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    revalidations: int = 0
+    stale_crossbars: int = 0
+    evictions: int = 0
+    entries_checked: int = 0
+    #: Occupancy/capacity of the cache the counters came from (summed when
+    #: aggregating several caches, preserved across a delta).
+    entries: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses + self.revalidations
+
+    @property
+    def hit_rate(self) -> float:
+        """Clean hits over lookups (re-validations count as lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __add__(self, other: "CandidateCacheStats") -> "CandidateCacheStats":
+        return CandidateCacheStats(
+            self.hits + other.hits,
+            self.misses + other.misses,
+            self.revalidations + other.revalidations,
+            self.stale_crossbars + other.stale_crossbars,
+            self.evictions + other.evictions,
+            self.entries_checked + other.entries_checked,
+            self.entries + other.entries,
+            self.capacity + other.capacity,
+        )
+
+    def __sub__(self, other: "CandidateCacheStats") -> "CandidateCacheStats":
+        return CandidateCacheStats(
+            self.hits - other.hits,
+            self.misses - other.misses,
+            self.revalidations - other.revalidations,
+            self.stale_crossbars - other.stale_crossbars,
+            self.evictions - other.evictions,
+            self.entries_checked - other.entries_checked,
+            self.entries,
+            self.capacity,
+        )
+
+
+@dataclass
+class _CachedFragment:
+    """One cached fragment: its mask and the epochs it was computed under."""
+
+    mask: np.ndarray  # read-only bool, one slot per crossbar
+    epochs: np.ndarray  # int64 snapshot of the cache's epoch vector
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+class CandidateSetCache:
+    """LRU cache of per-fragment candidate-crossbar masks with epoch re-validation.
+
+    Owned by one :class:`~repro.planner.planner.RelationStatistics` (one per
+    shard of a sharded relation).  The cached masks are *bounds-only*: they
+    answer "could any value in this crossbar's range satisfy the fragment",
+    independent of the live counts — the caller intersects ``live > 0``
+    fresh, which is what lets DELETE leave the cache untouched.
+    """
+
+    def __init__(
+        self, zonemaps: ZoneMaps, capacity: int = DEFAULT_FRAGMENT_CAPACITY
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.zonemaps = zonemaps
+        self.capacity = int(capacity)
+        #: Per-crossbar epoch counters; a bump marks every cached verdict for
+        #: that crossbar stale.
+        self.epochs = np.zeros(zonemaps.crossbars, dtype=np.int64)
+        self._entries: "OrderedDict[Hashable, _CachedFragment]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._revalidations = 0
+        self._stale_crossbars = 0
+        self._evictions = 0
+        self._entries_checked = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ---------------------------------------------------------- invalidation
+    def bump(self, crossbars) -> None:
+        """Mark the given crossbars stale (INSERT/UPDATE widened their bounds)."""
+        crossbars = np.asarray(crossbars, dtype=np.int64)
+        if crossbars.size:
+            self.epochs[crossbars] += 1
+
+    def bump_all(self) -> None:
+        """Mark every crossbar stale (compaction rebuilt the maps exactly)."""
+        self.epochs += 1
+
+    def clear(self) -> None:
+        """Drop every cached fragment (counters are kept)."""
+        self._entries.clear()
+
+    # ---------------------------------------------------------------- lookup
+    def lookup(
+        self, fragment: Predicate, crossbars_per_page: int
+    ) -> Tuple[np.ndarray, int]:
+        """Candidate mask of one fragment plus the entries this call consulted.
+
+        Returns ``(mask, entries)`` where ``mask`` is the read-only
+        bounds-only candidate mask and ``entries`` is the modelled zone-map
+        work of *this* call: ``0`` on a clean hit, the stale-crossbar count
+        on a re-validation, the full two-level walk on a miss.
+        """
+        key = normalize_fragment(fragment)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            stale = np.nonzero(entry.epochs != self.epochs)[0]
+            if stale.size == 0:
+                self._hits += 1
+                return entry.mask, 0
+            # Re-validate just the stale crossbars: bounds of the others are
+            # unchanged (every bounds write bumps an epoch), so their cached
+            # verdicts still hold.
+            possible = self.zonemaps.possible(fragment)
+            mask = entry.mask.copy()
+            mask[stale] = possible[stale]
+            mask.setflags(write=False)
+            entry.mask = mask
+            entry.epochs = self.epochs.copy()
+            consulted = int(stale.size)
+            self._revalidations += 1
+            self._stale_crossbars += consulted
+            self._entries_checked += consulted
+            return mask, consulted
+        self._misses += 1
+        mask = self.zonemaps.possible(fragment)
+        mask.setflags(write=False)
+        consulted = self._cold_walk_entries(mask, crossbars_per_page)
+        self._entries[key] = _CachedFragment(mask, self.epochs.copy())
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        self._entries_checked += consulted
+        return mask, consulted
+
+    def _cold_walk_entries(
+        self, possible: np.ndarray, crossbars_per_page: int
+    ) -> int:
+        """Modelled two-level cost of one uncached fragment check.
+
+        Mirrors :meth:`~repro.planner.zonemap.ZoneMaps.check`: the per-page
+        summaries first, per-crossbar entries only inside pages the summary
+        (restricted to live crossbars) could not rule out.
+        """
+        crossbars = self.zonemaps.crossbars
+        pages = max(1, -(-crossbars // crossbars_per_page))
+        padded = np.zeros(pages * crossbars_per_page, dtype=bool)
+        padded[:crossbars] = possible & (self.zonemaps.live > 0)
+        surviving = int(
+            padded.reshape(pages, crossbars_per_page).any(axis=1).sum()
+        )
+        return pages + surviving * crossbars_per_page
+
+    # --------------------------------------------------------------- counters
+    def stats(self) -> CandidateCacheStats:
+        """Point-in-time snapshot of the counters (plus occupancy/capacity)."""
+        return CandidateCacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            revalidations=self._revalidations,
+            stale_crossbars=self._stale_crossbars,
+            evictions=self._evictions,
+            entries_checked=self._entries_checked,
+            entries=len(self._entries),
+            capacity=self.capacity,
+        )

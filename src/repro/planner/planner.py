@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.db.query import Predicate, Query, evaluate_predicate
 from repro.host import dram
 from repro.host.processor import cpu_time
 from repro.pim.stats import PimStats
+from repro.planner.candidates import CandidateCacheStats, CandidateSetCache
 from repro.planner.selectivity import SelectivityModel
 from repro.planner.zonemap import PruneDecision, ZoneMaps
 
@@ -44,16 +45,45 @@ from repro.planner.zonemap import PruneDecision, ZoneMaps
 _PLAN_CACHE_CAPACITY = 64
 
 
+@dataclass
+class _PlanEntry:
+    """One memoized plan decision plus its billing state.
+
+    ``pending`` accumulates the zone-map entries consulted on behalf of this
+    decision that no execution has been billed for yet: the cost router
+    peeks at a plan without consuming the charge, and the engine's
+    back-to-back request then bills the whole walk exactly once.
+    """
+
+    decision: PruneDecision
+    version: int
+    pending: int = 0
+
+
 class RelationStatistics:
     """Zone maps plus histograms of one stored relation, kept under DML."""
 
-    def __init__(self, zonemaps: ZoneMaps, selectivity: SelectivityModel) -> None:
+    def __init__(
+        self,
+        zonemaps: ZoneMaps,
+        selectivity: SelectivityModel,
+        semantic_cache: bool = True,
+    ) -> None:
         self.zonemaps = zonemaps
         self.selectivity = selectivity
+        #: Per-fragment candidate sets with per-crossbar epoch invalidation.
+        self.candidates = CandidateSetCache(zonemaps)
+        self._semantic_cache = bool(semantic_cache)
+        # Relation-wide change counter: *any* maintenance event (including
+        # DELETE, which changes the live prefilter but not the cached
+        # fragment masks) retires memoized whole-plan decisions, which are
+        # then cheaply reassembled from the fragment cache.
+        self._version = 0
         # plan() memo: the service's cost router and the engine both plan
         # the same predicate back to back, and serving workloads replay
-        # predicates — invalidated wholesale by any DML maintenance.
-        self._plan_cache: "OrderedDict[object, PruneDecision]" = OrderedDict()
+        # predicates.  Holds _PlanEntry objects in semantic mode and bare
+        # PruneDecision objects in the legacy wholesale-invalidation mode.
+        self._plan_cache: "OrderedDict[object, object]" = OrderedDict()
 
     @classmethod
     def from_stored(cls, stored) -> "RelationStatistics":
@@ -62,24 +92,117 @@ class RelationStatistics:
             SelectivityModel.from_relation(stored.relation),
         )
 
+    # --------------------------------------------------------------- modes
+    @property
+    def semantic_cache(self) -> bool:
+        """Whether plans assemble from the per-fragment candidate cache.
+
+        ``False`` reproduces the PR 5 behaviour exactly — whole-plan memo,
+        wholesale invalidation on every maintenance event, the full-walk
+        entry count billed on every request — and exists as the A/B baseline
+        of ``benchmarks/bench_predicate_cache.py``.
+        """
+        return self._semantic_cache
+
+    @semantic_cache.setter
+    def semantic_cache(self, value: bool) -> None:
+        value = bool(value)
+        if value != self._semantic_cache:
+            self._plan_cache.clear()  # entry types differ between the modes
+        self._semantic_cache = value
+
     # ------------------------------------------------------------------ plan
     def plan(
         self,
         predicate: Predicate,
         partition_attributes: Sequence[Sequence[str]],
         crossbars_per_page: int,
+        peek: bool = False,
     ) -> PruneDecision:
         """Candidate crossbars for every vertical partition of a predicate.
 
-        Decisions are memoized (keyed by the frozen predicate IR) until the
-        next maintenance event; callers treat the returned decision — in
-        particular its candidate masks — as read-only.
+        The returned decision's candidate masks are read-only and shared
+        with the memo; ``entries_checked`` is the zone-map work billed to
+        *this* call (0 on a clean replay).  ``peek=True`` returns the same
+        decision without consuming the billing — the cost router peeks, the
+        engine's subsequent request then pays for the walk exactly once.
         """
         key = (
             predicate,
             tuple(tuple(attrs) for attrs in partition_attributes),
             crossbars_per_page,
         )
+        if not self._semantic_cache:
+            return self._legacy_plan(key, predicate, partition_attributes,
+                                     crossbars_per_page)
+        entry = self._plan_cache.get(key)
+        if entry is None or entry.version != self._version:
+            decision, consulted = self._assemble(
+                predicate, partition_attributes, crossbars_per_page
+            )
+            pending = consulted + (entry.pending if entry is not None else 0)
+            entry = _PlanEntry(decision, self._version, pending)
+            self._plan_cache[key] = entry
+        self._plan_cache.move_to_end(key)
+        if len(self._plan_cache) > _PLAN_CACHE_CAPACITY:
+            self._plan_cache.popitem(last=False)
+        billed = entry.pending
+        if not peek:
+            entry.pending = 0
+        return replace(entry.decision, entries_checked=billed)
+
+    def _assemble(
+        self,
+        predicate: Predicate,
+        partition_attributes: Sequence[Sequence[str]],
+        crossbars_per_page: int,
+    ) -> Tuple[PruneDecision, int]:
+        """Build a decision by intersecting cached fragment candidate sets.
+
+        Per partition the live prefilter is applied fresh (DELETEs shrink it
+        without touching the cache) and the fragments — ordered
+        most-selective first — narrow it; the walk exits early once no
+        candidate remains, exactly like the uncached
+        :meth:`~repro.planner.zonemap.ZoneMaps.check`.
+        """
+        per_partition = partition_conjuncts(predicate, partition_attributes)
+        live_mask = self.zonemaps.live > 0
+        candidates: List[np.ndarray] = []
+        consulted = 0
+        conjuncts_checked = 0
+        for conjunct in per_partition:
+            ordered = self.selectivity.order_conjuncts(conjunct)
+            mask = live_mask.copy()
+            for fragment in ordered:
+                if fragment is None:
+                    continue
+                if not mask.any():
+                    break
+                fragment_mask, entries = self.candidates.lookup(
+                    fragment, crossbars_per_page
+                )
+                mask &= fragment_mask
+                consulted += entries
+                conjuncts_checked += 1
+            mask.setflags(write=False)
+            candidates.append(mask)
+        decision = PruneDecision(
+            candidates=candidates,
+            crossbars_total=self.zonemaps.crossbars * len(candidates),
+            crossbars_scanned=int(sum(mask.sum() for mask in candidates)),
+            entries_checked=consulted,
+            conjuncts_checked=conjuncts_checked,
+        )
+        return decision, consulted
+
+    def _legacy_plan(
+        self,
+        key: object,
+        predicate: Predicate,
+        partition_attributes: Sequence[Sequence[str]],
+        crossbars_per_page: int,
+    ) -> PruneDecision:
+        """The PR 5 plan memo: full walk on miss, full-walk billing on hit."""
         cached = self._plan_cache.get(key)
         if cached is not None:
             self._plan_cache.move_to_end(key)
@@ -91,6 +214,7 @@ class RelationStatistics:
         for conjunct in per_partition:
             ordered = self.selectivity.order_conjuncts(conjunct)
             check = self.zonemaps.check(ordered, crossbars_per_page)
+            check.candidates.setflags(write=False)
             candidates.append(check.candidates)
             entries += check.entries_checked
             conjuncts_checked += check.conjuncts_checked
@@ -106,8 +230,14 @@ class RelationStatistics:
             self._plan_cache.popitem(last=False)
         return decision
 
-    def _invalidate_plans(self) -> None:
-        self._plan_cache.clear()
+    def candidate_stats(self) -> CandidateCacheStats:
+        """Point-in-time counters of the semantic candidate-set cache."""
+        return self.candidates.stats()
+
+    def _note_change(self) -> None:
+        self._version += 1
+        if not self._semantic_cache:
+            self._plan_cache.clear()
 
     def estimate(self, predicate: Predicate) -> float:
         """Estimated selected fraction of the live records."""
@@ -117,7 +247,9 @@ class RelationStatistics:
     def note_insert(self, slot: int, record) -> None:
         self.zonemaps.note_insert(slot, record)
         self.selectivity.note_insert(record)
-        self._invalidate_plans()
+        # Only the crossbar the INSERT landed in changed its bounds.
+        self.candidates.bump([slot // self.zonemaps.rows])
+        self._note_change()
 
     def note_delete(self, slots: np.ndarray, relation) -> None:
         slots = np.asarray(slots, dtype=np.int64)
@@ -129,19 +261,25 @@ class RelationStatistics:
                     for name in relation.schema.names
                 }
             )
-        self._invalidate_plans()
+        # No epoch bump: bounds only stay conservatively wide under DELETE;
+        # the shrunken live prefilter is intersected fresh at plan assembly.
+        self._note_change()
 
     def note_update(
         self, attribute: str, encoded: int, crossbars: np.ndarray, old_values
     ) -> None:
         self.zonemaps.note_update(attribute, encoded, crossbars)
         self.selectivity.note_update(attribute, old_values, encoded)
-        self._invalidate_plans()
+        self.candidates.bump(crossbars)
+        self._note_change()
 
     def rebuild(self, relation, valid=None) -> None:
         self.zonemaps.rebuild(relation, valid)
         self.selectivity.rebuild(relation, valid)
-        self._invalidate_plans()
+        # Compaction moves rows between crossbars and rebuilds the bounds
+        # exactly (they may *narrow*), so every cached verdict is stale.
+        self.candidates.bump_all()
+        self._note_change()
 
     # ------------------------------------------------------------ cost model
     charge_check = staticmethod(ZoneMaps.charge_check)
@@ -231,10 +369,14 @@ class CostPlanner:
             per_partition = partition_conjuncts(
                 query.predicate, stored.partition_attributes
             )
-            # The memoized plan: the engine re-requests the identical
-            # decision right after routing, paying the walk only once.
+            # Peek at the memoized plan: the engine re-requests the
+            # identical decision right after routing, and the billing
+            # (zonemap-check entries) is consumed by that request, so the
+            # walk is paid for exactly once per cold query.
             prune = (
-                statistics.plan(query.predicate, stored.partition_attributes, cp)
+                statistics.plan(
+                    query.predicate, stored.partition_attributes, cp, peek=True
+                )
                 if getattr(engine, "pruning", False)
                 else None
             )
@@ -343,7 +485,12 @@ def execute_host_scan(engine, query: Query, decision: Optional[PlanDecision] = N
         phase="host-scan-agg",
         workload_scale=scale,
     )
-    selectivity = float(mask.mean()) if len(mask) else 0.0
+    # Normalize by the live rows, not the slots in use: tombstoned slots can
+    # never be selected (the valid mask was just ANDed in), and the PIM path
+    # and the selectivity estimator both speak live-row fractions.
+    selectivity = (
+        float(mask.sum() / stored.live_count) if stored.live_count else 0.0
+    )
     total_crossbars = sum(a.crossbars for a in stored.allocations)
     return QueryExecution(
         query=query,

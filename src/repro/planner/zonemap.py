@@ -145,12 +145,24 @@ class ZoneMaps:
         self.live[crossbar] += 1
 
     def note_delete(self, slots: np.ndarray) -> None:
-        """Decrement the live counts (bounds stay conservatively wide)."""
+        """Decrement the live counts (bounds stay conservatively wide).
+
+        The counts are clamped at zero: a negative count would silently
+        poison the ``live > 0`` candidate prefilter and ``note_insert``'s
+        fresh-crossbar bound reset, so a decrement below zero — an
+        overlapping or replayed DELETE — fails loudly instead.
+        """
         slots = np.asarray(slots, dtype=np.int64)
         if slots.size == 0:
             return
         counts = np.bincount(slots // self.rows, minlength=self.crossbars)
-        self.live -= counts.astype(np.int64)
+        decremented = self.live - counts.astype(np.int64)
+        assert (decremented >= 0).all(), (
+            "zone-map live counts driven negative (overlapping or replayed "
+            f"DELETE): min {int(decremented.min())} at crossbar "
+            f"{int(decremented.argmin())}"
+        )
+        self.live = np.maximum(decremented, 0)
 
     def note_update(self, attribute: str, encoded: int, crossbars: np.ndarray) -> None:
         """Widen an attribute's bounds with an UPDATE's assigned constant."""
@@ -186,7 +198,7 @@ class ZoneMaps:
                 continue
             if not candidates.any():
                 break
-            possible = self._possible(conjunct)
+            possible = self.possible(conjunct)
             checked += 1
             page_pad = pages * crossbars_per_page
             padded = np.zeros(page_pad, dtype=bool)
@@ -202,8 +214,13 @@ class ZoneMaps:
             entries_checked=entries,
         )
 
-    def _possible(self, node: Predicate) -> np.ndarray:
-        """Per-crossbar "some live row *may* satisfy ``node``" (conservative)."""
+    def possible(self, node: Predicate) -> np.ndarray:
+        """Per-crossbar "some value in range *may* satisfy ``node``" (conservative).
+
+        Bounds-only: the ``live > 0`` prefilter is *not* applied here — the
+        candidate-set cache stores these masks across DELETEs, which change
+        the live counts but never the bounds.  Always returns a fresh array.
+        """
         if node is None:
             return np.ones(self.crossbars, dtype=bool)
         if isinstance(node, Comparison):
@@ -211,12 +228,12 @@ class ZoneMaps:
         if isinstance(node, And):
             mask = np.ones(self.crossbars, dtype=bool)
             for child in node.children:
-                mask &= self._possible(child)
+                mask &= self.possible(child)
             return mask
         if isinstance(node, Or):
             mask = np.zeros(self.crossbars, dtype=bool)
             for child in node.children:
-                mask |= self._possible(child)
+                mask |= self.possible(child)
             return mask
         # Unknown node: never prune on something we cannot reason about.
         return np.ones(self.crossbars, dtype=bool)

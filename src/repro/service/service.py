@@ -47,6 +47,7 @@ from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
 from repro.pim.stats import PimStats
+from repro.planner.candidates import CandidateCacheStats
 from repro.planner.planner import CostPlanner, execute_host_scan
 from repro.service.cache import CacheStats, ProgramCache
 from repro.service.stats import DmlStats, ServiceStats
@@ -331,6 +332,7 @@ class QueryService:
         schedule = sorted(range(len(requests)), key=lambda i: (targets[i], i))
 
         cache_before = self.cache.snapshot()
+        candidates_before = self.candidate_cache_stats()
         pending: List[Optional[QueryExecution]] = [None] * len(requests)
         host_routed = 0
         start = time.perf_counter()
@@ -353,12 +355,29 @@ class QueryService:
             cache=self.cache.snapshot() - cache_before,
             dml=self._dml_snapshot(),
             host_routed=host_routed,
+            candidates=self.candidate_cache_stats() - candidates_before,
         )
         return BatchResult(executions=executions, stats=stats)
 
     def cache_stats(self) -> CacheStats:
         """Point-in-time snapshot of the shared program cache's counters."""
         return self.cache.snapshot()
+
+    def candidate_cache_stats(self) -> CandidateCacheStats:
+        """Summed candidate-set cache counters of every registered relation.
+
+        A sharded relation contributes one cache per shard (the shards share
+        the normalized fragment keys but cache their own masks).
+        """
+        total = CandidateCacheStats()
+        for engine in self._engines.values():
+            if isinstance(engine, ShardedQueryEngine):
+                stats_owners = [shard.statistics for shard in engine.sharded.shards]
+            else:
+                stats_owners = [engine.stored.statistics]
+            for statistics in stats_owners:
+                total = total + statistics.candidate_stats()
+        return total
 
     # ------------------------------------------------------------------- DML
     def insert(

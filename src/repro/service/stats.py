@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.core.executor import QueryExecution
+from repro.planner.candidates import CandidateCacheStats
 from repro.service.cache import CacheStats
 from repro.sharding.executor import ShardedQueryExecution
 
@@ -119,6 +120,9 @@ class PlannerStats:
     #: Mean estimated and actual selected fractions (queries with estimates).
     estimated_selectivity: float
     actual_selectivity: float
+    #: Semantic candidate-set cache counters of the batch (summed over the
+    #: registered relations' caches); ``None`` when nothing was looked up.
+    candidates: Optional[CandidateCacheStats] = None
 
     @property
     def crossbars_skipped(self) -> int:
@@ -132,7 +136,10 @@ class PlannerStats:
 
     @classmethod
     def from_executions(
-        cls, executions: Sequence[QueryExecution], host_routed: int = 0
+        cls,
+        executions: Sequence[QueryExecution],
+        host_routed: int = 0,
+        candidates: Optional[CandidateCacheStats] = None,
     ) -> Optional["PlannerStats"]:
         """Summarise the planner's work over a batch (``None`` if idle)."""
         estimated = [
@@ -140,6 +147,8 @@ class PlannerStats:
         ]
         if not estimated and host_routed == 0:
             return None
+        if candidates is not None and candidates.lookups == 0:
+            candidates = None
         return cls(
             pim_queries=len(executions) - host_routed,
             host_routed=host_routed,
@@ -153,6 +162,7 @@ class PlannerStats:
                 float(np.mean([e.selectivity for e in estimated]))
                 if estimated else 0.0
             ),
+            candidates=candidates,
         )
 
 
@@ -184,6 +194,7 @@ class ServiceStats:
         cache: Optional[CacheStats] = None,
         dml: Optional[DmlStats] = None,
         host_routed: int = 0,
+        candidates: Optional[CandidateCacheStats] = None,
     ) -> "ServiceStats":
         """Summarise a batch of executions measured over ``wall_time_s``."""
         latencies = np.array([e.time_s for e in executions], dtype=float)
@@ -204,7 +215,9 @@ class ServiceStats:
             cache=cache,
             sharded=ShardStats.from_executions(sharded),
             dml=dml,
-            planner=PlannerStats.from_executions(executions, host_routed),
+            planner=PlannerStats.from_executions(
+                executions, host_routed, candidates=candidates
+            ),
         )
 
     def describe(self) -> str:
@@ -239,6 +252,16 @@ class ServiceStats:
                 f"selectivity est {p.estimated_selectivity:.4f} vs "
                 f"actual {p.actual_selectivity:.4f}"
             )
+            if p.candidates is not None:
+                c = p.candidates
+                lines.append(
+                    f"candidate cache: {c.hits} hits / {c.misses} misses / "
+                    f"{c.revalidations} re-validations "
+                    f"({c.stale_crossbars} stale crossbars re-checked), "
+                    f"{c.entries_checked} zone-map entries consulted, "
+                    f"{c.evictions} evictions "
+                    f"(capacity {c.entries}/{c.capacity})"
+                )
         if self.sharded is not None:
             s = self.sharded
             lines.append(

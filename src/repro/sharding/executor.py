@@ -266,8 +266,10 @@ class ShardedQueryEngine:
         )
         merge_time = stats.total_time_s - scatter_time
         serial_time = sum(e.stats.total_time_s for e in shard_executions)
+        # Per-shard selectivities are live-row fractions, so the global
+        # figure weights them by live rows (tombstones select nothing).
         weighted_selectivity = sum(
-            e.selectivity * engine.stored.num_records
+            e.selectivity * engine.stored.live_count
             for e, engine in zip(shard_executions, self.shard_engines)
         )
         estimates = [
@@ -281,8 +283,8 @@ class ShardedQueryEngine:
             rows=rows,
             stats=stats,
             selectivity=(
-                weighted_selectivity / self.sharded.num_records
-                if self.sharded.num_records
+                weighted_selectivity / self.sharded.live_count
+                if self.sharded.live_count
                 else 0.0
             ),
             # Plans are per shard, so cost-like metadata reports the

@@ -31,7 +31,13 @@ from repro.db.storage import StoredRelation
 from repro.db.update import execute_update
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
-from repro.planner import CostPlanner, execute_host_scan
+from repro.planner import (
+    CandidateSetCache,
+    CostPlanner,
+    execute_host_scan,
+    normalize_fragment,
+)
+from repro.planner.planner import RelationStatistics
 from repro.planner.selectivity import SelectivityModel
 from repro.planner.zonemap import ZoneMaps
 from repro.service import QueryService
@@ -511,3 +517,186 @@ def test_cache_snapshot_and_describe_report_evictions_and_capacity():
     described = batch.stats.describe()
     assert "evictions" in described
     assert "capacity" in described
+
+# ----------------------------------------- semantic candidate-set cache (PR 7)
+def test_decision_masks_are_read_only_and_memo_uncorrupted():
+    """Mutating a returned candidate mask raises; the memo stays intact.
+
+    Decisions are shared with the plan memo, so an engine combining a mask
+    in place would silently corrupt every later replay of the predicate.
+    """
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    for semantic in (True, False):
+        stored = _store(clustered_relation())
+        stored.statistics.semantic_cache = semantic
+        decision = stored.statistics.plan(
+            RANGE.predicate, stored.partition_attributes, cp
+        )
+        with pytest.raises(ValueError):
+            decision.candidates[0][:] = False
+        replay = stored.statistics.plan(
+            RANGE.predicate, stored.partition_attributes, cp
+        )
+        cold = RelationStatistics(
+            stored.statistics.zonemaps, stored.statistics.selectivity,
+            semantic_cache=False,
+        ).plan(RANGE.predicate, stored.partition_attributes, cp)
+        assert np.array_equal(replay.candidates[0], cold.candidates[0])
+
+
+def test_candidate_cache_counters_and_replay_billing():
+    stored = _store(clustered_relation())
+    statistics = stored.statistics
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    before = statistics.candidate_stats()
+
+    cold = statistics.plan(RANGE.predicate, stored.partition_attributes, cp)
+    after_cold = statistics.candidate_stats() - before
+    assert cold.entries_checked > 0
+    assert after_cold.misses > 0 and after_cold.hits == 0
+
+    replay = statistics.plan(RANGE.predicate, stored.partition_attributes, cp)
+    assert replay.entries_checked == 0
+    assert np.array_equal(replay.candidates[0], cold.candidates[0])
+
+
+def test_insert_bumps_only_the_touched_crossbar_epoch():
+    stored = _store(clustered_relation())
+    statistics = stored.statistics
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    statistics.plan(RANGE.predicate, stored.partition_attributes, cp)
+    epochs_before = statistics.candidates.epochs.copy()
+
+    executor = PimExecutor(DEFAULT_CONFIG)
+    execute_insert(stored, [{"key": 101, "value": 3, "city": "OSLO"}], executor)
+    changed = np.nonzero(statistics.candidates.epochs != epochs_before)[0]
+    assert changed.size == 1
+
+    counters_before = statistics.candidate_stats()
+    revalidated = statistics.plan(
+        RANGE.predicate, stored.partition_attributes, cp
+    )
+    delta = statistics.candidate_stats() - counters_before
+    # Re-validation re-checks only the one stale crossbar per consulted
+    # fragment -- far below the cold walk's pages + surviving * cp entries.
+    assert 0 < revalidated.entries_checked <= delta.revalidations
+    assert delta.stale_crossbars == revalidated.entries_checked
+    cold = RelationStatistics(
+        statistics.zonemaps, statistics.selectivity, semantic_cache=False
+    ).plan(RANGE.predicate, stored.partition_attributes, cp)
+    assert revalidated.entries_checked < cold.entries_checked
+    assert np.array_equal(revalidated.candidates[0], cold.candidates[0])
+
+
+def test_delete_invalidates_nothing_yet_narrows_the_live_prefilter():
+    """A cached replay after DELETE bills zero entries and still excludes
+    the crossbars the DELETE emptied (the live prefilter is applied fresh)."""
+    relation = clustered_relation()
+    stored = _store(relation)
+    statistics = stored.statistics
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    rows = stored.rows_per_crossbar
+    boundary = int(relation.column("key")[rows - 1])
+    query = Query(
+        "head", Comparison("key", "between", low=0, high=boundary),
+        (Aggregate("count"),),
+    )
+    cold = statistics.plan(query.predicate, stored.partition_attributes, cp)
+    assert cold.candidates[0][0]
+
+    executor = PimExecutor(DEFAULT_CONFIG)
+    execute_delete(stored, query.predicate, executor, vectorized=True)
+    counters_before = statistics.candidate_stats()
+    replay = statistics.plan(query.predicate, stored.partition_attributes, cp)
+    delta = statistics.candidate_stats() - counters_before
+    assert replay.entries_checked == 0
+    assert delta.revalidations == 0 and delta.stale_crossbars == 0
+    assert not replay.candidates[0][0]
+    assert int(statistics.zonemaps.live[0]) == 0
+
+
+def test_note_delete_rejects_negative_live_counts():
+    stored = _store(clustered_relation())
+    maps = stored.statistics.zonemaps
+    slots = np.zeros(int(maps.live[0]) + 1, dtype=np.int64)
+    with pytest.raises(AssertionError, match="negative"):
+        maps.note_delete(slots)
+
+
+def test_fragment_cache_lru_eviction():
+    stored = _store(clustered_relation())
+    cache = CandidateSetCache(stored.statistics.zonemaps, capacity=2)
+    cp = DEFAULT_CONFIG.pim.crossbars_per_page
+    fragments = [Comparison("key", "<", bound) for bound in (100, 200, 300)]
+    for fragment in fragments:
+        cache.lookup(fragment, cp)
+    stats = cache.stats()
+    assert stats.misses == 3 and stats.evictions == 1
+    assert len(cache) == 2
+    # The evicted (oldest) fragment misses again; the newest still hits.
+    _, entries = cache.lookup(fragments[-1], cp)
+    assert entries == 0
+    _, entries = cache.lookup(fragments[0], cp)
+    assert entries > 0
+
+
+def test_normalize_fragment_canonicalizes_equivalent_predicates():
+    swapped = (
+        And((Comparison("key", "<", 5), Comparison("value", ">", 1))),
+        And((Comparison("value", ">", 1), Comparison("key", "<", 5))),
+    )
+    assert normalize_fragment(swapped[0]) == normalize_fragment(swapped[1])
+    assert normalize_fragment(
+        Comparison("value", "in", values=(3, 1, 3))
+    ) == normalize_fragment(Comparison("value", "in", values=(1, 3)))
+    assert normalize_fragment(
+        Comparison("key", "<", 5)
+    ) != normalize_fragment(Comparison("key", "<=", 5))
+
+
+def test_host_scan_selectivity_normalized_by_live_rows():
+    """After a DELETE, both routes report the live-row selected fraction."""
+    stored = _store(clustered_relation())
+    engine = PimQueryEngine(
+        stored, config=DEFAULT_CONFIG, vectorized=True, pruning=True
+    )
+    executor = PimExecutor(DEFAULT_CONFIG)
+    execute_delete(
+        stored, Comparison("value", ">=", 512), executor, vectorized=True
+    )
+    query = Query(
+        "q", Comparison("value", "<", 100),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    )
+    live = stored.live_relation()
+    expected = float(
+        evaluate_predicate(query.predicate, live).sum() / len(live)
+    )
+    host = execute_host_scan(engine, query)
+    assert host.selectivity == pytest.approx(expected)
+    pim = engine.execute(query)
+    assert pim.selectivity == pytest.approx(expected)
+    assert host.rows == pim.rows
+
+
+def test_service_batch_reports_candidate_cache_counters():
+    service = QueryService()
+    service.register("pl", _store(clustered_relation()), timing_scale=1024.0)
+    first = service.execute_batch([POINT, RANGE, NOTHING])
+    assert first.stats.planner is not None
+    assert first.stats.planner.candidates is not None
+    assert first.stats.planner.candidates.misses > 0
+    assert "candidate cache:" in first.stats.describe()
+    cold_entries = first.stats.planner.candidates.entries_checked
+    # A clean replay never reaches the fragment cache (the whole-plan memo
+    # answers), so its batch delta reports no candidate activity at all.
+    clean = service.execute_batch([POINT, RANGE, NOTHING])
+    assert clean.stats.planner.candidates is None
+    # After an INSERT the replay re-assembles, re-validating only the one
+    # bumped crossbar per fragment.
+    service.insert([{"key": 7, "value": 9, "city": "LYON"}])
+    churned = service.execute_batch([POINT, RANGE, NOTHING])
+    candidates = churned.stats.planner.candidates
+    assert candidates is not None
+    assert candidates.misses == 0 and candidates.revalidations > 0
+    assert 0 < candidates.entries_checked < cold_entries

@@ -8,10 +8,21 @@ from repro.config import DEFAULT_CONFIG
 from repro.core.groupby import GroupByPlanner
 from repro.core.latency_model import GroupByCostModel, HostGbLatencyModel, PimGbLatencyModel
 from repro.core.sampling import SubgroupEstimate
+from repro.db.query import (
+    Aggregate,
+    Comparison,
+    Query,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
 from repro.db.relation import Relation
 from repro.db.schema import Schema, int_attribute
 from repro.db.storage import StoredRelation
+from repro.db.update import execute_update
 from repro.pim.module import PimModule
+from repro.planner.planner import RelationStatistics
+from repro.service import QueryService
+from repro.sharding import execute_sharded_update
 
 
 # --------------------------------------------------------- storage round-trip
@@ -98,3 +109,165 @@ def test_planner_choice_is_no_worse_than_extremes(fractions, selectivity, pim_sl
                      for key in estimate.ordered_groups[plan.k:]]
         if remaining:
             assert min(chosen_fracs) >= max(remaining) - 1e-12
+
+
+# --------------------------------------- semantic candidate cache under churn
+CHURN_RECORDS = 900
+
+CHURN_PROBES = (
+    Query(
+        "scalar",
+        Comparison("value", "<", 2000),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    ),
+    Query(
+        "by-flag",
+        Comparison("value", "between", low=500, high=3500),
+        (Aggregate("sum", "value"), Aggregate("min", "value"),
+         Aggregate("count")),
+        group_by=("flag",),
+    ),
+)
+
+churn_op_strategy = st.one_of(
+    st.tuples(st.just("insert"), st.integers(min_value=1, max_value=4),
+              st.integers(min_value=0, max_value=2 ** 16)),
+    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=3800),
+              st.integers(min_value=50, max_value=600)),
+    st.tuples(st.just("update"), st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=4095)),
+    st.tuples(st.just("compact")),
+)
+
+
+def _churn_relation(seed: int) -> Relation:
+    rng = np.random.default_rng(seed)
+    schema = Schema("churn", [
+        int_attribute("key", 16),
+        int_attribute("value", 12),
+        int_attribute("flag", 2),
+    ])
+    return Relation(schema, {
+        "key": rng.integers(0, 1 << 16, CHURN_RECORDS).astype(np.uint64),
+        "value": rng.integers(0, 1 << 12, CHURN_RECORDS).astype(np.uint64),
+        "flag": rng.integers(0, 4, CHURN_RECORDS).astype(np.uint64),
+    })
+
+
+def _churn_storeds(service, shards):
+    engine = service.engine()
+    if shards == 1:
+        return [engine.stored]
+    return list(engine.sharded.shards)
+
+
+def _assert_cached_plan_matches_cold_walk(service, shards) -> None:
+    """Cached/re-validated decisions == a cold walk of the same zone maps."""
+    for stored in _churn_storeds(service, shards):
+        statistics = stored.statistics
+        crossbars_per_page = (
+            stored.module.system_config.pim.crossbars_per_page
+        )
+        assert int(statistics.zonemaps.live.min()) >= 0
+        for query in CHURN_PROBES:
+            cached = statistics.plan(
+                query.predicate, stored.partition_attributes,
+                crossbars_per_page, peek=True,
+            )
+            cold = RelationStatistics(
+                statistics.zonemaps, statistics.selectivity,
+                semantic_cache=False,
+            ).plan(
+                query.predicate, stored.partition_attributes,
+                crossbars_per_page,
+            )
+            assert len(cached.candidates) == len(cold.candidates)
+            for have, want in zip(cached.candidates, cold.candidates):
+                assert np.array_equal(have, want)
+
+
+def _apply_churn_op(service, shards, op) -> None:
+    kind = op[0]
+    if kind == "insert":
+        _, count, value_seed = op
+        storeds = _churn_storeds(service, shards)
+        free = sum(s.free_slots for s in storeds)
+        record_rng = np.random.default_rng(value_seed)
+        records = [
+            {
+                "key": int(record_rng.integers(0, 1 << 16)),
+                "value": int(record_rng.integers(0, 1 << 12)),
+                "flag": int(record_rng.integers(0, 4)),
+            }
+            for _ in range(min(count, free))
+        ]
+        if records:
+            service.insert(records)
+    elif kind == "delete":
+        _, low, span = op
+        service.delete(Comparison("value", "between", low=low, high=low + span))
+    elif kind == "update":
+        _, flag, new_value = op
+        predicate = Comparison("flag", "==", flag)
+        assignments = {"value": new_value}
+        engine = service.engine()
+        if shards == 1:
+            from repro.pim.controller import PimExecutor
+            execute_update(
+                engine.stored, predicate, assignments,
+                PimExecutor(engine.config),
+            )
+        else:
+            execute_sharded_update(engine.sharded, predicate, assignments)
+    else:
+        service.compact(force=True)
+
+
+@settings(max_examples=6, deadline=None)
+@given(ops=st.lists(churn_op_strategy, min_size=3, max_size=6),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_candidate_cache_bit_exact_under_churn(ops, seed):
+    """INSERT/DELETE/UPDATE/compaction churn at K=1 and K=4, both backends.
+
+    After every op, on every backend and shard count: the probe rows are
+    bit-exact with a reference aggregation over the live ground truth, an
+    immediate replay (the cached decision) returns identical rows, every
+    cached/re-validated plan equals a cold walk over the same maintained
+    zone maps, and no live counter ever goes negative.
+    """
+    rows_by_backend = {}
+    for backend in ("packed", "bool"):
+        trace = []
+        for shards in (1, 4):
+            service = QueryService(vectorized=True)
+            relation = _churn_relation(seed)
+            if shards == 1:
+                system = DEFAULT_CONFIG.with_backend(backend)
+                stored = StoredRelation(
+                    relation, PimModule(system), label="churn"
+                )
+                service.register("churn", stored, config=system)
+            else:
+                service.register_sharded(
+                    "churn", relation, shards=shards, backend=backend
+                )
+            for op in ops:
+                _apply_churn_op(service, shards, op)
+                live = (
+                    service.engine().stored.live_relation()
+                    if shards == 1
+                    else service.engine().sharded.live_relation()
+                )
+                for query in CHURN_PROBES:
+                    execution = service.execute(query)
+                    expected = reference_group_aggregate(
+                        live, evaluate_predicate(query.predicate, live),
+                        query.group_by, query.aggregates,
+                    )
+                    assert execution.rows == expected
+                    replay = service.execute(query)
+                    assert replay.rows == execution.rows
+                    trace.append(sorted(execution.rows.items()))
+                _assert_cached_plan_matches_cold_walk(service, shards)
+        rows_by_backend[backend] = trace
+    assert rows_by_backend["packed"] == rows_by_backend["bool"]
