@@ -47,12 +47,15 @@ def default_backend() -> str:
     return validate_backend(backend, source="REPRO_BACKEND=")
 
 
-#: Program-execution strategies of the functional simulation.  ``"fused"``
-#: lowers each compiled NOR program to an optimized DAG and evaluates it as
-#: whole-array NumPy expressions (see :mod:`repro.pim.fused`); ``"dispatch"``
-#: is the op-by-op reference interpreter.  Both are bit-exact on the output
+#: Program-execution strategies of the functional simulation.  ``"batched"``
+#: additionally fuses all per-subgroup group-mask programs of a partition
+#: into one multi-output DAG evaluated in a single pass (see
+#: :func:`repro.pim.ir.lower_program_batch`); ``"fused"`` lowers each
+#: compiled NOR program to an optimized DAG and evaluates it as whole-array
+#: NumPy expressions (see :mod:`repro.pim.fused`); ``"dispatch"`` is the
+#: op-by-op reference interpreter.  All three are bit-exact on the output
 #: columns and charge identical modelled statistics.
-EXECUTIONS = ("fused", "dispatch")
+EXECUTIONS = ("batched", "fused", "dispatch")
 
 
 def validate_execution(execution: str, source: str = "execution=") -> str:
@@ -67,7 +70,7 @@ def validate_execution(execution: str, source: str = "execution=") -> str:
 
 def default_execution() -> str:
     """The program-execution strategy, overridable via ``REPRO_EXECUTION``."""
-    execution = os.environ.get("REPRO_EXECUTION", "fused")
+    execution = os.environ.get("REPRO_EXECUTION", "batched")
     return validate_execution(execution, source="REPRO_EXECUTION=")
 
 
@@ -236,9 +239,10 @@ class SystemConfig:
     #: under this configuration.  Purely a simulator-speed knob: both
     #: backends are bit-exact and charge identical modelled statistics.
     backend: str = field(default_factory=default_backend)
-    #: Program-execution strategy: fused DAG kernels or op-by-op dispatch.
-    #: Like ``backend`` this is purely a simulator-speed knob — both
-    #: strategies are bit-exact and charge identical modelled statistics.
+    #: Program-execution strategy: batched multi-output kernels, fused DAG
+    #: kernels, or op-by-op dispatch.  Like ``backend`` this is purely a
+    #: simulator-speed knob — all strategies are bit-exact and charge
+    #: identical modelled statistics.
     execution: str = field(default_factory=default_execution)
 
     def __post_init__(self) -> None:

@@ -141,6 +141,7 @@ class PimQueryEngine:
         filter_stage: Optional[FilterStage] = None,
         group_stage: Optional[GroupMaskStage] = None,
         aggregation_stage: Optional[AggregationStage] = None,
+        scatter_pool=None,
     ) -> None:
         """Create an engine over a stored relation.
 
@@ -174,6 +175,11 @@ class PimQueryEngine:
                 skips execution entirely.
             filter_stage / group_stage / aggregation_stage: Fully custom
                 stage objects; built from the arguments above when omitted.
+            scatter_pool: A :class:`~repro.core.parallel.ScatterPool` the
+                batched group-by path uses to evaluate independent
+                per-partition batch kernels concurrently (the kernels are
+                whole-array NumPy expressions, so they release the GIL).
+                ``None`` keeps everything on the calling thread.
         """
         if timing_scale <= 0:
             raise ValueError("timing_scale must be positive")
@@ -204,6 +210,7 @@ class PimQueryEngine:
         self.aggregation_stage = aggregation_stage or AggregationStage(
             stored, self.config, self.timing_scale
         )
+        self.scatter_pool = scatter_pool
 
     # ------------------------------------------------------------------ main
     def execute(
@@ -399,14 +406,33 @@ class PimQueryEngine:
         primary_candidates = (
             prune.candidates[primary] if prune is not None else None
         )
-        for key in plan.pim_groups:
-            entry = self._pim_aggregate_group(
-                query, primary, group_attributes, key, executor, read_model,
-                prune=prune,
+        if (
+            plan.pim_groups
+            and executor.batched
+            and self.use_aggregation_circuit
+        ):
+            # Batched execution: all subgroup mask programs of a partition
+            # run as one multi-output kernel with cross-subgroup CSE, field
+            # decodes are shared across subgroups, and the modelled charges
+            # are replayed in reference order — bit-identical rows, bits,
+            # wear and stats (see repro.core.batched).
+            from repro.core.batched import run_group_by_batched
+
+            rows = run_group_by_batched(
+                self, query, primary, mask, plan.pim_groups, executor,
+                read_model, prune=prune,
             )
-            if self._group_selected(mask, group_attributes, key):
-                rows[key] = self._finalize_entry(entry, primary)
-            self.group_stage.clear(primary, executor, candidates=primary_candidates)
+        else:
+            for key in plan.pim_groups:
+                entry = self._pim_aggregate_group(
+                    query, primary, group_attributes, key, executor, read_model,
+                    prune=prune,
+                )
+                if self._group_selected(mask, group_attributes, key):
+                    rows[key] = self._finalize_entry(entry, primary)
+                self.group_stage.clear(
+                    primary, executor, candidates=primary_candidates
+                )
 
         if plan.host_pass_needed:
             host_rows = self._host_group_by(

@@ -462,6 +462,10 @@ def artifact(results: BackendSpeedResults) -> Dict:
         "benchmark": "backend_speed",
         "scale_factor": results.scale_factor,
         "records": results.records,
+        # Recorded at the top level so trajectory diffs show immediately
+        # whether a scatter-speedup change is a code change or a host change
+        # (the >1x pool gate only applies when cpu_count > 1).
+        "cpu_count": os.cpu_count() or 1,
         "gate_level": {
             "execution": "dispatch",
             "bool_total_s": results.bool_total_s,

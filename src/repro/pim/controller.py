@@ -48,10 +48,14 @@ class PimExecutor:
     def __init__(self, config: SystemConfig, stats: Optional[PimStats] = None):
         self.config = config
         self.stats = stats if stats is not None else PimStats()
-        # Program-execution strategy, resolved once: fused DAG kernels or
-        # op-by-op dispatch.  Both are bit-exact on program outputs and all
-        # costs are charged from program metadata either way.
-        self._fused = config.execution == "fused"
+        # Program-execution strategy, resolved once.  ``batched`` runs
+        # individual programs fused and additionally batches the per-subgroup
+        # group-mask programs into multi-output kernels (see
+        # :meth:`repro.core.executor.PimQueryEngine._execute_group_by`).
+        # All strategies are bit-exact on program outputs and all costs are
+        # charged from program metadata either way.
+        self._fused = config.execution in ("fused", "batched")
+        self.batched = config.execution == "batched"
 
     def fork(self, stats: Optional[PimStats] = None) -> "PimExecutor":
         """A new executor sharing this one's configuration.
@@ -318,6 +322,64 @@ class PimExecutor:
         self.stats.bits_written += write_bits
         self._record_phase(phase, pages, request_time, energy, "agg_circuit")
         return results
+
+    def charge_aggregation_circuit(
+        self,
+        bank: CrossbarBank,
+        field_width: int,
+        pages: float,
+        phase: str = "pim-agg",
+        result_width: Optional[int] = None,
+        crossbars: Optional[np.ndarray] = None,
+        add_wear: bool = True,
+    ) -> None:
+        """Charge-only twin of :meth:`aggregate_with_circuit`.
+
+        The batched group-by path computes every subgroup's aggregates from
+        one cached field decode, then replays the modelled cost of each
+        circuit invocation through here — identical time, energy, power
+        samples, request counts and (with ``add_wear``) the ``result_width``
+        write-back wear on row 0 that the reference's ``write_field_row``
+        causes.  Pass ``add_wear=False`` for the one invocation whose result
+        is also written back functionally (the write itself charges wear).
+        """
+        if not self._pim.aggregation_circuit.enabled:
+            raise RuntimeError(
+                "aggregation circuit is disabled in this configuration; "
+                "use aggregate_bulk_bitwise instead"
+            )
+        xbar = self._xbar
+        circuit = self._pim.aggregation_circuit
+        if result_width is None:
+            result_width = min(64, field_width + int(math.ceil(math.log2(xbar.rows))))
+        if crossbars is None:
+            if add_wear:
+                bank.writes_per_row[:, 0] += int(result_width)
+        else:
+            candidate_idx = np.nonzero(np.asarray(crossbars, dtype=bool))[0]
+            active = int(candidate_idx.size)
+            if active == 0:
+                return
+            if add_wear:
+                bank.writes_per_row[candidate_idx, 0] += int(result_width)
+            pages = pages * active / bank.count
+
+        reads_per_row = int(math.ceil(field_width / xbar.read_width_bits))
+        request_time = (
+            xbar.rows * reads_per_row * circuit.cycle_s
+            + result_width / xbar.read_width_bits * xbar.write_latency_s
+        )
+        active_crossbars = pages * self._crossbars_per_page()
+        read_bits = xbar.rows * reads_per_row * xbar.read_width_bits * active_crossbars
+        write_bits = result_width * active_crossbars
+        energy = (
+            read_bits * xbar.read_energy_per_bit_j
+            + write_bits * xbar.write_energy_per_bit_j
+            + circuit.power_w * request_time * active_crossbars
+        )
+        self.stats.bits_read += read_bits
+        self.stats.bits_written += write_bits
+        self._record_phase(phase, pages, request_time, energy, "agg_circuit")
 
     # --------------------------------------------------- bulk-bitwise (PIMDB)
     def aggregate_bulk_bitwise(

@@ -262,6 +262,14 @@ class CrossbarBank:
         """The all-true value in this backend's native representation."""
         return np.True_
 
+    def kernel_to_bool(self, value) -> np.ndarray:
+        """Decode a kernel value into booleans of shape ``(n, rows)``."""
+        return np.asarray(value, dtype=bool)
+
+    def kernel_from_bool(self, values: np.ndarray):
+        """Encode booleans of shape ``(n, rows)`` as a kernel value."""
+        return np.asarray(values, dtype=bool)
+
     def add_wear(self, writes: int, xbars: Optional[np.ndarray] = None) -> None:
         """Charge ``writes`` cell writes to every row (of ``xbars`` if given)."""
         if xbars is None:

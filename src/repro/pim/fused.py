@@ -28,7 +28,7 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.pim.ir import INPUT, NOR, NorDag
+from repro.pim.ir import INPUT, NOR, BatchDag, NorDag
 
 
 class FusedKernel:
@@ -85,3 +85,84 @@ class FusedKernel:
 def compile_dag(dag: NorDag) -> FusedKernel:
     """Compile ``dag`` into a reusable :class:`FusedKernel`."""
     return FusedKernel(dag)
+
+
+class BatchKernel:
+    """A compiled evaluator for one multi-program :class:`BatchDag`.
+
+    Unlike :class:`FusedKernel`, a batch kernel is *functional*: it returns
+    every program's output values in the bank's native representation and
+    writes nothing back.  The caller decides which values become stored
+    column state (the group-by stage persists only the final-subgroup
+    state, matching the sequential reference) and charges all modelled
+    costs from the source programs' metadata.
+
+    ``INPUT`` instructions with a ``(program_index, column)`` payload are
+    *private*: their value is looked up in the ``private`` mapping passed
+    to :meth:`run` instead of being read from the bank, which is how each
+    combine program sees its own subgroup's remote-transfer bits while the
+    shared equality subcircuits are still evaluated once.
+    """
+
+    __slots__ = ("instructions", "outputs", "depth", "nor_count")
+
+    def __init__(self, dag: BatchDag) -> None:
+        self.instructions: Tuple[Tuple[str, Hashable], ...] = tuple(
+            zip(dag.kinds, dag.payloads)
+        )
+        self.outputs: Tuple[Tuple[Tuple[int, int], ...], ...] = dag.outputs
+        self.depth: int = dag.depth
+        self.nor_count: int = dag.nor_count
+
+    def run(
+        self,
+        bank,
+        xbars: Optional[Sequence[int]] = None,
+        private=None,
+    ) -> List[List[Tuple[int, object]]]:
+        """Evaluate the batch on ``bank`` and return per-program outputs.
+
+        Returns one ``[(column, native_value), ...]`` list per program.
+        Returned values may alias each other (CSE) or live bank storage
+        (INPUT passthrough) — callers must treat them as read-only
+        snapshots of the pre-batch state and copy before mutating the
+        bank.  ``private`` maps ``(program_index, column)`` to the native
+        value bound to that program's private input (shaped for ``xbars``
+        when given).
+        """
+        if xbars is not None and len(xbars) == 0:
+            return [[] for _ in self.outputs]
+        ones = bank.kernel_ones()
+        values: List = [None] * len(self.instructions)
+        for index, (kind, payload) in enumerate(self.instructions):
+            if kind == NOR:
+                slots = payload
+                value = values[slots[0]]
+                if len(slots) == 1:
+                    value = np.bitwise_xor(value, ones)
+                else:
+                    value = np.bitwise_or(value, values[slots[1]])
+                    for slot in slots[2:]:
+                        np.bitwise_or(value, values[slot], out=value)
+                    np.bitwise_xor(value, ones, out=value)
+                values[index] = value
+            elif kind == INPUT:
+                if isinstance(payload, tuple):
+                    if private is None or payload not in private:
+                        raise KeyError(
+                            f"batch kernel private input {payload!r} not bound"
+                        )
+                    values[index] = private[payload]
+                else:
+                    values[index] = bank.kernel_read(payload, xbars)
+            else:  # CONST — only ever an output (folding strips const operands)
+                values[index] = ones if payload else np.bitwise_xor(ones, ones)
+        return [
+            [(column, values[slot]) for column, slot in bindings]
+            for bindings in self.outputs
+        ]
+
+
+def compile_batch(dag: BatchDag) -> BatchKernel:
+    """Compile ``dag`` into a reusable :class:`BatchKernel`."""
+    return BatchKernel(dag)

@@ -342,7 +342,7 @@ class ProgramBuilder:
         if not columns:
             return self.const(identity)
         if len(columns) == 1:
-            return columns[0] if not consume else self._own(columns[0])
+            return self._own(columns[0]) if consume else columns[0]
         level = [(col, consume) for col in columns]
         while len(level) > 1:
             next_level = []

@@ -143,6 +143,36 @@ class PimStats:
         self.max_writes_per_row = max(self.max_writes_per_row, other.max_writes_per_row)
 
     # ------------------------------------------------------------- reporting
+    def totals(self) -> Dict[str, float]:
+        """Every modelled total, exactly as accumulated — for bit-identity checks.
+
+        Unlike :meth:`summary` (headline metrics, rounded by nobody but also
+        summed over dictionaries), this keeps the per-phase and per-component
+        breakdowns, so two executions compare equal here iff their charging
+        sequences produced identical floats.  The benchmark gates use it to
+        assert the batched execution strategy charges *bit-identical* totals
+        to per-subgroup dispatch.
+        """
+        totals: Dict[str, float] = {
+            f"time:{phase}": seconds
+            for phase, seconds in sorted(self.time_by_phase.items())
+        }
+        totals.update(
+            (f"energy:{component}", joules)
+            for component, joules in sorted(self.energy_by_component.items())
+        )
+        totals.update(
+            logic_ops=float(self.logic_ops),
+            bits_read=float(self.bits_read),
+            bits_written=float(self.bits_written),
+            pim_requests=float(self.pim_requests),
+            host_lines_read=float(self.host_lines_read),
+            host_lines_written=float(self.host_lines_written),
+            max_writes_per_row=float(self.max_writes_per_row),
+            peak_chip_power_w=self.peak_chip_power_w,
+        )
+        return totals
+
     def summary(self) -> Dict[str, float]:
         """Return a flat dictionary of headline metrics for reporting."""
         return {

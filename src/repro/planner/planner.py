@@ -36,7 +36,11 @@ from repro.db.query import Predicate, Query, evaluate_predicate
 from repro.host import dram
 from repro.host.processor import cpu_time
 from repro.pim.stats import PimStats
-from repro.planner.candidates import CandidateCacheStats, CandidateSetCache
+from repro.planner.candidates import (
+    CandidateCacheStats,
+    CandidateSetCache,
+    normalize_fragment,
+)
 from repro.planner.selectivity import SelectivityModel
 from repro.planner.zonemap import PruneDecision, ZoneMaps
 
@@ -127,8 +131,12 @@ class RelationStatistics:
         decision without consuming the billing — the cost router peeks, the
         engine's subsequent request then pays for the walk exactly once.
         """
+        # The memo keys on the predicate's *structural* normal form, so
+        # structurally equal predicates built separately (a replayed query
+        # text re-parsed into fresh objects) hit the whole-plan memo, not
+        # just the per-fragment candidate cache underneath it.
         key = (
-            predicate,
+            normalize_fragment(predicate),
             tuple(tuple(attrs) for attrs in partition_attributes),
             crossbars_per_page,
         )

@@ -40,6 +40,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 from repro.config import SystemConfig, validate_backend
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
+from repro.core.parallel import ScatterPool
 from repro.db import dml
 from repro.db.query import Predicate, Query
 from repro.db.relation import Relation
@@ -111,6 +112,7 @@ class QueryService:
         cache: Optional[ProgramCache] = None,
         pruning: bool = True,
         planner: bool = True,
+        scatter_workers: Optional[int] = None,
     ) -> None:
         """Create an empty service.
 
@@ -126,11 +128,18 @@ class QueryService:
                 the host-scan path instead of always executing on PIM.
                 Results are identical either way; only the modelled (and
                 wall-clock) cost differs.
+            scatter_workers: Width of the service-owned
+                :class:`~repro.core.parallel.ScatterPool` every registered
+                engine shares — the shard scatter and the batched group-by
+                kernels reuse its warm worker threads across queries and
+                batches.  Defaults to one worker per core; ``1`` keeps all
+                execution on the calling thread.
         """
         self.cache = cache if cache is not None else ProgramCache(cache_capacity)
         self.vectorized = bool(vectorized)
         self.pruning = bool(pruning)
         self.planner_enabled = bool(planner)
+        self.pool = ScatterPool(scatter_workers)
         self._planner = CostPlanner()
         self._engines: Dict[str, ServiceEngine] = {}
         self._executors: Dict[str, ServiceExecutors] = {}
@@ -168,6 +177,7 @@ class QueryService:
             compiler=self.cache,
             vectorized=self.vectorized,
             pruning=self.pruning,
+            scatter_pool=self.pool,
         )
         self._engines[name] = engine
         self._executors[name] = PimExecutor(engine.config)
@@ -245,6 +255,7 @@ class QueryService:
             pruning=self.pruning,
             max_workers=max_workers,
             planner=self._planner if self.planner_enabled else None,
+            pool=self.pool if max_workers > 1 else None,
         )
         self._engines[name] = engine
         self._executors[name] = engine.make_executors()
@@ -252,6 +263,17 @@ class QueryService:
         if default or self._default is None:
             self._default = name
         return engine
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the shared scatter pool's worker threads (idempotent)."""
+        self.pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @staticmethod
     def _fresh_counters() -> Dict[str, int]:

@@ -30,16 +30,18 @@ interpreter lock, so wall-clock — not just modelled — time drops too.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import contextlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
+from repro.core.parallel import ScatterPool
 from repro.core.stages import ProgramCompiler
+from repro.db.compiler import CompilationError
 from repro.db.query import Query
 from repro.host.aggregator import merge_shard_rows
 from repro.pim.controller import PimExecutor
@@ -116,6 +118,7 @@ class ShardedQueryEngine:
         pruning: bool = False,
         max_workers: int = 1,
         planner: Optional[CostPlanner] = None,
+        pool: Optional[ScatterPool] = None,
     ) -> None:
         """Create a scatter-gather engine over a sharded relation.
 
@@ -141,6 +144,11 @@ class ShardedQueryEngine:
                 served through :func:`~repro.planner.planner.execute_host_scan`
                 instead (bit-exact rows, host-path cost model).  ``None``
                 always executes on PIM.
+            pool: A shared :class:`~repro.core.parallel.ScatterPool` (the
+                service passes its own, so warm worker threads are reused
+                across engines and batches).  ``None`` creates a private
+                pool of ``max_workers`` threads, owned — and closed — by
+                this engine.
         """
         self.sharded = sharded
         self.config = (
@@ -152,9 +160,13 @@ class ShardedQueryEngine:
         self.pruning = bool(pruning)
         self.planner = planner
         self.max_workers = max(1, int(max_workers))
-        # The scatter thread pool is created lazily and reused across
-        # queries; close() (or the context manager) releases its threads.
-        self._pool: Optional[ThreadPoolExecutor] = None
+        # The scatter pool is shared (service-owned) or private; a private
+        # pool starts its threads lazily and close() releases them.  The
+        # same pool serves both nesting levels — the shard scatter here and
+        # the per-partition batch kernels inside each shard engine (nested
+        # maps run inline on the workers, so sharing cannot deadlock).
+        self._owns_pool = pool is None
+        self.pool = pool if pool is not None else ScatterPool(self.max_workers)
         self.shard_engines: List[PimQueryEngine] = [
             PimQueryEngine(
                 stored,
@@ -166,6 +178,7 @@ class ShardedQueryEngine:
                 compiler=self.compiler,
                 vectorized=self.vectorized,
                 pruning=self.pruning,
+                scatter_pool=self.pool,
             )
             for index, stored in enumerate(sharded.shards)
         ]
@@ -180,10 +193,9 @@ class ShardedQueryEngine:
 
     # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Release the scatter thread pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Release the scatter thread pool if this engine owns it (idempotent)."""
+        if self._owns_pool:
+            self.pool.close()
 
     def __enter__(self) -> "ShardedQueryEngine":
         return self
@@ -192,10 +204,8 @@ class ShardedQueryEngine:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
-        try:
+        with contextlib.suppress(Exception):
             self.close()
-        except Exception:
-            pass
 
     # ------------------------------------------------------------------ main
     def execute(
@@ -211,23 +221,57 @@ class ShardedQueryEngine:
         thread-pool scatter safe.
         """
         executors = self._resolve_executors(executor)
-        if self.max_workers > 1 and self.num_shards > 1:
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=min(self.max_workers, self.num_shards)
+        empty = self._prescatter_empty(query)
+        pooled: List[Tuple[int, PimQueryEngine, PimExecutor]] = []
+        shard_executions: List[Optional[QueryExecution]] = [None] * self.num_shards
+        for index, (engine, shard_executor) in enumerate(
+            zip(self.shard_engines, executors)
+        ):
+            if empty[index]:
+                # Provably-empty shard: only the (memoized) zone-map check
+                # runs, so it executes inline instead of occupying a pool
+                # slot — the execution and its stats are unchanged.
+                shard_executions[index] = self._execute_shard(
+                    query, engine, shard_executor
                 )
-            shard_executions = list(
-                self._pool.map(
-                    lambda pair: self._execute_shard(query, pair[0], pair[1]),
-                    zip(self.shard_engines, executors),
-                )
-            )
-        else:
-            shard_executions = [
-                self._execute_shard(query, engine, shard_executor)
-                for engine, shard_executor in zip(self.shard_engines, executors)
-            ]
+            else:
+                pooled.append((index, engine, shard_executor))
+        results = self.pool.map(
+            lambda work: self._execute_shard(query, work[1], work[2]), pooled
+        )
+        for (index, _, _), execution in zip(pooled, results):
+            shard_executions[index] = execution
         return self._gather(query, shard_executions)
+
+    def _prescatter_empty(self, query: Query) -> List[bool]:
+        """Cross-shard candidate mask: which shards are provably empty.
+
+        Peeks at every shard's memoized plan decision — assembled from the
+        shard's cached fragment masks — without consuming the billing, so
+        the shard's own zone-map charge is unchanged when it executes.
+        """
+        if not self.pruning:
+            return [False] * self.num_shards
+        flags: List[bool] = []
+        crossbars_per_page = self.config.pim.crossbars_per_page
+        for engine in self.shard_engines:
+            statistics = getattr(engine.stored, "statistics", None)
+            if statistics is None:
+                flags.append(False)
+                continue
+            try:
+                decision = statistics.plan(
+                    query.predicate,
+                    engine.stored.partition_attributes,
+                    crossbars_per_page,
+                    peek=True,
+                )
+            except CompilationError:
+                # The shard engine will raise the real error; don't mask it.
+                flags.append(False)
+                continue
+            flags.append(decision.empty)
+        return flags
 
     def _execute_shard(
         self,

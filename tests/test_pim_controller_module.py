@@ -1,5 +1,7 @@
 """Tests of the PIM executor accounting and the module allocator."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
@@ -164,7 +166,7 @@ def test_request_descriptors_and_executor_fork():
     assert [r.page_index for r in requests] == [0, 1, 2, 3, 4]
     assert requests[1].uses_aggregation_circuit
     # Frozen dataclasses: descriptors are immutable accounting records.
-    with pytest.raises(Exception):
+    with pytest.raises(dataclasses.FrozenInstanceError):
         requests[0].cycles = 99
 
     parent = PimExecutor(DEFAULT_CONFIG)

@@ -148,13 +148,13 @@ def test_thread_pool_scatter_is_bit_exact(ssb_prejoined):
         assert threaded.energy_j == pytest.approx(sequential.energy_j, rel=1e-12)
     # The lazily created scatter pool is reused across queries and released
     # by close(); a closed engine rebuilds it on the next execution.
-    assert engines[4]._pool is not None
+    assert engines[4].pool._executor is not None
     engines[4].close()
-    assert engines[4]._pool is None
+    assert engines[4].pool._executor is None
     with engines[4] as engine:
         assert engine.execute(ALL_QUERIES["Q1.1"]).rows == \
             engines[1].execute(ALL_QUERIES["Q1.1"]).rows
-    assert engines[4]._pool is None
+    assert engines[4].pool._executor is None
 
 
 # ----------------------------------------------------------- shard geometry
@@ -355,7 +355,7 @@ def test_merging_shard_partials_equals_concatenated_aggregation(shards, group_by
 
     # AVG merges through its SUM/COUNT decomposition: the merged partials
     # reproduce the average of the concatenated records exactly.
-    for key, entry in expected.items():
+    for key in expected:
         merged_avg = Fraction(merged[key]["sum_v"], merged[key]["count"])
         values = [v for shard in shards for g, v in shard
                   if not group_by or (g,) == key]

@@ -84,7 +84,7 @@ def test_query_catalogue_structure():
     assert len(queries_in_group(3)) == 4
     with pytest.raises(KeyError):
         ssb_query("Q9.9")
-    for name, entry in SSB_QUERIES.items():
+    for entry in SSB_QUERIES.values():
         assert entry.sql.startswith("select")
         if entry.group == 1:
             assert entry.query.group_by == ()
