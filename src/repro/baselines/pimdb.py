@@ -14,7 +14,6 @@ aggregation, which is why PIMDB assigns fewer subgroups to pim-gb
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.executor import PimQueryEngine
@@ -25,12 +24,12 @@ from repro.pim.module import PimModule
 
 def build_pimdb_engine(
     relation: Relation,
-    config: Optional[SystemConfig] = None,
-    aggregation_width: Optional[int] = None,
+    config: SystemConfig | None = None,
+    aggregation_width: int | None = None,
     label: str = "pimdb",
     sample_pages: int = 1,
     timing_scale: float = 1.0,
-) -> Tuple[PimQueryEngine, StoredRelation]:
+) -> tuple[PimQueryEngine, StoredRelation]:
     """Store ``relation`` and return a PIMDB-configured query engine.
 
     The returned configuration disables the aggregation circuit, which makes

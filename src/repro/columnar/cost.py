@@ -13,7 +13,6 @@ compute overlap in a column-at-a-time engine).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.config import ColumnarServerConfig
 
@@ -29,7 +28,7 @@ class ColumnarCost:
     group_updates: float = 0.0
     materialized_bytes: float = 0.0
 
-    def scaled(self, factor: float) -> "ColumnarCost":
+    def scaled(self, factor: float) -> ColumnarCost:
         """Return a copy with every counter multiplied by ``factor``.
 
         Used to extrapolate a functionally executed small-scale run to the
@@ -45,7 +44,7 @@ class ColumnarCost:
             materialized_bytes=self.materialized_bytes * factor,
         )
 
-    def add(self, other: "ColumnarCost") -> "ColumnarCost":
+    def add(self, other: ColumnarCost) -> ColumnarCost:
         """Accumulate another cost object into this one (in place)."""
         self.bytes_scanned += other.bytes_scanned
         self.values_touched += other.values_touched
@@ -77,7 +76,7 @@ class ColumnarCost:
         """Estimated query latency: memory and compute overlap."""
         return max(self.memory_time_s(config), self.cpu_time_s(config))
 
-    def breakdown(self, config: ColumnarServerConfig) -> Dict[str, float]:
+    def breakdown(self, config: ColumnarServerConfig) -> dict[str, float]:
         """Reporting helper with both components and the counters."""
         return {
             "memory_time_s": self.memory_time_s(config),

@@ -13,7 +13,7 @@ model of the paper's MonetDB server.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -32,11 +32,11 @@ class ColumnarExecution:
 
     query: Query
     label: str
-    rows: Dict[Tuple[int, ...], Dict[str, int]]
+    rows: dict[tuple[int, ...], dict[str, int]]
     cost: ColumnarCost
     time_s: float
 
-    def scalar(self, aggregate_name: Optional[str] = None) -> int:
+    def scalar(self, aggregate_name: str | None = None) -> int:
         """Value of an aggregate for a query without GROUP-BY."""
         if not self.rows:
             raise ValueError(
@@ -62,7 +62,7 @@ class ColumnarEngine:
 
     def __init__(
         self,
-        config: Optional[SystemConfig] = None,
+        config: SystemConfig | None = None,
         derived: Sequence[DerivedAttribute] = (),
         workload_scale: float = 1.0,
     ) -> None:
@@ -78,7 +78,7 @@ class ColumnarEngine:
 
         system = config if config is not None else DEFAULT_CONFIG
         self.server: ColumnarServerConfig = system.columnar
-        self.derived: Dict[str, DerivedAttribute] = {d.name: d for d in derived}
+        self.derived: dict[str, DerivedAttribute] = {d.name: d for d in derived}
         if workload_scale <= 0:
             raise ValueError("workload_scale must be positive")
         self.workload_scale = float(workload_scale)
@@ -147,12 +147,12 @@ class ColumnarEngine:
 
         # GROUP-BY attributes: fact attributes are gathered directly,
         # dimension attributes are fetched through the join.
-        group_columns: Dict[str, np.ndarray] = {}
+        group_columns: dict[str, np.ndarray] = {}
         for name in query.group_by:
             group_columns[name] = self._resolve_attribute(
                 database, fact, name, indices, cost
             )
-        value_columns: Dict[str, np.ndarray] = {}
+        value_columns: dict[str, np.ndarray] = {}
         for aggregate in query.aggregates:
             if aggregate.attribute is None:
                 continue
@@ -167,9 +167,9 @@ class ColumnarEngine:
     # -------------------------------------------------------------- internals
     def _split_conjuncts(
         self, predicate: Predicate, database: Database
-    ) -> Dict[str, Predicate]:
+    ) -> dict[str, Predicate]:
         """Group top-level conjuncts by the relation that owns their attributes."""
-        buckets: Dict[str, List[Predicate]] = {}
+        buckets: dict[str, list[Predicate]] = {}
         nodes = list(predicate.children) if isinstance(predicate, And) else (
             [predicate] if predicate is not None else []
         )
@@ -211,7 +211,7 @@ class ColumnarEngine:
         attribute: str,
         indices: np.ndarray,
         cost: ColumnarCost,
-        database: Optional[Database] = None,
+        database: Database | None = None,
     ) -> np.ndarray:
         """Values to aggregate: a stored column or an on-the-fly derived one."""
         if attribute in relation.schema:

@@ -12,7 +12,7 @@ hash table once per selected record.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -117,11 +117,11 @@ def gather_column(
 
 
 def group_aggregate(
-    group_columns: Dict[str, np.ndarray],
-    value_columns: Dict[str, np.ndarray],
+    group_columns: dict[str, np.ndarray],
+    value_columns: dict[str, np.ndarray],
     aggregates: Sequence[Aggregate],
     cost: ColumnarCost,
-) -> Dict[Tuple[int, ...], Dict[str, int]]:
+) -> dict[tuple[int, ...], dict[str, int]]:
     """Hash GROUP-BY aggregation over materialised columns."""
     names = list(group_columns)
     arrays = [np.asarray(group_columns[n], dtype=np.uint64) for n in names]
@@ -129,14 +129,14 @@ def group_aggregate(
         len(next(iter(value_columns.values()))) if value_columns else 0
     )
     cost.group_updates += count * max(1, len(aggregates))
-    results: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    results: dict[tuple[int, ...], dict[str, int]] = {}
     if count == 0:
         return results
     keys = np.stack(arrays, axis=1) if arrays else np.zeros((count, 0), dtype=np.uint64)
     unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
     for index, key in enumerate(unique_keys):
         selector = inverse == index
-        entry: Dict[str, int] = {}
+        entry: dict[str, int] = {}
         for aggregate in aggregates:
             if aggregate.op == "count":
                 entry[aggregate.name] = int(selector.sum())

@@ -74,6 +74,30 @@ def default_execution() -> str:
     return validate_execution(execution, source="REPRO_EXECUTION=")
 
 
+#: DML execution strategies.  ``"pruned"`` compiles the statement's predicate
+#: once, consults the relation's zone maps/candidate cache and runs the
+#: filter/clear/mux programs only on the candidate crossbars (with a
+#: provably-empty early exit); ``"broadcast"`` is the reference that runs
+#: every DML program on every crossbar.  Both tombstone/patch the exact same
+#: rows; only the modelled cost differs.
+DML_MODES = ("pruned", "broadcast")
+
+
+def validate_dml_mode(mode: str, source: str = "dml=") -> str:
+    """Validate a DML-mode name, naming the ``source``."""
+    if mode not in DML_MODES:
+        raise ValueError(
+            f"{source}{mode!r} is not a DML mode; choose from {DML_MODES}"
+        )
+    return mode
+
+
+def default_dml_mode() -> str:
+    """The DML execution strategy, overridable via ``REPRO_DML``."""
+    mode = os.environ.get("REPRO_DML", "pruned")
+    return validate_dml_mode(mode, source="REPRO_DML=")
+
+
 @dataclass(frozen=True)
 class CrossbarConfig:
     """Geometry and device parameters of a single memory crossbar array.
@@ -249,19 +273,19 @@ class SystemConfig:
         validate_backend(self.backend)
         validate_execution(self.execution)
 
-    def replace(self, **kwargs) -> "SystemConfig":
+    def replace(self, **kwargs) -> SystemConfig:
         """Return a copy of this configuration with some fields replaced."""
         return dataclasses.replace(self, **kwargs)
 
-    def with_backend(self, backend: str) -> "SystemConfig":
+    def with_backend(self, backend: str) -> SystemConfig:
         """Return a copy of this configuration using ``backend`` banks."""
         return dataclasses.replace(self, backend=backend)
 
-    def with_execution(self, execution: str) -> "SystemConfig":
+    def with_execution(self, execution: str) -> SystemConfig:
         """Return a copy of this configuration using ``execution`` programs."""
         return dataclasses.replace(self, execution=execution)
 
-    def without_aggregation_circuit(self) -> "SystemConfig":
+    def without_aggregation_circuit(self) -> SystemConfig:
         """Return a configuration with the aggregation circuit disabled.
 
         This is the PIMDB baseline hardware: identical in every respect

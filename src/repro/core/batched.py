@@ -40,7 +40,7 @@ number or stored bit:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -58,7 +58,7 @@ from repro.pim.logic import Program, ProgramBuilder
 
 @lru_cache(maxsize=256)
 def _compile_group_batch(
-    programs: Tuple[Program, ...], private_columns: Tuple[int, ...]
+    programs: tuple[Program, ...], private_columns: tuple[int, ...]
 ) -> BatchKernel:
     """Compile (and memoise) the multi-output kernel of a program batch.
 
@@ -75,7 +75,7 @@ def batch_kernel_cache_info():
     return _compile_group_batch.cache_info()
 
 
-def _candidate_idx(prune, partition: int) -> Optional[np.ndarray]:
+def _candidate_idx(prune, partition: int) -> np.ndarray | None:
     if prune is None:
         return None
     return np.nonzero(np.asarray(prune.candidates[partition], dtype=bool))[0]
@@ -91,11 +91,11 @@ def _pad_rows(bits: np.ndarray, bank) -> np.ndarray:
 def _run_partition_batch(
     stored,
     partition: int,
-    programs: Tuple[Program, ...],
-    private_columns: Tuple[int, ...],
-    private: Optional[dict],
+    programs: tuple[Program, ...],
+    private_columns: tuple[int, ...],
+    private: dict | None,
     prune,
-) -> List[np.ndarray]:
+) -> list[np.ndarray]:
     """Evaluate a batch of programs on one partition's bank, functionally.
 
     Returns one per-record boolean result (the program's result column)
@@ -112,7 +112,7 @@ def _run_partition_batch(
     kernel = _compile_group_batch(programs, private_columns)
     outputs = kernel.run(bank, xbars, private)
     n = bank.count if xbars is None else int(xbars.size)
-    results: List[np.ndarray] = []
+    results: list[np.ndarray] = []
     for program, bindings in zip(programs, outputs):
         value = dict(bindings).get(program.result_column)
         if value is None:
@@ -132,7 +132,7 @@ def _run_partition_batch(
     return results
 
 
-def _build_fold_programs(layout, remote_count: int) -> List[Tuple[Program, int]]:
+def _build_fold_programs(layout, remote_count: int) -> list[tuple[Program, int]]:
     """The per-position remote-fold programs of the reference path.
 
     With two or more remote partitions every transfer lands in the same
@@ -141,7 +141,7 @@ def _build_fold_programs(layout, remote_count: int) -> List[Tuple[Program, int]]
     :meth:`~repro.core.stages.GroupMaskStage.prepare`).  The programs are
     identical for every subgroup, so they are built once per query.
     """
-    folds: List[Tuple[Program, int]] = []
+    folds: list[tuple[Program, int]] = []
     if remote_count <= 1:
         return folds
     for position in range(remote_count):
@@ -183,7 +183,7 @@ def run_group_by_batched(
     executor: PimExecutor,
     read_model: HostReadModel,
     prune=None,
-) -> Dict[GroupKey, Dict[str, int]]:
+) -> dict[GroupKey, dict[str, int]]:
     """pim-gb over ``keys`` with batched kernels and a charging replay.
 
     Bit-identical with the per-subgroup reference loop of
@@ -203,22 +203,22 @@ def run_group_by_batched(
 
     # The reference builds its per-partition split by iterating the key's
     # group values in attribute order; reproduce the same partition order.
-    by_partition: Dict[int, List[str]] = {}
+    by_partition: dict[int, list[str]] = {}
     for name in group_attributes:
         by_partition.setdefault(stored.partition_of(name), []).append(name)
     remote_partitions = [p for p in by_partition if p != primary]
     include_remote = bool(remote_partitions)
 
-    def values_for(key: GroupKey, names: Sequence[str]) -> Dict[str, int]:
+    def values_for(key: GroupKey, names: Sequence[str]) -> dict[str, int]:
         mapping = dict(zip(group_attributes, key))
         return {name: mapping[name] for name in names}
 
     # ---------------------------------------------- batched mask computation
     # All of this runs against the pre-group-by column state, before the
     # charging replay performs any writes.
-    remote_programs: Dict[int, Tuple[Program, ...]] = {}
+    remote_programs: dict[int, tuple[Program, ...]] = {}
 
-    def remote_batch(partition: int) -> List[np.ndarray]:
+    def remote_batch(partition: int) -> list[np.ndarray]:
         return _run_partition_batch(
             stored, partition, remote_programs[partition], (), None, prune
         )
@@ -234,15 +234,15 @@ def run_group_by_batched(
         batches = pool.map(remote_batch, remote_partitions)
     else:
         batches = [remote_batch(partition) for partition in remote_partitions]
-    remote_group_bits: Dict[int, List[np.ndarray]] = dict(
+    remote_group_bits: dict[int, list[np.ndarray]] = dict(
         zip(remote_partitions, batches)
     )
 
-    remote_bits: Optional[List[np.ndarray]] = None
+    remote_bits: list[np.ndarray] | None = None
     if include_remote:
         remote_bits = []
         for index in range(len(keys)):
-            accumulated: Optional[np.ndarray] = None
+            accumulated: np.ndarray | None = None
             for partition in remote_partitions:
                 bits = remote_group_bits[partition][index]
                 accumulated = bits if accumulated is None else accumulated & bits
@@ -256,8 +256,8 @@ def run_group_by_batched(
         )
         for key in keys
     )
-    private_columns: Tuple[int, ...] = ()
-    private: Optional[dict] = None
+    private_columns: tuple[int, ...] = ()
+    private: dict | None = None
     primary_idx = _candidate_idx(prune, primary)
     if include_remote:
         private_columns = (primary_layout.remote_column,)
@@ -277,7 +277,7 @@ def run_group_by_batched(
     # Field decodes are shared across subgroups (the data fields do not
     # change during the group-by), and subgroup membership of the selected
     # rows is derived in one gather instead of one column sweep per key.
-    field_cache: Dict[Tuple[int, int], np.ndarray] = {}
+    field_cache: dict[tuple[int, int], np.ndarray] = {}
     selected = np.nonzero(mask)[0]
     if selected.size:
         columns = [
@@ -316,11 +316,11 @@ def run_group_by_batched(
             )
 
     # --------------------------------------------------- per-subgroup replay
-    rows: Dict[GroupKey, Dict[str, int]] = {}
+    rows: dict[GroupKey, dict[str, int]] = {}
     filter_bits = np.asarray(mask, dtype=bool).copy()
     for index, key in enumerate(keys):
         # Remote subgroup programs, transfers and folds, in reference order.
-        running: Optional[np.ndarray] = None
+        running: np.ndarray | None = None
         for position, partition in enumerate(remote_partitions):
             layout = stored.layouts[partition]
             replay_apply(
@@ -359,7 +359,7 @@ def run_group_by_batched(
         mask_rows = _pad_rows(subgroup_bits, bank)
 
         # Aggregates from the cached field decodes, charged per invocation.
-        entry: Dict[str, Optional[int]] = {}
+        entry: dict[str, int | None] = {}
         for aggregate in query.aggregates:
             if aggregate.op == "count":
                 field_values = mask_rows.astype(np.uint64)

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -62,20 +62,20 @@ class QueryExecution:
 
     query: Query
     label: str
-    rows: Dict[GroupKey, Dict[str, int]]
+    rows: dict[GroupKey, dict[str, int]]
     stats: PimStats
     selectivity: float
     total_subgroups: int
     subgroups_in_sample: int
     pim_subgroups: int
     max_writes_per_row: int
-    plan: Optional[GroupByPlan] = None
+    plan: GroupByPlan | None = None
     #: Crossbars a full broadcast would touch (summed over the partitions).
     crossbars_total: int = 0
     #: Crossbars the filter actually scanned (== total without pruning).
     crossbars_scanned: int = 0
     #: Planner's selectivity estimate (``None`` when no planner consulted).
-    estimated_selectivity: Optional[float] = None
+    estimated_selectivity: float | None = None
 
     @property
     def time_s(self) -> float:
@@ -92,7 +92,7 @@ class QueryExecution:
         """Peak power of a single PIM chip (Fig. 8)."""
         return self.stats.peak_chip_power_w
 
-    def scalar(self, aggregate_name: Optional[str] = None) -> int:
+    def scalar(self, aggregate_name: str | None = None) -> int:
         """Value of an aggregate for a query without GROUP-BY."""
         if not self.rows:
             raise ValueError(
@@ -112,7 +112,7 @@ class QueryExecution:
             )
         return entry[aggregate_name]
 
-    def decoded_rows(self, schema) -> Dict[Tuple, Dict[str, int]]:
+    def decoded_rows(self, schema) -> dict[tuple, dict[str, int]]:
         """Result rows with the GROUP-BY key translated to raw values."""
         decoded = {}
         for key, entry in self.rows.items():
@@ -130,17 +130,17 @@ class PimQueryEngine:
     def __init__(
         self,
         stored: StoredRelation,
-        config: Optional[SystemConfig] = None,
+        config: SystemConfig | None = None,
         label: str = "one_xb",
-        cost_model: Optional[GroupByCostModel] = None,
+        cost_model: GroupByCostModel | None = None,
         sample_pages: int = 1,
         timing_scale: float = 1.0,
-        compiler: Optional[ProgramCompiler] = None,
+        compiler: ProgramCompiler | None = None,
         vectorized: bool = False,
         pruning: bool = False,
-        filter_stage: Optional[FilterStage] = None,
-        group_stage: Optional[GroupMaskStage] = None,
-        aggregation_stage: Optional[AggregationStage] = None,
+        filter_stage: FilterStage | None = None,
+        group_stage: GroupMaskStage | None = None,
+        aggregation_stage: AggregationStage | None = None,
         scatter_pool=None,
     ) -> None:
         """Create an engine over a stored relation.
@@ -214,7 +214,7 @@ class PimQueryEngine:
 
     # ------------------------------------------------------------------ main
     def execute(
-        self, query: Query, executor: Optional[PimExecutor] = None
+        self, query: Query, executor: PimExecutor | None = None
     ) -> QueryExecution:
         """Execute one query and return its results and measurements.
 
@@ -236,7 +236,7 @@ class PimQueryEngine:
         primary = self._primary_partition(query)
         crossbars_total = sum(a.crossbars for a in self.stored.allocations)
         crossbars_scanned = crossbars_total
-        estimated_selectivity: Optional[float] = None
+        estimated_selectivity: float | None = None
         prune = None
         if self.pruning:
             statistics = self.stored.statistics
@@ -255,7 +255,16 @@ class PimQueryEngine:
                 # Some partition's conjunction matches no crossbar: the
                 # selection is provably empty, so no filter broadcast, no
                 # aggregation and no result row — this is also how a sharded
-                # engine skips entire shards.
+                # engine skips entire shards.  An estimator insisting the
+                # selection is non-empty is exactly the feedback the loop
+                # wants, so the empty execution observes too.
+                if query.predicate is not None:
+                    statistics.observe_execution(
+                        query.predicate, estimated_selectivity, 0.0,
+                        crossbars_scanned=0, stored=self.stored,
+                        stats=stats, host=self.config.host,
+                        timing_scale=self.timing_scale,
+                    )
                 return self._pruned_out_execution(
                     query, stats, crossbars_total, estimated_selectivity
                 )
@@ -270,9 +279,20 @@ class PimQueryEngine:
             if self.stored.live_count
             else 0.0
         )
+        if self.pruning and query.predicate is not None:
+            # Close the feedback loop: fold (estimated, actual) and the scan
+            # volume into the relation's adaptive accumulator; a triggered
+            # equi-depth rebuild or pair-sketch build is applied (and
+            # charged) right here.
+            self.stored.statistics.observe_execution(
+                query.predicate, estimated_selectivity, selectivity,
+                crossbars_scanned=crossbars_scanned, stored=self.stored,
+                stats=stats, host=self.config.host,
+                timing_scale=self.timing_scale,
+            )
         candidates = prune.candidates[primary] if prune is not None else None
 
-        plan: Optional[GroupByPlan] = None
+        plan: GroupByPlan | None = None
         if not query.group_by:
             entry = self.aggregation_stage.aggregate_all(
                 query, primary, executor, read_model, candidates=candidates
@@ -322,7 +342,7 @@ class PimQueryEngine:
         query: Query,
         stats: PimStats,
         crossbars_total: int,
-        estimated_selectivity: Optional[float],
+        estimated_selectivity: float | None,
     ) -> QueryExecution:
         """The (empty) execution of a query the zone maps ruled out entirely."""
         if query.group_by:
@@ -360,8 +380,8 @@ class PimQueryEngine:
         return partitions.pop() if partitions else 0
 
     def _finalize_entry(
-        self, entry: Dict[str, Optional[int]], primary: int
-    ) -> Dict[str, int]:
+        self, entry: dict[str, int | None], primary: int
+    ) -> dict[str, int]:
         """Resolve absent mins for a selection known to be non-empty.
 
         A ``None`` min means every crossbar partial equalled the all-ones
@@ -383,7 +403,7 @@ class PimQueryEngine:
         executor: PimExecutor,
         read_model: HostReadModel,
         prune=None,
-    ) -> Tuple[Dict[GroupKey, Dict[str, int]], GroupByPlan]:
+    ) -> tuple[dict[GroupKey, dict[str, int]], GroupByPlan]:
         group_attributes = list(query.group_by)
         candidates = self._candidate_groups(query)
         estimate = estimate_subgroups(
@@ -402,7 +422,7 @@ class PimQueryEngine:
             total_subgroups=len(candidates),
         )
 
-        rows: Dict[GroupKey, Dict[str, int]] = {}
+        rows: dict[GroupKey, dict[str, int]] = {}
         primary_candidates = (
             prune.candidates[primary] if prune is not None else None
         )
@@ -450,7 +470,7 @@ class PimQueryEngine:
         executor: PimExecutor,
         read_model: HostReadModel,
         prune=None,
-    ) -> Dict[str, Optional[int]]:
+    ) -> dict[str, int | None]:
         """pim-gb for one subgroup: subgroup filter, aggregate, combine.
 
         The subgroup mask is a subset of the query filter, so the zone-map
@@ -477,17 +497,17 @@ class PimQueryEngine:
         group_attributes: Sequence[str],
         executor: PimExecutor,
         read_model: HostReadModel,
-    ) -> Dict[GroupKey, Dict[str, int]]:
+    ) -> dict[GroupKey, dict[str, int]]:
         """host-gb: read the remaining selected records and hash-aggregate."""
         mask = read_model.read_filter_bitvector(self.stored, primary)
         indices = np.nonzero(mask)[0]
         needed = list(group_attributes) + [
             a.attribute for a in query.aggregates if a.attribute is not None
         ]
-        by_partition: Dict[int, List[str]] = {}
+        by_partition: dict[int, list[str]] = {}
         for name in dict.fromkeys(needed):
             by_partition.setdefault(self.stored.partition_of(name), []).append(name)
-        values: Dict[str, np.ndarray] = {}
+        values: dict[str, np.ndarray] = {}
         for partition, names in by_partition.items():
             values.update(
                 read_model.read_records(self.stored, partition, indices, names)
@@ -526,7 +546,7 @@ class PimQueryEngine:
         needed = list(query.group_by) + [
             a.attribute for a in query.aggregates if a.attribute is not None
         ]
-        by_partition: Dict[int, List[str]] = {}
+        by_partition: dict[int, list[str]] = {}
         for name in dict.fromkeys(needed):
             by_partition.setdefault(self.stored.partition_of(name), []).append(name)
         total = 0
@@ -534,7 +554,7 @@ class PimQueryEngine:
             total += len(self.stored.layouts[partition].words_for_fields(names))
         return max(1, total)
 
-    def _candidate_groups(self, query: Query) -> List[GroupKey]:
+    def _candidate_groups(self, query: Query) -> list[GroupKey]:
         """Enumerate the potential subgroups from query and catalog knowledge.
 
         Following the paper's "total number of potential subgroups according
@@ -556,7 +576,7 @@ class PimQueryEngine:
             [predicate] if predicate is not None else []
         )
 
-        domains: List[List[int]] = []
+        domains: list[list[int]] = []
         for group_attribute in query.group_by:
             source = schema.attribute(group_attribute).source
             same_source_conjuncts = [

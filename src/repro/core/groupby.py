@@ -11,7 +11,6 @@ choosing ``k`` by minimising the Eq. (3) cost model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 from repro.core.latency_model import GroupByCostModel
 from repro.core.sampling import GroupKey, SubgroupEstimate
@@ -22,7 +21,7 @@ class GroupByPlan:
     """The planner's decision for one query."""
 
     #: Subgroups assigned to pim-gb, largest (estimated) first.
-    pim_groups: List[GroupKey]
+    pim_groups: list[GroupKey]
     #: Whether a host-gb pass over the remaining records is needed.
     host_pass_needed: bool
     #: Total number of potential subgroups (Table II's "total subgroups").
@@ -54,7 +53,7 @@ class GroupByPlanner:
         pages: float,
         aggregation_reads: int,
         reads_per_record: int,
-        total_subgroups: Optional[int] = None,
+        total_subgroups: int | None = None,
     ) -> GroupByPlan:
         """Pick ``k`` and the subgroups to PIM-aggregate.
 
@@ -95,7 +94,7 @@ class GroupByPlanner:
         )
 
     @staticmethod
-    def _candidate_ks(estimate: SubgroupEstimate, total_subgroups: int) -> List[int]:
+    def _candidate_ks(estimate: SubgroupEstimate, total_subgroups: int) -> list[int]:
         """Values of ``k`` worth evaluating.
 
         Beyond the subgroups observed in the sample, ``r(k)`` no longer

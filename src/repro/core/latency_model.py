@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Iterable, Sequence
 
 import numpy as np
 
@@ -65,7 +65,7 @@ class PimGbMeasurement:
 class HostGbLatencyModel:
     """``T_host-gb(M, s, r) = M * (a(s) * sqrt(r) + b(s))``."""
 
-    def __init__(self, a: Dict[int, float], b: Dict[int, float]):
+    def __init__(self, a: dict[int, float], b: dict[int, float]):
         if set(a) != set(b) or not a:
             raise ValueError("a and b must be non-empty lookup tables over the same s")
         self.a = dict(a)
@@ -83,15 +83,15 @@ class HostGbLatencyModel:
         return self.a[s] * math.sqrt(min(max(read_ratio, 0.0), 1.0)) + self.b[s]
 
     @classmethod
-    def fit(cls, measurements: Iterable[HostGbMeasurement]) -> "HostGbLatencyModel":
+    def fit(cls, measurements: Iterable[HostGbMeasurement]) -> HostGbLatencyModel:
         """Fit the lookup tables from measurements (least squares per ``s``)."""
-        by_s: Dict[int, List[HostGbMeasurement]] = {}
+        by_s: dict[int, list[HostGbMeasurement]] = {}
         for m in measurements:
             by_s.setdefault(m.reads_per_record, []).append(m)
         if not by_s:
             raise ValueError("no measurements")
-        a: Dict[int, float] = {}
-        b: Dict[int, float] = {}
+        a: dict[int, float] = {}
+        b: dict[int, float] = {}
         for s, points in by_s.items():
             slopes = np.array([p.time_s / max(p.pages, 1) for p in points])
             roots = np.array([math.sqrt(min(max(p.read_ratio, 0.0), 1.0)) for p in points])
@@ -109,7 +109,7 @@ class HostGbLatencyModel:
 class PimGbLatencyModel:
     """``T_pim-gb(M, n) = M * slope(n) + intercept(n)`` for one subgroup."""
 
-    def __init__(self, slope: Dict[int, float], intercept: Dict[int, float]):
+    def __init__(self, slope: dict[int, float], intercept: dict[int, float]):
         if set(slope) != set(intercept) or not slope:
             raise ValueError("slope and intercept must cover the same n values")
         self.slope_table = dict(slope)
@@ -121,15 +121,15 @@ class PimGbLatencyModel:
         return pages * self.slope_table[n] + self.intercept_table[n]
 
     @classmethod
-    def fit(cls, measurements: Iterable[PimGbMeasurement]) -> "PimGbLatencyModel":
+    def fit(cls, measurements: Iterable[PimGbMeasurement]) -> PimGbLatencyModel:
         """Fit the per-``n`` linear models from measurements."""
-        by_n: Dict[int, List[PimGbMeasurement]] = {}
+        by_n: dict[int, list[PimGbMeasurement]] = {}
         for m in measurements:
             by_n.setdefault(m.aggregation_reads, []).append(m)
         if not by_n:
             raise ValueError("no measurements")
-        slope: Dict[int, float] = {}
-        intercept: Dict[int, float] = {}
+        slope: dict[int, float] = {}
+        intercept: dict[int, float] = {}
         for n, points in by_n.items():
             pages = np.array([p.pages for p in points], dtype=float)
             times = np.array([p.time_s for p in points], dtype=float)
@@ -144,7 +144,7 @@ class PimGbLatencyModel:
         return cls(slope, intercept)
 
 
-def _nearest_key(table: Dict[int, float], key: int) -> int:
+def _nearest_key(table: dict[int, float], key: int) -> int:
     if key in table:
         return key
     return min(table, key=lambda k: abs(k - key))
@@ -183,8 +183,8 @@ class GroupByCostModel:
         reads_per_record: int,
         total_subgroups: int,
         remaining_ratio: Callable[[int], float],
-        candidate_ks: Optional[Sequence[int]] = None,
-    ) -> Tuple[int, float]:
+        candidate_ks: Sequence[int] | None = None,
+    ) -> tuple[int, float]:
         """Return the ``k`` minimising Eq. (3) and its predicted latency."""
         if candidate_ks is None:
             candidate_ks = range(total_subgroups + 1)

@@ -18,7 +18,8 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, List, Optional, TypeVar
+from collections.abc import Callable, Iterable
+from typing import TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -40,13 +41,13 @@ class ScatterPool:
     kernel work.
     """
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    def __init__(self, max_workers: int | None = None) -> None:
         if max_workers is None:
             max_workers = default_scatter_workers()
         if max_workers < 1:
             raise ValueError("max_workers must be at least 1")
         self.max_workers = int(max_workers)
-        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor: ThreadPoolExecutor | None = None
         # Marks this pool's own worker threads: one pool is shared across
         # nesting levels (shard scatter outside, per-partition kernels
         # inside), and a nested map must run inline on the worker — blocking
@@ -65,7 +66,7 @@ class ScatterPool:
             )
         return self._executor
 
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
         """Apply ``fn`` to every item, in parallel when it can pay off.
 
         Returns results in input order.  Falls back to an inline loop when
@@ -92,7 +93,7 @@ class ScatterPool:
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def __enter__(self) -> "ScatterPool":
+    def __enter__(self) -> ScatterPool:
         return self
 
     def __exit__(self, *exc) -> None:

@@ -18,7 +18,7 @@ occupy anyway (:func:`storage_overhead` quantifies this argument).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -44,7 +44,7 @@ class DerivedAttribute:
     right: str
     width: int
 
-    def compute(self, columns: Dict[str, np.ndarray]) -> np.ndarray:
+    def compute(self, columns: dict[str, np.ndarray]) -> np.ndarray:
         left = columns[self.left].astype(np.int64)
         right = columns[self.right].astype(np.int64)
         if self.op == "mul":
@@ -82,8 +82,8 @@ def build_prejoined_relation(
     """
     excluded = set(exclude)
     fact = database.fact_relation
-    attributes: List[Attribute] = list(fact.schema.attributes)
-    columns: Dict[str, np.ndarray] = dict(fact.columns)
+    attributes: list[Attribute] = list(fact.schema.attributes)
+    columns: dict[str, np.ndarray] = dict(fact.columns)
 
     for foreign_key in database.foreign_keys:
         dimension = database.relation(foreign_key.dimension)

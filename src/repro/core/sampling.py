@@ -15,7 +15,7 @@ estimate supplies two things to the planner:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.db.storage import StoredRelation
 from repro.host.readpath import HostReadModel
 
 
-GroupKey = Tuple[int, ...]
+GroupKey = tuple[int, ...]
 
 
 @dataclass
@@ -34,9 +34,9 @@ class SubgroupEstimate:
     #: ordered from the largest estimated size to the smallest.  Candidates
     #: never observed in the sample follow the observed ones, in stable
     #: (domain) order, with an estimated size of zero.
-    ordered_groups: List[GroupKey]
+    ordered_groups: list[GroupKey]
     #: Estimated fraction of *selected* records belonging to each subgroup.
-    group_fractions: Dict[GroupKey, float]
+    group_fractions: dict[GroupKey, float]
     #: Estimated query selectivity (selected records / total records).
     selectivity: float
     #: Number of records inspected by the sample.
@@ -61,7 +61,7 @@ def estimate_subgroups(
     stored: StoredRelation,
     group_attributes: Sequence[str],
     candidate_groups: Sequence[GroupKey],
-    read_model: Optional[HostReadModel] = None,
+    read_model: HostReadModel | None = None,
     sample_pages: int = 1,
     filter_partition: int = 0,
 ) -> SubgroupEstimate:
@@ -93,7 +93,7 @@ def estimate_subgroups(
     group_columns = [
         _partition_column(stored, name)[selected] for name in group_attributes
     ]
-    fractions: Dict[GroupKey, float] = {}
+    fractions: dict[GroupKey, float] = {}
     if len(selected):
         keys = np.stack(group_columns, axis=1) if group_columns else np.zeros((len(selected), 0))
         unique_keys, counts = np.unique(keys, axis=0, return_counts=True)
@@ -135,7 +135,7 @@ def _sample_read_time(
     bitvector_bytes = stored.records_per_page / 8
     time_s = dram.stream_read_time(host, bitvector_bytes)
     if len(selected_indices) and group_attributes:
-        by_partition: Dict[int, List[str]] = {}
+        by_partition: dict[int, list[str]] = {}
         for name in group_attributes:
             by_partition.setdefault(stored.partition_of(name), []).append(name)
         for partition, names in by_partition.items():

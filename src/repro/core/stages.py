@@ -32,7 +32,7 @@ counters and identical statistics; ``tests/test_aggregate_edge_cases.py`` and
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -68,14 +68,14 @@ class ProgramCompiler:
         """WHERE-clause program leaving its result in the filter column."""
         return compile_predicate(predicate, schema, layout)
 
-    def group_program(self, group_values: Dict[str, int], layout: RowLayout) -> Program:
+    def group_program(self, group_values: dict[str, int], layout: RowLayout) -> Program:
         """Remote-partition subgroup equality program (pim-gb)."""
         return compile_group_predicate(
             group_values, layout, filter_column=layout.valid_column
         )
 
     def combine_program(
-        self, group_values: Dict[str, int], layout: RowLayout, include_remote: bool
+        self, group_values: dict[str, int], layout: RowLayout, include_remote: bool
     ) -> Program:
         """Primary-partition subgroup mask program (pim-gb)."""
         return compile_group_combine(
@@ -90,7 +90,7 @@ def apply_program(
     executor: PimExecutor,
     phase: str,
     pages: float,
-    result_bits: Optional[np.ndarray] = None,
+    result_bits: np.ndarray | None = None,
 ) -> None:
     """Run a program gate-level, or write its known result and charge it.
 
@@ -147,7 +147,7 @@ def apply_program_pruned(
     phase: str,
     pages: float,
     candidates: np.ndarray,
-    result_bits: Optional[np.ndarray] = None,
+    result_bits: np.ndarray | None = None,
 ) -> None:
     """Run a program on the zone-map candidate crossbars only.
 
@@ -181,6 +181,53 @@ def apply_program_pruned(
     stored.mark_column_dirty(partition, program.result_column, candidates)
 
 
+def apply_program_at(
+    stored: StoredRelation,
+    partition: int,
+    program: Program,
+    executor: PimExecutor,
+    phase: str,
+    pages: float,
+    candidates: np.ndarray,
+    result_bits: np.ndarray | None = None,
+) -> None:
+    """Run a program on candidate crossbars, leaving the rest *untouched*.
+
+    The preserve-skipped twin of :func:`apply_program_pruned`, for programs
+    whose result on a skipped crossbar equals the bits already stored there —
+    pruned DML's ``valid &= ~doomed`` clear (the doomed bits are zero outside
+    the candidates, so the AND is the identity) and the mux UPDATE (no row
+    there matches the filter, so every field keeps its value).  Unlike the
+    pruned filter path there is no all-zero invariant to restore, hence no
+    stale-crossbar clearing and no zero-outside check; cost, requests and
+    wear are charged for the candidate crossbars only.
+
+    ``result_bits`` (vectorized mode) carries the full column's final value —
+    by the caller's contract it is bit-identical to the current contents on
+    every skipped crossbar.
+    """
+    allocation = stored.allocations[partition]
+    if result_bits is None:
+        executor.run_program_at(
+            allocation.bank, program, candidates, pages, phase
+        )
+    else:
+        stored.write_bit_column(
+            partition, program.result_column, result_bits, count_wear=False
+        )
+        executor.charge_program_cost_at(
+            allocation.bank, program, candidates, pages, phase
+        )
+    if program.result_column is not None and result_bits is None:
+        # write_bit_column marked the exact dirtiness in vectorized mode; the
+        # gate-level path reads the (bit-identical) stored column back so the
+        # dirty masks — which feed later pruned stale-clear charges — agree.
+        shaped = allocation.bank.read_column(program.result_column)
+        stored.mark_column_dirty(
+            partition, program.result_column, shaped.any(axis=1)
+        )
+
+
 def _check_pruned_bits(
     result_bits: np.ndarray, candidates: np.ndarray, allocation
 ) -> None:
@@ -208,7 +255,7 @@ class _Stage:
     def __init__(
         self,
         stored: StoredRelation,
-        compiler: Optional[ProgramCompiler] = None,
+        compiler: ProgramCompiler | None = None,
         timing_scale: float = 1.0,
         vectorized: bool = False,
     ) -> None:
@@ -227,7 +274,7 @@ class _Stage:
         partition: int,
         executor: PimExecutor,
         phase: str,
-        result_bits: Optional[np.ndarray] = None,
+        result_bits: np.ndarray | None = None,
     ) -> None:
         """Apply a program through :func:`apply_program`.
 
@@ -249,7 +296,7 @@ class _Stage:
         executor: PimExecutor,
         phase: str,
         candidates: np.ndarray,
-        result_bits: Optional[np.ndarray] = None,
+        result_bits: np.ndarray | None = None,
     ) -> None:
         """Apply a program through :func:`apply_program_pruned`."""
         apply_program_pruned(
@@ -259,7 +306,7 @@ class _Stage:
             result_bits=result_bits if self.vectorized else None,
         )
 
-    def _equality_mask(self, values: Dict[str, int]) -> np.ndarray:
+    def _equality_mask(self, values: dict[str, int]) -> np.ndarray:
         """Conjunction of ``attribute == value`` over the relation's records."""
         mask = np.ones(self.stored.num_records, dtype=bool)
         for name, value in values.items():
@@ -291,7 +338,7 @@ class FilterStage(_Stage):
         for index, predicate in enumerate(per_partition):
             layout = self.stored.layouts[index]
             program = self.compiler.filter_program(predicate, schema, layout)
-            bits: Optional[np.ndarray] = None
+            bits: np.ndarray | None = None
             if self.vectorized:
                 bits = evaluate_predicate(predicate, self.stored.relation)
                 bits = bits & self.stored.valid_mask(index)
@@ -342,7 +389,7 @@ class FilterStage(_Stage):
         builder.store(combined, target_column)
         builder.free(combined)
         program = builder.build(result_column=target_column)
-        bits: Optional[np.ndarray] = None
+        bits: np.ndarray | None = None
         if self.vectorized:
             bits = self.stored.column_bit(target_partition, target_column) & source_bits
         self._apply(program, target_partition, executor, phase=phase, result_bits=bits)
@@ -353,7 +400,7 @@ class GroupMaskStage(_Stage):
 
     def prepare(
         self,
-        group_values: Dict[str, int],
+        group_values: dict[str, int],
         primary: int,
         executor: PimExecutor,
         read_model: HostReadModel,
@@ -368,7 +415,7 @@ class GroupMaskStage(_Stage):
         it — pruning the mask programs is bit-exact for the final mask while
         charging only the candidate crossbars.
         """
-        by_partition: Dict[int, Dict[str, int]] = {}
+        by_partition: dict[int, dict[str, int]] = {}
         for name, value in group_values.items():
             by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
 
@@ -383,11 +430,11 @@ class GroupMaskStage(_Stage):
             for partition, values in by_partition.items()
             if partition != primary
         ]
-        remote_bits: Optional[np.ndarray] = None
+        remote_bits: np.ndarray | None = None
         for position, (partition, values) in enumerate(remote_parts):
             layout = self.stored.layouts[partition]
             program = self.compiler.group_program(values, layout)
-            bits: Optional[np.ndarray] = None
+            bits: np.ndarray | None = None
             if self.vectorized:
                 bits = self._equality_mask(values) & self.stored.valid_mask(partition)
                 if prune is not None:
@@ -464,7 +511,7 @@ class GroupMaskStage(_Stage):
         executor: PimExecutor,
         operands: Sequence[int],
         destination: int,
-        result_bits: Optional[np.ndarray],
+        result_bits: np.ndarray | None,
         prune=None,
     ) -> None:
         """Accumulate remote bit-vectors when more than one partition ships one.
@@ -509,7 +556,7 @@ class GroupMaskStage(_Stage):
         self,
         primary: int,
         executor: PimExecutor,
-        candidates: Optional[np.ndarray] = None,
+        candidates: np.ndarray | None = None,
     ) -> None:
         """Remove a PIM-aggregated subgroup's records from the host filter.
 
@@ -523,7 +570,7 @@ class GroupMaskStage(_Stage):
         builder.store(remaining, layout.filter_column)
         builder.free(remaining)
         program = builder.build(result_column=layout.filter_column)
-        bits: Optional[np.ndarray] = None
+        bits: np.ndarray | None = None
         if self.vectorized:
             bits = self.stored.column_bit(primary, layout.filter_column) & ~self.stored.column_bit(primary, layout.group_column)
         if candidates is not None:
@@ -560,8 +607,8 @@ class AggregationStage(_Stage):
         primary: int,
         executor: PimExecutor,
         read_model: HostReadModel,
-        candidates: Optional[np.ndarray] = None,
-    ) -> Dict[str, Optional[int]]:
+        candidates: np.ndarray | None = None,
+    ) -> dict[str, int | None]:
         """Aggregate the filtered records of the whole relation with PIM."""
         layout = self.stored.layouts[primary]
         return {
@@ -579,8 +626,8 @@ class AggregationStage(_Stage):
         mask_column: int,
         executor: PimExecutor,
         read_model: HostReadModel,
-        candidates: Optional[np.ndarray] = None,
-    ) -> Optional[int]:
+        candidates: np.ndarray | None = None,
+    ) -> int | None:
         """One PIM aggregation (circuit or bulk-bitwise) plus host combination.
 
         Returns ``None`` for a ``min`` to which no crossbar contributed a

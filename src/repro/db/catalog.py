@@ -10,7 +10,6 @@ paths of every SSB query are derived from a single description.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.db.relation import Relation
 
@@ -29,13 +28,13 @@ class Database:
 
     def __init__(
         self,
-        relations: Optional[Dict[str, Relation]] = None,
-        fact: Optional[str] = None,
-        foreign_keys: Optional[List[ForeignKey]] = None,
+        relations: dict[str, Relation] | None = None,
+        fact: str | None = None,
+        foreign_keys: list[ForeignKey] | None = None,
     ) -> None:
-        self.relations: Dict[str, Relation] = dict(relations or {})
+        self.relations: dict[str, Relation] = dict(relations or {})
         self.fact = fact
-        self.foreign_keys: List[ForeignKey] = list(foreign_keys or [])
+        self.foreign_keys: list[ForeignKey] = list(foreign_keys or [])
 
     def add(self, name: str, relation: Relation) -> None:
         """Register a relation under ``name``."""
@@ -56,7 +55,7 @@ class Database:
         return self.relation(self.fact)
 
     @property
-    def dimension_names(self) -> List[str]:
+    def dimension_names(self) -> list[str]:
         """Names of the dimension relations referenced by foreign keys."""
         return [fk.dimension for fk in self.foreign_keys]
 

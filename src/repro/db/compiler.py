@@ -15,7 +15,7 @@ the data movement overhead Section V-A attributes to the two-xb layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.db.encoding import RowLayout
 from repro.db.query import (
@@ -46,7 +46,7 @@ def compile_predicate(
     predicate: Predicate,
     schema: Schema,
     layout: RowLayout,
-    result_column: Optional[int] = None,
+    result_column: int | None = None,
     combine_with_valid: bool = True,
 ) -> Program:
     """Compile a predicate into a program leaving its result in one column.
@@ -72,10 +72,10 @@ def compile_predicate(
 
 
 def compile_group_predicate(
-    group_values: Dict[str, int],
+    group_values: dict[str, int],
     layout: RowLayout,
-    filter_column: Optional[int] = None,
-    result_column: Optional[int] = None,
+    filter_column: int | None = None,
+    result_column: int | None = None,
 ) -> Program:
     """Compile the per-subgroup filter used by pim-gb.
 
@@ -99,10 +99,10 @@ def compile_group_predicate(
 
 
 def _group_equality_terms(
-    builder: ProgramBuilder, group_values: Dict[str, int], layout: RowLayout
-) -> List[int]:
+    builder: ProgramBuilder, group_values: dict[str, int], layout: RowLayout
+) -> list[int]:
     """Emit one equality comparison per GROUP-BY attribute (sorted by name)."""
-    terms: List[int] = []
+    terms: list[int] = []
     for name, value in sorted(group_values.items()):
         if not layout.has_field(name):
             raise CompilationError(f"attribute {name!r} is not in this partition")
@@ -111,10 +111,10 @@ def _group_equality_terms(
 
 
 def compile_group_combine(
-    group_values: Dict[str, int],
+    group_values: dict[str, int],
     layout: RowLayout,
     include_remote: bool = False,
-    result_column: Optional[int] = None,
+    result_column: int | None = None,
 ) -> Program:
     """Compile the primary-partition subgroup mask used by pim-gb.
 
@@ -151,7 +151,7 @@ def _compile_node(
     raise CompilationError(f"unknown predicate node {node!r}")
 
 
-def _encode(schema: Schema, attribute: str, value) -> Optional[int]:
+def _encode(schema: Schema, attribute: str, value) -> int | None:
     """Translate a constant to the stored code; ``None`` = not in dictionary.
 
     Integer constants outside the attribute's encoded domain are *not*
@@ -219,7 +219,7 @@ def _compile_comparison(
 
 def partition_conjuncts(
     predicate: Predicate, partition_attributes: Sequence[Sequence[str]]
-) -> List[Optional[Predicate]]:
+) -> list[Predicate | None]:
     """Split a top-level conjunction across vertical partitions.
 
     Returns one predicate (or ``None``) per partition.  A conjunct whose
@@ -230,7 +230,7 @@ def partition_conjuncts(
     from repro.db.query import attributes_referenced, conj
 
     partition_sets = [set(attrs) for attrs in partition_attributes]
-    buckets: List[List[Predicate]] = [[] for _ in partition_sets]
+    buckets: list[list[Predicate]] = [[] for _ in partition_sets]
     if predicate is None:
         return [None for _ in partition_sets]
     conjuncts = list(predicate.children) if isinstance(predicate, And) else [predicate]

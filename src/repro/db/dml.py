@@ -37,11 +37,17 @@ from __future__ import annotations
 
 import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
-from repro.core.stages import ProgramCompiler, apply_program
+from repro.config import default_dml_mode
+from repro.core.stages import (
+    ProgramCompiler,
+    apply_program,
+    apply_program_at,
+    apply_program_pruned,
+)
 from repro.db.compiler import CompilationError
 from repro.db.query import Predicate, attributes_referenced, evaluate_predicate
 from repro.db.storage import RelationFullError, StoredRelation
@@ -81,8 +87,8 @@ class CompiledDelete:
 
     partition: int
     filter_program: Program
-    clear_programs: Dict[int, Program]
-    predicate: Optional[Predicate] = None
+    clear_programs: dict[int, Program]
+    predicate: Predicate | None = None
 
 
 @dataclass
@@ -99,7 +105,7 @@ class DeleteResult:
 #: Per-layout cache of the valid-clearing programs.  They are pure functions
 #: of the layout (no predicate dependence), so every DELETE against the same
 #: layout — any shard, any statement — reuses one compiled program.
-_CLEAR_PROGRAMS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_CLEAR_PROGRAMS: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
 
 
 def _clear_valid_program(layout, mask_column: int) -> Program:
@@ -161,9 +167,10 @@ def execute_delete(
     stored: StoredRelation,
     predicate: Predicate,
     executor: PimExecutor,
-    compiled: Optional[CompiledDelete] = None,
+    compiled: CompiledDelete | None = None,
     vectorized: bool = False,
     timing_scale: float = 1.0,
+    pruned: bool | None = None,
 ) -> DeleteResult:
     """Tombstone the records selected by ``predicate`` — in memory.
 
@@ -176,11 +183,22 @@ def execute_delete(
     with NumPy and charges the compiled programs' costs analytically —
     identical stored bits, wear and statistics (the same contract as the
     query stages).
+
+    ``pruned`` (default: the ``REPRO_DML`` mode) consults the relation's
+    zone maps exactly like the query engine — plan billed through the
+    candidate cache, ``zonemap-check`` charged — and runs the filter and
+    valid-clear programs only on the candidate crossbars.  A skipped
+    crossbar provably holds no doomed row, so its valid column is already
+    the AND's result (the clears run preserve-skipped); a provably-empty
+    decision skips the broadcast outright.  The tombstoned rows are
+    bit-exact with the broadcast mode either way.
     """
     if compiled is None:
         compiled = compile_delete(stored, predicate)
     elif compiled.predicate != predicate:
         raise ValueError("compiled delete does not match the given predicate")
+    if pruned is None:
+        pruned = default_dml_mode() == "pruned"
     primary = compiled.partition
     allocation = stored.allocations[primary]
     pages = allocation.pages * timing_scale
@@ -191,20 +209,65 @@ def execute_delete(
     valid_before = stored.valid_mask(primary)
     doomed = evaluate_predicate(predicate, stored.relation) & valid_before
 
+    candidates = None
+    if pruned:
+        statistics = stored.statistics
+        decision = statistics.plan(
+            predicate,
+            stored.partition_attributes,
+            executor.config.pim.crossbars_per_page,
+        )
+        statistics.charge_check(
+            executor.stats, executor.config.host,
+            decision.entries_checked * timing_scale,
+        )
+        if decision.empty:
+            # Some partition's conjunction matches no crossbar: nothing to
+            # tombstone, provably — the conservative invariant guarantees it.
+            assert not doomed.any(), (
+                "zone maps pruned a DELETE that selects live rows; the "
+                "conservative-maintenance invariant was violated"
+            )
+            return DeleteResult(
+                records_deleted=0,
+                filter_cycles=compiled.filter_program.cycles,
+                clear_cycles=0,
+                live_records=stored.live_count,
+                tombstones=stored.tombstone_count,
+            )
+        candidates = decision.candidates[primary]
+
     # Select the rows to delete (the standard PIM filter, valid-conjoined).
-    apply_program(
-        stored, primary, compiled.filter_program, executor,
-        phase="delete-filter", pages=pages,
-        result_bits=doomed if vectorized else None,
-    )
-    # Clear the valid bit where the filter hit.
-    apply_program(
-        stored, primary, compiled.clear_programs[primary], executor,
-        phase="delete-clear", pages=pages,
-        result_bits=(valid_before & ~doomed) if vectorized else None,
-    )
+    if candidates is None:
+        apply_program(
+            stored, primary, compiled.filter_program, executor,
+            phase="delete-filter", pages=pages,
+            result_bits=doomed if vectorized else None,
+        )
+        # Clear the valid bit where the filter hit.
+        apply_program(
+            stored, primary, compiled.clear_programs[primary], executor,
+            phase="delete-clear", pages=pages,
+            result_bits=(valid_before & ~doomed) if vectorized else None,
+        )
+    else:
+        apply_program_pruned(
+            stored, primary, compiled.filter_program, executor,
+            phase="delete-filter", pages=pages, candidates=candidates,
+            result_bits=doomed if vectorized else None,
+        )
+        # Clear the valid bit where the filter hit.  ``doomed`` is zero on
+        # every skipped crossbar, so the AND is the identity there — the
+        # preserve-skipped path leaves those valid columns untouched.
+        apply_program_at(
+            stored, primary, compiled.clear_programs[primary], executor,
+            phase="delete-clear", pages=pages, candidates=candidates,
+            result_bits=(valid_before & ~doomed) if vectorized else None,
+        )
     # Other vertical partitions: ship the tombstone bit-vector through the
-    # host (the two-xb transfer path) and clear their valid bits too.
+    # host (the two-xb transfer path) and clear their valid bits too.  The
+    # crossbar index of a slot is the same in every vertical partition, so
+    # the primary candidates cover the doomed rows everywhere.
     for index in range(stored.partitions):
         if index == primary:
             continue
@@ -214,12 +277,21 @@ def execute_delete(
             index, stored.layouts[index].remote_column,
             phase="delete-transfer",
         )
-        apply_program(
-            stored, index, compiled.clear_programs[index], executor,
-            phase="delete-clear",
-            pages=stored.allocations[index].pages * timing_scale,
-            result_bits=(valid_before & ~doomed) if vectorized else None,
-        )
+        if candidates is None:
+            apply_program(
+                stored, index, compiled.clear_programs[index], executor,
+                phase="delete-clear",
+                pages=stored.allocations[index].pages * timing_scale,
+                result_bits=(valid_before & ~doomed) if vectorized else None,
+            )
+        else:
+            apply_program_at(
+                stored, index, compiled.clear_programs[index], executor,
+                phase="delete-clear",
+                pages=stored.allocations[index].pages * timing_scale,
+                candidates=candidates,
+                result_bits=(valid_before & ~doomed) if vectorized else None,
+            )
 
     doomed_slots = np.nonzero(doomed)[0]
     stored.register_tombstones(doomed_slots)
@@ -247,7 +319,7 @@ class InsertResult:
     """Outcome of an INSERT batch."""
 
     #: Slot index of every inserted record, in input order.
-    slots: List[int] = field(default_factory=list)
+    slots: list[int] = field(default_factory=list)
     #: How many inserts reused a tombstoned slot.
     reused_slots: int = 0
     #: How many inserts grew the high-water mark into the spare tail.
@@ -294,7 +366,7 @@ def execute_insert(
     )
 
     result = InsertResult()
-    tail_records: List[Dict] = []
+    tail_records: list[dict] = []
     for record in encoded_records:
         slot, reused = stored.acquire_slot()
         if reused:
@@ -361,6 +433,9 @@ class CompactionResult:
     slots_reclaimed: int = 0
     slots_before: int = 0
     slots_after: int = 0
+    #: Column the surviving rows were sorted by before the dense rewrite
+    #: (``None``: rows kept their slot order).
+    clustered_by: str | None = None
 
 
 def execute_compaction(
@@ -369,6 +444,7 @@ def execute_compaction(
     threshold: float = DEFAULT_COMPACTION_THRESHOLD,
     force: bool = False,
     timing_scale: float = 1.0,
+    cluster_by: str | None = None,
 ) -> CompactionResult:
     """Rewrite the live rows densely when fragmentation crosses ``threshold``.
 
@@ -380,6 +456,17 @@ def execute_compaction(
     the bookkeeping bit columns are clean.  A fully-deleted relation (no
     live rows) reclaims all its slots with a metadata-only pass: every slot
     already holds a cleared valid bit, so nothing needs rewriting.
+
+    **Re-clustering**: since compaction reads every live record anyway, it
+    is the free moment to choose their order.  ``cluster_by`` (default: the
+    hottest predicate column of the relation's
+    :class:`~repro.planner.adaptive.AdaptiveController`, if any) sorts the
+    surviving rows by that column's encoded value — stable, so equal keys
+    keep their arrival order — before the dense rewrite.  Clustered rows
+    give the rebuilt zone maps tight disjoint ranges, which is what turns an
+    unclustered relation into a prunable one.  The modelled cost is the
+    unchanged read-everything/write-everything compaction cost: the ordering
+    choice happens in the host's buffer.
     """
     fragmentation = stored.fragmentation
     if stored.tombstone_count == 0:
@@ -426,6 +513,16 @@ def execute_compaction(
     for name in relation.schema.names:
         relation.columns[name] = relation.columns[name][valid]
     relation.num_records = new_count
+
+    # Re-cluster: sort the dense image by the hottest predicate column.
+    if cluster_by is None:
+        cluster_by = stored.statistics.hot_column()
+    if cluster_by is not None and cluster_by in relation.schema.names:
+        order = np.argsort(relation.column(cluster_by), kind="stable")
+        for name in relation.schema.names:
+            relation.columns[name] = relation.columns[name][order]
+    else:
+        cluster_by = None
 
     # Phase 2: stream the dense image back into the crossbars.
     host = executor.config.host
@@ -491,4 +588,5 @@ def execute_compaction(
         slots_reclaimed=slots_before - new_count,
         slots_before=slots_before,
         slots_after=new_count,
+        clustered_by=cluster_by,
     )

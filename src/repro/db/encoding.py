@@ -21,7 +21,7 @@ configuration, Section III) becomes necessary.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.db.schema import Schema
 
@@ -38,7 +38,7 @@ class RowLayout:
         schema: Schema,
         columns: int = 512,
         rows: int = 1024,
-        aggregation_width: Optional[int] = None,
+        aggregation_width: int | None = None,
         reserve_bulk_aggregation: bool = True,
         min_scratch: int = 10,
         read_width_bits: int = 16,
@@ -48,7 +48,7 @@ class RowLayout:
         self.rows = int(rows)
         self.read_width_bits = int(read_width_bits)
 
-        self.fields: Dict[str, Tuple[int, int]] = {}
+        self.fields: dict[str, tuple[int, int]] = {}
         cursor = 0
         for attribute in schema:
             self.fields[attribute.name] = (cursor, attribute.width)
@@ -75,7 +75,7 @@ class RowLayout:
         self.accumulator_offset = cursor
         cursor += self.accumulator_width
         if reserve_bulk_aggregation:
-            self.operand_offset: Optional[int] = cursor
+            self.operand_offset: int | None = cursor
             cursor += self.accumulator_width
         else:
             self.operand_offset = None
@@ -86,7 +86,7 @@ class RowLayout:
                 f"{min_scratch} scratch columns, but the crossbar row has only "
                 f"{self.columns}; use vertical partitioning (two-xb)"
             )
-        self.scratch_columns: List[int] = list(range(cursor, self.columns))
+        self.scratch_columns: list[int] = list(range(cursor, self.columns))
 
     # ------------------------------------------------------------- accessors
     def field_offset(self, name: str) -> int:
@@ -95,7 +95,7 @@ class RowLayout:
     def field_width(self, name: str) -> int:
         return self.fields[name][1]
 
-    def field_columns(self, name: str) -> List[int]:
+    def field_columns(self, name: str) -> list[int]:
         """Column indices of a field, least-significant bit first."""
         offset, width = self.fields[name]
         return list(range(offset, offset + width))
@@ -103,7 +103,7 @@ class RowLayout:
     def has_field(self, name: str) -> bool:
         return name in self.fields
 
-    def word_indexes(self, name: str) -> List[int]:
+    def word_indexes(self, name: str) -> list[int]:
         """16-bit read-port word indexes a field spans.
 
         The host read path uses these to count the distinct cache lines a
@@ -114,7 +114,7 @@ class RowLayout:
         last = (offset + width - 1) // self.read_width_bits
         return list(range(first, last + 1))
 
-    def words_for_fields(self, names: Sequence[str]) -> List[int]:
+    def words_for_fields(self, names: Sequence[str]) -> list[int]:
         """Distinct word indexes needed to read the given fields."""
         words = set()
         for name in names:
@@ -127,7 +127,7 @@ class RowLayout:
         return self.accumulator_offset
 
     @property
-    def result_word_indexes(self) -> List[int]:
+    def result_word_indexes(self) -> list[int]:
         """Word indexes spanned by the aggregation result."""
         first = self.accumulator_offset // self.read_width_bits
         last = (self.accumulator_offset + self.accumulator_width - 1) // self.read_width_bits
@@ -138,7 +138,7 @@ class RowLayout:
         """Columns used by fields, flags and reserved areas (without scratch)."""
         return self.columns - len(self.scratch_columns)
 
-    def describe(self) -> List[Tuple[str, int, int]]:
+    def describe(self) -> list[tuple[str, int, int]]:
         """Return ``(name, offset, width)`` rows for documentation/debugging."""
         rows = [(name, off, width) for name, (off, width) in self.fields.items()]
         rows.append(("<valid>", self.valid_column, 1))

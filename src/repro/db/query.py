@@ -15,7 +15,7 @@ semantics used by the columnar engine and by tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class Comparison:
     value: object = None
     low: object = None
     high: object = None
-    values: Tuple[object, ...] = ()
+    values: tuple[object, ...] = ()
 
     def __post_init__(self) -> None:
         if self.op not in _VALID_OPS:
@@ -67,7 +67,7 @@ class Comparison:
 class And:
     """Conjunction of child predicates."""
 
-    children: Tuple[object, ...]
+    children: tuple[object, ...]
 
     def __post_init__(self) -> None:
         if not self.children:
@@ -78,14 +78,14 @@ class And:
 class Or:
     """Disjunction of child predicates."""
 
-    children: Tuple[object, ...]
+    children: tuple[object, ...]
 
     def __post_init__(self) -> None:
         if not self.children:
             raise ValueError("Or needs at least one child")
 
 
-Predicate = Union[Comparison, And, Or, None]
+Predicate = Comparison | And | Or | None
 
 
 def conj(*children) -> Predicate:
@@ -103,8 +103,8 @@ class Aggregate:
     """An aggregation over an attribute (SUM, MIN, MAX or COUNT)."""
 
     op: str
-    attribute: Optional[str] = None
-    alias: Optional[str] = None
+    attribute: str | None = None
+    alias: str | None = None
 
     def __post_init__(self) -> None:
         if self.op not in ("sum", "min", "max", "count"):
@@ -128,40 +128,40 @@ class Query:
 
     name: str
     predicate: Predicate
-    aggregates: Tuple[Aggregate, ...]
-    group_by: Tuple[str, ...] = ()
+    aggregates: tuple[Aggregate, ...]
+    group_by: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.aggregates:
             raise ValueError("a query needs at least one aggregate")
 
     @property
-    def filter_attributes(self) -> List[str]:
+    def filter_attributes(self) -> list[str]:
         """Attributes referenced by the predicate."""
         return sorted(attributes_referenced(self.predicate))
 
     @property
-    def aggregate_attributes(self) -> List[str]:
+    def aggregate_attributes(self) -> list[str]:
         """Attributes referenced by the aggregations."""
         return sorted({a.attribute for a in self.aggregates if a.attribute})
 
     @property
-    def referenced_attributes(self) -> List[str]:
+    def referenced_attributes(self) -> list[str]:
         """All attributes the query touches."""
-        names: Set[str] = set(self.filter_attributes)
+        names: set[str] = set(self.filter_attributes)
         names.update(self.aggregate_attributes)
         names.update(self.group_by)
         return sorted(names)
 
 
-def attributes_referenced(predicate: Predicate) -> Set[str]:
+def attributes_referenced(predicate: Predicate) -> set[str]:
     """Set of attribute names referenced by a predicate."""
     if predicate is None:
         return set()
     if isinstance(predicate, Comparison):
         return {predicate.attribute}
     if isinstance(predicate, (And, Or)):
-        names: Set[str] = set()
+        names: set[str] = set()
         for child in predicate.children:
             names |= attributes_referenced(child)
         return names
@@ -193,7 +193,7 @@ def evaluate_predicate(predicate: Predicate, relation: Relation) -> np.ndarray:
     raise TypeError(f"unknown predicate node {predicate!r}")
 
 
-def _encode_constant(relation: Relation, attribute: str, value) -> Optional[int]:
+def _encode_constant(relation: Relation, attribute: str, value) -> int | None:
     attr = relation.schema.attribute(attribute)
     try:
         return attr.encode_value(value)
@@ -201,7 +201,7 @@ def _encode_constant(relation: Relation, attribute: str, value) -> Optional[int]
         return None
 
 
-def fold_comparison(op: str, encoded: Optional[int], max_value: int) -> Optional[bool]:
+def fold_comparison(op: str, encoded: int | None, max_value: int) -> bool | None:
     """Constant-fold a scalar comparison against the field domain.
 
     ``encoded`` is the constant's stored code (``None`` when the raw value
@@ -231,8 +231,8 @@ def fold_comparison(op: str, encoded: Optional[int], max_value: int) -> Optional
 
 
 def clamp_between(
-    low: Optional[int], high: Optional[int], max_value: int
-) -> Optional[Tuple[int, int]]:
+    low: int | None, high: int | None, max_value: int
+) -> tuple[int, int] | None:
     """Clamp BETWEEN bounds into the field domain (``None`` = empty range).
 
     The companion of :func:`fold_comparison` for the inclusive range
@@ -291,7 +291,7 @@ def reference_group_aggregate(
     mask: np.ndarray,
     group_by: Sequence[str],
     aggregates: Sequence[Aggregate],
-) -> Dict[Tuple[int, ...], Dict[str, int]]:
+) -> dict[tuple[int, ...], dict[str, int]]:
     """Reference GROUP-BY aggregation used to validate every engine.
 
     Returns ``{group_key_codes: {aggregate_name: value}}``.  With an empty
@@ -299,7 +299,7 @@ def reference_group_aggregate(
     """
     mask = np.asarray(mask, dtype=bool)
     selected_indices = np.nonzero(mask)[0]
-    results: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    results: dict[tuple[int, ...], dict[str, int]] = {}
     if len(group_by) == 0:
         keys = np.zeros((len(selected_indices), 0), dtype=np.uint64)
     else:
@@ -311,7 +311,7 @@ def reference_group_aggregate(
     unique_keys, inverse = np.unique(keys, axis=0, return_inverse=True)
     for key_index, key in enumerate(unique_keys):
         group_rows = selected_indices[inverse == key_index]
-        entry: Dict[str, int] = {}
+        entry: dict[str, int] = {}
         for aggregate in aggregates:
             if aggregate.op == "count":
                 entry[aggregate.name] = int(len(group_rows))

@@ -9,7 +9,7 @@ query answers against.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ class Relation:
 
     def __init__(self, schema: Schema, columns: Mapping[str, np.ndarray]):
         self.schema = schema
-        self.columns: Dict[str, np.ndarray] = {}
+        self.columns: dict[str, np.ndarray] = {}
         lengths = set()
         for attribute in schema:
             if attribute.name not in columns:
@@ -51,14 +51,14 @@ class Relation:
                 f"relation {self.schema.name!r} has no column {name!r}"
             ) from None
 
-    def decoded_column(self, name: str) -> List[object]:
+    def decoded_column(self, name: str) -> list[object]:
         """Return a column translated back to raw values."""
         attribute = self.schema.attribute(name)
         column = self.column(name)
         return [attribute.decode_value(v) for v in column]
 
     # ------------------------------------------------------------- mutation
-    def encode_record(self, values: Mapping[str, object]) -> Dict[str, np.uint64]:
+    def encode_record(self, values: Mapping[str, object]) -> dict[str, np.uint64]:
         """Validate and encode one record given as ``{attribute: value}``.
 
         Values may be raw (e.g. a dictionary-encoded string) or already
@@ -71,7 +71,7 @@ class Relation:
                 f"record has attributes {sorted(unknown)} not in schema "
                 f"{self.schema.name!r}"
             )
-        encoded: Dict[str, np.uint64] = {}
+        encoded: dict[str, np.uint64] = {}
         for attribute in self.schema:
             if attribute.name not in values:
                 raise ValueError(f"record is missing attribute {attribute.name!r}")
@@ -102,7 +102,7 @@ class Relation:
 
     def append_rows(
         self, rows: Sequence[Mapping[str, object]], encoded: bool = False
-    ) -> List[int]:
+    ) -> list[int]:
         """Append records, growing every column once; returns the new indices.
 
         Growth reallocates the column arrays, so any NumPy views previously
@@ -125,7 +125,7 @@ class Relation:
         return self.append_rows([values], encoded=encoded)[0]
 
     # ----------------------------------------------------------- operations
-    def select(self, mask: np.ndarray) -> "Relation":
+    def select(self, mask: np.ndarray) -> Relation:
         """Return a new relation containing only the rows where ``mask``."""
         mask = np.asarray(mask, dtype=bool)
         if mask.shape != (self.num_records,):
@@ -134,25 +134,25 @@ class Relation:
             self.schema, {name: col[mask] for name, col in self.columns.items()}
         )
 
-    def project(self, names: Sequence[str], schema_name: Optional[str] = None) -> "Relation":
+    def project(self, names: Sequence[str], schema_name: str | None = None) -> Relation:
         """Return a new relation with only the named columns."""
         schema = self.schema.subset(names, schema_name)
         return Relation(schema, {name: self.columns[name] for name in names})
 
-    def with_column(self, attribute: Attribute, values: np.ndarray) -> "Relation":
+    def with_column(self, attribute: Attribute, values: np.ndarray) -> Relation:
         """Return a new relation with an extra column appended."""
         schema = self.schema.extend([attribute])
         columns = dict(self.columns)
         columns[attribute.name] = np.asarray(values, dtype=np.uint64)
         return Relation(schema, columns)
 
-    def head(self, count: int) -> "Relation":
+    def head(self, count: int) -> Relation:
         """Return the first ``count`` records."""
         return Relation(
             self.schema, {name: col[:count] for name, col in self.columns.items()}
         )
 
-    def records(self, indices: Optional[Iterable[int]] = None) -> List[Dict[str, int]]:
+    def records(self, indices: Iterable[int] | None = None) -> list[dict[str, int]]:
         """Return records as dictionaries of encoded values (for small data)."""
         if indices is None:
             indices = range(self.num_records)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from collections.abc import Iterable, Sequence
 
 import numpy as np
 
@@ -21,8 +21,8 @@ class Dictionary:
     """A bidirectional mapping between raw values and dense integer codes."""
 
     def __init__(self, values: Iterable = ()):
-        self._value_to_code: Dict[object, int] = {}
-        self._code_to_value: List[object] = []
+        self._value_to_code: dict[object, int] = {}
+        self._code_to_value: list[object] = []
         for value in values:
             self.encode(value)
 
@@ -47,7 +47,7 @@ class Dictionary:
         """Encode a sequence of raw values into a uint64 array."""
         return np.array([self.encode(v) for v in values], dtype=np.uint64)
 
-    def decode_array(self, codes: np.ndarray) -> List[object]:
+    def decode_array(self, codes: np.ndarray) -> list[object]:
         """Decode an array of codes back to raw values."""
         return [self._code_to_value[int(c)] for c in codes]
 
@@ -58,7 +58,7 @@ class Dictionary:
         return value in self._value_to_code
 
     @property
-    def values(self) -> List[object]:
+    def values(self) -> list[object]:
         return list(self._code_to_value)
 
     @property
@@ -85,8 +85,8 @@ class Attribute:
     name: str
     width: int
     kind: str = "int"
-    dictionary: Optional[Dictionary] = None
-    source: Optional[str] = None
+    dictionary: Dictionary | None = None
+    source: str | None = None
 
     def __post_init__(self) -> None:
         if self.width <= 0 or self.width > 64:
@@ -121,8 +121,8 @@ class Schema:
 
     def __init__(self, name: str, attributes: Sequence[Attribute]):
         self.name = name
-        self.attributes: List[Attribute] = list(attributes)
-        self._by_name: Dict[str, Attribute] = {}
+        self.attributes: list[Attribute] = list(attributes)
+        self._by_name: dict[str, Attribute] = {}
         for attribute in self.attributes:
             if attribute.name in self._by_name:
                 raise ValueError(f"duplicate attribute {attribute.name!r}")
@@ -145,7 +145,7 @@ class Schema:
             raise KeyError(f"schema {self.name!r} has no attribute {name!r}") from None
 
     @property
-    def names(self) -> List[str]:
+    def names(self) -> list[str]:
         return [a.name for a in self.attributes]
 
     @property
@@ -153,16 +153,16 @@ class Schema:
         """Total bits of one record."""
         return sum(a.width for a in self.attributes)
 
-    def subset(self, names: Sequence[str], schema_name: Optional[str] = None) -> "Schema":
+    def subset(self, names: Sequence[str], schema_name: str | None = None) -> Schema:
         """Return a new schema containing only ``names`` (in that order)."""
         return Schema(schema_name or self.name, [self.attribute(n) for n in names])
 
-    def extend(self, attributes: Sequence[Attribute], schema_name: Optional[str] = None) -> "Schema":
+    def extend(self, attributes: Sequence[Attribute], schema_name: str | None = None) -> Schema:
         """Return a new schema with extra attributes appended."""
         return Schema(schema_name or self.name, self.attributes + list(attributes))
 
 
-def int_attribute(name: str, width: int, source: Optional[str] = None) -> Attribute:
+def int_attribute(name: str, width: int, source: str | None = None) -> Attribute:
     """Convenience constructor for a plain unsigned integer attribute."""
     return Attribute(name=name, width=width, kind="int", source=source)
 
@@ -170,8 +170,8 @@ def int_attribute(name: str, width: int, source: Optional[str] = None) -> Attrib
 def dict_attribute(
     name: str,
     values: Iterable,
-    width: Optional[int] = None,
-    source: Optional[str] = None,
+    width: int | None = None,
+    source: str | None = None,
 ) -> Attribute:
     """Convenience constructor for a dictionary-encoded attribute.
 

@@ -16,7 +16,7 @@ it.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -52,11 +52,11 @@ class StoredRelation:
         self,
         relation: Relation,
         module: PimModule,
-        label: Optional[str] = None,
-        partitions: Optional[Sequence[Sequence[str]]] = None,
-        aggregation_width: Optional[int] = None,
+        label: str | None = None,
+        partitions: Sequence[Sequence[str]] | None = None,
+        aggregation_width: int | None = None,
         reserve_bulk_aggregation: bool = True,
-        layouts: Optional[Sequence[RowLayout]] = None,
+        layouts: Sequence[RowLayout] | None = None,
     ) -> None:
         self.relation = relation
         self.module = module
@@ -67,7 +67,7 @@ class StoredRelation:
 
         if partitions is None:
             partitions = [relation.schema.names]
-        self.partition_attributes: List[List[str]] = [list(p) for p in partitions]
+        self.partition_attributes: list[list[str]] = [list(p) for p in partitions]
         self._validate_partitions()
 
         xbar = module.config.crossbar
@@ -76,8 +76,8 @@ class StoredRelation:
                 f"got {len(layouts)} layouts for "
                 f"{len(self.partition_attributes)} vertical partitions"
             )
-        self.layouts: List[RowLayout] = []
-        self.allocations: List[PimAllocation] = []
+        self.layouts: list[RowLayout] = []
+        self.allocations: list[PimAllocation] = []
         for index, attrs in enumerate(self.partition_attributes):
             if layouts is not None:
                 # Horizontal shards of one relation share layout objects so a
@@ -106,13 +106,13 @@ class StoredRelation:
             )
             self.layouts.append(layout)
             self.allocations.append(allocation)
-        self._attribute_partition: Dict[str, int] = {}
+        self._attribute_partition: dict[str, int] = {}
         for index, attrs in enumerate(self.partition_attributes):
             for name in attrs:
                 self._attribute_partition[name] = index
         # DML bookkeeping: tombstoned slots available for reuse (a min-heap,
         # so reuse fills the lowest slots first) and the live-row counter.
-        self._free_slots: List[int] = []
+        self._free_slots: list[int] = []
         self.live_count = self.num_records
         self._load()
         # Per-crossbar "this bookkeeping column may hold ones" flags, one lazy
@@ -120,7 +120,7 @@ class StoredRelation:
         # columns in practice).  Pruned execution clears a column only on
         # crossbars that are both skipped and dirty, so a run over a clean
         # relation pays no clear broadcast at all.
-        self._column_dirty: List[Dict[int, np.ndarray]] = [
+        self._column_dirty: list[dict[int, np.ndarray]] = [
             {} for _ in self.allocations
         ]
         # Imported lazily: the planner package reaches back into the host
@@ -132,7 +132,7 @@ class StoredRelation:
 
     # ---------------------------------------------------------------- set-up
     def _validate_partitions(self) -> None:
-        seen: Dict[str, int] = {}
+        seen: dict[str, int] = {}
         for index, attrs in enumerate(self.partition_attributes):
             for name in attrs:
                 self.relation.schema.attribute(name)  # raises if unknown
@@ -145,7 +145,7 @@ class StoredRelation:
 
     @staticmethod
     def _partition_aggregation_width(
-        schema: Schema, aggregation_width: Optional[int]
+        schema: Schema, aggregation_width: int | None
     ) -> int:
         if aggregation_width is None:
             return max(a.width for a in schema)
@@ -222,7 +222,7 @@ class StoredRelation:
             return 0.0
         return self.tombstone_count / self.num_records
 
-    def acquire_slot(self) -> Tuple[int, bool]:
+    def acquire_slot(self) -> tuple[int, bool]:
         """Pick the slot for one INSERT: ``(slot, reused)``.
 
         Tombstones are reused lowest-first; otherwise the slot after the
@@ -300,7 +300,7 @@ class StoredRelation:
         return mask
 
     def mark_column_dirty(
-        self, partition: int, column: int, candidates: Optional[np.ndarray] = None
+        self, partition: int, column: int, candidates: np.ndarray | None = None
     ) -> None:
         """Record which crossbars a program just wrote ``column`` on.
 
@@ -321,7 +321,7 @@ class StoredRelation:
         )
 
     def mark_filter_dirty(
-        self, partition: int, candidates: Optional[np.ndarray] = None
+        self, partition: int, candidates: np.ndarray | None = None
     ) -> None:
         """Record which crossbars a filter program just wrote."""
         self.mark_column_dirty(
@@ -410,11 +410,11 @@ class StoredRelation:
         self.mark_column_dirty(partition, column, shaped.any(axis=1))
 
     # ------------------------------------------------------------------ wear
-    def wear_snapshot(self) -> List[np.ndarray]:
+    def wear_snapshot(self) -> list[np.ndarray]:
         """Per-partition snapshots of the wear counters."""
         return [allocation.bank.wear_snapshot() for allocation in self.allocations]
 
-    def max_writes_since(self, snapshots: List[np.ndarray]) -> int:
+    def max_writes_since(self, snapshots: list[np.ndarray]) -> int:
         """Worst per-row write count since the snapshots were taken."""
         return max(
             allocation.bank.max_writes_since(snapshot)

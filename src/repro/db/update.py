@@ -17,10 +17,11 @@ every shard.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 import numpy as np
 
+from repro.config import default_dml_mode
+from repro.core.stages import apply_program_pruned
 from repro.db.compiler import CompilationError, compile_predicate
 from repro.db.query import Predicate, evaluate_predicate
 from repro.db.storage import StoredRelation
@@ -51,15 +52,15 @@ class CompiledUpdate:
     partition: int
     filter_program: Program
     update_program: Program
-    encoded_assignments: Dict[str, int]
-    predicate: Optional[Predicate] = None
-    assignments: Optional[Dict[str, object]] = None
+    encoded_assignments: dict[str, int]
+    predicate: Predicate | None = None
+    assignments: dict[str, object] | None = None
 
 
 def compile_update(
     stored: StoredRelation,
     predicate: Predicate,
-    assignments: Dict[str, object],
+    assignments: dict[str, object],
 ) -> CompiledUpdate:
     """Compile the filter and Algorithm 1 mux programs of an UPDATE.
 
@@ -86,7 +87,7 @@ def compile_update(
     filter_program = compile_predicate(predicate, schema, layout)
 
     builder = ProgramBuilder(layout.scratch_columns)
-    encoded_assignments: Dict[str, int] = {}
+    encoded_assignments: dict[str, int] = {}
     for name, raw_value in assignments.items():
         attribute = schema.attribute(name)
         encoded = attribute.encode_value(raw_value)
@@ -107,9 +108,10 @@ def compile_update(
 def execute_update(
     stored: StoredRelation,
     predicate: Predicate,
-    assignments: Dict[str, object],
+    assignments: dict[str, object],
     executor: PimExecutor,
-    compiled: Optional[CompiledUpdate] = None,
+    compiled: CompiledUpdate | None = None,
+    pruned: bool | None = None,
 ) -> UpdateResult:
     """Update ``assignments`` on the records selected by ``predicate``.
 
@@ -119,6 +121,13 @@ def execute_update(
     broadcast compiles once and passes it to every shard); it must have been
     compiled for ``predicate``/``assignments`` against this relation's
     layout.
+
+    ``pruned`` (default: the ``REPRO_DML`` mode) consults the relation's
+    zone maps like the query engine and runs the filter and Algorithm 1 mux
+    only on the candidate crossbars — on a skipped crossbar no live row can
+    match, so the mux would overwrite every field with its own value.  A
+    provably-empty decision skips the statement outright.  The patched rows
+    are bit-exact with the broadcast mode either way.
     """
     if compiled is None:
         compiled = compile_update(stored, predicate, assignments)
@@ -130,22 +139,63 @@ def execute_update(
         raise ValueError(
             "compiled update does not match the given predicate/assignments"
         )
+    if pruned is None:
+        pruned = default_dml_mode() == "pruned"
     allocation = stored.allocations[compiled.partition]
 
-    # Select the records to update (a standard PIM filter).
-    executor.run_program(
-        allocation.bank, compiled.filter_program,
-        pages=allocation.pages, phase="update-filter",
-    )
+    candidates = None
+    if pruned:
+        statistics = stored.statistics
+        decision = statistics.plan(
+            predicate,
+            stored.partition_attributes,
+            executor.config.pim.crossbars_per_page,
+        )
+        statistics.charge_check(
+            executor.stats, executor.config.host, decision.entries_checked
+        )
+        if decision.empty:
+            doomed = evaluate_predicate(predicate, stored.relation)
+            doomed &= stored.valid_mask(compiled.partition)
+            assert not doomed.any(), (
+                "zone maps pruned an UPDATE that selects live rows; the "
+                "conservative-maintenance invariant was violated"
+            )
+            return UpdateResult(
+                records_updated=0,
+                filter_cycles=compiled.filter_program.cycles,
+                update_cycles=compiled.update_program.cycles,
+            )
+        candidates = decision.candidates[compiled.partition]
 
-    # Overwrite every assigned attribute with Algorithm 1.
-    executor.run_mux_update(
-        allocation.bank, compiled.update_program,
-        pages=allocation.pages, phase="update-mux",
-    )
+    if candidates is None:
+        # Select the records to update (a standard PIM filter).
+        executor.run_program(
+            allocation.bank, compiled.filter_program,
+            pages=allocation.pages, phase="update-filter",
+        )
 
-    # The filter program left the selection in the partition's filter column.
-    stored.mark_filter_dirty(compiled.partition)
+        # Overwrite every assigned attribute with Algorithm 1.
+        executor.run_mux_update(
+            allocation.bank, compiled.update_program,
+            pages=allocation.pages, phase="update-mux",
+        )
+
+        # The filter left the selection in the partition's filter column.
+        stored.mark_filter_dirty(compiled.partition)
+    else:
+        # Pruned filter: skipped-but-stale crossbars get their filter column
+        # cleared and the dirty mask tightened to the candidates, so the mux
+        # may consult the filter bit on exactly the crossbars it runs on.
+        apply_program_pruned(
+            stored, compiled.partition, compiled.filter_program, executor,
+            phase="update-filter", pages=allocation.pages,
+            candidates=candidates,
+        )
+        executor.run_program_at(
+            allocation.bank, compiled.update_program, candidates,
+            pages=allocation.pages, phase="update-mux",
+        )
 
     # Keep the functional ground truth in sync.  Tombstoned rows are masked
     # out: the stored-bits mux never touches them (the filter program ANDs

@@ -14,7 +14,7 @@ Three design choices DESIGN.md calls out are quantified here:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.core.prejoin import storage_overhead
 from repro.experiments.common import ExperimentSetup, format_table
@@ -34,9 +34,9 @@ class AblationRow:
 
 def aggregation_circuit_ablation(
     setup: ExperimentSetup, queries: Sequence[str] = ("Q1.1", "Q2.3", "Q4.1")
-) -> List[AblationRow]:
+) -> list[AblationRow]:
     """Same queries with (one_xb) and without (pimdb) the aggregation circuit."""
-    rows: List[AblationRow] = []
+    rows: list[AblationRow] = []
     for name in queries:
         query = ALL_QUERIES[name]
         for config in ("one_xb", "pimdb"):
@@ -57,13 +57,13 @@ def sampling_ablation(
     setup: ExperimentSetup,
     query_name: str = "Q3.2",
     sample_pages: Sequence[int] = (1, 2, 4),
-) -> List[AblationRow]:
+) -> list[AblationRow]:
     """Effect of the sampling budget on the GROUP-BY plan."""
     if "one_xb" not in setup.pim_engines:
         return []
     base = setup.pim_engines["one_xb"]
     query = ALL_QUERIES[query_name]
-    rows: List[AblationRow] = []
+    rows: list[AblationRow] = []
     original = base.sample_pages
     try:
         for pages in sample_pages:

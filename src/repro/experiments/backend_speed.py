@@ -40,7 +40,6 @@ import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -158,10 +157,10 @@ class BackendSpeedResults:
 
     scale_factor: float
     records: int
-    queries: List[QueryComparison] = field(default_factory=list)
-    service: Optional[ServiceComparison] = None
-    fused: Optional[FusedComparison] = None
-    scatter: Optional[ScatterComparison] = None
+    queries: list[QueryComparison] = field(default_factory=list)
+    service: ServiceComparison | None = None
+    fused: FusedComparison | None = None
+    scatter: ScatterComparison | None = None
 
     @property
     def bool_total_s(self) -> float:
@@ -196,8 +195,8 @@ def _gate_level_engine(prejoined, config: SystemConfig) -> PimQueryEngine:
     return PimQueryEngine(stored, config=config, label="one_xb", vectorized=False)
 
 
-def _timed_executions(engine) -> Dict[str, tuple]:
-    out: Dict[str, tuple] = {}
+def _timed_executions(engine) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
     for name in QUERY_ORDER:
         start = time.perf_counter()
         execution: QueryExecution = engine.execute(ALL_QUERIES[name])
@@ -338,7 +337,7 @@ def _timed_scatter(
 
 
 def run_backend_speed(
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     skew: float = 0.5,
     seed: int = 42,
     with_service: bool = True,
@@ -456,7 +455,7 @@ def render(results: BackendSpeedResults) -> str:
     return "\n".join(lines)
 
 
-def artifact(results: BackendSpeedResults) -> Dict:
+def artifact(results: BackendSpeedResults) -> dict:
     """The ``BENCH_backend.json`` trajectory record."""
     record = {
         "benchmark": "backend_speed",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.baselines import build_pimdb_engine
 from repro.columnar import ColumnarEngine
@@ -74,10 +74,10 @@ class ExperimentSetup:
     prejoined: Relation
     config: SystemConfig
     timing_scale: float
-    pim_engines: Dict[str, PimQueryEngine]
+    pim_engines: dict[str, PimQueryEngine]
     columnar: ColumnarEngine
-    configs: Tuple[str, ...] = ALL_CONFIGS
-    _records: Optional[List[QueryRecord]] = None
+    configs: tuple[str, ...] = ALL_CONFIGS
+    _records: list[QueryRecord] | None = None
 
     @property
     def modelled_pages(self) -> float:
@@ -103,11 +103,11 @@ def default_scale_factor() -> float:
 
 
 def build_setup(
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     skew: float = 0.5,
     seed: int = 42,
     configs: Sequence[str] = ALL_CONFIGS,
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     target_scale_factor: float = PAPER_SCALE_FACTOR,
 ) -> ExperimentSetup:
     """Generate the SSB instance and construct the requested configurations."""
@@ -119,7 +119,7 @@ def build_setup(
     aggregation_width = max_aggregated_width(prejoined)
     timing_scale = (LINEORDERS_PER_SF * target_scale_factor) / len(prejoined)
 
-    pim_engines: Dict[str, PimQueryEngine] = {}
+    pim_engines: dict[str, PimQueryEngine] = {}
     if "one_xb" in configs:
         module = PimModule(system)
         stored = StoredRelation(
@@ -167,7 +167,7 @@ def run_all_queries(
     setup: ExperimentSetup,
     queries: Sequence[str] = QUERY_ORDER,
     verify: bool = True,
-) -> List[QueryRecord]:
+) -> list[QueryRecord]:
     """Run every query on every configuration of the set-up (cached).
 
     With ``verify=True`` (the default) the runner asserts that every
@@ -175,7 +175,7 @@ def run_all_queries(
     """
     if setup._records is not None:
         return setup._records
-    records: List[QueryRecord] = []
+    records: list[QueryRecord] = []
     for name in queries:
         query = ALL_QUERIES[name]
         reference_rows = None
@@ -194,7 +194,7 @@ def run_all_queries(
     return records
 
 
-def _comparable(rows) -> Dict:
+def _comparable(rows) -> dict:
     return {key: dict(value) for key, value in rows.items()}
 
 
@@ -232,7 +232,7 @@ def _record_from(config: str, name: str, execution) -> QueryRecord:
 # Small reporting helpers shared by the figure modules
 # ---------------------------------------------------------------------------
 
-def records_by(records: Sequence[QueryRecord]) -> Dict[Tuple[str, str], QueryRecord]:
+def records_by(records: Sequence[QueryRecord]) -> dict[tuple[str, str], QueryRecord]:
     """Index records by (config, query)."""
     return {(r.config, r.query): r for r in records}
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List
 
 import numpy as np
 
@@ -95,7 +94,7 @@ def churn_relation(records: int, seed: int) -> Relation:
     })
 
 
-def _generate_workload(rounds: int, inserts_per_round: int, seed: int) -> List[Dict]:
+def _generate_workload(rounds: int, inserts_per_round: int, seed: int) -> list[dict]:
     """One concrete op list per round, generated once and replayed verbatim."""
     rng = np.random.default_rng(seed + 1)
     workload = []
@@ -140,11 +139,11 @@ class BackendChurnRun:
     #: Modelled seconds charged per DML phase, summed over every shard and
     #: every call of the run — a physical total of work performed, not the
     #: max-over-shards latency (which ``DmlOutcome.stats`` models per call).
-    phase_time_s: Dict[str, float] = field(default_factory=dict)
+    phase_time_s: dict[str, float] = field(default_factory=dict)
     #: Modelled energy charged by DML calls, summed over the run.
     dml_energy_j: float = 0.0
     #: Per-round probe-query rows (encoded), for cross-backend comparison.
-    round_rows: List[List[Dict]] = field(default_factory=list)
+    round_rows: list[list[dict]] = field(default_factory=list)
 
 
 @dataclass
@@ -156,7 +155,7 @@ class DmlChurnResults:
     shards: int
     inserts_per_round: int
     threshold: float
-    runs: List[BackendChurnRun] = field(default_factory=list)
+    runs: list[BackendChurnRun] = field(default_factory=list)
 
     @property
     def backends_agree(self) -> bool:
@@ -205,7 +204,7 @@ def _run_backend(
     records: int,
     seed: int,
     shards: int,
-    workload: List[Dict],
+    workload: list[dict],
     threshold: float,
 ) -> BackendChurnRun:
     relation = churn_relation(records, seed)
@@ -215,10 +214,10 @@ def _run_backend(
         partitions=PARTITIONS,
     )
     sharded = engine.sharded
-    phase_time: Dict[str, float] = {phase: 0.0 for phase in DML_PHASES}
+    phase_time: dict[str, float] = {phase: 0.0 for phase in DML_PHASES}
     dml_energy = 0.0
     rows_ok = True
-    round_rows: List[List[Dict]] = []
+    round_rows: list[list[dict]] = []
 
     def charge(outcome) -> None:
         nonlocal dml_energy
@@ -241,7 +240,7 @@ def _run_backend(
         charge(service.compact(threshold=threshold))
 
         live = sharded.live_relation()
-        this_round: List[Dict] = []
+        this_round: list[dict] = []
         for query in PROBE_QUERIES:
             execution = service.execute(query)
             expected = reference_group_aggregate(
@@ -330,7 +329,7 @@ def render(results: DmlChurnResults) -> str:
     return "\n".join(lines)
 
 
-def artifact(results: DmlChurnResults) -> Dict:
+def artifact(results: DmlChurnResults) -> dict:
     """The ``BENCH_dml.json`` trajectory record."""
     return {
         "benchmark": "dml_churn",

@@ -38,7 +38,6 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
@@ -78,7 +77,7 @@ class QueryComparison:
     query: str
     group_by: bool
     pim_subgroups: int
-    times_s: Dict[str, float]
+    times_s: dict[str, float]
     rows_match: bool
     totals_match: bool
 
@@ -128,15 +127,15 @@ class EngineWallclockResults:
     scale_factor: float
     records: int
     repeats: int
-    queries: List[QueryComparison] = field(default_factory=list)
-    scatter: Optional[ScatterComparison] = None
+    queries: list[QueryComparison] = field(default_factory=list)
+    scatter: ScatterComparison | None = None
 
     @property
-    def group_by_queries(self) -> List[QueryComparison]:
+    def group_by_queries(self) -> list[QueryComparison]:
         """The GROUP-BY subset the batched-kernel gate applies to."""
         return [q for q in self.queries if q.group_by]
 
-    def _subset_speedup(self, subset: List[QueryComparison]) -> float:
+    def _subset_speedup(self, subset: list[QueryComparison]) -> float:
         batched = sum(q.batched_s for q in subset)
         baseline = sum(q.baseline_s for q in subset)
         return baseline / batched if batched > 0 else float("inf")
@@ -172,7 +171,7 @@ def _engine(prejoined, config: SystemConfig) -> PimQueryEngine:
     )
 
 
-def _replay(engines: Dict[str, PimQueryEngine], repeats: int):
+def _replay(engines: dict[str, PimQueryEngine], repeats: int):
     """Warm every engine, then time per-query replays per strategy.
 
     Returns per-strategy ``{query: (seconds, execution)}`` with the seconds
@@ -182,11 +181,11 @@ def _replay(engines: Dict[str, PimQueryEngine], repeats: int):
     for engine in engines.values():            # warm programs, plans, kernels
         for name in QUERY_ORDER:
             engine.execute(ALL_QUERIES[name])
-    timed: Dict[str, Dict[str, tuple]] = {name: {} for name in engines}
+    timed: dict[str, dict[str, tuple]] = {name: {} for name in engines}
     for strategy, engine in engines.items():
         for name in QUERY_ORDER:
             query = ALL_QUERIES[name]
-            execution: Optional[QueryExecution] = None
+            execution: QueryExecution | None = None
             start = time.perf_counter()
             for _ in range(repeats):
                 execution = engine.execute(query)
@@ -200,7 +199,7 @@ def _timed_scatter(
     prejoined, config: SystemConfig, shards: int = 4, repeats: int = 3
 ) -> ScatterComparison:
     """Time a warm sharded SSB replay, sequential vs pooled scatter."""
-    engines: Dict[int, ShardedQueryEngine] = {}
+    engines: dict[int, ShardedQueryEngine] = {}
     for workers in (1, shards):
         sharded = ShardedStoredRelation(
             prejoined, PimModule(config), shards=shards,
@@ -213,8 +212,8 @@ def _timed_scatter(
             cost_model=_all_pim_cost_model(), compiler=ProgramCache(256),
             vectorized=True, max_workers=workers,
         )
-    times: Dict[int, float] = {}
-    rows: Dict[int, list] = {}
+    times: dict[int, float] = {}
+    rows: dict[int, list] = {}
     for workers, engine in engines.items():
         for name in QUERY_ORDER:               # warm the shards and the pool
             engine.execute(ALL_QUERIES[name])
@@ -235,7 +234,7 @@ def _timed_scatter(
 
 
 def run_engine_wallclock(
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     skew: float = 0.5,
     seed: int = 42,
     repeats: int = 3,
@@ -326,7 +325,7 @@ def render(results: EngineWallclockResults) -> str:
     return "\n".join(lines)
 
 
-def artifact(results: EngineWallclockResults) -> Dict:
+def artifact(results: EngineWallclockResults) -> dict:
     """The ``BENCH_engine.json`` trajectory record."""
     record = {
         "benchmark": "engine_wallclock",

@@ -20,7 +20,7 @@ and reports the fit against the analytic model the engine uses by default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -89,8 +89,8 @@ def _synthetic_relation(records: int, seed: int = 11) -> Relation:
 class Fig4Result:
     """Measurements and fitted models of the Fig. 4 experiment."""
 
-    host_measurements: List[HostGbMeasurement]
-    pim_measurements: List[PimGbMeasurement]
+    host_measurements: list[HostGbMeasurement]
+    pim_measurements: list[PimGbMeasurement]
     fitted: GroupByCostModel
     analytic: GroupByCostModel
 
@@ -117,8 +117,8 @@ def run_fig4(
     allocation = stored.allocations[0]
     actual_pages = stored.pages
 
-    host_points: List[HostGbMeasurement] = []
-    pim_points: List[PimGbMeasurement] = []
+    host_points: list[HostGbMeasurement] = []
+    pim_points: list[PimGbMeasurement] = []
 
     for pages in page_counts:
         scale = pages / actual_pages
@@ -242,12 +242,10 @@ def render(result: Fig4Result) -> str:
         ["M", "n", "measured [ms]", "fit [ms]", "analytic [ms]"], rows
     ))
     lines.append("")
-    lines.append("fitted host-gb slope tables: a(s)=%s b(s)=%s" % (
-        {k: round(v, 9) for k, v in result.fitted.host.a.items()},
-        {k: round(v, 9) for k, v in result.fitted.host.b.items()},
-    ))
-    lines.append("fitted pim-gb tables: slope(n)=%s T0(n)=%s" % (
-        {k: round(v, 9) for k, v in result.fitted.pim.slope_table.items()},
-        {k: round(v, 9) for k, v in result.fitted.pim.intercept_table.items()},
-    ))
+    host_a = {k: round(v, 9) for k, v in result.fitted.host.a.items()}
+    host_b = {k: round(v, 9) for k, v in result.fitted.host.b.items()}
+    lines.append(f"fitted host-gb slope tables: a(s)={host_a} b(s)={host_b}")
+    pim_slope = {k: round(v, 9) for k, v in result.fitted.pim.slope_table.items()}
+    pim_t0 = {k: round(v, 9) for k, v in result.fitted.pim.intercept_table.items()}
+    lines.append(f"fitted pim-gb tables: slope(n)={pim_slope} T0(n)={pim_t0}")
     return "\n".join(lines)

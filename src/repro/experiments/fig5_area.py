@@ -8,7 +8,6 @@ to the PIMDB chip (which lacks them).
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.config import SystemConfig
 from repro.experiments.common import format_table
@@ -25,7 +24,7 @@ PAPER_BREAKDOWN = {
 }
 
 
-def fig5_rows(config: SystemConfig = None) -> List[Tuple[str, float, float, float]]:
+def fig5_rows(config: SystemConfig = None) -> list[tuple[str, float, float, float]]:
     """Rows of (component, area mm^2, measured share, paper share)."""
     model = ChipAreaModel(config)
     areas = model.component_areas_mm2()

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.common import (
     ALL_CONFIGS,
@@ -19,7 +19,7 @@ def fig6_rows(records: Sequence[QueryRecord], configs: Sequence[str] = ALL_CONFI
     indexed = records_by(records)
     rows = []
     for query in QUERY_ORDER:
-        row: List[object] = [query]
+        row: list[object] = [query]
         for config in configs:
             record = indexed.get((config, query))
             row.append(record.time_s if record else float("nan"))
@@ -27,7 +27,7 @@ def fig6_rows(records: Sequence[QueryRecord], configs: Sequence[str] = ALL_CONFI
     return rows
 
 
-def speedups(records: Sequence[QueryRecord], baseline: str, target: str = "one_xb") -> Dict[str, float]:
+def speedups(records: Sequence[QueryRecord], baseline: str, target: str = "one_xb") -> dict[str, float]:
     """Per-query speedup of ``target`` over ``baseline`` plus the geo-mean."""
     indexed = records_by(records)
     ratios = {}

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.common import (
     PIM_CONFIGS,
@@ -23,7 +23,7 @@ def fig8_rows(records: Sequence[QueryRecord], configs: Sequence[str] = PIM_CONFI
     indexed = records_by(records)
     rows = []
     for query in QUERY_ORDER:
-        row: List[object] = [query]
+        row: list[object] = [query]
         for config in configs:
             record = indexed.get((config, query))
             row.append(record.peak_power_w if record else float("nan"))

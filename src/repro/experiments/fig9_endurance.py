@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.experiments.common import (
@@ -31,7 +31,7 @@ def fig9_rows(
     indexed = records_by(records)
     rows = []
     for query in QUERY_ORDER:
-        row: List[object] = [query]
+        row: list[object] = [query]
         for cfg in configs:
             record = indexed.get((cfg, query))
             if record is None or record.time_s <= 0:

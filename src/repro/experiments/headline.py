@@ -10,7 +10,7 @@ so they can be compared side by side.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.config import SystemConfig
 from repro.experiments.common import QueryRecord, format_table
@@ -35,10 +35,10 @@ class HeadlineMetric:
 
 def headline_metrics(
     records: Sequence[QueryRecord], config: SystemConfig = None
-) -> List[HeadlineMetric]:
+) -> list[HeadlineMetric]:
     """Compute every headline metric available from the records."""
     available = {r.config for r in records}
-    metrics: List[HeadlineMetric] = []
+    metrics: list[HeadlineMetric] = []
     if {"one_xb", "mnt_reg"} <= available:
         metrics.append(HeadlineMetric(
             "speedup of one_xb over mnt_reg (geo-mean)",

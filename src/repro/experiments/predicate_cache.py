@@ -29,7 +29,6 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -65,7 +64,7 @@ MIN_ENTRY_REDUCTION = 5.0
 
 def _generate_workload(
     relation: Relation, rounds: int, inserts_per_round: int, seed: int
-) -> List[Dict]:
+) -> list[dict]:
     """One concrete op list per replay round, replayed verbatim everywhere.
 
     All ops are pure data (encoded records, predicates), so the four engines
@@ -113,11 +112,11 @@ class EngineReplayRun:
     wall_s: float
     #: Zone-map entries billed to the queries of each round (round 0 is the
     #: cold round; DML precedes every later round).
-    round_entries: List[float] = field(default_factory=list)
+    round_entries: list[float] = field(default_factory=list)
     #: Per-round, per-query result rows (encoded), for cross-run comparison.
-    round_rows: List[List[Dict]] = field(default_factory=list)
+    round_rows: list[list[dict]] = field(default_factory=list)
     #: Candidate-cache counters at the end of the run (semantic mode only).
-    cache: Optional[Dict] = None
+    cache: dict | None = None
 
     @property
     def cold_entries(self) -> float:
@@ -136,8 +135,8 @@ class PredicateCacheResults:
     scale_factor: float
     rounds: int
     inserts_per_round: int
-    queries: List[str]
-    runs: List[EngineReplayRun] = field(default_factory=list)
+    queries: list[str]
+    runs: list[EngineReplayRun] = field(default_factory=list)
     #: Every cached/re-validated semantic decision matched a cold full walk
     #: over the same maintained zone maps.
     masks_identical: bool = True
@@ -213,7 +212,7 @@ def _entries_billed(execution, engine: PimQueryEngine) -> float:
     return seconds * engine.config.host.frequency_hz / CHECK_CYCLES
 
 
-def _masks_match_cold_walk(engine: PimQueryEngine, queries: List[str]) -> bool:
+def _masks_match_cold_walk(engine: PimQueryEngine, queries: list[str]) -> bool:
     """Compare the engine's cached decisions against a cold full walk.
 
     The cold reference shares the *maintained* zone maps (a from-scratch
@@ -243,7 +242,7 @@ def _masks_match_cold_walk(engine: PimQueryEngine, queries: List[str]) -> bool:
     return True
 
 
-def _apply_dml(engine: PimQueryEngine, ops: Dict) -> None:
+def _apply_dml(engine: PimQueryEngine, ops: dict) -> None:
     executor = PimExecutor(engine.config)
     dml.execute_delete(
         engine.stored, ops["delete"], executor, vectorized=True
@@ -256,8 +255,8 @@ def _apply_dml(engine: PimQueryEngine, ops: Dict) -> None:
 def _run_engine(
     engine: EngineReplayRun,
     prejoined: Relation,
-    workload: List[Dict],
-    queries: List[str],
+    workload: list[dict],
+    queries: list[str],
     aggregation_width: int,
 ) -> bool:
     """Replay the workload through one engine; returns the mask verdict."""
@@ -271,7 +270,7 @@ def _run_engine(
         if round_index > 0:
             _apply_dml(pim, workload[round_index - 1])
         entries = 0.0
-        rows: List[Dict] = []
+        rows: list[dict] = []
         for name in queries:
             execution = pim.execute(ALL_QUERIES[name])
             entries += _entries_billed(execution, pim)
@@ -289,11 +288,11 @@ def _run_engine(
 
 
 def run_predicate_cache(
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     rounds: int = DEFAULT_ROUNDS,
     inserts_per_round: int = DEFAULT_INSERTS_PER_ROUND,
     seed: int = 23,
-    queries: Optional[List[str]] = None,
+    queries: list[str] | None = None,
 ) -> PredicateCacheResults:
     """Replay the SSB templates under churn on every (backend, mode) engine."""
     if scale_factor is None:
@@ -361,7 +360,7 @@ def render(results: PredicateCacheResults) -> str:
     return "\n".join(lines)
 
 
-def artifact(results: PredicateCacheResults) -> Dict:
+def artifact(results: PredicateCacheResults) -> dict:
     """The ``BENCH_pcache.json`` trajectory record."""
     return {
         "benchmark": "predicate_cache",

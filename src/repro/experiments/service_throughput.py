@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.config import SystemConfig
 from repro.db.query import Query
@@ -46,8 +46,8 @@ class ThroughputResults:
     sequential_batch: int
     sequential_wall_s: float
     sequential_qps: float
-    cold_points: List[ThroughputPoint]
-    warm_points: List[ThroughputPoint]
+    cold_points: list[ThroughputPoint]
+    warm_points: list[ThroughputPoint]
     speedup: float
     bit_exact: bool
 
@@ -69,15 +69,15 @@ class ThroughputResults:
             return self.warm_points[-1]
 
 
-def _workload(batch_size: int) -> List[Query]:
+def _workload(batch_size: int) -> list[Query]:
     """A mixed workload cycling through the 13 SSB queries."""
     return [ALL_QUERIES[QUERY_ORDER[i % len(QUERY_ORDER)]] for i in range(batch_size)]
 
 
 def run_throughput(
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     batch_sizes: Sequence[int] = (1, 4, 13, 26),
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     baseline_batch: int = 13,
 ) -> ThroughputResults:
     """Measure service throughput against the per-query baseline."""
@@ -107,8 +107,8 @@ def run_throughput(
         timing_scale=baseline_engine.timing_scale,
     )
 
-    cold_points: List[ThroughputPoint] = []
-    warm_points: List[ThroughputPoint] = []
+    cold_points: list[ThroughputPoint] = []
+    warm_points: list[ThroughputPoint] = []
     bit_exact = True
     for batch_size in batch_sizes:
         queries = _workload(batch_size)
@@ -158,7 +158,7 @@ def render(results: ThroughputResults) -> str:
         "batch", "replay", "wall s", "q/s",
         "p50 ms", "p95 ms", "hits", "misses",
     )
-    rows: List[Tuple] = []
+    rows: list[tuple] = []
     for label, points in (("cold", results.cold_points), ("warm", results.warm_points)):
         for point in points:
             rows.append((

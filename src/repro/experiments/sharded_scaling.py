@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.executor import PimQueryEngine
@@ -36,12 +36,12 @@ from repro.ssb import ALL_QUERIES, QUERY_ORDER, build_ssb_prejoined, generate
 from repro.ssb.datagen import LINEORDERS_PER_SF
 from repro.ssb.prejoined import max_aggregated_width
 
-DEFAULT_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4)
+DEFAULT_SHARD_COUNTS: tuple[int, ...] = (1, 2, 4)
 
 #: The scalar (no GROUP-BY) queries used for the strict energy-accounting
 #: check: with no per-shard planner freedom, the dynamic (non-controller)
 #: energy of a sharded run must equal the unsharded run's almost exactly.
-SCALAR_QUERIES: Tuple[str, ...] = ("Q1.1", "Q1.2", "Q1.3")
+SCALAR_QUERIES: tuple[str, ...] = ("Q1.1", "Q1.2", "Q1.3")
 
 
 def _dynamic_energy(stats) -> float:
@@ -67,7 +67,7 @@ def _lcm(values: Sequence[int]) -> int:
 
 
 def aligned_record_count(
-    shard_counts: Sequence[int], config: Optional[SystemConfig] = None
+    shard_counts: Sequence[int], config: SystemConfig | None = None
 ) -> int:
     """Smallest record count whose pages divide evenly at every shard count."""
     system = config if config is not None else DEFAULT_CONFIG
@@ -86,7 +86,7 @@ class ScalingPoint:
     max_writes_per_row: int
     mean_parallel_speedup: float
     total_merge_time_s: float
-    per_query_time_s: Dict[str, float] = field(default_factory=dict)
+    per_query_time_s: dict[str, float] = field(default_factory=dict)
     cache_misses: int = 0
     cache_hits: int = 0
     #: Dynamic (non-controller) energy over :data:`SCALAR_QUERIES`.
@@ -100,12 +100,12 @@ class ScalingResults:
     records: int
     pages: int
     timing_scale: float
-    shard_counts: Tuple[int, ...]
+    shard_counts: tuple[int, ...]
     unsharded_time_s: float
     unsharded_energy_j: float
     unsharded_max_writes_per_row: int
     unsharded_scalar_dynamic_energy_j: float
-    points: List[ScalingPoint]
+    points: list[ScalingPoint]
     bit_exact: bool
 
     def point(self, shards: int) -> ScalingPoint:
@@ -148,9 +148,9 @@ class ScalingResults:
 
 def run_scaling(
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
-    scale_factor: Optional[float] = None,
+    scale_factor: float | None = None,
     queries: Sequence[str] = QUERY_ORDER,
-    config: Optional[SystemConfig] = None,
+    config: SystemConfig | None = None,
     target_scale_factor: float = PAPER_SCALE_FACTOR,
     seed: int = 42,
     skew: float = 0.5,
@@ -188,7 +188,7 @@ def run_scaling(
     )
 
     bit_exact = True
-    baseline_rows: Dict[str, Dict] = {}
+    baseline_rows: dict[str, dict] = {}
     unsharded_time = unsharded_energy = unsharded_scalar_dyn = 0.0
     unsharded_wear = 0
     for name in queries:
@@ -206,7 +206,7 @@ def run_scaling(
         if name in SCALAR_QUERIES:
             unsharded_scalar_dyn += _dynamic_energy(execution.stats)
 
-    points: List[ScalingPoint] = []
+    points: list[ScalingPoint] = []
     for shards in shard_counts:
         cache = ProgramCache(512)
         shard_module = PimModule(system)
@@ -220,8 +220,8 @@ def run_scaling(
         )
         total_time = total_energy = total_merge = scalar_dyn = 0.0
         wear = 0
-        speedups: List[float] = []
-        per_query: Dict[str, float] = {}
+        speedups: list[float] = []
+        per_query: dict[str, float] = {}
         for name in queries:
             execution = engine.execute(ALL_QUERIES[name])
             bit_exact &= execution.rows == baseline_rows[name]

@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.config import table1_rows
 from repro.experiments.common import format_table
 
 
-def table1() -> List[Tuple[str, str, str]]:
+def table1() -> list[tuple[str, str, str]]:
     """The configuration rows of Table I."""
     return table1_rows()
 

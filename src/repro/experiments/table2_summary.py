@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.experiments.common import QueryRecord, format_table, records_by
 from repro.ssb import QUERY_ORDER
@@ -26,14 +26,14 @@ PAPER_TABLE2 = {
 }
 
 
-def table2_rows(records: Sequence[QueryRecord]) -> List[List[object]]:
+def table2_rows(records: Sequence[QueryRecord]) -> list[list[object]]:
     """Measured Table II rows.
 
     Columns: query, selectivity, total subgroups, subgroups in sample, and
     the number of PIM-aggregated subgroups for one-xb / two-xb / pimdb.
     """
     indexed = records_by(records)
-    rows: List[List[object]] = []
+    rows: list[list[object]] = []
     for query in QUERY_ORDER:
         one = indexed.get(("one_xb", query))
         two = indexed.get(("two_xb", query))

@@ -28,7 +28,6 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -122,13 +121,13 @@ class BackendRun:
     """One backend's trip through the comparison suite."""
 
     backend: str
-    comparisons: List[QueryComparison] = field(default_factory=list)
+    comparisons: list[QueryComparison] = field(default_factory=list)
     #: Point-query rows after the DML interlude, pruned vs unpruned.
     dml_rows_match: bool = True
     #: Modelled seconds the DML interlude charged to zone-map maintenance.
     maintenance_time_s: float = 0.0
     #: Encoded result rows per query, for cross-backend comparison.
-    rows: Dict[str, Dict] = field(default_factory=dict)
+    rows: dict[str, dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -137,7 +136,7 @@ class ZonemapSkipResults:
 
     records: int
     timing_scale: float
-    runs: List[BackendRun] = field(default_factory=list)
+    runs: list[BackendRun] = field(default_factory=list)
     shards: int = 0
     shards_skipped: int = 0
     sharded_rows_match: bool = True
@@ -271,7 +270,7 @@ def _run_backend(
 
 def _run_sharded(
     records: int, seed: int, timing_scale: float, shards: int
-) -> Tuple[int, bool]:
+) -> tuple[int, bool]:
     """Shard-level skipping through the service: ``(skipped, rows_match)``."""
     relation = orders_relation(records, seed)
     service = QueryService()
@@ -343,7 +342,7 @@ def render(results: ZonemapSkipResults) -> str:
     return "\n".join(lines)
 
 
-def artifact(results: ZonemapSkipResults) -> Dict:
+def artifact(results: ZonemapSkipResults) -> dict:
     """The ``BENCH_planner.json`` trajectory record."""
     return {
         "benchmark": "zonemap_skip",

@@ -12,7 +12,7 @@ Two host responsibilities are modelled here:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -40,11 +40,11 @@ def host_group_aggregate(
     value_columns: Mapping[str, np.ndarray],
     aggregates: Sequence[Aggregate],
     config: HostConfig,
-    stats: Optional[PimStats] = None,
+    stats: PimStats | None = None,
     threads: int = 1,
     phase: str = "host-agg",
     workload_scale: float = 1.0,
-) -> Dict[Tuple[int, ...], Dict[str, int]]:
+) -> dict[tuple[int, ...], dict[str, int]]:
     """Hash-aggregate records at the host.
 
     ``group_columns`` holds one array per GROUP-BY attribute and
@@ -69,7 +69,7 @@ def host_group_aggregate(
                 f"{aggregate.attribute!r}, which was not supplied"
             )
 
-    results: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    results: dict[tuple[int, ...], dict[str, int]] = {}
     if count:
         if arrays:
             keys = np.stack(arrays, axis=1)
@@ -84,7 +84,7 @@ def host_group_aggregate(
         order = np.argsort(inverse, kind="stable")
         sorted_groups = inverse[order]
         starts = np.nonzero(np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])[0]
-        columns: Dict[str, np.ndarray] = {}
+        columns: dict[str, np.ndarray] = {}
         for aggregate in aggregates:
             if aggregate.op == "count":
                 columns[aggregate.name] = np.diff(np.r_[starts, count])
@@ -120,9 +120,9 @@ def combine_partials(
     partials: Iterable[np.ndarray],
     operation: str,
     config: HostConfig,
-    stats: Optional[PimStats] = None,
+    stats: PimStats | None = None,
     phase: str = "host-combine",
-) -> Optional[int]:
+) -> int | None:
     """Combine per-crossbar partial aggregates into a single value.
 
     An empty ``min``/``max`` has no defined value: no crossbar contributed a
@@ -139,7 +139,7 @@ def combine_partials(
     else:
         values = np.zeros(0, dtype=np.uint64)
     if operation in ("sum", "count"):
-        result: Optional[int] = int(values.sum())
+        result: int | None = int(values.sum())
     elif operation == "min":
         result = int(values.min()) if values.size else None
     else:  # max
@@ -150,12 +150,12 @@ def combine_partials(
 
 
 def merge_shard_rows(
-    shard_rows: Sequence[Dict[Tuple[int, ...], Dict[str, int]]],
+    shard_rows: Sequence[dict[tuple[int, ...], dict[str, int]]],
     aggregates: Sequence[Aggregate],
-    config: Optional[HostConfig] = None,
-    stats: Optional[PimStats] = None,
+    config: HostConfig | None = None,
+    stats: PimStats | None = None,
     phase: str = "shard-merge",
-) -> Dict[Tuple[int, ...], Dict[str, int]]:
+) -> dict[tuple[int, ...], dict[str, int]]:
     """Gather per-shard result rows into the global result (scatter-gather).
 
     Each element of ``shard_rows`` is the full result dictionary one
@@ -171,7 +171,7 @@ def merge_shard_rows(
     (a hash-table fold over every partial row) is charged to ``stats`` — this
     is the gather term of the sharded latency model.
     """
-    merged: Dict[Tuple[int, ...], Dict[str, int]] = {}
+    merged: dict[tuple[int, ...], dict[str, int]] = {}
     for rows in shard_rows:
         merged = merge_group_results(merged, rows, aggregates)
     if stats is not None and config is not None:
@@ -181,10 +181,10 @@ def merge_shard_rows(
 
 
 def merge_group_results(
-    first: Dict[Tuple[int, ...], Dict[str, int]],
-    second: Dict[Tuple[int, ...], Dict[str, int]],
+    first: dict[tuple[int, ...], dict[str, int]],
+    second: dict[tuple[int, ...], dict[str, int]],
     aggregates: Sequence[Aggregate],
-) -> Dict[Tuple[int, ...], Dict[str, int]]:
+) -> dict[tuple[int, ...], dict[str, int]]:
     """Merge two GROUP-BY result dictionaries (e.g. pim-gb and host-gb parts).
 
     An aggregate that is absent (or ``None``) on one side — a min/max whose

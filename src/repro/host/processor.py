@@ -7,12 +7,11 @@ that split and the conversion of per-record CPU work into time.
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.config import HostConfig
 
 
-def split_evenly(total: int, parts: int) -> List[int]:
+def split_evenly(total: int, parts: int) -> list[int]:
     """Split ``total`` items into ``parts`` nearly equal counts."""
     parts = max(1, int(parts))
     base = total // parts

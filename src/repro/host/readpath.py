@@ -21,7 +21,7 @@ module.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class HostReadModel:
         self,
         config: SystemConfig,
         stats: PimStats,
-        threads: Optional[int] = None,
+        threads: int | None = None,
         traffic_scale: float = 1.0,
     ) -> None:
         self.config = config
@@ -56,7 +56,7 @@ class HostReadModel:
         self,
         stored: StoredRelation,
         partition: int = 0,
-        column: Optional[int] = None,
+        column: int | None = None,
         phase: str = "host-read-bitvector",
     ) -> np.ndarray:
         """Read the packed filter-result bit-vector of a partition.
@@ -103,7 +103,7 @@ class HostReadModel:
         record_indices: np.ndarray,
         attributes: Sequence[str],
         phase: str = "host-read-records",
-    ) -> Dict[str, np.ndarray]:
+    ) -> dict[str, np.ndarray]:
         """Read ``attributes`` of the given records through the load path.
 
         Returns the decoded values (functional) and charges the scattered

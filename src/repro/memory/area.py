@@ -19,7 +19,6 @@ circuit-level estimator would.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.config import PimModuleConfig, SystemConfig
 
@@ -75,7 +74,7 @@ class ChipAreaModel:
         return self.pim.pages_total
 
     # ------------------------------------------------------------------ areas
-    def component_areas_mm2(self) -> Dict[str, float]:
+    def component_areas_mm2(self) -> dict[str, float]:
         """Component areas in mm^2 (before normalising into percentages)."""
         p = self.parameters
         xbar = self.pim.crossbar
@@ -100,7 +99,7 @@ class ChipAreaModel:
         """Total area of one PIM chip."""
         return sum(self.component_areas_mm2().values())
 
-    def breakdown(self) -> Dict[str, float]:
+    def breakdown(self) -> dict[str, float]:
         """Fractional area breakdown of the chip (sums to 1.0)."""
         areas = self.component_areas_mm2()
         total = sum(areas.values())

@@ -8,7 +8,6 @@ into average-power summaries.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.pim.stats import PimStats
 
@@ -22,7 +21,7 @@ COMPONENT_ORDER = (
 )
 
 
-def energy_breakdown(stats: PimStats) -> Dict[str, float]:
+def energy_breakdown(stats: PimStats) -> dict[str, float]:
     """Per-component PIM energy (joules) of one execution."""
     breakdown = {component: 0.0 for component in COMPONENT_ORDER}
     for component, joules in stats.energy_by_component.items():

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -90,7 +90,7 @@ def build_ripple_add(
     a_columns: Sequence[int],
     b_columns: Sequence[int],
     dest_columns: Sequence[int],
-    carry_in: Optional[int] = None,
+    carry_in: int | None = None,
     invert_b: bool = False,
 ) -> None:
     """Emit ``dest = a + b`` (or ``a + NOT b (+ carry)`` when ``invert_b``).
@@ -123,8 +123,8 @@ def build_ripple_add(
 
 
 def _operand_bit(
-    builder: ProgramBuilder, column: Optional[int], invert: bool
-) -> Tuple[Optional[int], bool]:
+    builder: ProgramBuilder, column: int | None, invert: bool
+) -> tuple[int | None, bool]:
     """Return (column, owned) for an operand bit, honouring zero extension."""
     if column is None:
         if invert:
@@ -137,10 +137,10 @@ def _operand_bit(
 
 def _full_adder(
     builder: ProgramBuilder,
-    a: Optional[int],
-    b: Optional[int],
-    carry: Optional[int],
-) -> Tuple[int, Optional[int]]:
+    a: int | None,
+    b: int | None,
+    carry: int | None,
+) -> tuple[int, int | None]:
     """One full-adder stage; ``None`` inputs are constant zero."""
     present = [c for c in (a, b, carry) if c is not None]
     if not present:
@@ -221,8 +221,8 @@ def build_lt_fields(
     """Return a column holding ``a < b`` (unsigned, equal widths)."""
     if len(a_columns) != len(b_columns):
         raise ValueError("operands must have equal widths")
-    lt: Optional[int] = None
-    eq_prefix: Optional[int] = None
+    lt: int | None = None
+    eq_prefix: int | None = None
     for i in reversed(range(len(a_columns))):
         a_col, b_col = a_columns[i], b_columns[i]
         not_a = builder.not_(a_col)
@@ -367,18 +367,18 @@ class BulkAggregationPlan:
         return self.field_width
 
     @property
-    def acc_columns(self) -> List[int]:
+    def acc_columns(self) -> list[int]:
         return list(range(self.acc_offset, self.acc_offset + self.acc_width))
 
     @property
-    def operand_columns(self) -> List[int]:
+    def operand_columns(self) -> list[int]:
         return list(range(self.operand_offset, self.operand_offset + self.acc_width))
 
     @property
-    def field_columns(self) -> List[int]:
+    def field_columns(self) -> list[int]:
         return list(range(self.field_offset, self.field_offset + self.field_width))
 
-    def levels(self) -> List[ReductionLevel]:
+    def levels(self) -> list[ReductionLevel]:
         """Row pairs for every level of the reduction tree."""
         levels = []
         for d in range(1, self.num_levels + 1):
@@ -433,7 +433,7 @@ class BulkAggregationPlan:
         return builder.build()
 
     # ----------------------------------------------------------------- cost
-    def cost(self) -> "BulkAggregationCost":
+    def cost(self) -> BulkAggregationCost:
         """Cycle / write / copy counts of the whole reduction."""
         init = self.init_program()
         combine = self.combine_program()

@@ -31,7 +31,6 @@ phase and hence the peak chip power reported in Fig. 8.
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 import numpy as np
 
@@ -45,7 +44,7 @@ from repro.pim.stats import PimStats
 class PimExecutor:
     """Executes PIM operations on a crossbar bank and accounts for them."""
 
-    def __init__(self, config: SystemConfig, stats: Optional[PimStats] = None):
+    def __init__(self, config: SystemConfig, stats: PimStats | None = None):
         self.config = config
         self.stats = stats if stats is not None else PimStats()
         # Program-execution strategy, resolved once.  ``batched`` runs
@@ -57,7 +56,7 @@ class PimExecutor:
         self._fused = config.execution in ("fused", "batched")
         self.batched = config.execution == "batched"
 
-    def fork(self, stats: Optional[PimStats] = None) -> "PimExecutor":
+    def fork(self, stats: PimStats | None = None) -> PimExecutor:
         """A new executor sharing this one's configuration.
 
         Scatter-gather execution gives every horizontal shard its own
@@ -143,7 +142,7 @@ class PimExecutor:
         cycles: int,
         pages: int,
         phase: str,
-        writes_per_row: Optional[int] = None,
+        writes_per_row: int | None = None,
         add_wear: bool = False,
     ) -> None:
         """Charge the cost of a program without executing it functionally.
@@ -174,7 +173,7 @@ class PimExecutor:
         candidates: np.ndarray,
         pages: float,
         phase: str,
-        clear_crossbars: Optional[np.ndarray] = None,
+        clear_crossbars: np.ndarray | None = None,
         clear_phase: str = "prune-clear",
     ) -> None:
         """Execute a program on the candidate crossbars only.
@@ -209,7 +208,7 @@ class PimExecutor:
         candidates: np.ndarray,
         pages: float,
         phase: str,
-        clear_crossbars: Optional[np.ndarray] = None,
+        clear_crossbars: np.ndarray | None = None,
         clear_phase: str = "prune-clear",
     ) -> None:
         """The vectorized twin of :meth:`run_program_pruned`.
@@ -233,11 +232,63 @@ class PimExecutor:
             )
             bank.writes_per_row[clear_idx] += 1
 
+    def run_program_at(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        candidates: np.ndarray,
+        pages: float,
+        phase: str,
+    ) -> None:
+        """Execute a program on candidate crossbars, preserving the rest.
+
+        The preserve-skipped twin of :meth:`run_program_pruned`, for programs
+        whose result on a skipped crossbar equals that crossbar's current
+        contents (a DELETE's ``valid &= ~doomed`` with no doomed rows, an
+        UPDATE mux where no row matches): skipped crossbars are simply left
+        alone — no stale clear, no zero-outside invariant.  Unlike the pruned
+        path the program needs no result column.
+        """
+        candidate_idx = np.nonzero(np.asarray(candidates, dtype=bool))[0]
+        if not candidate_idx.size:
+            return
+        if self._fused:
+            program.run_fused(bank, candidate_idx)
+        else:
+            program.execute_at(bank, candidate_idx)
+        self._charge_program(
+            bank, program.cycles,
+            pages * candidate_idx.size / bank.count, phase,
+        )
+
+    def charge_program_cost_at(
+        self,
+        bank: CrossbarBank,
+        program: Program,
+        candidates: np.ndarray,
+        pages: float,
+        phase: str,
+    ) -> None:
+        """The vectorized twin of :meth:`run_program_at`.
+
+        The caller has already written the full result columns; this charges
+        the candidate-restricted program cost analytically and adds the
+        per-row wear the masked gate-level execution would have caused.
+        """
+        candidate_idx = np.nonzero(np.asarray(candidates, dtype=bool))[0]
+        if not candidate_idx.size:
+            return
+        self._charge_program(
+            bank, program.cycles,
+            pages * candidate_idx.size / bank.count, phase,
+        )
+        bank.writes_per_row[candidate_idx] += int(program.writes_per_row)
+
     def _clear_stale(
         self,
         bank: CrossbarBank,
         column: int,
-        clear_crossbars: Optional[np.ndarray],
+        clear_crossbars: np.ndarray | None,
         pages: float,
         clear_phase: str,
     ) -> None:
@@ -261,8 +312,8 @@ class PimExecutor:
         pages: int,
         operation: str = "sum",
         phase: str = "pim-agg",
-        result_width: Optional[int] = None,
-        crossbars: Optional[np.ndarray] = None,
+        result_width: int | None = None,
+        crossbars: np.ndarray | None = None,
     ) -> np.ndarray:
         """Aggregate a field with the per-crossbar aggregation circuit (Fig. 3).
 
@@ -329,8 +380,8 @@ class PimExecutor:
         field_width: int,
         pages: float,
         phase: str = "pim-agg",
-        result_width: Optional[int] = None,
-        crossbars: Optional[np.ndarray] = None,
+        result_width: int | None = None,
+        crossbars: np.ndarray | None = None,
         add_wear: bool = True,
     ) -> None:
         """Charge-only twin of :meth:`aggregate_with_circuit`.

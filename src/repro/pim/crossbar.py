@@ -22,7 +22,7 @@ column ``offset + width - 1``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -179,7 +179,7 @@ class CrossbarBank:
         offset: int,
         width: int,
         values: np.ndarray,
-        xbars: Optional[np.ndarray] = None,
+        xbars: np.ndarray | None = None,
     ) -> None:
         """Write a per-crossbar value into a field of one row everywhere.
 
@@ -235,7 +235,7 @@ class CrossbarBank:
         self.writes_per_row[xbars] += 1
 
     # ---------------------------------------------------- fused kernel surface
-    def kernel_read(self, column: int, xbars: Optional[np.ndarray] = None) -> np.ndarray:
+    def kernel_read(self, column: int, xbars: np.ndarray | None = None) -> np.ndarray:
         """Native value of one column for fused evaluation, ``(count, rows)``.
 
         Without ``xbars`` this is a live view — the fused kernel snapshots
@@ -248,7 +248,7 @@ class CrossbarBank:
         return self.bits[xbars, :, column]
 
     def kernel_write(
-        self, column: int, value, xbars: Optional[np.ndarray] = None
+        self, column: int, value, xbars: np.ndarray | None = None
     ) -> None:
         """Store a fused output value; wear is charged in bulk by the caller."""
         if column < 0 or column >= self.columns:
@@ -270,7 +270,7 @@ class CrossbarBank:
         """Encode booleans of shape ``(n, rows)`` as a kernel value."""
         return np.asarray(values, dtype=bool)
 
-    def add_wear(self, writes: int, xbars: Optional[np.ndarray] = None) -> None:
+    def add_wear(self, writes: int, xbars: np.ndarray | None = None) -> None:
         """Charge ``writes`` cell writes to every row (of ``xbars`` if given)."""
         if xbars is None:
             self.writes_per_row += int(writes)
@@ -330,7 +330,7 @@ class CrossbarBank:
         """Return a copy of the per-row write counters."""
         return self.writes_per_row.copy()
 
-    def max_writes_since(self, snapshot: Optional[np.ndarray] = None) -> int:
+    def max_writes_since(self, snapshot: np.ndarray | None = None) -> int:
         """Maximum per-row write count, optionally relative to a snapshot."""
         if snapshot is None:
             return int(self.writes_per_row.max())

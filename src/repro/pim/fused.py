@@ -24,7 +24,7 @@ caller from the original program metadata, never from the kernel.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 import numpy as np
 
@@ -37,14 +37,14 @@ class FusedKernel:
     __slots__ = ("instructions", "outputs", "depth", "nor_count")
 
     def __init__(self, dag: NorDag) -> None:
-        self.instructions: Tuple[Tuple[str, Hashable], ...] = tuple(
+        self.instructions: tuple[tuple[str, Hashable], ...] = tuple(
             zip(dag.kinds, dag.payloads)
         )
-        self.outputs: Tuple[Tuple[int, int], ...] = dag.outputs
+        self.outputs: tuple[tuple[int, int], ...] = dag.outputs
         self.depth: int = dag.depth
         self.nor_count: int = dag.nor_count
 
-    def run(self, bank, xbars: Optional[Sequence[int]] = None) -> None:
+    def run(self, bank, xbars: Sequence[int] | None = None) -> None:
         """Evaluate the kernel on ``bank`` (optionally on ``xbars`` only).
 
         Wear is *not* charged here — the caller adds the program's
@@ -53,7 +53,7 @@ class FusedKernel:
         if xbars is not None and len(xbars) == 0:
             return
         ones = bank.kernel_ones()
-        values: List = [None] * len(self.instructions)
+        values: list = [None] * len(self.instructions)
         for index, (kind, payload) in enumerate(self.instructions):
             if kind == NOR:
                 slots = payload
@@ -107,19 +107,19 @@ class BatchKernel:
     __slots__ = ("instructions", "outputs", "depth", "nor_count")
 
     def __init__(self, dag: BatchDag) -> None:
-        self.instructions: Tuple[Tuple[str, Hashable], ...] = tuple(
+        self.instructions: tuple[tuple[str, Hashable], ...] = tuple(
             zip(dag.kinds, dag.payloads)
         )
-        self.outputs: Tuple[Tuple[Tuple[int, int], ...], ...] = dag.outputs
+        self.outputs: tuple[tuple[tuple[int, int], ...], ...] = dag.outputs
         self.depth: int = dag.depth
         self.nor_count: int = dag.nor_count
 
     def run(
         self,
         bank,
-        xbars: Optional[Sequence[int]] = None,
+        xbars: Sequence[int] | None = None,
         private=None,
-    ) -> List[List[Tuple[int, object]]]:
+    ) -> list[list[tuple[int, object]]]:
         """Evaluate the batch on ``bank`` and return per-program outputs.
 
         Returns one ``[(column, native_value), ...]`` list per program.
@@ -133,7 +133,7 @@ class BatchKernel:
         if xbars is not None and len(xbars) == 0:
             return [[] for _ in self.outputs]
         ones = bank.kernel_ones()
-        values: List = [None] * len(self.instructions)
+        values: list = [None] * len(self.instructions)
         for index, (kind, payload) in enumerate(self.instructions):
             if kind == NOR:
                 slots = payload

@@ -48,7 +48,7 @@ keeps fused execution bit-identical in :class:`~repro.pim.stats.PimStats`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from collections.abc import Hashable, Sequence
 
 from repro.pim.logic import InitOp, NorOp, Program
 
@@ -69,10 +69,10 @@ class NorDag:
     output column to the node holding its final value.
     """
 
-    kinds: Tuple[str, ...]
-    payloads: Tuple[Hashable, ...]
-    depths: Tuple[int, ...]
-    outputs: Tuple[Tuple[int, int], ...]
+    kinds: tuple[str, ...]
+    payloads: tuple[Hashable, ...]
+    depths: tuple[int, ...]
+    outputs: tuple[tuple[int, int], ...]
     #: Op count of the source program — the basis of all modelled costs.
     cycles: int
 
@@ -93,7 +93,7 @@ class NorDag:
         return max(self.depths[node] for _, node in self.outputs)
 
     @property
-    def input_columns(self) -> Tuple[int, ...]:
+    def input_columns(self) -> tuple[int, ...]:
         """Columns whose pre-program value the DAG reads."""
         return tuple(
             payload  # type: ignore[misc]
@@ -116,10 +116,10 @@ class BatchDag:
     ``outputs[p]`` holds program ``p``'s ``(column, node)`` bindings.
     """
 
-    kinds: Tuple[str, ...]
-    payloads: Tuple[Hashable, ...]
-    depths: Tuple[int, ...]
-    outputs: Tuple[Tuple[Tuple[int, int], ...], ...]
+    kinds: tuple[str, ...]
+    payloads: tuple[Hashable, ...]
+    depths: tuple[int, ...]
+    outputs: tuple[tuple[tuple[int, int], ...], ...]
     #: Summed op count of the source programs — metadata only; modelled
     #: costs are always charged per source program.
     cycles: int
@@ -146,10 +146,10 @@ class _DagBuilder:
     """Hash-consing builder of the optimisation-time (pre-DCE) node pool."""
 
     def __init__(self) -> None:
-        self.kinds: List[str] = []
-        self.payloads: List[Hashable] = []
-        self.depths: List[int] = []
-        self._cse: Dict[Hashable, int] = {}
+        self.kinds: list[str] = []
+        self.payloads: list[Hashable] = []
+        self.depths: list[int] = []
+        self._cse: dict[Hashable, int] = {}
 
     def _intern(self, key: Hashable, kind: str, payload: Hashable, depth: int) -> int:
         node = self._cse.get(key)
@@ -175,7 +175,7 @@ class _DagBuilder:
         return self._intern((CONST, value), CONST, bool(value), 1)
 
     def nor(self, operands: Sequence[int]) -> int:
-        live: List[int] = []
+        live: list[int] = []
         for operand in sorted(set(operands)):
             if self.kinds[operand] == CONST:
                 if self.payloads[operand]:
@@ -197,7 +197,7 @@ class _DagBuilder:
 
 
 def lower_program(
-    program: Program, output_columns: Optional[Sequence[int]] = None
+    program: Program, output_columns: Sequence[int] | None = None
 ) -> NorDag:
     """Lower ``program`` into an optimized :class:`NorDag`.
 
@@ -208,7 +208,7 @@ def lower_program(
     no store.
     """
     builder = _DagBuilder()
-    env: Dict[int, int] = {}
+    env: dict[int, int] = {}
 
     def read(column: int) -> int:
         node = env.get(column)
@@ -288,12 +288,12 @@ def lower_program_batch(
     """
     builder = _DagBuilder()
     private = frozenset(private_columns)
-    per_outputs: List[Tuple[Tuple[int, int], ...]] = []
+    per_outputs: list[tuple[tuple[int, int], ...]] = []
     for index, program in enumerate(programs):
-        env: Dict[int, int] = {}
+        env: dict[int, int] = {}
         for op in program.ops:
             if isinstance(op, NorOp):
-                operands: List[int] = []
+                operands: list[int] = []
                 for source in op.srcs:
                     node = env.get(source)
                     if node is None:

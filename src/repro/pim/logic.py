@@ -23,7 +23,7 @@ bulk-bitwise logic cycle, 30 ns in Table I, per primitive).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from collections.abc import Sequence
 
 
 
@@ -32,7 +32,7 @@ class NorOp:
     """Column-wise stateful NOR of ``srcs`` into ``dest``."""
 
     dest: int
-    srcs: Tuple[int, ...]
+    srcs: tuple[int, ...]
 
 
 @dataclass(frozen=True)
@@ -43,7 +43,7 @@ class InitOp:
     value: bool
 
 
-Operation = Union[NorOp, InitOp]
+Operation = NorOp | InitOp
 
 
 class Program:
@@ -58,13 +58,13 @@ class Program:
     def __init__(
         self,
         ops: Sequence[Operation],
-        result_column: Optional[int] = None,
-        output_columns: Optional[Sequence[int]] = None,
+        result_column: int | None = None,
+        output_columns: Sequence[int] | None = None,
     ):
         # Frozen: execute() dispatches the pre-split _steps, so a mutable op
         # list could silently desync the executed bits from the cycle/wear
         # accounting derived from len(self.ops).
-        self.ops: Tuple[Operation, ...] = tuple(ops)
+        self.ops: tuple[Operation, ...] = tuple(ops)
         self.result_column = result_column
         # Pre-split the op stream into a flat typed dispatch list once, so
         # execute() does not re-discriminate op types on every invocation
@@ -78,14 +78,14 @@ class Program:
                 steps.append((False, op.dest, op.value))
             else:
                 raise TypeError(f"unknown operation {op!r}")
-        self._steps: Tuple[Tuple[bool, int, object], ...] = tuple(steps)
+        self._steps: tuple[tuple[bool, int, object], ...] = tuple(steps)
         # Columns whose post-program value other code may observe.  A builder
         # program reports its non-scratch destinations; a raw program defaults
         # to every column it writes (fully conservative).  This is what the
         # fused path materialises — scratch destinations are dead storage.
         if output_columns is None:
             output_columns = sorted({op.dest for op in self.ops})
-        self.output_columns: Tuple[int, ...] = tuple(output_columns)
+        self.output_columns: tuple[int, ...] = tuple(output_columns)
         # Lazily built fused artefacts (one DAG + kernel per program; the
         # program cache therefore caches fusion alongside compilation).
         self._dag = None
@@ -113,7 +113,7 @@ class Program:
             else:
                 set_column(dest, payload)
 
-    def execute(self, bank: "CrossbarBank") -> None:
+    def execute(self, bank: CrossbarBank) -> None:
         """Apply the program to every row of every crossbar of ``bank``.
 
         ``bank`` may be either functional backend
@@ -123,7 +123,7 @@ class Program:
         """
         self._dispatch(bank.nor_columns, bank.set_column)
 
-    def execute_at(self, bank: "CrossbarBank", xbars) -> None:
+    def execute_at(self, bank: CrossbarBank, xbars) -> None:
         """Apply the program to the listed crossbars of ``bank`` only.
 
         The functional side of crossbar skipping: every primitive operates
@@ -163,7 +163,7 @@ class Program:
         """Critical-path cycle depth of the optimized DAG (``<= cycles``)."""
         return self.ir().depth
 
-    def run_fused(self, bank: "CrossbarBank", xbars=None) -> None:
+    def run_fused(self, bank: CrossbarBank, xbars=None) -> None:
         """Execute the fused kernel — bit-exact with dispatch on the outputs.
 
         Leaves every output column and the wear counters exactly as
@@ -196,9 +196,9 @@ class ProgramBuilder:
     """
 
     def __init__(self, scratch_columns: Sequence[int]):
-        self._free: List[int] = list(scratch_columns)
+        self._free: list[int] = list(scratch_columns)
         self._all_scratch = tuple(scratch_columns)
-        self._ops: List[Operation] = []
+        self._ops: list[Operation] = []
 
     # ------------------------------------------------------------- low level
     def alloc(self) -> int:
@@ -209,7 +209,7 @@ class ProgramBuilder:
             )
         return self._free.pop()
 
-    def free(self, column: Optional[int]) -> None:
+    def free(self, column: int | None) -> None:
         """Return a scratch column to the pool (no-op for ``None``)."""
         if column is None:
             return
@@ -224,7 +224,7 @@ class ProgramBuilder:
         """Emit a raw column initialisation."""
         self._ops.append(InitOp(dest, bool(value)))
 
-    def build(self, result_column: Optional[int] = None) -> Program:
+    def build(self, result_column: int | None = None) -> Program:
         """Return the accumulated program.
 
         The program's output columns are its non-scratch destinations —
@@ -253,7 +253,7 @@ class ProgramBuilder:
         self.emit_init(dest, value)
         return dest
 
-    def nor(self, a: int, b: Optional[int] = None) -> int:
+    def nor(self, a: int, b: int | None = None) -> int:
         """NOR of one or two columns into a fresh scratch column."""
         dest = self.alloc()
         srcs = (a,) if b is None else (a, b)
@@ -370,7 +370,7 @@ class ProgramBuilder:
     def eq_const(self, field_columns: Sequence[int], value: int) -> int:
         """``field == value`` for an unsigned field (LSB-first columns)."""
         self._check_const(field_columns, value)
-        acc: Optional[int] = None
+        acc: int | None = None
         for i, col in enumerate(field_columns):
             bit = (value >> i) & 1
             term = self.copy(col) if bit else self.not_(col)
@@ -398,8 +398,8 @@ class ProgramBuilder:
             return self.const(False)
         if value >= (1 << width):
             return self.const(True)
-        lt: Optional[int] = None
-        eq_prefix: Optional[int] = None
+        lt: int | None = None
+        eq_prefix: int | None = None
         for i in reversed(range(width)):
             col = field_columns[i]
             cbit = (value >> i) & 1
@@ -425,7 +425,7 @@ class ProgramBuilder:
             return self.const(False)
         return lt
 
-    def _extend_prefix(self, eq_prefix: Optional[int], col: int, invert: bool) -> int:
+    def _extend_prefix(self, eq_prefix: int | None, col: int, invert: bool) -> int:
         bit = self.not_(col) if invert else self.copy(col)
         if eq_prefix is None:
             return bit

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from repro.config import PimModuleConfig, SystemConfig
 from repro.pim.packed import AnyCrossbarBank, make_bank
@@ -66,13 +65,13 @@ class OutOfPimMemoryError(RuntimeError):
 class PimModule:
     """Capacity manager for a single bulk-bitwise PIM memory rank."""
 
-    def __init__(self, config: Optional[SystemConfig] = None):
+    def __init__(self, config: SystemConfig | None = None):
         from repro.config import DEFAULT_CONFIG
 
         self.system_config = config if config is not None else DEFAULT_CONFIG
         self.config = self.system_config.pim
         self._next_page = 0
-        self._allocations: Dict[str, PimAllocation] = {}
+        self._allocations: dict[str, PimAllocation] = {}
 
     # ------------------------------------------------------------ allocation
     def allocate_pages(self, pages: int, label: str) -> PimAllocation:
@@ -127,7 +126,7 @@ class PimModule:
         return self._allocations[label]
 
     @property
-    def allocations(self) -> List[PimAllocation]:
+    def allocations(self) -> list[PimAllocation]:
         return list(self._allocations.values())
 
     @property

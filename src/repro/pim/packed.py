@@ -31,7 +31,7 @@ instantiated through :func:`make_bank` by
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -225,7 +225,7 @@ class PackedCrossbarBank:
         self.writes_per_row[xbars] += 1
 
     # ---------------------------------------------------- fused kernel surface
-    def kernel_read(self, column: int, xbars: Optional[np.ndarray] = None) -> np.ndarray:
+    def kernel_read(self, column: int, xbars: np.ndarray | None = None) -> np.ndarray:
         """Native value of one column for fused evaluation, packed words.
 
         Shape ``(count, rows_words)`` (or ``(len(xbars), rows_words)``); the
@@ -240,7 +240,7 @@ class PackedCrossbarBank:
         return self.words[xbars, column, :]
 
     def kernel_write(
-        self, column: int, value, xbars: Optional[np.ndarray] = None
+        self, column: int, value, xbars: np.ndarray | None = None
     ) -> None:
         """Store a fused output value; wear is charged in bulk by the caller.
 
@@ -278,7 +278,7 @@ class PackedCrossbarBank:
         out[:, : packed.shape[-1]] = packed
         return out.view("<u8")
 
-    def add_wear(self, writes: int, xbars: Optional[np.ndarray] = None) -> None:
+    def add_wear(self, writes: int, xbars: np.ndarray | None = None) -> None:
         """Charge ``writes`` cell writes to every row (of ``xbars`` if given)."""
         if xbars is None:
             self.writes_per_row += int(writes)
@@ -361,7 +361,7 @@ class PackedCrossbarBank:
         offset: int,
         width: int,
         values: np.ndarray,
-        xbars: Optional[np.ndarray] = None,
+        xbars: np.ndarray | None = None,
     ) -> None:
         """Write a per-crossbar value into a field of one row everywhere.
 
@@ -401,7 +401,7 @@ class PackedCrossbarBank:
         """Return a copy of the per-row write counters."""
         return self.writes_per_row.copy()
 
-    def max_writes_since(self, snapshot: Optional[np.ndarray] = None) -> int:
+    def max_writes_since(self, snapshot: np.ndarray | None = None) -> int:
         """Maximum per-row write count, optionally relative to a snapshot."""
         if snapshot is None:
             return int(self.writes_per_row.max())
@@ -414,7 +414,7 @@ class PackedCrossbarBank:
 
 
 #: Either functional backend — they expose the identical bank surface.
-AnyCrossbarBank = Union[CrossbarBank, PackedCrossbarBank]
+AnyCrossbarBank = CrossbarBank | PackedCrossbarBank
 
 
 def make_bank(backend: str, count: int, rows: int, columns: int) -> AnyCrossbarBank:

@@ -22,7 +22,6 @@ system needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -37,7 +36,7 @@ class FilterRequest(PimRequest):
     """Evaluate a predicate program; result lands in ``result_column``."""
 
     cycles: int = 0
-    result_column: Optional[int] = None
+    result_column: int | None = None
     description: str = ""
 
 

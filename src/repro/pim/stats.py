@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from collections.abc import Iterable
 
 
 @dataclass
@@ -38,11 +38,11 @@ class PimStats:
     """Mutable accumulator of PIM-side execution statistics."""
 
     #: Wall-clock time attributed to each phase, seconds.
-    time_by_phase: Dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    time_by_phase: dict[str, float] = field(default_factory=lambda: defaultdict(float))
     #: Energy attributed to each component, joules.  Components used by the
     #: simulator: ``logic``, ``read``, ``write``, ``agg_circuit``,
     #: ``controller``, ``host_read``.
-    energy_by_component: Dict[str, float] = field(
+    energy_by_component: dict[str, float] = field(
         default_factory=lambda: defaultdict(float)
     )
     #: Counts of primitive events.
@@ -53,7 +53,7 @@ class PimStats:
     host_lines_read: int = 0
     host_lines_written: int = 0
     #: Power samples from which the peak chip power is derived.
-    power_samples: List[PowerSample] = field(default_factory=list)
+    power_samples: list[PowerSample] = field(default_factory=list)
     #: Maximum number of cell writes experienced by any single crossbar row.
     max_writes_per_row: int = 0
 
@@ -103,7 +103,7 @@ class PimStats:
         self.max_writes_per_row = max(self.max_writes_per_row, int(writes_per_row_max))
 
     # ----------------------------------------------------------------- merge
-    def merge(self, other: "PimStats") -> "PimStats":
+    def merge(self, other: PimStats) -> PimStats:
         """Fold another stats object into this one (in place) and return self.
 
         Times are summed per phase; this is appropriate for sequential
@@ -115,7 +115,7 @@ class PimStats:
         self._merge_non_time(other)
         return self
 
-    def merge_parallel(self, others: Iterable["PimStats"], phase: str) -> "PimStats":
+    def merge_parallel(self, others: Iterable[PimStats], phase: str) -> PimStats:
         """Fold concurrently executed stats objects into this one.
 
         The wall-clock contribution is the *maximum* total time of the
@@ -130,7 +130,7 @@ class PimStats:
             self._merge_non_time(other)
         return self
 
-    def _merge_non_time(self, other: "PimStats") -> None:
+    def _merge_non_time(self, other: PimStats) -> None:
         for component, joules in other.energy_by_component.items():
             self.energy_by_component[component] += joules
         self.logic_ops += other.logic_ops
@@ -143,7 +143,7 @@ class PimStats:
         self.max_writes_per_row = max(self.max_writes_per_row, other.max_writes_per_row)
 
     # ------------------------------------------------------------- reporting
-    def totals(self) -> Dict[str, float]:
+    def totals(self) -> dict[str, float]:
         """Every modelled total, exactly as accumulated — for bit-identity checks.
 
         Unlike :meth:`summary` (headline metrics, rounded by nobody but also
@@ -153,7 +153,7 @@ class PimStats:
         assert the batched execution strategy charges *bit-identical* totals
         to per-subgroup dispatch.
         """
-        totals: Dict[str, float] = {
+        totals: dict[str, float] = {
             f"time:{phase}": seconds
             for phase, seconds in sorted(self.time_by_phase.items())
         }
@@ -173,7 +173,7 @@ class PimStats:
         )
         return totals
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         """Return a flat dictionary of headline metrics for reporting."""
         return {
             "time_s": self.total_time_s,
@@ -186,14 +186,14 @@ class PimStats:
             "host_lines_read": float(self.host_lines_read),
         }
 
-    def copy(self) -> "PimStats":
+    def copy(self) -> PimStats:
         """Return a deep-enough copy of this stats object."""
         clone = PimStats()
         clone.merge(self)
         return clone
 
 
-def combine_parallel(stats_list: List[PimStats], phase: str = "parallel") -> PimStats:
+def combine_parallel(stats_list: list[PimStats], phase: str = "parallel") -> PimStats:
     """Combine per-thread stats of a parallel phase into a single object."""
     combined = PimStats()
     combined.merge_parallel(stats_list, phase)

@@ -40,7 +40,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Hashable, Tuple
+from collections.abc import Hashable
 
 import numpy as np
 
@@ -126,7 +126,7 @@ class CandidateCacheStats:
         """Clean hits over lookups (re-validations count as lookups)."""
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def __add__(self, other: "CandidateCacheStats") -> "CandidateCacheStats":
+    def __add__(self, other: CandidateCacheStats) -> CandidateCacheStats:
         return CandidateCacheStats(
             self.hits + other.hits,
             self.misses + other.misses,
@@ -138,7 +138,7 @@ class CandidateCacheStats:
             self.capacity + other.capacity,
         )
 
-    def __sub__(self, other: "CandidateCacheStats") -> "CandidateCacheStats":
+    def __sub__(self, other: CandidateCacheStats) -> CandidateCacheStats:
         return CandidateCacheStats(
             self.hits - other.hits,
             self.misses - other.misses,
@@ -183,7 +183,7 @@ class CandidateSetCache:
         #: Per-crossbar epoch counters; a bump marks every cached verdict for
         #: that crossbar stale.
         self.epochs = np.zeros(zonemaps.crossbars, dtype=np.int64)
-        self._entries: "OrderedDict[Hashable, _CachedFragment]" = OrderedDict()
+        self._entries: OrderedDict[Hashable, _CachedFragment] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._revalidations = 0
@@ -212,7 +212,7 @@ class CandidateSetCache:
     # ---------------------------------------------------------------- lookup
     def lookup(
         self, fragment: Predicate, crossbars_per_page: int
-    ) -> Tuple[np.ndarray, int]:
+    ) -> tuple[np.ndarray, int]:
         """Candidate mask of one fragment plus the entries this call consulted.
 
         Returns ``(mask, entries)`` where ``mask`` is the read-only

@@ -26,23 +26,24 @@ from __future__ import annotations
 import math
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.config import SystemConfig
 from repro.db.compiler import CompilationError, partition_conjuncts
-from repro.db.query import Predicate, Query, evaluate_predicate
+from repro.db.query import Comparison, Predicate, Query, evaluate_predicate
 from repro.host import dram
 from repro.host.processor import cpu_time
 from repro.pim.stats import PimStats
+from repro.planner.adaptive import AdaptiveController, AdaptiveSnapshot
 from repro.planner.candidates import (
     CandidateCacheStats,
     CandidateSetCache,
     normalize_fragment,
 )
 from repro.planner.selectivity import SelectivityModel
-from repro.planner.zonemap import PruneDecision, ZoneMaps
+from repro.planner.zonemap import PairZoneMap, PruneDecision, ZoneMaps
 
 
 #: Memoized :meth:`RelationStatistics.plan` decisions kept per relation.
@@ -77,6 +78,10 @@ class RelationStatistics:
         self.selectivity = selectivity
         #: Per-fragment candidate sets with per-crossbar epoch invalidation.
         self.candidates = CandidateSetCache(zonemaps)
+        #: Feedback accumulator: estimation error, hot columns, hot pairs.
+        self.adaptive = AdaptiveController()
+        #: Correlated-pair sketch, built once the tracker names a hot pair.
+        self.pair_map: PairZoneMap | None = None
         self._semantic_cache = bool(semantic_cache)
         # Relation-wide change counter: *any* maintenance event (including
         # DELETE, which changes the live prefilter but not the cached
@@ -87,10 +92,10 @@ class RelationStatistics:
         # the same predicate back to back, and serving workloads replay
         # predicates.  Holds _PlanEntry objects in semantic mode and bare
         # PruneDecision objects in the legacy wholesale-invalidation mode.
-        self._plan_cache: "OrderedDict[object, object]" = OrderedDict()
+        self._plan_cache: OrderedDict[object, object] = OrderedDict()
 
     @classmethod
-    def from_stored(cls, stored) -> "RelationStatistics":
+    def from_stored(cls, stored) -> RelationStatistics:
         return cls(
             ZoneMaps.from_stored(stored),
             SelectivityModel.from_relation(stored.relation),
@@ -164,7 +169,7 @@ class RelationStatistics:
         predicate: Predicate,
         partition_attributes: Sequence[Sequence[str]],
         crossbars_per_page: int,
-    ) -> Tuple[PruneDecision, int]:
+    ) -> tuple[PruneDecision, int]:
         """Build a decision by intersecting cached fragment candidate sets.
 
         Per partition the live prefilter is applied fresh (DELETEs shrink it
@@ -175,7 +180,7 @@ class RelationStatistics:
         """
         per_partition = partition_conjuncts(predicate, partition_attributes)
         live_mask = self.zonemaps.live > 0
-        candidates: List[np.ndarray] = []
+        candidates: list[np.ndarray] = []
         consulted = 0
         conjuncts_checked = 0
         for conjunct in per_partition:
@@ -192,6 +197,11 @@ class RelationStatistics:
                 mask &= fragment_mask
                 consulted += entries
                 conjuncts_checked += 1
+            if self.pair_map is not None and mask.any():
+                pair_masks = self._pair_bucket_masks(ordered)
+                if pair_masks is not None:
+                    mask &= self.pair_map.possible(*pair_masks)
+                    consulted += self.zonemaps.crossbars
             mask.setflags(write=False)
             candidates.append(mask)
         decision = PruneDecision(
@@ -216,7 +226,7 @@ class RelationStatistics:
             self._plan_cache.move_to_end(key)
             return cached
         per_partition = partition_conjuncts(predicate, partition_attributes)
-        candidates: List[np.ndarray] = []
+        candidates: list[np.ndarray] = []
         entries = 0
         conjuncts_checked = 0
         for conjunct in per_partition:
@@ -238,6 +248,32 @@ class RelationStatistics:
             self._plan_cache.popitem(last=False)
         return decision
 
+    def _pair_bucket_masks(self, fragments) -> tuple[int, int] | None:
+        """Bucket masks of the pair's two columns when *both* are constrained.
+
+        Only plain comparison fragments constrain a bucket mask (anything
+        else stays conservatively all-ones); and only when the same
+        partition's conjunction constrains both columns is the joint sketch
+        consulted — a pair restriction is the conjunction of two
+        single-column constraints, so it is sound exactly where both belong
+        to the conjunct the pruned program evaluates.
+        """
+        first, second = self.pair_map.attributes
+        a_mask = b_mask = None
+        for fragment in fragments:
+            if not isinstance(fragment, Comparison):
+                continue
+            bucket = self.pair_map.bucket_mask(fragment)
+            if bucket is None:
+                continue
+            if fragment.attribute == first:
+                a_mask = bucket if a_mask is None else (a_mask & bucket)
+            else:
+                b_mask = bucket if b_mask is None else (b_mask & bucket)
+        if a_mask is None or b_mask is None:
+            return None
+        return a_mask, b_mask
+
     def candidate_stats(self) -> CandidateCacheStats:
         """Point-in-time counters of the semantic candidate-set cache."""
         return self.candidates.stats()
@@ -251,10 +287,84 @@ class RelationStatistics:
         """Estimated selected fraction of the live records."""
         return self.selectivity.estimate(predicate)
 
+    # -------------------------------------------------------------- feedback
+    def observe_execution(
+        self,
+        predicate: Predicate,
+        estimated: float | None,
+        actual: float,
+        crossbars_scanned: int,
+        stored=None,
+        stats: PimStats | None = None,
+        host=None,
+        timing_scale: float = 1.0,
+    ) -> list[str]:
+        """Fold one execution's feedback and apply any triggered decisions.
+
+        This is the closed loop's *decide* step: the
+        :class:`~repro.planner.adaptive.AdaptiveController` accumulates the
+        (estimated, actual) error and scan volume; when a column's error
+        crosses the threshold its histogram is rebuilt **equi-depth** from
+        the live rows, and when a correlated pair gets hot a
+        :class:`~repro.planner.zonemap.PairZoneMap` sketch is built for it.
+        Both are charged to the execution's stats as ``stats-rebuild`` (one
+        maintenance entry per crossbar and rebuilt structure, the same units
+        DML maintenance charges).  Returns the rebuilt column names.
+        """
+        triggered = self.adaptive.observe(
+            predicate, estimated, actual, crossbars_scanned
+        )
+        if stored is None:
+            return triggered
+        entries = 0.0
+        relation = stored.relation
+        valid = None
+        hot_pair = self.adaptive.hot_pair()
+        build_pair = self.pair_map is None and hot_pair is not None
+        if triggered or build_pair:
+            valid = stored.valid_mask(0)
+        for name in triggered:
+            self.selectivity.rebuild_column(
+                relation, name, valid=valid, equi_depth=True
+            )
+            entries += self.zonemaps.crossbars
+        if triggered:
+            self.adaptive.note_rebuild(len(triggered))
+        if build_pair:
+            self.pair_map = PairZoneMap.from_relation(
+                hot_pair,
+                self.zonemaps.schema,
+                self.zonemaps.crossbars,
+                self.zonemaps.rows,
+                relation,
+                valid,
+            )
+            self.adaptive.note_pair_sketch()
+            entries += self.zonemaps.crossbars
+        if triggered or build_pair:
+            # Estimates (conjunct ordering) and — with a fresh pair sketch —
+            # the candidate masks themselves changed: retire memoized plans.
+            self._note_change()
+        if entries and stats is not None and host is not None:
+            self.charge_maintenance(
+                stats, host, entries * timing_scale, phase="stats-rebuild"
+            )
+        return triggered
+
+    def hot_column(self) -> str | None:
+        """Predicate column with the largest accumulated scan volume."""
+        return self.adaptive.hottest_column()
+
+    def adaptive_snapshot(self) -> AdaptiveSnapshot:
+        """Point-in-time counters of the feedback loop."""
+        return self.adaptive.snapshot()
+
     # ------------------------------------------------------------ maintenance
     def note_insert(self, slot: int, record) -> None:
         self.zonemaps.note_insert(slot, record)
         self.selectivity.note_insert(record)
+        if self.pair_map is not None:
+            self.pair_map.note_insert(slot, record)
         # Only the crossbar the INSERT landed in changed its bounds.
         self.candidates.bump([slot // self.zonemaps.rows])
         self._note_change()
@@ -278,12 +388,19 @@ class RelationStatistics:
     ) -> None:
         self.zonemaps.note_update(attribute, encoded, crossbars)
         self.selectivity.note_update(attribute, old_values, encoded)
+        if self.pair_map is not None:
+            self.pair_map.note_update(attribute, crossbars)
         self.candidates.bump(crossbars)
         self._note_change()
 
     def rebuild(self, relation, valid=None) -> None:
         self.zonemaps.rebuild(relation, valid)
+        # An exact rebuild must leave no widen-only drift behind; the check
+        # recomputes the bounds through an independent reduction path.
+        self.zonemaps.assert_tight(relation, valid)
         self.selectivity.rebuild(relation, valid)
+        if self.pair_map is not None:
+            self.pair_map.rebuild(relation, valid)
         # Compaction moves rows between crossbars and rebuilds the bounds
         # exactly (they may *narrow*), so every cached verdict is stale.
         self.candidates.bump_all()
@@ -311,7 +428,7 @@ class PlanDecision:
     est_host_time_s: float
 
 
-def _host_scan_read_plan(stored, query: Query) -> Dict[int, Tuple[List[str], int]]:
+def _host_scan_read_plan(stored, query: Query) -> dict[int, tuple[list[str], int]]:
     """Columns a host scan must stream, per partition: ``(names, lines)``.
 
     The host streams the 16-bit words covering the referenced attributes of
@@ -319,10 +436,10 @@ def _host_scan_read_plan(stored, query: Query) -> Dict[int, Tuple[List[str], int
     across a page's crossbars, so the line count is
     ``pages x rows x distinct words``.
     """
-    by_partition: Dict[int, List[str]] = {}
+    by_partition: dict[int, list[str]] = {}
     for name in query.referenced_attributes:
         by_partition.setdefault(stored.partition_of(name), []).append(name)
-    plan: Dict[int, Tuple[List[str], int]] = {}
+    plan: dict[int, tuple[list[str], int]] = {}
     for partition, names in by_partition.items():
         layout = stored.layouts[partition]
         words = len(layout.words_for_fields(names))
@@ -452,7 +569,7 @@ class CostPlanner:
         return total
 
 
-def execute_host_scan(engine, query: Query, decision: Optional[PlanDecision] = None):
+def execute_host_scan(engine, query: Query, decision: PlanDecision | None = None):
     """Execute a query by streaming the relation through the host load path.
 
     The functional answer is the reference aggregation over the live ground
@@ -500,6 +617,27 @@ def execute_host_scan(engine, query: Query, decision: Optional[PlanDecision] = N
         float(mask.sum() / stored.live_count) if stored.live_count else 0.0
     )
     total_crossbars = sum(a.crossbars for a in stored.allocations)
+    # Record the planner estimate whether or not the router handed one over,
+    # and feed the feedback loop: a host-routed execution observes estimation
+    # error too (it streamed every crossbar, so that is its scan volume).
+    statistics = getattr(stored, "statistics", None)
+    if decision is not None:
+        estimated = decision.estimated_selectivity
+    elif statistics is not None:
+        estimated = statistics.estimate(query.predicate)
+    else:
+        estimated = None
+    if statistics is not None and query.predicate is not None:
+        statistics.observe_execution(
+            query.predicate,
+            estimated,
+            selectivity,
+            crossbars_scanned=total_crossbars,
+            stored=stored,
+            stats=stats,
+            host=config.host,
+            timing_scale=scale,
+        )
     return QueryExecution(
         query=query,
         label=f"{engine.label}/host-scan",
@@ -513,7 +651,5 @@ def execute_host_scan(engine, query: Query, decision: Optional[PlanDecision] = N
         plan=None,
         crossbars_total=total_crossbars,
         crossbars_scanned=0,
-        estimated_selectivity=(
-            decision.estimated_selectivity if decision is not None else None
-        ),
+        estimated_selectivity=estimated,
     )

@@ -21,7 +21,7 @@ rests solely on the zone maps.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 import numpy as np
 
@@ -48,6 +48,9 @@ DEFAULT_BUCKETS = 16
 class ColumnHistogram:
     """Equi-width histogram over the encoded domain of one attribute."""
 
+    #: Bucketing discipline, used by the adaptive rebuild logic and stats.
+    kind = "equi-width"
+
     def __init__(self, width: int, buckets: int = DEFAULT_BUCKETS) -> None:
         self.width = int(width)
         bucket_bits = max(0, self.width - int(buckets).bit_length() + 1)
@@ -62,7 +65,7 @@ class ColumnHistogram:
     @classmethod
     def from_values(
         cls, values: np.ndarray, width: int, buckets: int = DEFAULT_BUCKETS
-    ) -> "ColumnHistogram":
+    ) -> ColumnHistogram:
         histogram = cls(width, buckets)
         histogram.add(values)
         return histogram
@@ -128,15 +131,143 @@ class ColumnHistogram:
         )
 
 
+class EquiDepthHistogram:
+    """Equi-depth histogram: bucket edges at the quantiles of the live values.
+
+    The adaptive feedback loop rebuilds a column equi-depth when the
+    equi-width estimates keep missing (skewed columns concentrate their mass
+    in a few equi-width buckets, so per-value estimates are off by the skew
+    factor).  The public surface — ``add``/``remove``/``fraction_eq``/
+    ``fraction_below``/``fraction_between``/``from_values`` — is identical to
+    :class:`ColumnHistogram`, so :class:`SelectivityModel` routes estimates
+    through either variant unchanged and DML hooks keep both approximately
+    maintained between exact rebuilds.
+
+    Bucket ``i`` covers the encoded range ``(edges[i-1], edges[i]]`` (bucket
+    0 starts at 0; the last edge is pinned to the domain maximum so the whole
+    domain is covered).  Estimates assume a uniform spread *inside* a bucket,
+    as the equi-width variant does — the gain is that quantile edges make the
+    buckets narrow exactly where the mass concentrates.
+    """
+
+    kind = "equi-depth"
+
+    def __init__(self, width: int, buckets: int = DEFAULT_BUCKETS) -> None:
+        self.width = int(width)
+        self.max_value = (1 << self.width) - 1
+        self.edges = np.array([self.max_value], dtype=np.uint64)
+        self.counts = np.zeros(1, dtype=np.int64)
+        self.total = 0
+        self._target_buckets = int(buckets)
+
+    @property
+    def buckets(self) -> int:
+        return len(self.edges)
+
+    @classmethod
+    def from_values(
+        cls, values: np.ndarray, width: int, buckets: int = DEFAULT_BUCKETS
+    ) -> EquiDepthHistogram:
+        histogram = cls(width, buckets)
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if values.size == 0:
+            return histogram
+        ordered = np.sort(values)
+        count = int(ordered.size)
+        target = max(1, min(int(buckets), count))
+        # Quantile positions: the last value of each of `target` equal slices.
+        positions = (np.arange(1, target + 1) * count) // target - 1
+        edges = np.unique(ordered[positions]).astype(np.uint64)
+        # Pin the last edge to the domain maximum so every encodable value
+        # (including out-of-histogram inserts) lands in a bucket.
+        if int(edges[-1]) != histogram.max_value:
+            edges = np.append(edges, np.uint64(histogram.max_value))
+        histogram.edges = edges
+        histogram.counts = np.zeros(len(edges), dtype=np.int64)
+        histogram.add(values)
+        return histogram
+
+    # ---------------------------------------------------------------- updates
+    def _bucket_of(self, values: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self.edges, values, side="left")
+        return np.clip(idx, 0, len(self.edges) - 1)
+
+    def add(self, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if values.size == 0:
+            return
+        self.counts += np.bincount(
+            self._bucket_of(values), minlength=len(self.edges)
+        )
+        self.total += int(values.size)
+
+    def remove(self, values: np.ndarray) -> None:
+        values = np.atleast_1d(np.asarray(values, dtype=np.uint64))
+        if values.size == 0:
+            return
+        self.counts -= np.bincount(
+            self._bucket_of(values), minlength=len(self.edges)
+        )
+        np.maximum(self.counts, 0, out=self.counts)
+        self.total = max(0, self.total - int(values.size))
+
+    # -------------------------------------------------------------- estimates
+    def _bucket_low(self, bucket: int) -> int:
+        return int(self.edges[bucket - 1]) + 1 if bucket > 0 else 0
+
+    def fraction_eq(self, encoded: int) -> float:
+        """Estimated fraction of records equal to ``encoded``."""
+        if self.total == 0:
+            return 0.0
+        bucket = int(self._bucket_of(np.uint64(min(encoded, self.max_value)))[()])
+        span = int(self.edges[bucket]) - self._bucket_low(bucket) + 1
+        return self.counts[bucket] / self.total / span
+
+    def fraction_below(self, encoded: int, inclusive: bool) -> float:
+        """Estimated fraction of records ``<`` (or ``<=``) ``encoded``."""
+        if self.total == 0:
+            return 0.0
+        limit = encoded + 1 if inclusive else encoded
+        if limit <= 0:
+            return 0.0
+        # Buckets whose upper edge is below the limit are entirely selected.
+        full_buckets = int(
+            np.searchsorted(
+                self.edges, np.uint64(min(limit - 1, self.max_value)), side="right"
+            )
+        )
+        below = int(self.counts[:full_buckets].sum())
+        if full_buckets < len(self.edges):
+            low = self._bucket_low(full_buckets)
+            span = int(self.edges[full_buckets]) - low + 1
+            within = min(max(0, limit - low), span)
+            below += self.counts[full_buckets] * within / span
+        return min(1.0, below / self.total)
+
+    def fraction_between(self, low: int, high: int) -> float:
+        """Estimated fraction of records in ``[low, high]`` (inclusive)."""
+        if low > high:
+            return 0.0
+        return max(
+            0.0,
+            self.fraction_below(high, inclusive=True)
+            - self.fraction_below(low, inclusive=False),
+        )
+
+
+#: Either histogram variant — they share the estimation/maintenance surface.
+AnyHistogram = ColumnHistogram | EquiDepthHistogram
+
+
 class SelectivityModel:
     """Predicate selectivity estimates over one relation's histograms."""
 
-    def __init__(self, schema: Schema, histograms: Dict[str, ColumnHistogram]):
+    def __init__(self, schema: Schema, histograms: dict[str, AnyHistogram]):
         self.schema = schema
         self.histograms = histograms
 
     @classmethod
-    def from_relation(cls, relation, buckets: int = DEFAULT_BUCKETS) -> "SelectivityModel":
+    def from_relation(cls, relation, buckets: int = DEFAULT_BUCKETS) -> SelectivityModel:
         histograms = {
             attribute.name: ColumnHistogram.from_values(
                 relation.column(attribute.name), attribute.width, buckets
@@ -159,17 +290,48 @@ class SelectivityModel:
         histogram.remove(old_values)
         histogram.add(np.full(len(old_values), encoded, dtype=np.uint64))
 
-    def rebuild(self, relation, valid: Optional[np.ndarray] = None) -> None:
+    def rebuild(self, relation, valid: np.ndarray | None = None) -> None:
+        """Rebuild every histogram exactly, preserving each column's variant.
+
+        A column the feedback loop promoted to equi-depth stays equi-depth
+        across compactions (its quantile edges are recomputed from the live
+        values); columns without an adaptive verdict stay equi-width.
+        """
         for attribute in self.schema:
             values = relation.column(attribute.name)
             if valid is not None:
                 values = values[np.asarray(valid, dtype=bool)]
-            fresh = ColumnHistogram(attribute.width, DEFAULT_BUCKETS)
-            fresh.add(values)
-            self.histograms[attribute.name] = fresh
+            current = self.histograms.get(attribute.name)
+            variant = type(current) if current is not None else ColumnHistogram
+            self.histograms[attribute.name] = variant.from_values(
+                values, attribute.width, DEFAULT_BUCKETS
+            )
+
+    def rebuild_column(
+        self,
+        relation,
+        name: str,
+        valid: np.ndarray | None = None,
+        equi_depth: bool = True,
+    ) -> AnyHistogram:
+        """Rebuild one column's histogram exactly from the live values.
+
+        The feedback loop calls this with ``equi_depth=True`` when a column's
+        accumulated estimation error crosses the rebuild threshold; the
+        column keeps the equi-depth variant from then on (see
+        :meth:`rebuild`).
+        """
+        attribute = self.schema.attribute(name)
+        values = relation.column(name)
+        if valid is not None:
+            values = values[np.asarray(valid, dtype=bool)]
+        variant = EquiDepthHistogram if equi_depth else ColumnHistogram
+        fresh = variant.from_values(values, attribute.width, DEFAULT_BUCKETS)
+        self.histograms[name] = fresh
+        return fresh
 
     # -------------------------------------------------------------- estimates
-    def _encode(self, attribute: str, value) -> Optional[int]:
+    def _encode(self, attribute: str, value) -> int | None:
         attr = self.schema.attribute(attribute)
         try:
             return int(attr.encode_value(value))

@@ -32,7 +32,7 @@ maintenance under DML is charged as ``zonemap-maintain``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 import numpy as np
 
@@ -85,18 +85,18 @@ class ZoneMaps:
         self.rows = int(rows)
         self.schema = schema
         self.live = np.zeros(self.crossbars, dtype=np.int64)
-        self.mins: Dict[str, np.ndarray] = {
+        self.mins: dict[str, np.ndarray] = {
             name: np.full(self.crossbars, _U64_MAX, dtype=np.uint64)
             for name in schema.names
         }
-        self.maxs: Dict[str, np.ndarray] = {
+        self.maxs: dict[str, np.ndarray] = {
             name: np.zeros(self.crossbars, dtype=np.uint64)
             for name in schema.names
         }
 
     # ------------------------------------------------------------------ build
     @classmethod
-    def from_stored(cls, stored) -> "ZoneMaps":
+    def from_stored(cls, stored) -> ZoneMaps:
         """Build exact zone maps for a freshly loaded stored relation."""
         maps = cls(
             stored.allocations[0].crossbars,
@@ -107,7 +107,7 @@ class ZoneMaps:
         maps.rebuild(stored.relation, valid)
         return maps
 
-    def rebuild(self, relation, valid: Optional[np.ndarray] = None) -> None:
+    def rebuild(self, relation, valid: np.ndarray | None = None) -> None:
         """Recompute every entry exactly from the slot-aligned ground truth.
 
         ``valid`` masks tombstoned slots (all-live when omitted); slots past
@@ -128,6 +128,42 @@ class ZoneMaps:
             grid = padded.reshape(self.crossbars, self.rows)
             self.mins[name] = np.where(live, grid, _U64_MAX).min(axis=1)
             self.maxs[name] = np.where(live, grid, np.uint64(0)).max(axis=1)
+
+    def assert_tight(self, relation, valid: np.ndarray | None = None) -> None:
+        """Assert every bound is *tight* against the slot-aligned ground truth.
+
+        The maintenance hooks only ever widen bounds (INSERT/UPDATE) or
+        decrement counts (DELETE) — correctness never requires tight bounds,
+        but pruning quality does, and an exact rebuild (compaction or an
+        error-triggered statistics rebuild) must leave no widen-only drift
+        behind.  The expected bounds are computed through ``reduceat``, a
+        different reduction path than :meth:`rebuild`, so a rebuild-path bug
+        cannot hide itself.
+        """
+        records = len(relation)
+        capacity = self.crossbars * self.rows
+        live = np.zeros(capacity, dtype=bool)
+        if valid is None:
+            live[:records] = True
+        else:
+            live[:records] = np.asarray(valid, dtype=bool)
+        offsets = np.arange(self.crossbars) * self.rows
+        counts = np.add.reduceat(live.astype(np.int64), offsets)
+        assert np.array_equal(self.live, counts), (
+            "zone-map live counts disagree with the ground truth after an "
+            "exact rebuild"
+        )
+        for name in self.schema.names:
+            padded = np.zeros(capacity, dtype=np.uint64)
+            padded[:records] = relation.column(name)
+            mins = np.minimum.reduceat(np.where(live, padded, _U64_MAX), offsets)
+            maxs = np.maximum.reduceat(np.where(live, padded, np.uint64(0)), offsets)
+            assert np.array_equal(self.mins[name], mins) and np.array_equal(
+                self.maxs[name], maxs
+            ), (
+                f"zone-map bounds for {name!r} are not tight after an exact "
+                "rebuild (widen-only drift survived)"
+            )
 
     # ------------------------------------------------------------ maintenance
     def note_insert(self, slot: int, record: Mapping[str, object]) -> None:
@@ -238,7 +274,7 @@ class ZoneMaps:
         # Unknown node: never prune on something we cannot reason about.
         return np.ones(self.crossbars, dtype=bool)
 
-    def _encode(self, attribute: str, value) -> Optional[int]:
+    def _encode(self, attribute: str, value) -> int | None:
         """Encode a constant like the compiler (None = not in dictionary)."""
         attr = self.schema.attribute(attribute)
         try:
@@ -332,7 +368,7 @@ class PruneDecision:
     """
 
     #: One candidate mask per vertical partition.
-    candidates: List[np.ndarray]
+    candidates: list[np.ndarray]
     #: Crossbars across all partitions (the unpruned broadcast width).
     crossbars_total: int
     #: Candidate crossbars across all partitions (the pruned width).
@@ -346,3 +382,157 @@ class PruneDecision:
     def empty(self) -> bool:
         """No crossbar can satisfy the conjunction of some partition."""
         return any(not mask.any() for mask in self.candidates)
+
+
+#: Buckets per attribute of a pair sketch (8 × 8 grid → one 64-bit word).
+PAIR_BUCKETS = 8
+_PAIR_ALL = (1 << PAIR_BUCKETS) - 1
+_PAIR_SATURATED = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+class PairZoneMap:
+    """Per-crossbar presence sketch over the joint domain of a column pair.
+
+    Single-column zone maps cannot see correlation: a crossbar whose
+    ``d_year`` range covers 1997 *and* whose ``p_category`` range covers
+    ``MFGR#12`` may still hold no row with both.  This sketch keeps, per
+    crossbar, one 64-bit word whose bit ``(a_bucket * 8 + b_bucket)`` says
+    "some live row here has ``a`` in bucket ``a_bucket`` and ``b`` in bucket
+    ``b_bucket``" (buckets are the top 3 bits of the encoded value).  A
+    conjunction constraining *both* columns intersects its allowed bucket
+    grid with the sketch and prunes the crossbars whose intersection is
+    empty.
+
+    Maintenance mirrors the single-column discipline — conservative, never
+    wrong: built exactly, bit-set on INSERT, *saturated* for the touched
+    crossbars on UPDATE (the old values are unknown here), untouched on
+    DELETE, rebuilt exactly on compaction.
+    """
+
+    def __init__(self, attributes, schema: Schema, crossbars: int, rows: int) -> None:
+        first, second = attributes
+        self.attributes = (first, second)
+        self.schema = schema
+        self.crossbars = int(crossbars)
+        self.rows = int(rows)
+        self.shifts = {
+            name: max(0, schema.attribute(name).width - 3)
+            for name in self.attributes
+        }
+        self.sketch = np.zeros(self.crossbars, dtype=np.uint64)
+
+    @classmethod
+    def from_relation(
+        cls,
+        attributes,
+        schema: Schema,
+        crossbars: int,
+        rows: int,
+        relation,
+        valid: np.ndarray | None = None,
+    ) -> PairZoneMap:
+        pair = cls(attributes, schema, crossbars, rows)
+        pair.rebuild(relation, valid)
+        return pair
+
+    def _bits_of(self, a_values: np.ndarray, b_values: np.ndarray) -> np.ndarray:
+        first, second = self.attributes
+        a_bucket = np.asarray(a_values, dtype=np.uint64) >> np.uint64(self.shifts[first])
+        b_bucket = np.asarray(b_values, dtype=np.uint64) >> np.uint64(self.shifts[second])
+        return a_bucket * np.uint64(PAIR_BUCKETS) + b_bucket
+
+    # ------------------------------------------------------------ maintenance
+    def rebuild(self, relation, valid: np.ndarray | None = None) -> None:
+        """Recompute the sketch exactly from the slot-aligned ground truth."""
+        records = len(relation)
+        capacity = self.crossbars * self.rows
+        live = np.zeros(capacity, dtype=bool)
+        if valid is None:
+            live[:records] = True
+        else:
+            live[:records] = np.asarray(valid, dtype=bool)
+        first, second = self.attributes
+        a_padded = np.zeros(capacity, dtype=np.uint64)
+        a_padded[:records] = relation.column(first)
+        b_padded = np.zeros(capacity, dtype=np.uint64)
+        b_padded[:records] = relation.column(second)
+        words = np.where(
+            live, np.uint64(1) << self._bits_of(a_padded, b_padded), np.uint64(0)
+        )
+        self.sketch = np.bitwise_or.reduce(
+            words.reshape(self.crossbars, self.rows), axis=1
+        )
+
+    def note_insert(self, slot: int, record: Mapping[str, object]) -> None:
+        first, second = self.attributes
+        bit = self._bits_of(
+            np.uint64(record[first]), np.uint64(record[second])
+        )
+        self.sketch[slot // self.rows] |= np.uint64(1) << bit
+
+    def note_update(self, attribute: str, crossbars: np.ndarray) -> None:
+        """Saturate the touched crossbars when either column is reassigned.
+
+        Only the assigned constant is known here, not which joint buckets
+        the touched rows vacate or land in, so the sketch falls back to
+        "anything possible" for those crossbars until the next exact rebuild.
+        """
+        if attribute not in self.shifts:
+            return
+        crossbars = np.asarray(crossbars, dtype=np.int64)
+        if crossbars.size:
+            self.sketch[crossbars] = _PAIR_SATURATED
+
+    # -------------------------------------------------------------- candidates
+    def bucket_mask(self, node: Comparison) -> int | None:
+        """8-bit mask of this comparison's possible buckets (None = not ours)."""
+        name = node.attribute
+        if name not in self.shifts:
+            return None
+        shift = self.shifts[name]
+        max_value = self.schema.attribute(name).max_value
+
+        def bucket(encoded: int) -> int:
+            return min(encoded >> shift, PAIR_BUCKETS - 1)
+
+        def encode(value) -> int | None:
+            try:
+                return int(self.schema.attribute(name).encode_value(value))
+            except KeyError:
+                return None
+
+        if node.op == IN:
+            mask = 0
+            for value in node.values:
+                encoded = encode(value)
+                if encoded is not None and 0 <= encoded <= max_value:
+                    mask |= 1 << bucket(encoded)
+            return mask
+        if node.op == BETWEEN:
+            bounds = clamp_between(
+                encode(node.low), encode(node.high), max_value
+            )
+            if bounds is None:
+                return 0
+            low_bucket, high_bucket = bucket(bounds[0]), bucket(bounds[1])
+            return ((1 << (high_bucket + 1)) - 1) & ~((1 << low_bucket) - 1)
+        encoded = encode(node.value)
+        folded = fold_comparison(node.op, encoded, max_value)
+        if folded is not None:
+            return _PAIR_ALL if folded else 0
+        if node.op == EQ:
+            return 1 << bucket(encoded)
+        if node.op in (LT, LE):
+            return (1 << (bucket(encoded) + 1)) - 1
+        if node.op in (GT, GE):
+            return _PAIR_ALL & ~((1 << bucket(encoded)) - 1)
+        # NE (and anything unforeseen) constrains no bucket.
+        return _PAIR_ALL
+
+    def possible(self, a_mask: int, b_mask: int) -> np.ndarray:
+        """Candidate crossbars given the pair's allowed bucket masks."""
+        joint = 0
+        for a_bit in range(PAIR_BUCKETS):
+            if (a_mask >> a_bit) & 1:
+                joint |= b_mask << (a_bit * PAIR_BUCKETS)
+        return (self.sketch & np.uint64(joint)) != 0

@@ -14,7 +14,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Hashable, Optional
+from collections.abc import Callable, Hashable
 
 from repro.core.stages import ProgramCompiler
 from repro.db.encoding import RowLayout
@@ -36,8 +36,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
-    capacity: Optional[int] = None
-    entries: Optional[int] = None
+    capacity: int | None = None
+    entries: int | None = None
 
     @property
     def lookups(self) -> int:
@@ -47,13 +47,13 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def snapshot(self) -> "CacheStats":
+    def snapshot(self) -> CacheStats:
         """An immutable-in-spirit copy taken at a point in time."""
         return CacheStats(
             self.hits, self.misses, self.evictions, self.capacity, self.entries
         )
 
-    def __sub__(self, other: "CacheStats") -> "CacheStats":
+    def __sub__(self, other: CacheStats) -> CacheStats:
         return CacheStats(
             self.hits - other.hits,
             self.misses - other.misses,
@@ -77,7 +77,7 @@ class ProgramCache(ProgramCompiler):
             raise ValueError("capacity must be positive")
         self.capacity = int(capacity)
         self.stats = CacheStats()
-        self._entries: "OrderedDict[Hashable, Program]" = OrderedDict()
+        self._entries: OrderedDict[Hashable, Program] = OrderedDict()
         # Sharded scatter execution may compile from several shard threads at
         # once; the lock keeps the LRU bookkeeping (and the hit/miss counters)
         # consistent.  Compilation itself is pure, so holding the lock across
@@ -134,19 +134,19 @@ class ProgramCache(ProgramCompiler):
     def filter_program(
         self, predicate: Predicate, schema: Schema, layout: RowLayout
     ) -> Program:
+        build = super().filter_program
         return self._lookup(
             ("filter", predicate, layout),
-            lambda: super(ProgramCache, self).filter_program(predicate, schema, layout),
+            lambda: build(predicate, schema, layout),
         )
 
-    def group_program(self, group_values: Dict[str, int], layout: RowLayout) -> Program:
+    def group_program(self, group_values: dict[str, int], layout: RowLayout) -> Program:
         key = ("group", tuple(sorted(group_values.items())), layout)
-        return self._lookup(
-            key, lambda: super(ProgramCache, self).group_program(group_values, layout)
-        )
+        build = super().group_program
+        return self._lookup(key, lambda: build(group_values, layout))
 
     def combine_program(
-        self, group_values: Dict[str, int], layout: RowLayout, include_remote: bool
+        self, group_values: dict[str, int], layout: RowLayout, include_remote: bool
     ) -> Program:
         key = (
             "combine",
@@ -154,9 +154,7 @@ class ProgramCache(ProgramCompiler):
             include_remote,
             layout,
         )
+        build = super().combine_program
         return self._lookup(
-            key,
-            lambda: super(ProgramCache, self).combine_program(
-                group_values, layout, include_remote
-            ),
+            key, lambda: build(group_values, layout, include_remote)
         )

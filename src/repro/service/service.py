@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.config import SystemConfig, validate_backend
 from repro.core.executor import PimQueryEngine, QueryExecution
@@ -48,6 +48,7 @@ from repro.db.storage import StoredRelation
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
 from repro.pim.stats import PimStats
+from repro.planner.adaptive import AdaptiveSnapshot
 from repro.planner.candidates import CandidateCacheStats
 from repro.planner.planner import CostPlanner, execute_host_scan
 from repro.service.cache import CacheStats, ProgramCache
@@ -57,11 +58,11 @@ from repro.sharding.executor import ShardedQueryEngine
 from repro.sharding.storage import ShardedStoredRelation
 
 #: A registered engine: plain single-allocation or sharded scatter-gather.
-ServiceEngine = Union[PimQueryEngine, ShardedQueryEngine]
+ServiceEngine = PimQueryEngine | ShardedQueryEngine
 
 #: The executor state a registered engine needs: one executor for a plain
 #: engine, one per shard for a sharded engine.
-ServiceExecutors = Union[PimExecutor, List[PimExecutor]]
+ServiceExecutors = PimExecutor | list[PimExecutor]
 
 
 @dataclass(frozen=True)
@@ -69,7 +70,7 @@ class QueryRequest:
     """One query of a batch, optionally pinned to a registered relation."""
 
     query: Query
-    relation: Optional[str] = None
+    relation: str | None = None
 
 
 @dataclass
@@ -85,14 +86,14 @@ class DmlOutcome:
 
     result: object
     stats: PimStats
-    shard_stats: List[PimStats] = field(default_factory=list)
+    shard_stats: list[PimStats] = field(default_factory=list)
 
 
 @dataclass
 class BatchResult:
     """Executions (in request order) and aggregate stats of one batch."""
 
-    executions: List[QueryExecution]
+    executions: list[QueryExecution]
     stats: ServiceStats
 
     def __iter__(self):
@@ -109,10 +110,10 @@ class QueryService:
         self,
         cache_capacity: int = 512,
         vectorized: bool = True,
-        cache: Optional[ProgramCache] = None,
+        cache: ProgramCache | None = None,
         pruning: bool = True,
         planner: bool = True,
-        scatter_workers: Optional[int] = None,
+        scatter_workers: int | None = None,
     ) -> None:
         """Create an empty service.
 
@@ -141,10 +142,10 @@ class QueryService:
         self.planner_enabled = bool(planner)
         self.pool = ScatterPool(scatter_workers)
         self._planner = CostPlanner()
-        self._engines: Dict[str, ServiceEngine] = {}
-        self._executors: Dict[str, ServiceExecutors] = {}
-        self._dml_counters: Dict[str, Dict[str, int]] = {}
-        self._default: Optional[str] = None
+        self._engines: dict[str, ServiceEngine] = {}
+        self._executors: dict[str, ServiceExecutors] = {}
+        self._dml_counters: dict[str, dict[str, int]] = {}
+        self._default: str | None = None
         self._host_routed_total = 0
 
     # -------------------------------------------------------------- registry
@@ -152,9 +153,9 @@ class QueryService:
         self,
         name: str,
         stored: StoredRelation,
-        config: Optional[SystemConfig] = None,
-        label: Optional[str] = None,
-        cost_model: Optional[GroupByCostModel] = None,
+        config: SystemConfig | None = None,
+        label: str | None = None,
+        cost_model: GroupByCostModel | None = None,
         sample_pages: int = 1,
         timing_scale: float = 1.0,
         default: bool = False,
@@ -191,18 +192,18 @@ class QueryService:
         name: str,
         relation: Relation,
         shards: int = 2,
-        module: Optional[PimModule] = None,
-        config: Optional[SystemConfig] = None,
-        label: Optional[str] = None,
-        cost_model: Optional[GroupByCostModel] = None,
+        module: PimModule | None = None,
+        config: SystemConfig | None = None,
+        label: str | None = None,
+        cost_model: GroupByCostModel | None = None,
         sample_pages: int = 1,
         timing_scale: float = 1.0,
         max_workers: int = 1,
-        partitions: Optional[Sequence[Sequence[str]]] = None,
-        aggregation_width: Optional[int] = None,
+        partitions: Sequence[Sequence[str]] | None = None,
+        aggregation_width: int | None = None,
         reserve_bulk_aggregation: bool = True,
         default: bool = False,
-        backend: Optional[str] = None,
+        backend: str | None = None,
     ) -> ShardedQueryEngine:
         """Shard ``relation`` horizontally and register the scatter-gather engine.
 
@@ -269,14 +270,14 @@ class QueryService:
         """Release the shared scatter pool's worker threads (idempotent)."""
         self.pool.close()
 
-    def __enter__(self) -> "QueryService":
+    def __enter__(self) -> QueryService:
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
 
     @staticmethod
-    def _fresh_counters() -> Dict[str, int]:
+    def _fresh_counters() -> dict[str, int]:
         return {"inserted": 0, "deleted": 0, "compactions": 0, "slots_reclaimed": 0}
 
     def _check_name_free(self, name: str) -> None:
@@ -284,15 +285,15 @@ class QueryService:
             raise ValueError(f"relation {name!r} is already registered")
 
     @property
-    def relations(self) -> List[str]:
+    def relations(self) -> list[str]:
         """Names of the registered relations."""
         return list(self._engines)
 
-    def engine(self, name: Optional[str] = None) -> ServiceEngine:
+    def engine(self, name: str | None = None) -> ServiceEngine:
         """The engine serving ``name`` (or the default relation)."""
         return self._engines[self._resolve(name)]
 
-    def _resolve(self, name: Optional[str]) -> str:
+    def _resolve(self, name: str | None) -> str:
         if name is None:
             if self._default is None:
                 raise ValueError("no relation registered with this service")
@@ -304,7 +305,7 @@ class QueryService:
         return name
 
     # ------------------------------------------------------------- execution
-    def execute(self, query: Query, relation: Optional[str] = None) -> QueryExecution:
+    def execute(self, query: Query, relation: str | None = None) -> QueryExecution:
         """Execute a single query through the service's shared machinery.
 
         With the planner enabled the query is routed cost-based: a
@@ -337,8 +338,8 @@ class QueryService:
 
     def execute_batch(
         self,
-        queries: Iterable[Union[Query, QueryRequest]],
-        relation: Optional[str] = None,
+        queries: Iterable[Query | QueryRequest],
+        relation: str | None = None,
     ) -> BatchResult:
         """Execute a batch and return per-query results plus service stats.
 
@@ -346,7 +347,7 @@ class QueryService:
         execution against one relation keeps its programs and columns hot)
         while the returned executions keep the submission order.
         """
-        requests: List[QueryRequest] = [
+        requests: list[QueryRequest] = [
             q if isinstance(q, QueryRequest) else QueryRequest(q, relation)
             for q in queries
         ]
@@ -355,7 +356,7 @@ class QueryService:
 
         cache_before = self.cache.snapshot()
         candidates_before = self.candidate_cache_stats()
-        pending: List[Optional[QueryExecution]] = [None] * len(requests)
+        pending: list[QueryExecution | None] = [None] * len(requests)
         host_routed = 0
         start = time.perf_counter()
         for index in schedule:
@@ -367,7 +368,7 @@ class QueryService:
         wall = time.perf_counter() - start
         # The schedule is a permutation of the request indices, so after the
         # loop every slot holds an execution; narrow the Optional away.
-        executions: List[QueryExecution] = []
+        executions: list[QueryExecution] = []
         for index, execution in enumerate(pending):
             if execution is None:
                 raise AssertionError(f"request {index} was never scheduled")
@@ -378,6 +379,7 @@ class QueryService:
             dml=self._dml_snapshot(),
             host_routed=host_routed,
             candidates=self.candidate_cache_stats() - candidates_before,
+            adaptive=self.adaptive_stats(),
         )
         return BatchResult(executions=executions, stats=stats)
 
@@ -401,11 +403,28 @@ class QueryService:
                 total = total + statistics.candidate_stats()
         return total
 
+    def adaptive_stats(self) -> AdaptiveSnapshot:
+        """Summed feedback-loop snapshots of every registered relation.
+
+        Point-in-time, like :meth:`dml_stats` — the loop's counters only
+        grow, so a caller that wants a per-batch delta can difference the
+        ``observations``/``rebuilds`` counts itself.
+        """
+        total = AdaptiveSnapshot()
+        for engine in self._engines.values():
+            if isinstance(engine, ShardedQueryEngine):
+                stats_owners = [s.statistics for s in engine.sharded.shards]
+            else:
+                stats_owners = [engine.stored.statistics]
+            for statistics in stats_owners:
+                total = total + statistics.adaptive_snapshot()
+        return total
+
     # ------------------------------------------------------------------- DML
     def insert(
         self,
         records: Sequence[Mapping[str, object]],
-        relation: Optional[str] = None,
+        relation: str | None = None,
     ) -> DmlOutcome:
         """Insert records into a registered relation (slot reuse, then tail).
 
@@ -430,7 +449,7 @@ class QueryService:
         )
 
     def delete(
-        self, predicate: Predicate, relation: Optional[str] = None
+        self, predicate: Predicate, relation: str | None = None
     ) -> DmlOutcome:
         """Tombstone the records selected by ``predicate`` — in memory.
 
@@ -464,24 +483,31 @@ class QueryService:
 
     def compact(
         self,
-        relation: Optional[str] = None,
+        relation: str | None = None,
         threshold: float = dml.DEFAULT_COMPACTION_THRESHOLD,
         force: bool = False,
+        cluster_by: str | None = None,
     ) -> DmlOutcome:
-        """Compact a relation's tombstones away when fragmentation warrants it."""
+        """Compact a relation's tombstones away when fragmentation warrants it.
+
+        The rewrite re-clusters the surviving rows by ``cluster_by``
+        (default: the relation's hottest predicate column, per its adaptive
+        feedback loop).
+        """
         name = self._resolve(relation)
         engine = self._engines[name]
         executors = self._bind_dml_stats(name)
         if isinstance(engine, ShardedQueryEngine):
             result = sharded_dml.execute_sharded_compaction(
                 engine.sharded, executors=executors,
-                threshold=threshold, force=force,
+                threshold=threshold, force=force, cluster_by=cluster_by,
             )
             performed = result.shards_compacted
             reclaimed = result.slots_reclaimed
         else:
             result = dml.execute_compaction(
-                engine.stored, executors[0], threshold=threshold, force=force
+                engine.stored, executors[0], threshold=threshold, force=force,
+                cluster_by=cluster_by,
             )
             performed = int(result.performed)
             reclaimed = result.slots_reclaimed
@@ -493,7 +519,7 @@ class QueryService:
             [executor.stats.copy() for executor in executors],
         )
 
-    def dml_stats(self, relation: Optional[str] = None) -> DmlStats:
+    def dml_stats(self, relation: str | None = None) -> DmlStats:
         """Live-row / tombstone / lifecycle counters of one relation."""
         name = self._resolve(relation)
         return self._relation_dml_stats(name)
@@ -518,7 +544,7 @@ class QueryService:
             slots_reclaimed=counters["slots_reclaimed"],
         )
 
-    def _dml_snapshot(self) -> Optional[DmlStats]:
+    def _dml_snapshot(self) -> DmlStats | None:
         """Aggregate DML state over all relations; ``None`` before any DML."""
         if not any(
             any(counters.values()) for counters in self._dml_counters.values()
@@ -536,7 +562,7 @@ class QueryService:
             slots_reclaimed=sum(s.slots_reclaimed for s in per_relation),
         )
 
-    def _bind_dml_stats(self, name: str) -> List[PimExecutor]:
+    def _bind_dml_stats(self, name: str) -> list[PimExecutor]:
         """Attach fresh per-call stats to the relation's executor(s)."""
         executors = self._executors[name]
         if isinstance(executors, PimExecutor):

@@ -21,11 +21,12 @@ and the worst per-shard wear.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.core.executor import QueryExecution
+from repro.planner.adaptive import AdaptiveSnapshot
 from repro.planner.candidates import CandidateCacheStats
 from repro.service.cache import CacheStats
 from repro.sharding.executor import ShardedQueryExecution
@@ -53,7 +54,7 @@ class ShardStats:
     @classmethod
     def from_executions(
         cls, executions: Sequence[ShardedQueryExecution]
-    ) -> Optional["ShardStats"]:
+    ) -> ShardStats | None:
         """Summarise the sharded executions of a batch (``None`` if none)."""
         if not executions:
             return None
@@ -100,6 +101,42 @@ class DmlStats:
 
 
 @dataclass(frozen=True)
+class AdaptiveStats:
+    """Feedback-loop counters of the registered relations' statistics.
+
+    A point-in-time roll-up of the per-relation
+    :class:`~repro.planner.adaptive.AdaptiveController` snapshots (summed
+    over engines and shards): how many executions fed the loop, how many
+    error-triggered equi-depth rebuilds and correlated-pair sketches it
+    applied, the error still accumulating, and the current hottest
+    column/pair that the next re-clustering compaction would use.
+    """
+
+    observations: int = 0
+    rebuilds: int = 0
+    pair_sketches: int = 0
+    accumulated_error: float = 0.0
+    hot_column: str | None = None
+    hot_pair: tuple | None = None
+
+    @classmethod
+    def from_snapshot(
+        cls, snapshot: AdaptiveSnapshot | None
+    ) -> AdaptiveStats | None:
+        """Wrap a (possibly summed) snapshot; ``None`` when the loop is idle."""
+        if snapshot is None or snapshot.observations == 0:
+            return None
+        return cls(
+            observations=snapshot.observations,
+            rebuilds=snapshot.rebuilds,
+            pair_sketches=snapshot.pair_sketches,
+            accumulated_error=snapshot.accumulated_error,
+            hot_column=snapshot.hot_column,
+            hot_pair=snapshot.hot_pair,
+        )
+
+
+@dataclass(frozen=True)
 class PlannerStats:
     """Planning summary of one served batch.
 
@@ -122,7 +159,7 @@ class PlannerStats:
     actual_selectivity: float
     #: Semantic candidate-set cache counters of the batch (summed over the
     #: registered relations' caches); ``None`` when nothing was looked up.
-    candidates: Optional[CandidateCacheStats] = None
+    candidates: CandidateCacheStats | None = None
 
     @property
     def crossbars_skipped(self) -> int:
@@ -139,8 +176,8 @@ class PlannerStats:
         cls,
         executions: Sequence[QueryExecution],
         host_routed: int = 0,
-        candidates: Optional[CandidateCacheStats] = None,
-    ) -> Optional["PlannerStats"]:
+        candidates: CandidateCacheStats | None = None,
+    ) -> PlannerStats | None:
         """Summarise the planner's work over a batch (``None`` if idle)."""
         estimated = [
             e for e in executions if e.estimated_selectivity is not None
@@ -178,29 +215,32 @@ class ServiceStats:
     modelled_p50_s: float
     modelled_p95_s: float
     modelled_energy_j: float
-    cache: Optional[CacheStats] = None
+    cache: CacheStats | None = None
     #: Scatter-gather figures; ``None`` when no execution was sharded.
-    sharded: Optional[ShardStats] = None
+    sharded: ShardStats | None = None
     #: Data-lifecycle state/counters; ``None`` for a service without DML.
-    dml: Optional[DmlStats] = None
+    dml: DmlStats | None = None
     #: Crossbar-skipping and routing figures; ``None`` without a planner.
-    planner: Optional[PlannerStats] = None
+    planner: PlannerStats | None = None
+    #: Feedback-loop counters; ``None`` while no execution has fed it.
+    adaptive: AdaptiveStats | None = None
 
     @classmethod
     def from_executions(
         cls,
         executions: Sequence[QueryExecution],
         wall_time_s: float,
-        cache: Optional[CacheStats] = None,
-        dml: Optional[DmlStats] = None,
+        cache: CacheStats | None = None,
+        dml: DmlStats | None = None,
         host_routed: int = 0,
-        candidates: Optional[CandidateCacheStats] = None,
-    ) -> "ServiceStats":
+        candidates: CandidateCacheStats | None = None,
+        adaptive: AdaptiveSnapshot | None = None,
+    ) -> ServiceStats:
         """Summarise a batch of executions measured over ``wall_time_s``."""
         latencies = np.array([e.time_s for e in executions], dtype=float)
         count = len(latencies)
         modelled_total = float(latencies.sum()) if count else 0.0
-        sharded: List[ShardedQueryExecution] = [
+        sharded: list[ShardedQueryExecution] = [
             e for e in executions if isinstance(e, ShardedQueryExecution)
         ]
         return cls(
@@ -218,6 +258,7 @@ class ServiceStats:
             planner=PlannerStats.from_executions(
                 executions, host_routed, candidates=candidates
             ),
+            adaptive=AdaptiveStats.from_snapshot(adaptive),
         )
 
     def describe(self) -> str:
@@ -262,6 +303,19 @@ class ServiceStats:
                     f"{c.evictions} evictions "
                     f"(capacity {c.entries}/{c.capacity})"
                 )
+        if self.adaptive is not None:
+            a = self.adaptive
+            hot = a.hot_column if a.hot_column is not None else "-"
+            pair = (
+                "x".join(a.hot_pair) if a.hot_pair is not None else "-"
+            )
+            lines.append(
+                f"adaptive: {a.observations} observations, "
+                f"{a.rebuilds} equi-depth rebuilds, "
+                f"{a.pair_sketches} pair sketches, "
+                f"error {a.accumulated_error:.2f} accumulating, "
+                f"hot column {hot}, hot pair {pair}"
+            )
         if self.sharded is not None:
             s = self.sharded
             lines.append(

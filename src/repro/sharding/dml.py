@@ -19,7 +19,7 @@ query scatter; callers that want one roll-up can merge them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.db.dml import (
     DEFAULT_COMPACTION_THRESHOLD,
@@ -42,9 +42,9 @@ class ShardedInsertResult:
     """Outcome of an INSERT batch routed across the shards."""
 
     #: ``(shard, slot)`` of every inserted record, in input order.
-    placements: List[tuple] = field(default_factory=list)
+    placements: list[tuple] = field(default_factory=list)
     #: Per-shard insert outcomes (shards that received nothing are absent).
-    shard_results: Dict[int, InsertResult] = field(default_factory=dict)
+    shard_results: dict[int, InsertResult] = field(default_factory=dict)
 
     @property
     def records_inserted(self) -> int:
@@ -60,7 +60,7 @@ class ShardedDeleteResult:
     """Outcome of a DELETE broadcast to every shard."""
 
     records_deleted: int
-    shard_results: List[DeleteResult]
+    shard_results: list[DeleteResult]
     #: NOR cycles of the (shared) filter program, per shard.
     filter_cycles: int
     #: NOR cycles of the (shared) valid-clearing programs, per shard.
@@ -75,7 +75,7 @@ class ShardedDeleteResult:
 class ShardedCompactionResult:
     """Per-shard compaction outcomes."""
 
-    shard_results: List[CompactionResult]
+    shard_results: list[CompactionResult]
 
     @property
     def shards_compacted(self) -> int:
@@ -89,7 +89,7 @@ class ShardedCompactionResult:
 def execute_sharded_insert(
     sharded: ShardedStoredRelation,
     records: Sequence[Mapping[str, object]],
-    executors: Optional[Sequence[PimExecutor]] = None,
+    executors: Sequence[PimExecutor] | None = None,
 ) -> ShardedInsertResult:
     """Insert ``records``, routing each to the currently least-full shard.
 
@@ -115,7 +115,7 @@ def execute_sharded_insert(
     # the free counts, then execute one sub-batch per shard — each shard
     # grows its ground-truth columns at most once per call.
     free = [shard.free_slots for shard in sharded.shards]
-    assignments: List[int] = []
+    assignments: list[int] = []
     for _ in records:
         shard_index = sharded.route_insert(free)
         assignments.append(shard_index)
@@ -123,7 +123,7 @@ def execute_sharded_insert(
 
     result = ShardedInsertResult()
     result.placements = [None] * len(records)
-    by_shard: Dict[int, List[int]] = {}
+    by_shard: dict[int, list[int]] = {}
     for index, shard_index in enumerate(assignments):
         by_shard.setdefault(shard_index, []).append(index)
     for shard_index, indices in sorted(by_shard.items()):
@@ -142,21 +142,26 @@ def execute_sharded_insert(
 def execute_sharded_delete(
     sharded: ShardedStoredRelation,
     predicate: Predicate,
-    executors: Optional[Sequence[PimExecutor]] = None,
+    executors: Sequence[PimExecutor] | None = None,
     compiler=None,
     vectorized: bool = False,
+    pruned: bool | None = None,
 ) -> ShardedDeleteResult:
     """Tombstone the selected records of every shard (broadcast DELETE).
 
     The shards share layout objects, so the filter and valid-clearing
     programs are compiled once — through ``compiler`` (e.g. the service's
-    program cache) when given — and broadcast verbatim.
+    program cache) when given — and broadcast verbatim.  In pruned mode
+    each shard consults its *own* zone maps: a shard whose statistics prove
+    the predicate empty skips its broadcast entirely (the sharded analogue
+    of skipping crossbars).
     """
     executors = sharded.resolve_executors(executors)
     compiled = compile_delete(sharded.shards[0], predicate, compiler=compiler)
     shard_results = [
         execute_delete(
-            shard, predicate, executor, compiled=compiled, vectorized=vectorized
+            shard, predicate, executor, compiled=compiled,
+            vectorized=vectorized, pruned=pruned,
         )
         for shard, executor in zip(sharded.shards, executors)
     ]
@@ -170,15 +175,24 @@ def execute_sharded_delete(
 
 def execute_sharded_compaction(
     sharded: ShardedStoredRelation,
-    executors: Optional[Sequence[PimExecutor]] = None,
+    executors: Sequence[PimExecutor] | None = None,
     threshold: float = DEFAULT_COMPACTION_THRESHOLD,
     force: bool = False,
+    cluster_by: str | None = None,
 ) -> ShardedCompactionResult:
-    """Compact every shard whose own fragmentation crosses ``threshold``."""
+    """Compact every shard whose own fragmentation crosses ``threshold``.
+
+    Each shard re-clusters independently (``cluster_by`` defaults to the
+    shard's own hottest column — shards of one relation converge to the
+    same one, since the scatter sends every query to all of them).
+    """
     executors = sharded.resolve_executors(executors)
     return ShardedCompactionResult(
         shard_results=[
-            execute_compaction(shard, executor, threshold=threshold, force=force)
+            execute_compaction(
+                shard, executor, threshold=threshold, force=force,
+                cluster_by=cluster_by,
+            )
             for shard, executor in zip(sharded.shards, executors)
         ]
     )

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -63,7 +63,7 @@ class ShardedQueryExecution(QueryExecution):
     """
 
     #: The individual per-shard executions, in shard order.
-    shard_executions: List[QueryExecution] = field(default_factory=list)
+    shard_executions: list[QueryExecution] = field(default_factory=list)
     #: Modelled host time of the gather (partial-result merge) phase.
     merge_time_s: float = 0.0
     #: Serial sum of the shard latencies over the parallel (max) latency.
@@ -92,12 +92,12 @@ class ShardedQueryExecution(QueryExecution):
         )
 
     @property
-    def shard_times_s(self) -> List[float]:
+    def shard_times_s(self) -> list[float]:
         """Modelled latency of every shard (the scatter critical path)."""
         return [execution.time_s for execution in self.shard_executions]
 
     @property
-    def shard_writes_per_row(self) -> List[int]:
+    def shard_writes_per_row(self) -> list[int]:
         """Worst per-row write count of every shard."""
         return [execution.max_writes_per_row for execution in self.shard_executions]
 
@@ -108,17 +108,17 @@ class ShardedQueryEngine:
     def __init__(
         self,
         sharded: ShardedStoredRelation,
-        config: Optional[SystemConfig] = None,
+        config: SystemConfig | None = None,
         label: str = "sharded",
-        cost_model: Optional[GroupByCostModel] = None,
+        cost_model: GroupByCostModel | None = None,
         sample_pages: int = 1,
         timing_scale: float = 1.0,
-        compiler: Optional[ProgramCompiler] = None,
+        compiler: ProgramCompiler | None = None,
         vectorized: bool = False,
         pruning: bool = False,
         max_workers: int = 1,
-        planner: Optional[CostPlanner] = None,
-        pool: Optional[ScatterPool] = None,
+        planner: CostPlanner | None = None,
+        pool: ScatterPool | None = None,
     ) -> None:
         """Create a scatter-gather engine over a sharded relation.
 
@@ -167,7 +167,7 @@ class ShardedQueryEngine:
         # maps run inline on the workers, so sharing cannot deadlock).
         self._owns_pool = pool is None
         self.pool = pool if pool is not None else ScatterPool(self.max_workers)
-        self.shard_engines: List[PimQueryEngine] = [
+        self.shard_engines: list[PimQueryEngine] = [
             PimQueryEngine(
                 stored,
                 config=self.config,
@@ -187,7 +187,7 @@ class ShardedQueryEngine:
     def num_shards(self) -> int:
         return len(self.shard_engines)
 
-    def make_executors(self) -> List[PimExecutor]:
+    def make_executors(self) -> list[PimExecutor]:
         """Fresh per-shard executors (a batching service keeps one set)."""
         return self.sharded.make_executors(self.config)
 
@@ -197,7 +197,7 @@ class ShardedQueryEngine:
         if self._owns_pool:
             self.pool.close()
 
-    def __enter__(self) -> "ShardedQueryEngine":
+    def __enter__(self) -> ShardedQueryEngine:
         return self
 
     def __exit__(self, *exc_info) -> None:
@@ -211,7 +211,7 @@ class ShardedQueryEngine:
     def execute(
         self,
         query: Query,
-        executor: Optional[Sequence[PimExecutor]] = None,
+        executor: Sequence[PimExecutor] | None = None,
     ) -> ShardedQueryExecution:
         """Scatter ``query`` over the shards and gather the merged result.
 
@@ -222,8 +222,8 @@ class ShardedQueryEngine:
         """
         executors = self._resolve_executors(executor)
         empty = self._prescatter_empty(query)
-        pooled: List[Tuple[int, PimQueryEngine, PimExecutor]] = []
-        shard_executions: List[Optional[QueryExecution]] = [None] * self.num_shards
+        pooled: list[tuple[int, PimQueryEngine, PimExecutor]] = []
+        shard_executions: list[QueryExecution | None] = [None] * self.num_shards
         for index, (engine, shard_executor) in enumerate(
             zip(self.shard_engines, executors)
         ):
@@ -243,7 +243,7 @@ class ShardedQueryEngine:
             shard_executions[index] = execution
         return self._gather(query, shard_executions)
 
-    def _prescatter_empty(self, query: Query) -> List[bool]:
+    def _prescatter_empty(self, query: Query) -> list[bool]:
         """Cross-shard candidate mask: which shards are provably empty.
 
         Peeks at every shard's memoized plan decision — assembled from the
@@ -252,7 +252,7 @@ class ShardedQueryEngine:
         """
         if not self.pruning:
             return [False] * self.num_shards
-        flags: List[bool] = []
+        flags: list[bool] = []
         crossbars_per_page = self.config.pim.crossbars_per_page
         for engine in self.shard_engines:
             statistics = getattr(engine.stored, "statistics", None)
@@ -294,7 +294,7 @@ class ShardedQueryEngine:
 
     # ---------------------------------------------------------------- gather
     def _gather(
-        self, query: Query, shard_executions: List[QueryExecution]
+        self, query: Query, shard_executions: list[QueryExecution]
     ) -> ShardedQueryExecution:
         """Merge per-shard executions: results, latency model and metadata."""
         stats = PimStats()
@@ -358,6 +358,6 @@ class ShardedQueryEngine:
 
     # -------------------------------------------------------------- internals
     def _resolve_executors(
-        self, executor: Optional[Sequence[PimExecutor]]
-    ) -> List[PimExecutor]:
+        self, executor: Sequence[PimExecutor] | None
+    ) -> list[PimExecutor]:
         return self.sharded.resolve_executors(executor, self.config)

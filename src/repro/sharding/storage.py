@@ -27,7 +27,7 @@ snapshot.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -37,7 +37,7 @@ from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
 
 
-def shard_bounds(num_records: int, shards: int) -> List[Tuple[int, int]]:
+def shard_bounds(num_records: int, shards: int) -> list[tuple[int, int]]:
     """Balanced contiguous ``[start, stop)`` record ranges for ``shards``.
 
     The first ``num_records % shards`` shards receive one extra record, so
@@ -52,7 +52,7 @@ def shard_bounds(num_records: int, shards: int) -> List[Tuple[int, int]]:
             f"cannot split {num_records} records into {shards} non-empty shards"
         )
     base, extra = divmod(num_records, shards)
-    bounds: List[Tuple[int, int]] = []
+    bounds: list[tuple[int, int]] = []
     start = 0
     for index in range(shards):
         stop = start + base + (1 if index < extra else 0)
@@ -69,9 +69,9 @@ class ShardedStoredRelation:
         relation: Relation,
         module: PimModule,
         shards: int = 2,
-        label: Optional[str] = None,
-        partitions: Optional[Sequence[Sequence[str]]] = None,
-        aggregation_width: Optional[int] = None,
+        label: str | None = None,
+        partitions: Sequence[Sequence[str]] | None = None,
+        aggregation_width: int | None = None,
         reserve_bulk_aggregation: bool = True,
     ) -> None:
         """Store ``relation`` as ``shards`` horizontal shards in ``module``.
@@ -95,7 +95,7 @@ class ShardedStoredRelation:
         self._stops = [stop for _, stop in self.bounds]
         self.num_shards = len(self.bounds)
 
-        self.shards: List[StoredRelation] = []
+        self.shards: list[StoredRelation] = []
         shared_layouts = None
         for index, (start, stop) in enumerate(self.bounds):
             shard_relation = Relation(
@@ -173,7 +173,7 @@ class ShardedStoredRelation:
             raise IndexError(f"record {record_index} out of range")
         return bisect_right(self._stops, record_index)
 
-    def route_insert(self, free_slots: Optional[Sequence[int]] = None) -> int:
+    def route_insert(self, free_slots: Sequence[int] | None = None) -> int:
         """Shard index an INSERT should target: the least-full shard.
 
         "Least full" means the most free slots (tombstones plus spare
@@ -189,7 +189,7 @@ class ShardedStoredRelation:
         return int(max(range(len(free)), key=lambda i: (free[i], -i)))
 
     # ------------------------------------------------------------- executors
-    def make_executors(self, config=None) -> List[PimExecutor]:
+    def make_executors(self, config=None) -> list[PimExecutor]:
         """One executor per shard, forked from a shared prototype.
 
         Scatter execution (queries and broadcast UPDATEs alike) gives every
@@ -199,8 +199,8 @@ class ShardedStoredRelation:
         return [base.fork() for _ in self.shards]
 
     def resolve_executors(
-        self, executors: Optional[Sequence[PimExecutor]], config=None
-    ) -> List[PimExecutor]:
+        self, executors: Sequence[PimExecutor] | None, config=None
+    ) -> list[PimExecutor]:
         """Validate a caller-supplied executor set, or build a fresh one."""
         if executors is None:
             return self.make_executors(config)
@@ -230,18 +230,18 @@ class ShardedStoredRelation:
         return concatenate([shard.live_relation() for shard in self.shards])
 
     # ------------------------------------------------------------------ wear
-    def wear_snapshot(self) -> List[List[np.ndarray]]:
+    def wear_snapshot(self) -> list[list[np.ndarray]]:
         """Per-shard wear snapshots (each a per-partition list)."""
         return [shard.wear_snapshot() for shard in self.shards]
 
-    def max_writes_since(self, snapshots: List[List[np.ndarray]]) -> int:
+    def max_writes_since(self, snapshots: list[list[np.ndarray]]) -> int:
         """Worst per-row write count over all shards since the snapshots."""
         return max(
             shard.max_writes_since(snapshot)
             for shard, snapshot in zip(self.shards, snapshots)
         )
 
-    def writes_per_shard_since(self, snapshots: List[List[np.ndarray]]) -> List[int]:
+    def writes_per_shard_since(self, snapshots: list[list[np.ndarray]]) -> list[int]:
         """Worst per-row write count of each shard since the snapshots."""
         return [
             shard.max_writes_since(snapshot)

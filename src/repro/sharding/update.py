@@ -11,7 +11,7 @@ the single functional ground truth stays in sync automatically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.db.query import Predicate
 from repro.db.update import UpdateResult, compile_update, execute_update
@@ -26,7 +26,7 @@ class ShardedUpdateResult:
     #: Total records updated across all shards.
     records_updated: int
     #: Per-shard outcomes, in shard order.
-    shard_results: List[UpdateResult]
+    shard_results: list[UpdateResult]
     #: NOR cycles of the (shared) filter program, per shard.
     filter_cycles: int
     #: NOR cycles of the (shared) Algorithm 1 mux program, per shard.
@@ -41,8 +41,9 @@ class ShardedUpdateResult:
 def execute_sharded_update(
     sharded: ShardedStoredRelation,
     predicate: Predicate,
-    assignments: Dict[str, object],
-    executors: Optional[Sequence[PimExecutor]] = None,
+    assignments: dict[str, object],
+    executors: Sequence[PimExecutor] | None = None,
+    pruned: bool | None = None,
 ) -> ShardedUpdateResult:
     """Update ``assignments`` on the selected records of every shard.
 
@@ -50,13 +51,18 @@ def execute_sharded_update(
     update traffic are charged per shard); fresh executors are created when
     omitted.  The parent relation's columns are updated through the shard
     views, so subsequent queries — sharded or not — see the new values.
+    In pruned mode each shard consults its own zone maps and may skip its
+    broadcast entirely when they prove the predicate empty there.
     """
     executors = sharded.resolve_executors(executors)
     # The shards share layout objects, so the filter and mux programs are
     # compiled once and broadcast verbatim to every shard.
     compiled = compile_update(sharded.shards[0], predicate, assignments)
     shard_results = [
-        execute_update(stored, predicate, assignments, executor, compiled=compiled)
+        execute_update(
+            stored, predicate, assignments, executor,
+            compiled=compiled, pruned=pruned,
+        )
         for stored, executor in zip(sharded.shards, executors)
     ]
     return ShardedUpdateResult(

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import datetime
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -133,7 +132,7 @@ def _generate_date(rng: np.random.Generator) -> Relation:
     last = datetime.date(ssb_schema.LAST_YEAR, 12, 31)
     days = (last - first).days + 1
 
-    columns: Dict[str, list] = {name: [] for name in schema.names}
+    columns: dict[str, list] = {name: [] for name in schema.names}
     season_by_month = {
         12: "Christmas", 1: "Winter", 2: "Winter", 3: "Spring", 4: "Spring",
         5: "Spring", 6: "Summer", 7: "Summer", 8: "Summer", 9: "Fall",

@@ -21,14 +21,13 @@ the variant the timing results assume.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.core.prejoin import DerivedAttribute, build_prejoined_relation
 from repro.db.catalog import Database
 from repro.db.relation import Relation
 
 #: Derived attributes materialised in the pre-joined relation.
-DERIVED_ATTRIBUTES: Tuple[DerivedAttribute, ...] = (
+DERIVED_ATTRIBUTES: tuple[DerivedAttribute, ...] = (
     DerivedAttribute(
         name="lo_revenue_discounted",
         op="mul",
@@ -50,7 +49,7 @@ DERIVED_ATTRIBUTES: Tuple[DerivedAttribute, ...] = (
 #: partition holds all dimension attributes.  This is the worst-case split of
 #: Section V-A (subgroup identifiers and aggregated attributes end up in
 #: different crossbars).
-def two_xb_partitions(prejoined: Relation) -> List[List[str]]:
+def two_xb_partitions(prejoined: Relation) -> list[list[str]]:
     """Attribute partitioning of the two-xb configuration."""
     fact_names = [
         a.name for a in prejoined.schema

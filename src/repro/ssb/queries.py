@@ -21,7 +21,6 @@ For reference, the original SQL of every query is kept in its docstring-like
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
 
 from repro.db.query import (
     Aggregate,
@@ -54,7 +53,7 @@ _REVENUE = Aggregate("sum", "lo_revenue", alias="revenue")
 _PROFIT = Aggregate("sum", "lo_profit", alias="profit")
 
 
-SSB_QUERIES: Dict[str, SSBQuery] = {
+SSB_QUERIES: dict[str, SSBQuery] = {
     # ----------------------------------------------------------- flight 1
     "Q1.1": SSBQuery(
         _q("Q1.1",
@@ -282,7 +281,7 @@ SSB_QUERIES: Dict[str, SSBQuery] = {
 }
 
 #: Execution order used by the evaluation figures.
-QUERY_ORDER: Tuple[str, ...] = (
+QUERY_ORDER: tuple[str, ...] = (
     "Q1.1", "Q1.2", "Q1.3",
     "Q2.1", "Q2.2", "Q2.3",
     "Q3.1", "Q3.2", "Q3.3", "Q3.4",
@@ -290,7 +289,7 @@ QUERY_ORDER: Tuple[str, ...] = (
 )
 
 #: Plain mapping from query name to the IR query object.
-ALL_QUERIES: Dict[str, Query] = {name: entry.query for name, entry in SSB_QUERIES.items()}
+ALL_QUERIES: dict[str, Query] = {name: entry.query for name, entry in SSB_QUERIES.items()}
 
 
 def ssb_query(name: str) -> Query:
@@ -301,6 +300,6 @@ def ssb_query(name: str) -> Query:
         raise KeyError(f"unknown SSB query {name!r}; choose from {QUERY_ORDER}") from None
 
 
-def queries_in_group(group: int) -> List[str]:
+def queries_in_group(group: int) -> list[str]:
     """Names of the queries in one of the four SSB query flights."""
     return [name for name in QUERY_ORDER if SSB_QUERIES[name].group == group]

@@ -18,7 +18,6 @@ inflate the baseline relations.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
 
 from repro.db.schema import Attribute, Schema, dict_attribute, int_attribute, width_for_count
 
@@ -26,7 +25,7 @@ from repro.db.schema import Attribute, Schema, dict_attribute, int_attribute, wi
 # Value domains
 # ---------------------------------------------------------------------------
 
-REGION_NATIONS: Dict[str, Tuple[str, ...]] = {
+REGION_NATIONS: dict[str, tuple[str, ...]] = {
     "AFRICA": ("ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"),
     "AMERICA": ("ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"),
     "ASIA": ("CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"),
@@ -34,9 +33,9 @@ REGION_NATIONS: Dict[str, Tuple[str, ...]] = {
     "MIDDLE EAST": ("EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"),
 }
 
-REGIONS: Tuple[str, ...] = tuple(sorted(REGION_NATIONS))
-NATIONS: Tuple[str, ...] = tuple(sorted(n for ns in REGION_NATIONS.values() for n in ns))
-NATION_REGION: Dict[str, str] = {
+REGIONS: tuple[str, ...] = tuple(sorted(REGION_NATIONS))
+NATIONS: tuple[str, ...] = tuple(sorted(n for ns in REGION_NATIONS.values() for n in ns))
+NATION_REGION: dict[str, str] = {
     nation: region for region, nations in REGION_NATIONS.items() for nation in nations
 }
 
@@ -48,65 +47,65 @@ def city_name(nation: str, index: int) -> str:
     return f"{nation[:9]:<9}{index}"
 
 
-CITIES: Tuple[str, ...] = tuple(
+CITIES: tuple[str, ...] = tuple(
     sorted(city_name(nation, i) for nation in NATIONS for i in range(CITIES_PER_NATION))
 )
-NATION_CITIES: Dict[str, Tuple[str, ...]] = {
+NATION_CITIES: dict[str, tuple[str, ...]] = {
     nation: tuple(city_name(nation, i) for i in range(CITIES_PER_NATION))
     for nation in NATIONS
 }
 
-MKTSEGMENTS: Tuple[str, ...] = (
+MKTSEGMENTS: tuple[str, ...] = (
     "AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY",
 )
 
-MANUFACTURERS: Tuple[str, ...] = tuple(f"MFGR#{i}" for i in range(1, 6))
-CATEGORIES: Tuple[str, ...] = tuple(
+MANUFACTURERS: tuple[str, ...] = tuple(f"MFGR#{i}" for i in range(1, 6))
+CATEGORIES: tuple[str, ...] = tuple(
     f"MFGR#{m}{c}" for m in range(1, 6) for c in range(1, 6)
 )
 BRANDS_PER_CATEGORY = 40
-BRANDS: Tuple[str, ...] = tuple(
+BRANDS: tuple[str, ...] = tuple(
     f"{category}{brand:02d}"
     for category in CATEGORIES
     for brand in range(1, BRANDS_PER_CATEGORY + 1)
 )
 
-COLORS: Tuple[str, ...] = (
+COLORS: tuple[str, ...] = (
     "almond", "aquamarine", "azure", "beige", "black", "blue", "brown", "coral",
     "cyan", "forest", "gold", "green", "indigo", "ivory", "lime", "magenta",
     "navy", "olive", "orange", "pink", "red", "silver", "white", "yellow",
 )
-PART_TYPES: Tuple[str, ...] = tuple(
+PART_TYPES: tuple[str, ...] = tuple(
     f"{size} {material}"
     for size in ("ECONOMY", "LARGE", "MEDIUM", "SMALL", "STANDARD")
     for material in ("BRASS", "COPPER", "NICKEL", "STEEL", "TIN")
 )
-CONTAINERS: Tuple[str, ...] = tuple(
+CONTAINERS: tuple[str, ...] = tuple(
     f"{size} {kind}"
     for size in ("JUMBO", "LG", "MED", "SM", "WRAP")
     for kind in ("BAG", "BOX", "CASE", "PACK")
 )
 
-SHIPMODES: Tuple[str, ...] = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
-ORDER_PRIORITIES: Tuple[str, ...] = (
+SHIPMODES: tuple[str, ...] = ("AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK")
+ORDER_PRIORITIES: tuple[str, ...] = (
     "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW",
 )
-SEASONS: Tuple[str, ...] = ("Christmas", "Fall", "Spring", "Summer", "Winter")
-MONTH_NAMES: Tuple[str, ...] = (
+SEASONS: tuple[str, ...] = ("Christmas", "Fall", "Spring", "Summer", "Winter")
+MONTH_NAMES: tuple[str, ...] = (
     "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
 )
-WEEKDAYS: Tuple[str, ...] = (
+WEEKDAYS: tuple[str, ...] = (
     "Friday", "Monday", "Saturday", "Sunday", "Thursday", "Tuesday", "Wednesday",
 )
 
 FIRST_YEAR = 1992
 LAST_YEAR = 1998
-YEARS: Tuple[int, ...] = tuple(range(FIRST_YEAR, LAST_YEAR + 1))
+YEARS: tuple[int, ...] = tuple(range(FIRST_YEAR, LAST_YEAR + 1))
 
-YEARMONTHS: Tuple[str, ...] = tuple(
+YEARMONTHS: tuple[str, ...] = tuple(
     sorted(f"{month}{year}" for year in YEARS for month in MONTH_NAMES)
 )
-YEARMONTHNUMS: Tuple[int, ...] = tuple(
+YEARMONTHNUMS: tuple[int, ...] = tuple(
     sorted(year * 100 + month for year in YEARS for month in range(1, 13))
 )
 

@@ -1,0 +1,612 @@
+"""The self-tuning storage loop: feedback, re-clustering, pruned DML."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.executor import PimQueryEngine
+from repro.db import dml
+from repro.db.query import (
+    Aggregate,
+    And,
+    Comparison,
+    Query,
+    evaluate_predicate,
+    reference_group_aggregate,
+)
+from repro.db.relation import Relation
+from repro.db.schema import Schema, int_attribute
+from repro.db.storage import StoredRelation
+from repro.db.update import execute_update
+from repro.pim.controller import PimExecutor
+from repro.pim.module import PimModule
+from repro.planner.adaptive import AdaptiveController
+from repro.planner.selectivity import (
+    ColumnHistogram,
+    EquiDepthHistogram,
+    SelectivityModel,
+)
+from repro.planner.zonemap import PairZoneMap
+
+
+# ------------------------------------------------------ equi-depth histograms
+def _skewed_values(count=4000, seed=7):
+    rng = np.random.default_rng(seed)
+    # 90% of the mass in [0, 100), a thin tail across the full 16-bit domain.
+    dense = rng.integers(0, 100, int(count * 0.9))
+    tail = rng.integers(0, 1 << 16, count - len(dense))
+    return np.concatenate([dense, tail]).astype(np.uint64)
+
+
+def test_equi_depth_beats_equi_width_on_skew():
+    values = _skewed_values()
+    depth = EquiDepthHistogram.from_values(values, width=16)
+    width = ColumnHistogram.from_values(values, width=16)
+
+    def reference_eq(v):
+        return float((values == v).sum()) / len(values)
+
+    probes = [0, 5, 50, 99]
+    depth_error = sum(
+        abs(depth.fraction_eq(v) - reference_eq(v)) for v in probes
+    )
+    width_error = sum(
+        abs(width.fraction_eq(v) - reference_eq(v)) for v in probes
+    )
+    # The dense region spans a sliver of one equi-width bucket, so its point
+    # estimates are diluted by the bucket span; equi-depth edges follow the
+    # mass (only the bucket straddling the tail stays diluted).
+    assert depth_error < width_error / 2
+
+
+def test_equi_depth_range_fractions_are_consistent():
+    values = _skewed_values(seed=11)
+    histogram = EquiDepthHistogram.from_values(values, width=16)
+    assert histogram.kind == "equi-depth"
+    # Below the domain maximum (inclusive) is everything.
+    assert histogram.fraction_below(histogram.max_value, inclusive=True) == (
+        pytest.approx(1.0)
+    )
+    assert histogram.fraction_below(0, inclusive=False) == pytest.approx(0.0)
+    # fraction_below is monotone in the limit.
+    previous = 0.0
+    for limit in range(0, 1 << 16, 4096):
+        current = histogram.fraction_below(limit, inclusive=True)
+        assert current >= previous - 1e-12
+        previous = current
+    # A bucket-aligned prefix is exact: every edge cuts at counted mass.
+    for bucket in range(histogram.buckets):
+        edge = int(histogram.edges[bucket])
+        expected = float((values <= edge).sum()) / len(values)
+        assert histogram.fraction_below(edge, inclusive=True) == (
+            pytest.approx(expected, abs=1e-9)
+        )
+
+
+def test_equi_depth_add_remove_roundtrip():
+    values = _skewed_values(seed=3)
+    histogram = EquiDepthHistogram.from_values(values, width=16)
+    before = histogram.counts.copy()
+    extra = np.array([1, 2, 70000 % (1 << 16), 9], dtype=np.uint64)
+    histogram.add(extra)
+    histogram.remove(extra)
+    assert np.array_equal(histogram.counts, before)
+    assert histogram.total == len(values)
+
+
+def test_rebuild_preserves_histogram_variant():
+    values = _skewed_values(seed=5)
+    schema = Schema("t", [int_attribute("v", 16)])
+    relation = Relation(schema, {"v": values})
+    model = SelectivityModel.from_relation(relation)
+    assert isinstance(model.histograms["v"], ColumnHistogram)
+    # One error-triggered rebuild flips the column to equi-depth...
+    model.rebuild_column(relation, "v", equi_depth=True)
+    assert isinstance(model.histograms["v"], EquiDepthHistogram)
+    # ...and a later exact rebuild (compaction) keeps it equi-depth.
+    model.rebuild(relation)
+    assert isinstance(model.histograms["v"], EquiDepthHistogram)
+
+
+# --------------------------------------------------------- adaptive controller
+def test_error_accumulates_and_triggers_per_column():
+    controller = AdaptiveController(error_threshold=2.0)
+    predicate = Comparison("a", "==", 1)
+    # Perfect estimates never trigger.
+    for _ in range(50):
+        assert controller.observe(predicate, 0.25, 0.25, 10) == []
+    # Total misses (estimated 0.5, actual 0) add 1.0 each: two cross 2.0.
+    assert controller.observe(predicate, 0.5, 0.0, 10) == []
+    triggered = controller.observe(predicate, 0.5, 0.0, 10)
+    assert triggered == ["a"]
+    # The accumulator reset: it takes two more misses to trigger again.
+    assert controller.observe(predicate, 0.5, 0.0, 10) == []
+    assert controller.observe(predicate, 0.5, 0.0, 10) == ["a"]
+
+
+def test_error_splits_across_predicate_columns():
+    controller = AdaptiveController(error_threshold=1.0)
+    both = And((Comparison("a", "==", 1), Comparison("b", "==", 2)))
+    # A total miss split over two columns adds 0.5 to each.
+    assert controller.observe(both, 0.5, 0.0, 10) == []
+    assert sorted(controller.observe(both, 0.5, 0.0, 10)) == ["a", "b"]
+
+
+def test_hot_column_and_pair_tracking():
+    controller = AdaptiveController(pair_threshold=100.0)
+    controller.observe(Comparison("a", "==", 1), 0.1, 0.1, 30)
+    controller.observe(Comparison("b", "==", 1), 0.1, 0.1, 200)
+    assert controller.hottest_column() == "b"
+    assert controller.hot_pair() is None
+    both = And((Comparison("a", "==", 1), Comparison("c", "==", 2)))
+    controller.observe(both, 0.1, 0.1, 150)  # 75 per pair, below threshold
+    assert controller.hot_pair() is None
+    controller.observe(both, 0.1, 0.1, 150)
+    assert controller.hot_pair() == ("a", "c")
+    snapshot = controller.snapshot()
+    assert snapshot.observations == 4
+    assert snapshot.hot_pair == ("a", "c")
+
+
+# ----------------------------------------------------------- pair zone sketch
+def test_pair_sketch_is_conservative_and_narrows():
+    rng = np.random.default_rng(17)
+    crossbars, rows = 8, 64
+    schema = Schema("t", [int_attribute("a", 8), int_attribute("b", 8)])
+    # Correlated pair: b tracks a's bucket, so most (a, b) combinations
+    # never co-occur even though each column alone spans its full domain.
+    a = rng.integers(0, 256, crossbars * rows).astype(np.uint64)
+    b = ((a // 32) * 32 + rng.integers(0, 32, crossbars * rows)).astype(
+        np.uint64
+    )
+    relation = Relation(schema, {"a": a, "b": b})
+    sketch = PairZoneMap.from_relation(
+        ("a", "b"), schema, crossbars, rows, relation
+    )
+    grid_a = a.reshape(crossbars, rows)
+    grid_b = b.reshape(crossbars, rows)
+    for low in (0, 64, 160, 224):
+        frag_a = Comparison("a", "between", low=low, high=low + 31)
+        for blow in (0, 96, 224):
+            frag_b = Comparison("b", "between", low=blow, high=blow + 31)
+            mask_a = sketch.bucket_mask(frag_a)
+            mask_b = sketch.bucket_mask(frag_b)
+            possible = sketch.possible(mask_a, mask_b)
+            truth = (
+                (grid_a >= low) & (grid_a <= low + 31)
+                & (grid_b >= blow) & (grid_b <= blow + 31)
+            ).any(axis=1)
+            # Conservative: never prunes a crossbar holding a matching row.
+            assert not np.any(truth & ~possible)
+    # And it actually narrows: an anti-correlated combination is pruned
+    # everywhere even though each single-column zone map would pass it.
+    mask_a = sketch.bucket_mask(Comparison("a", "between", low=0, high=31))
+    mask_b = sketch.bucket_mask(Comparison("b", "between", low=224, high=255))
+    assert not sketch.possible(mask_a, mask_b).any()
+
+
+def test_pair_sketch_update_saturates():
+    schema = Schema("t", [int_attribute("a", 8), int_attribute("b", 8)])
+    values = np.zeros(16, dtype=np.uint64)
+    relation = Relation(schema, {"a": values, "b": values})
+    sketch = PairZoneMap.from_relation(("a", "b"), schema, 2, 8, relation)
+    mask_a = sketch.bucket_mask(Comparison("a", "==", 255))
+    mask_b = sketch.bucket_mask(Comparison("b", "==", 255))
+    assert not sketch.possible(mask_a, mask_b).any()
+    # An UPDATE touching crossbar 1 saturates its sketch word: any
+    # combination is possible there until the next exact rebuild.
+    sketch.note_update("a", np.array([1]))
+    assert not sketch.possible(mask_a, mask_b)[0]
+    assert sketch.possible(mask_a, mask_b)[1]
+
+
+# ------------------------------------------- tightness after an exact rebuild
+def _small_stored(backend="packed", records=600, seed=29):
+    rng = np.random.default_rng(seed)
+    schema = Schema("drift", [
+        int_attribute("key", 16),
+        int_attribute("value", 12),
+        int_attribute("flag", 2),
+    ])
+    relation = Relation(schema, {
+        "key": rng.integers(0, 1 << 16, records).astype(np.uint64),
+        "value": rng.integers(0, 1 << 12, records).astype(np.uint64),
+        "flag": rng.integers(0, 4, records).astype(np.uint64),
+    })
+    system = DEFAULT_CONFIG.with_backend(backend)
+    stored = StoredRelation(relation, PimModule(system), label="drift")
+    return stored, system
+
+
+def _narrow_stored(backend="packed", records=600, seed=29):
+    """All `value`s in a narrow mid-range band, so UPDATEs can drift bounds."""
+    rng = np.random.default_rng(seed)
+    schema = Schema("drift", [
+        int_attribute("key", 16),
+        int_attribute("value", 12),
+        int_attribute("flag", 2),
+    ])
+    relation = Relation(schema, {
+        "key": rng.integers(0, 1 << 16, records).astype(np.uint64),
+        "value": rng.integers(1000, 1100, records).astype(np.uint64),
+        "flag": rng.integers(0, 4, records).astype(np.uint64),
+    })
+    system = DEFAULT_CONFIG.with_backend(backend)
+    stored = StoredRelation(relation, PimModule(system), label="drift")
+    return stored, system
+
+
+def test_update_churn_drifts_then_rebuild_is_tight():
+    """Widen-only drift under UPDATE churn, gone after compaction."""
+    stored, system = _narrow_stored()
+    executor = PimExecutor(system)
+    # Shuttle the flag==1 rows to a high extreme and back down: the first
+    # UPDATE widens the max bound to 4000 (tight — the rows are there); the
+    # second moves those same rows to 5, but the maintenance hook only ever
+    # widens, so the max bound keeps claiming 4000 while no live row holds it.
+    for new_value in (4000, 5):
+        execute_update(
+            stored, Comparison("flag", "==", 1), {"value": new_value},
+            executor,
+        )
+    zonemaps = stored.statistics.zonemaps
+    with pytest.raises(AssertionError, match="not tight"):
+        zonemaps.assert_tight(stored.relation, stored.valid_mask(0))
+    # A DELETE (so compaction has tombstones to chase) then a forced
+    # compaction rebuilds exactly — rebuild() itself asserts tightness; the
+    # explicit re-check documents the contract.
+    dml.execute_delete(
+        stored, Comparison("value", "between", low=0, high=5), executor
+    )
+    result = dml.execute_compaction(stored, executor, force=True)
+    assert result.performed
+    stored.statistics.zonemaps.assert_tight(
+        stored.relation, stored.valid_mask(0)
+    )
+
+
+def test_assert_tight_catches_a_stale_bound():
+    stored, _ = _small_stored(records=200, seed=31)
+    zonemaps = stored.statistics.zonemaps
+    zonemaps.assert_tight(stored.relation, stored.valid_mask(0))
+    zonemaps.maxs["value"][0] += np.uint64(1)
+    with pytest.raises(AssertionError, match="not tight"):
+        zonemaps.assert_tight(stored.relation, stored.valid_mask(0))
+
+
+# ----------------------------------------------------- pruned DML == broadcast
+@pytest.mark.parametrize("backend", ["packed", "bool"])
+@pytest.mark.parametrize("vectorized", [False, True])
+def test_pruned_delete_matches_broadcast(backend, vectorized):
+    pruned_stored, system = _small_stored(backend)
+    broadcast_stored, _ = _small_stored(backend)
+    predicate = Comparison("key", "between", low=0, high=2000)
+    a = dml.execute_delete(
+        pruned_stored, predicate, PimExecutor(system),
+        vectorized=vectorized, pruned=True,
+    )
+    b = dml.execute_delete(
+        broadcast_stored, predicate, PimExecutor(system),
+        vectorized=vectorized, pruned=False,
+    )
+    assert a.records_deleted == b.records_deleted > 0
+    assert np.array_equal(
+        pruned_stored.valid_mask(0), broadcast_stored.valid_mask(0)
+    )
+    for name in pruned_stored.relation.schema.names:
+        assert np.array_equal(
+            pruned_stored.decode_column(name),
+            broadcast_stored.decode_column(name),
+        )
+
+
+@pytest.mark.parametrize("backend", ["packed", "bool"])
+def test_pruned_update_matches_broadcast(backend):
+    pruned_stored, system = _small_stored(backend)
+    broadcast_stored, _ = _small_stored(backend)
+    predicate = Comparison("key", "between", low=1000, high=9000)
+    assignments = {"value": 77}
+    a = execute_update(
+        pruned_stored, predicate, assignments, PimExecutor(system),
+        pruned=True,
+    )
+    b = execute_update(
+        broadcast_stored, predicate, assignments, PimExecutor(system),
+        pruned=False,
+    )
+    assert a.records_updated == b.records_updated > 0
+    for name in pruned_stored.relation.schema.names:
+        assert np.array_equal(
+            pruned_stored.decode_column(name),
+            broadcast_stored.decode_column(name),
+        )
+
+
+def test_pruned_dml_empty_decision_skips_the_broadcast():
+    stored, system = _small_stored()
+    executor = PimExecutor(system)
+    logic_before = executor.stats.logic_ops
+    # `key` is 16 bits wide: nothing can exceed the domain maximum, and the
+    # planner folds the comparison to false before touching any crossbar.
+    result = dml.execute_delete(
+        stored, Comparison("key", ">", (1 << 16) - 1), executor, pruned=True,
+    )
+    assert result.records_deleted == 0
+    assert executor.stats.logic_ops == logic_before  # no program ran
+    assert stored.tombstone_count == 0
+
+
+# ------------------------------------------------ engine feedback integration
+def test_engine_feedback_rebuilds_and_recluster_loop():
+    """The closed loop end to end on a small relation (packed backend)."""
+    stored, system = _small_stored(records=3000, seed=41)
+    engine = PimQueryEngine(
+        stored, config=system, label="loop", vectorized=True, pruning=True,
+    )
+    executor = PimExecutor(system)
+    probe = Query(
+        "probe",
+        Comparison("key", "between", low=0, high=20000),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    )
+    engine.execute(probe)
+    # Tombstone the probed range, then replay: the maintained histogram
+    # still spreads residual mass into the emptied range, so every replay
+    # estimates >0 while selecting nothing — a relative error of 1.0 per
+    # query, scale-free by design, which crosses the rebuild threshold.
+    dml.execute_delete(
+        stored, Comparison("key", "between", low=0, high=20000), executor
+    )
+    assert stored.statistics.estimate(probe.predicate) > 0.0
+    for _ in range(6):
+        engine.execute(probe)
+    snapshot = stored.statistics.adaptive_snapshot()
+    assert snapshot.rebuilds >= 1
+    assert snapshot.hot_column == "key"
+    assert isinstance(
+        stored.statistics.selectivity.histograms["key"], EquiDepthHistogram
+    )
+    # Compaction re-clusters by the hottest column and rebuilds tight.
+    result = dml.execute_compaction(stored, executor, force=True)
+    assert result.performed
+    assert result.clustered_by == "key"
+    keys = stored.relation.column("key")
+    assert np.all(keys[:-1] <= keys[1:])  # densely sorted by the hot column
+    stored.statistics.zonemaps.assert_tight(
+        stored.relation, stored.valid_mask(0)
+    )
+
+
+def test_host_scan_records_estimate_and_feeds_back():
+    """Host-routed executions carry the estimate and feed the accumulator."""
+    from repro.planner.planner import execute_host_scan
+
+    stored, system = _small_stored(records=800, seed=43)
+    engine = PimQueryEngine(
+        stored, config=system, label="host", vectorized=True, pruning=True,
+    )
+    query = Query(
+        "host-probe",
+        Comparison("value", "<", 100),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    )
+    observations_before = stored.statistics.adaptive_snapshot().observations
+    execution = execute_host_scan(engine, query)
+    assert execution.estimated_selectivity is not None
+    snapshot = stored.statistics.adaptive_snapshot()
+    assert snapshot.observations == observations_before + 1
+
+
+# ------------------------------- property: the whole loop under random churn
+CHURN_RECORDS = 900
+
+CHURN_PROBES = (
+    Query(
+        "scalar",
+        Comparison("value", "<", 2000),
+        (Aggregate("sum", "value"), Aggregate("count")),
+    ),
+    Query(
+        "by-flag",
+        Comparison("value", "between", low=500, high=3500),
+        (Aggregate("sum", "value"), Aggregate("min", "value"),
+         Aggregate("count")),
+        group_by=("flag",),
+    ),
+)
+
+churn_op_strategy = st.one_of(
+    st.tuples(st.just("insert"), st.integers(min_value=1, max_value=4),
+              st.integers(min_value=0, max_value=2 ** 16)),
+    st.tuples(st.just("delete"), st.integers(min_value=0, max_value=3800),
+              st.integers(min_value=50, max_value=600)),
+    st.tuples(st.just("update"), st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=4095)),
+    st.tuples(st.just("feedback")),
+    st.tuples(st.just("compact")),
+)
+
+
+def _churn_relation(seed: int) -> Relation:
+    rng = np.random.default_rng(seed)
+    schema = Schema("churn", [
+        int_attribute("key", 16),
+        int_attribute("value", 12),
+        int_attribute("flag", 2),
+    ])
+    return Relation(schema, {
+        "key": rng.integers(0, 1 << 16, CHURN_RECORDS).astype(np.uint64),
+        "value": rng.integers(0, 1 << 12, CHURN_RECORDS).astype(np.uint64),
+        "flag": rng.integers(0, 4, CHURN_RECORDS).astype(np.uint64),
+    })
+
+
+def _build_service(backend: str, shards: int, seed: int):
+    from repro.service import QueryService
+
+    service = QueryService(vectorized=True)
+    relation = _churn_relation(seed)
+    if shards == 1:
+        system = DEFAULT_CONFIG.with_backend(backend)
+        stored = StoredRelation(relation, PimModule(system), label="churn")
+        service.register("churn", stored, config=system)
+    else:
+        service.register_sharded(
+            "churn", relation, shards=shards, backend=backend
+        )
+    return service
+
+
+def _service_storeds(service, shards):
+    engine = service.engine()
+    if shards == 1:
+        return [engine.stored]
+    return list(engine.sharded.shards)
+
+
+def _apply_churn_op(service, shards, op, pruned: bool) -> None:
+    from repro.sharding import execute_sharded_update
+
+    kind = op[0]
+    if kind == "insert":
+        _, count, value_seed = op
+        storeds = _service_storeds(service, shards)
+        free = sum(s.free_slots for s in storeds)
+        record_rng = np.random.default_rng(value_seed)
+        records = [
+            {
+                "key": int(record_rng.integers(0, 1 << 16)),
+                "value": int(record_rng.integers(0, 1 << 12)),
+                "flag": int(record_rng.integers(0, 4)),
+            }
+            for _ in range(min(count, free))
+        ]
+        if records:
+            service.insert(records)
+    elif kind == "delete":
+        _, low, span = op
+        predicate = Comparison("value", "between", low=low, high=low + span)
+        engine = service.engine()
+        if shards == 1:
+            dml.execute_delete(
+                engine.stored, predicate, PimExecutor(engine.config),
+                pruned=pruned,
+            )
+        else:
+            from repro.sharding.dml import execute_sharded_delete
+            execute_sharded_delete(engine.sharded, predicate, pruned=pruned)
+    elif kind == "update":
+        _, flag, new_value = op
+        predicate = Comparison("flag", "==", flag)
+        assignments = {"value": new_value}
+        engine = service.engine()
+        if shards == 1:
+            execute_update(
+                engine.stored, predicate, assignments,
+                PimExecutor(engine.config), pruned=pruned,
+            )
+        else:
+            execute_sharded_update(
+                engine.sharded, predicate, assignments, pruned=pruned
+            )
+    elif kind == "feedback":
+        # Drive the error accumulator through its public API hard enough to
+        # trigger an equi-depth rebuild mid-churn (a certain-miss estimate
+        # repeated past the threshold), on every shard.
+        for stored in _service_storeds(service, shards):
+            for _ in range(5):
+                stored.statistics.observe_execution(
+                    CHURN_PROBES[0].predicate, 1.0, 0.0,
+                    crossbars_scanned=stored.statistics.zonemaps.crossbars,
+                    stored=stored,
+                )
+    else:
+        service.compact(force=True)
+
+
+def _histograms_tight(storeds, names) -> None:
+    """The just-rebuilt histograms count exactly the live rows.
+
+    Only the columns rebuilt by the op are exact: the approximate bucket
+    maintenance between rebuilds is allowed to drift (that drift is the
+    error signal), so a feedback op guarantees tightness for its triggered
+    column and a *performed* compaction for every column.
+    """
+    for stored in storeds:
+        live = stored.live_relation()
+        for name in names:
+            histogram = stored.statistics.selectivity.histograms[name]
+            fresh = type(histogram).from_values(
+                live.column(name), stored.relation.schema.attribute(name).width
+            )
+            assert histogram.total == len(live)
+            if isinstance(histogram, EquiDepthHistogram):
+                assert np.array_equal(histogram.edges, fresh.edges)
+            assert np.array_equal(histogram.counts, fresh.counts)
+
+
+@settings(max_examples=4, deadline=None)
+@given(ops=st.lists(churn_op_strategy, min_size=3, max_size=6),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_adaptive_loop_bit_exact_under_churn(ops, seed):
+    """Pruned churn at K=1 and K=4, both backends, vs a broadcast twin.
+
+    After every op, on every backend and shard count: probe rows are
+    bit-exact with the reference aggregation over the live ground truth and
+    with a broadcast-DML twin replaying the same ops; pruned DML tombstones
+    exactly the rows broadcast DML does (valid masks compared per shard);
+    and after every compaction or error-triggered rebuild the histograms
+    count exactly the live rows and the zone maps are tight.
+    """
+    rows_by_backend = {}
+    for backend in ("packed", "bool"):
+        trace = []
+        for shards in (1, 4):
+            service = _build_service(backend, shards, seed)
+            twin = _build_service(backend, shards, seed)
+            for op in ops:
+                # A forced compaction is still a no-op on a shard without
+                # tombstones, so only shards with pending tombstones get
+                # the exact rebuild the post-compact assertions rely on.
+                compacted = [
+                    stored
+                    for stored in _service_storeds(service, shards)
+                    if stored.tombstone_count > 0
+                ] if op[0] == "compact" else []
+                _apply_churn_op(service, shards, op, pruned=True)
+                _apply_churn_op(twin, shards, op, pruned=False)
+                # Pruned DML tombstones exactly what broadcast does.
+                for mine, theirs in zip(
+                    _service_storeds(service, shards),
+                    _service_storeds(twin, shards),
+                ):
+                    assert np.array_equal(
+                        mine.valid_mask(0), theirs.valid_mask(0)
+                    )
+                live = (
+                    service.engine().stored.live_relation()
+                    if shards == 1
+                    else service.engine().sharded.live_relation()
+                )
+                for query in CHURN_PROBES:
+                    execution = service.execute(query)
+                    expected = reference_group_aggregate(
+                        live, evaluate_predicate(query.predicate, live),
+                        query.group_by, query.aggregates,
+                    )
+                    assert execution.rows == expected
+                    assert twin.execute(query).rows == expected
+                    trace.append(sorted(execution.rows.items()))
+                if op[0] == "compact":
+                    _histograms_tight(compacted, ("key", "value", "flag"))
+                    for stored in compacted:
+                        stored.statistics.zonemaps.assert_tight(
+                            stored.relation, stored.valid_mask(0)
+                        )
+                elif op[0] == "feedback":
+                    _histograms_tight(
+                        _service_storeds(service, shards), ("value",)
+                    )
+        rows_by_backend[backend] = trace
+    assert rows_by_backend["packed"] == rows_by_backend["bool"]
