@@ -1,0 +1,15 @@
+"""Re-export of the shared trajectory-artifact envelope for bench scripts.
+
+The implementation lives in :mod:`repro.experiments.emit` (importable from
+library code); bench scripts that want to write a ``BENCH_*.json`` artifact
+import from here so the benchmarks directory has one obvious entry point.
+"""
+
+from repro.experiments.emit import (
+    SCHEMA_VERSION,
+    git_revision,
+    make_artifact,
+    write_artifact,
+)
+
+__all__ = ["SCHEMA_VERSION", "git_revision", "make_artifact", "write_artifact"]

@@ -1,0 +1,79 @@
+"""Observability — trace completeness, disabled-path cost, explain goldens.
+
+As a pytest benchmark this replays the warm 13-query SSB workload through a
+:class:`~repro.service.service.QueryService` and gates the telemetry layer's
+three contracts: (1) the projected cost of the *disabled* tracing path stays
+under 2% of the warm replay, (2) every traced query's span tree reproduces
+the execution's modelled ``time_by_phase``/``energy_by_component``
+bit-for-bit when its charge events are re-folded, and (3) the
+``explain()`` rendering of two SSB queries is identical on the packed and
+boolean simulation backends.  It writes the ``BENCH_obs.json`` trajectory
+artifact at the repository root and is also runnable as a plain script::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py
+"""
+
+import pathlib
+import sys
+
+from repro.experiments import observability
+
+ARTIFACT_PATH = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def test_observability(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: observability.run_observability(), rounds=1, iterations=1
+    )
+    publish("observability", observability.render(results))
+    observability.write_artifact(results, ARTIFACT_PATH)
+    # 100% of the modelled time/energy must fold out of the span trees.
+    assert results.trace_complete
+    # The branch-cheap disabled path must project under the 2% gate.
+    assert results.null_overhead_ok
+    # explain() renders modelled quantities only, so backends agree.
+    assert results.explain_stable
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale-factor", type=float, default=None,
+        help="generated SSB scale factor (default: REPRO_SSB_SF or 0.01)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="replay repetitions per measurement (best-of)",
+    )
+    parser.add_argument(
+        "--artifact", default=str(ARTIFACT_PATH),
+        help="path of the BENCH_obs.json trajectory artifact",
+    )
+    args = parser.parse_args(argv)
+
+    results = observability.run_observability(
+        scale_factor=args.scale_factor, repeats=args.repeats
+    )
+    print(observability.render(results))
+    observability.write_artifact(results, args.artifact)
+    print(f"wrote {args.artifact}")
+    if not results.trace_complete:
+        print("FAIL: span trees did not reproduce the modelled stats")
+        return 1
+    if not results.null_overhead_ok:
+        print(
+            f"FAIL: projected disabled-path overhead "
+            f"{results.projected_disabled_overhead:.3%} not under "
+            f"{observability.MAX_DISABLED_OVERHEAD:.0%}"
+        )
+        return 1
+    if not results.explain_stable:
+        print("FAIL: explain() renderings differ across backends")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

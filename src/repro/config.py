@@ -98,6 +98,30 @@ def default_dml_mode() -> str:
     return validate_dml_mode(mode, source="REPRO_DML=")
 
 
+#: ``REPRO_TRACE`` values that keep tracing off.
+_TRACE_OFF = ("", "0", "off", "false", "no")
+
+
+def default_tracing() -> bool:
+    """Whether span tracing is on, overridable via ``REPRO_TRACE``.
+
+    Any value other than the off-words enables tracing; a value that looks
+    like a path (contains a separator or ends in ``.jsonl``) additionally
+    names the JSONL sink (see :func:`default_trace_sink`).
+    """
+    return os.environ.get("REPRO_TRACE", "").strip().lower() not in _TRACE_OFF
+
+
+def default_trace_sink() -> str | None:
+    """The JSONL sink path carried by ``REPRO_TRACE``, if it names one."""
+    value = os.environ.get("REPRO_TRACE", "").strip()
+    if value.lower() in _TRACE_OFF:
+        return None
+    if os.sep in value or value.endswith(".jsonl"):
+        return value
+    return None
+
+
 @dataclass(frozen=True)
 class CrossbarConfig:
     """Geometry and device parameters of a single memory crossbar array.
@@ -268,6 +292,11 @@ class SystemConfig:
     #: simulator-speed knob — all strategies are bit-exact and charge
     #: identical modelled statistics.
     execution: str = field(default_factory=default_execution)
+    #: Span tracing (see :mod:`repro.obs.trace`): engines and services built
+    #: under a tracing configuration record hierarchical spans with exact
+    #: ``PimStats`` charge attribution.  Off by default — the disabled path
+    #: costs one branch per charge and per stage.
+    tracing: bool = field(default_factory=default_tracing)
 
     def __post_init__(self) -> None:
         validate_backend(self.backend)

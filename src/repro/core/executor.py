@@ -52,6 +52,7 @@ from repro.db.query import (
 from repro.db.storage import StoredRelation
 from repro.host.aggregator import host_group_aggregate, merge_group_results
 from repro.host.readpath import HostReadModel
+from repro.obs.trace import tracer_from_config
 from repro.pim.controller import PimExecutor
 from repro.pim.stats import PimStats
 
@@ -142,6 +143,7 @@ class PimQueryEngine:
         group_stage: GroupMaskStage | None = None,
         aggregation_stage: AggregationStage | None = None,
         scatter_pool=None,
+        tracer=None,
     ) -> None:
         """Create an engine over a stored relation.
 
@@ -180,6 +182,10 @@ class PimQueryEngine:
                 per-partition batch kernels concurrently (the kernels are
                 whole-array NumPy expressions, so they release the GIL).
                 ``None`` keeps everything on the calling thread.
+            tracer: A :class:`~repro.obs.trace.SpanTracer` the engine (and
+                its stages) open hierarchical spans on.  Defaults to the
+                tracer implied by ``config.tracing`` — the shared no-op
+                tracer unless tracing is switched on.
         """
         if timing_scale <= 0:
             raise ValueError("timing_scale must be positive")
@@ -201,14 +207,17 @@ class PimQueryEngine:
         self.compiler = compiler if compiler is not None else ProgramCompiler()
         self.vectorized = bool(vectorized)
         self.pruning = bool(pruning)
+        self.tracer = tracer if tracer is not None else tracer_from_config(self.config)
         self.filter_stage = filter_stage or FilterStage(
-            stored, self.compiler, self.timing_scale, self.vectorized
+            stored, self.compiler, self.timing_scale, self.vectorized,
+            tracer=self.tracer,
         )
         self.group_stage = group_stage or GroupMaskStage(
-            stored, self.compiler, self.timing_scale, self.vectorized
+            stored, self.compiler, self.timing_scale, self.vectorized,
+            tracer=self.tracer,
         )
         self.aggregation_stage = aggregation_stage or AggregationStage(
-            stored, self.config, self.timing_scale
+            stored, self.config, self.timing_scale, tracer=self.tracer
         )
         self.scatter_pool = scatter_pool
 
@@ -223,7 +232,23 @@ class PimQueryEngine:
         per-query :class:`~repro.pim.stats.PimStats` is attached to it either
         way, so every execution reports its own measurements.
         """
+        with self.tracer.span("execute", label=self.label) as span:
+            execution = self._execute_traced(query, executor)
+            if self.tracer.enabled:
+                span.set(
+                    selectivity=execution.selectivity,
+                    crossbars_total=execution.crossbars_total,
+                    crossbars_scanned=execution.crossbars_scanned,
+                    pim_subgroups=execution.pim_subgroups,
+                    result_rows=len(execution.rows),
+                )
+            return execution
+
+    def _execute_traced(
+        self, query: Query, executor: PimExecutor | None
+    ) -> QueryExecution:
         stats = PimStats()
+        self.tracer.bind(stats)
         if executor is None:
             executor = PimExecutor(self.config, stats)
         else:
@@ -240,17 +265,27 @@ class PimQueryEngine:
         prune = None
         if self.pruning:
             statistics = self.stored.statistics
-            prune = statistics.plan(
-                query.predicate,
-                self.stored.partition_attributes,
-                self.config.pim.crossbars_per_page,
-            )
-            statistics.charge_check(
-                stats, self.config.host,
-                prune.entries_checked * self.timing_scale,
-            )
-            estimated_selectivity = statistics.estimate(query.predicate)
-            crossbars_scanned = prune.crossbars_scanned
+            with self.tracer.span("prune") as prune_span:
+                prune = statistics.plan(
+                    query.predicate,
+                    self.stored.partition_attributes,
+                    self.config.pim.crossbars_per_page,
+                )
+                statistics.charge_check(
+                    stats, self.config.host,
+                    prune.entries_checked * self.timing_scale,
+                )
+                estimated_selectivity = statistics.estimate(query.predicate)
+                crossbars_scanned = prune.crossbars_scanned
+                if self.tracer.enabled:
+                    prune_span.set(
+                        crossbars_total=crossbars_total,
+                        crossbars_scanned=crossbars_scanned,
+                        crossbars_skipped=crossbars_total - crossbars_scanned,
+                        entries_checked=prune.entries_checked,
+                        estimated_selectivity=estimated_selectivity,
+                        empty=prune.empty,
+                    )
             if prune.empty:
                 # Some partition's conjunction matches no crossbar: the
                 # selection is provably empty, so no filter broadcast, no
@@ -259,12 +294,13 @@ class PimQueryEngine:
                 # selection is non-empty is exactly the feedback the loop
                 # wants, so the empty execution observes too.
                 if query.predicate is not None:
-                    statistics.observe_execution(
-                        query.predicate, estimated_selectivity, 0.0,
-                        crossbars_scanned=0, stored=self.stored,
-                        stats=stats, host=self.config.host,
-                        timing_scale=self.timing_scale,
-                    )
+                    with self.tracer.span("feedback", pruned_out=True):
+                        statistics.observe_execution(
+                            query.predicate, estimated_selectivity, 0.0,
+                            crossbars_scanned=0, stored=self.stored,
+                            stats=stats, host=self.config.host,
+                            timing_scale=self.timing_scale,
+                        )
                 return self._pruned_out_execution(
                     query, stats, crossbars_total, estimated_selectivity
                 )
@@ -284,12 +320,17 @@ class PimQueryEngine:
             # volume into the relation's adaptive accumulator; a triggered
             # equi-depth rebuild or pair-sketch build is applied (and
             # charged) right here.
-            self.stored.statistics.observe_execution(
-                query.predicate, estimated_selectivity, selectivity,
-                crossbars_scanned=crossbars_scanned, stored=self.stored,
-                stats=stats, host=self.config.host,
-                timing_scale=self.timing_scale,
-            )
+            with self.tracer.span(
+                "feedback",
+                estimated=estimated_selectivity,
+                actual=selectivity,
+            ):
+                self.stored.statistics.observe_execution(
+                    query.predicate, estimated_selectivity, selectivity,
+                    crossbars_scanned=crossbars_scanned, stored=self.stored,
+                    stats=stats, host=self.config.host,
+                    timing_scale=self.timing_scale,
+                )
         candidates = prune.candidates[primary] if prune is not None else None
 
         plan: GroupByPlan | None = None
@@ -405,59 +446,70 @@ class PimQueryEngine:
         prune=None,
     ) -> tuple[dict[GroupKey, dict[str, int]], GroupByPlan]:
         group_attributes = list(query.group_by)
-        candidates = self._candidate_groups(query)
-        estimate = estimate_subgroups(
-            self.stored, group_attributes, candidates,
-            read_model=read_model,
-            sample_pages=self.sample_pages,
-            filter_partition=primary,
-        )
-        aggregation_reads = self._aggregation_reads(query, primary)
-        reads_per_record = self._reads_per_record(query)
-        plan = self.planner.plan(
-            estimate,
-            pages=self.stored.pages * self.timing_scale,
-            aggregation_reads=aggregation_reads,
-            reads_per_record=reads_per_record,
-            total_subgroups=len(candidates),
-        )
+        with self.tracer.span("group-plan") as plan_span:
+            candidates = self._candidate_groups(query)
+            estimate = estimate_subgroups(
+                self.stored, group_attributes, candidates,
+                read_model=read_model,
+                sample_pages=self.sample_pages,
+                filter_partition=primary,
+            )
+            aggregation_reads = self._aggregation_reads(query, primary)
+            reads_per_record = self._reads_per_record(query)
+            plan = self.planner.plan(
+                estimate,
+                pages=self.stored.pages * self.timing_scale,
+                aggregation_reads=aggregation_reads,
+                reads_per_record=reads_per_record,
+                total_subgroups=len(candidates),
+            )
+            if self.tracer.enabled:
+                plan_span.set(
+                    total_subgroups=plan.total_subgroups,
+                    subgroups_in_sample=plan.estimate.observed_subgroups,
+                    pim_subgroups=plan.k,
+                    host_pass=plan.host_pass_needed,
+                )
 
         rows: dict[GroupKey, dict[str, int]] = {}
         primary_candidates = (
             prune.candidates[primary] if prune is not None else None
         )
-        if (
-            plan.pim_groups
-            and executor.batched
-            and self.use_aggregation_circuit
+        batched = bool(
+            plan.pim_groups and executor.batched and self.use_aggregation_circuit
+        )
+        with self.tracer.span(
+            "pim-gb", batched=batched, subgroups=len(plan.pim_groups)
         ):
-            # Batched execution: all subgroup mask programs of a partition
-            # run as one multi-output kernel with cross-subgroup CSE, field
-            # decodes are shared across subgroups, and the modelled charges
-            # are replayed in reference order — bit-identical rows, bits,
-            # wear and stats (see repro.core.batched).
-            from repro.core.batched import run_group_by_batched
+            if batched:
+                # Batched execution: all subgroup mask programs of a partition
+                # run as one multi-output kernel with cross-subgroup CSE, field
+                # decodes are shared across subgroups, and the modelled charges
+                # are replayed in reference order — bit-identical rows, bits,
+                # wear and stats (see repro.core.batched).
+                from repro.core.batched import run_group_by_batched
 
-            rows = run_group_by_batched(
-                self, query, primary, mask, plan.pim_groups, executor,
-                read_model, prune=prune,
-            )
-        else:
-            for key in plan.pim_groups:
-                entry = self._pim_aggregate_group(
-                    query, primary, group_attributes, key, executor, read_model,
-                    prune=prune,
+                rows = run_group_by_batched(
+                    self, query, primary, mask, plan.pim_groups, executor,
+                    read_model, prune=prune,
                 )
-                if self._group_selected(mask, group_attributes, key):
-                    rows[key] = self._finalize_entry(entry, primary)
-                self.group_stage.clear(
-                    primary, executor, candidates=primary_candidates
-                )
+            else:
+                for key in plan.pim_groups:
+                    entry = self._pim_aggregate_group(
+                        query, primary, group_attributes, key, executor,
+                        read_model, prune=prune,
+                    )
+                    if self._group_selected(mask, group_attributes, key):
+                        rows[key] = self._finalize_entry(entry, primary)
+                    self.group_stage.clear(
+                        primary, executor, candidates=primary_candidates
+                    )
 
         if plan.host_pass_needed:
-            host_rows = self._host_group_by(
-                query, primary, group_attributes, executor, read_model
-            )
+            with self.tracer.span("host-gb"):
+                host_rows = self._host_group_by(
+                    query, primary, group_attributes, executor, read_model
+                )
             rows = merge_group_results(rows, host_rows, query.aggregates)
         return rows, plan
 

@@ -100,7 +100,7 @@ def estimate_subgroups(
         for key, count in zip(unique_keys, counts):
             fractions[tuple(int(v) for v in key)] = float(count) / float(len(selected))
 
-    observed = [key for key in fractions]
+    observed = list(fractions)
     observed.sort(key=lambda key: fractions[key], reverse=True)
     observed_set = set(observed)
     unseen = [key for key in candidate_groups if key not in observed_set]

@@ -49,6 +49,7 @@ from repro.db.schema import Schema
 from repro.db.storage import StoredRelation
 from repro.host.aggregator import combine_partials
 from repro.host.readpath import HostReadModel
+from repro.obs.trace import NULL_TRACER
 from repro.pim.arithmetic import BulkAggregationPlan
 from repro.pim.controller import PimExecutor
 from repro.pim.logic import Program, ProgramBuilder
@@ -258,11 +259,13 @@ class _Stage:
         compiler: ProgramCompiler | None = None,
         timing_scale: float = 1.0,
         vectorized: bool = False,
+        tracer=None,
     ) -> None:
         self.stored = stored
         self.compiler = compiler if compiler is not None else ProgramCompiler()
         self.timing_scale = float(timing_scale)
         self.vectorized = bool(vectorized)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _pages(self, partition: int) -> float:
         """Page count used for timing purposes (scaled)."""
@@ -331,40 +334,41 @@ class FilterStage(_Stage):
         each partition's filter broadcast to its zone-map candidate
         crossbars; without it the program is broadcast to every page.
         """
-        schema = self.stored.relation.schema
-        per_partition = partition_conjuncts(
-            query.predicate, self.stored.partition_attributes
-        )
-        for index, predicate in enumerate(per_partition):
-            layout = self.stored.layouts[index]
-            program = self.compiler.filter_program(predicate, schema, layout)
-            bits: np.ndarray | None = None
-            if self.vectorized:
-                bits = evaluate_predicate(predicate, self.stored.relation)
-                bits = bits & self.stored.valid_mask(index)
-            if prune is not None:
-                apply_program_pruned(
-                    self.stored, index, program, executor,
-                    phase="filter", pages=self._pages(index),
-                    candidates=prune.candidates[index],
-                    result_bits=bits if self.vectorized else None,
-                )
-            else:
-                self._apply(
-                    program, index, executor, phase="filter", result_bits=bits
-                )
-        # Fold the other partitions' filter bits into the primary partition.
-        for index, predicate in enumerate(per_partition):
-            if index == primary or predicate is None:
-                continue
-            self.combine_remote(
-                executor, read_model,
-                source_partition=index,
-                source_column=self.stored.layouts[index].filter_column,
-                target_partition=primary,
-                target_column=self.stored.layouts[primary].filter_column,
-                phase="filter-combine",
+        with self.tracer.span("filter", pruned=prune is not None):
+            schema = self.stored.relation.schema
+            per_partition = partition_conjuncts(
+                query.predicate, self.stored.partition_attributes
             )
+            for index, predicate in enumerate(per_partition):
+                layout = self.stored.layouts[index]
+                program = self.compiler.filter_program(predicate, schema, layout)
+                bits: np.ndarray | None = None
+                if self.vectorized:
+                    bits = evaluate_predicate(predicate, self.stored.relation)
+                    bits = bits & self.stored.valid_mask(index)
+                if prune is not None:
+                    apply_program_pruned(
+                        self.stored, index, program, executor,
+                        phase="filter", pages=self._pages(index),
+                        candidates=prune.candidates[index],
+                        result_bits=bits if self.vectorized else None,
+                    )
+                else:
+                    self._apply(
+                        program, index, executor, phase="filter", result_bits=bits
+                    )
+            # Fold the other partitions' filter bits into the primary partition.
+            for index, predicate in enumerate(per_partition):
+                if index == primary or predicate is None:
+                    continue
+                self.combine_remote(
+                    executor, read_model,
+                    source_partition=index,
+                    source_column=self.stored.layouts[index].filter_column,
+                    target_partition=primary,
+                    target_column=self.stored.layouts[primary].filter_column,
+                    phase="filter-combine",
+                )
 
     def combine_remote(
         self,
@@ -415,6 +419,17 @@ class GroupMaskStage(_Stage):
         it — pruning the mask programs is bit-exact for the final mask while
         charging only the candidate crossbars.
         """
+        with self.tracer.span("group-mask", columns=len(group_values)):
+            return self._prepare(group_values, primary, executor, read_model, prune)
+
+    def _prepare(
+        self,
+        group_values: dict[str, int],
+        primary: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+        prune,
+    ) -> int:
         by_partition: dict[int, dict[str, int]] = {}
         for name, value in group_values.items():
             by_partition.setdefault(self.stored.partition_of(name), {})[name] = value
@@ -592,8 +607,9 @@ class AggregationStage(_Stage):
         stored: StoredRelation,
         config: SystemConfig,
         timing_scale: float = 1.0,
+        tracer=None,
     ) -> None:
-        super().__init__(stored, timing_scale=timing_scale)
+        super().__init__(stored, timing_scale=timing_scale, tracer=tracer)
         self.config = config
         self.use_aggregation_circuit = config.pim.aggregation_circuit.enabled
 
@@ -642,6 +658,20 @@ class AggregationStage(_Stage):
         operation's identity and are not worth streaming.  The bulk-bitwise
         fallback (the PIMDB baseline) always runs unpruned.
         """
+        with self.tracer.span("aggregate", op=aggregate.op, agg=aggregate.name):
+            return self._aggregate(
+                aggregate, partition, mask_column, executor, read_model, candidates
+            )
+
+    def _aggregate(
+        self,
+        aggregate: Aggregate,
+        partition: int,
+        mask_column: int,
+        executor: PimExecutor,
+        read_model: HostReadModel,
+        candidates: np.ndarray | None,
+    ) -> int | None:
         layout = self.stored.layouts[partition]
         allocation = self.stored.allocations[partition]
         if aggregate.op == "count":

@@ -35,7 +35,6 @@ speedup separately.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -47,6 +46,7 @@ from repro.config import DEFAULT_CONFIG, SystemConfig
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.stages import ProgramCompiler
 from repro.db.storage import StoredRelation
+from repro.experiments import emit
 from repro.experiments.common import default_scale_factor
 from repro.pim.module import PimModule
 from repro.pim.packed import make_bank
@@ -517,7 +517,13 @@ def artifact(results: BackendSpeedResults) -> dict:
 
 
 def write_artifact(results: BackendSpeedResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "backend_speed",
+        artifact(results),
+        gates={
+            "bit_exact": results.bit_exact,
+            "stats_identical": results.stats_identical,
+        },
+    )

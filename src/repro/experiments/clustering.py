@@ -38,7 +38,6 @@ Gates (both simulation backends, identical modelled stats):
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 
@@ -51,6 +50,7 @@ from repro.db.query import Aggregate, Comparison, Query
 from repro.db.relation import Relation
 from repro.db.storage import StoredRelation
 from repro.db.update import execute_update
+from repro.experiments import emit
 from repro.experiments.common import default_scale_factor
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
@@ -505,7 +505,15 @@ def artifact(results: ClusteringResults) -> dict:
 
 
 def write_artifact(results: ClusteringResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "clustering",
+        artifact(results),
+        gates={
+            "loop_closed": results.loop_closed,
+            "dml_lockstep": results.dml_lockstep,
+            "backends_agree": results.backends_agree,
+            "stats_identical": results.stats_identical,
+        },
+    )

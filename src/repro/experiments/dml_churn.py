@@ -18,7 +18,6 @@ the ``BENCH_dml.json`` trajectory record consumed by CI.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 
@@ -34,6 +33,7 @@ from repro.db.query import (
 )
 from repro.db.relation import Relation
 from repro.db.schema import Schema, dict_attribute, int_attribute
+from repro.experiments import emit
 from repro.service import QueryService
 from repro.sharding import execute_sharded_update
 
@@ -363,7 +363,15 @@ def artifact(results: DmlChurnResults) -> dict:
 
 
 def write_artifact(results: DmlChurnResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "dml_churn",
+        artifact(results),
+        gates={
+            "bit_exact": results.bit_exact,
+            "backends_agree": results.backends_agree,
+            "stats_identical": results.stats_identical,
+            "all_phases_charged": results.all_phases_charged,
+        },
+    )

@@ -1,0 +1,85 @@
+"""Schema-versioned envelope shared by every ``BENCH_*.json`` artifact.
+
+Each benchmark used to open its own file handle and dump whatever record it
+had; provenance (which commit, which host) and the pass/fail gate outcomes
+lived only in the CI log.  :func:`write_artifact` is now the one place a
+trajectory artifact is written: it wraps the benchmark's payload in a fixed
+envelope —
+
+* ``schema_version`` — bumped whenever the envelope shape changes, so a
+  trajectory diff across commits can tell a format change from a result
+  change;
+* ``benchmark`` — the benchmark's canonical name;
+* ``git_revision`` — the commit the numbers came from (``None`` outside a
+  git checkout);
+* ``cpu_count`` — host parallelism, needed to interpret any pooled-scatter
+  or sharding figure;
+* ``gates`` — the boolean acceptance-gate outcomes the benchmark asserts,
+  so a red gate is visible in the artifact itself, not just the exit code.
+
+The payload's own keys follow the envelope unchanged (the envelope owns
+``benchmark`` and ``cpu_count`` on collision — the values are identical by
+construction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+from collections.abc import Mapping
+
+#: Bump when the envelope keys or their meaning change.
+SCHEMA_VERSION = 1
+
+
+def git_revision() -> str | None:
+    """Commit hash of the repository this module sits in (``None`` if unknown)."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if probe.returncode != 0:
+        return None
+    return probe.stdout.strip() or None
+
+
+def make_artifact(
+    name: str,
+    payload: Mapping,
+    gates: Mapping[str, object] | None = None,
+) -> dict:
+    """Wrap a benchmark's payload in the schema-versioned envelope."""
+    record: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": name,
+        "git_revision": git_revision(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+    if gates is not None:
+        record["gates"] = dict(gates)
+    for key, value in payload.items():
+        if key in ("benchmark", "cpu_count"):
+            continue
+        record[key] = value
+    return record
+
+
+def write_artifact(
+    path,
+    name: str,
+    payload: Mapping,
+    gates: Mapping[str, object] | None = None,
+) -> dict:
+    """Write the enveloped artifact as indented JSON; returns the record."""
+    record = make_artifact(name, payload, gates=gates)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    return record

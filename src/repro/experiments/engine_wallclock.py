@@ -34,7 +34,6 @@ subgroup on the measured path, identically for every strategy.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from dataclasses import dataclass, field
@@ -47,6 +46,7 @@ from repro.core.latency_model import (
     PimGbLatencyModel,
 )
 from repro.db.storage import StoredRelation
+from repro.experiments import emit
 from repro.experiments.common import default_scale_factor
 from repro.pim.module import PimModule
 from repro.service import ProgramCache
@@ -367,7 +367,13 @@ def artifact(results: EngineWallclockResults) -> dict:
 
 
 def write_artifact(results: EngineWallclockResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "engine_wallclock",
+        artifact(results),
+        gates={
+            "bit_exact": results.bit_exact,
+            "totals_identical": results.totals_identical,
+        },
+    )

@@ -26,7 +26,6 @@ copies of the generated pre-joined relation and gates on:
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import asdict, dataclass, field
 
@@ -39,6 +38,7 @@ from repro.db.query import And, Comparison
 from repro.db.relation import Relation
 from repro.db.storage import StoredRelation
 from repro.db.update import execute_update
+from repro.experiments import emit
 from repro.experiments.common import default_scale_factor
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
@@ -399,7 +399,15 @@ def artifact(results: PredicateCacheResults) -> dict:
 
 
 def write_artifact(results: PredicateCacheResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "predicate_cache",
+        artifact(results),
+        gates={
+            "bit_exact": results.bit_exact,
+            "masks_identical": results.masks_identical,
+            "modes_agree": results.modes_agree,
+            "backends_agree": results.backends_agree,
+        },
+    )

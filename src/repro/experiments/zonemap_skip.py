@@ -25,7 +25,6 @@ the four shards, which skip execution entirely.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 
@@ -38,6 +37,7 @@ from repro.db.query import Aggregate, Comparison, Query
 from repro.db.relation import Relation
 from repro.db.schema import Schema, dict_attribute, int_attribute
 from repro.db.storage import StoredRelation
+from repro.experiments import emit
 from repro.pim.module import PimModule
 from repro.service import QueryService
 
@@ -381,7 +381,15 @@ def artifact(results: ZonemapSkipResults) -> dict:
 
 
 def write_artifact(results: ZonemapSkipResults, path) -> None:
-    """Persist the trajectory artifact as JSON."""
-    with open(path, "w") as handle:
-        json.dump(artifact(results), handle, indent=2)
-        handle.write("\n")
+    """Persist the schema-versioned trajectory artifact as JSON."""
+    emit.write_artifact(
+        path,
+        "zonemap_skip",
+        artifact(results),
+        gates={
+            "bit_exact": results.bit_exact,
+            "backends_agree": results.backends_agree,
+            "strictly_fewer_scanned": results.strictly_fewer_scanned,
+            "maintenance_charged": results.maintenance_charged,
+        },
+    )

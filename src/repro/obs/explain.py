@@ -1,0 +1,91 @@
+"""EXPLAIN ANALYZE rendering of one traced execution.
+
+:meth:`repro.service.service.QueryService.explain` executes a query exactly
+once with its tracer force-enabled and wraps the resulting span tree in an
+:class:`ExplainResult`.  The default rendering shows only *modelled*
+quantities — per-stage modelled time, pruning and routing decisions, cache
+deltas and the adaptive feedback — which are bit-identical across the
+simulation backends and execution strategies, so the output is stable
+enough to golden-test.  Wall-clock times (simulator speed, host-dependent)
+are opt-in via ``render(wall=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.trace import SpanRecord
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_format_value(v) for v in value) + "]"
+    return str(value)
+
+
+def _format_attributes(span: SpanRecord) -> str:
+    if not span.attributes:
+        return ""
+    parts = [
+        f"{key}={_format_value(value)}"
+        for key, value in span.attributes.items()
+    ]
+    return " " + " ".join(parts)
+
+
+@dataclass
+class ExplainResult:
+    """The execution and span tree of one ``EXPLAIN ANALYZE`` run."""
+
+    relation: str
+    execution: object  # QueryExecution (kept untyped to stay import-light)
+    trace: SpanRecord | None
+
+    @property
+    def rows(self):
+        """The executed query's (bit-exact) result rows."""
+        return self.execution.rows
+
+    def render(self, wall: bool = False) -> str:
+        """The span tree with per-stage modelled time and decisions.
+
+        ``wall`` appends each span's wall-clock time — excluded by default
+        so the output depends only on the modelled execution (identical
+        across backends).
+        """
+        execution = self.execution
+        header = (
+            f"EXPLAIN ANALYZE relation={self.relation} "
+            f"label={execution.label}\n"
+            f"modelled {execution.stats.total_time_s * 1e3:.6f} ms, "
+            f"{execution.stats.total_energy_j * 1e3:.6f} mJ, "
+            f"selectivity {execution.selectivity:.6g}, "
+            f"{len(execution.rows)} result rows"
+        )
+        if self.trace is None:
+            return header + "\n(no trace captured)"
+        lines = [header, self._span_line(self.trace, wall)]
+        self._render_children(self.trace, lines, prefix="", wall=wall)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _span_line(span: SpanRecord, wall: bool) -> str:
+        timing = f" [{span.modelled_time_s * 1e3:.6f} ms]"
+        if wall:
+            timing += f" (wall {span.wall_s * 1e3:.3f} ms)"
+        return f"{span.name}{timing}{_format_attributes(span)}"
+
+    def _render_children(
+        self, span: SpanRecord, lines: list[str], prefix: str, wall: bool
+    ) -> None:
+        for index, child in enumerate(span.children):
+            last = index == len(span.children) - 1
+            connector = "`- " if last else "|- "
+            lines.append(f"{prefix}{connector}{self._span_line(child, wall)}")
+            self._render_children(
+                child, lines, prefix + ("   " if last else "|  "), wall
+            )

@@ -1,0 +1,316 @@
+"""Hierarchical span tracing for query, DML and maintenance execution.
+
+A :class:`SpanTracer` records one tree of :class:`SpanRecord`\\ s per root
+operation (a served query, a DML statement, a compaction).  The engine, its
+stages, the cost planner, the sharded scatter-gather and the service all
+open spans through the tracer they share, so a single trace shows where a
+query's modelled time went: ``query -> plan -> execute -> prune / filter /
+pim-gb / host-gb``, with per-shard children under the sharded scatter.
+
+Two properties make the tracer safe to leave compiled into every hot path:
+
+* **The disabled path is branch-cheap.**  ``span()`` performs one attribute
+  check and returns a shared no-op context manager; ``bind()`` leaves the
+  stats object's hook ``None``, so the per-charge cost of tracing-off is a
+  single ``is not None`` test inside :meth:`~repro.pim.stats.PimStats.add_time`.
+
+* **Charge attribution is exact.**  Rather than differencing stats
+  snapshots (whose floating-point deltas do not telescope bit-exactly), the
+  tracer hooks :class:`~repro.pim.stats.PimStats` and records every
+  ``add_time``/``add_energy`` charge as an event on the innermost active
+  span, tagged with a global sequence number.  Folding a trace's events in
+  sequence order reproduces the stats object's own left-to-right
+  accumulation — the per-phase sums match ``time_by_phase`` bit for bit
+  (``benchmarks/bench_observability.py`` gates exactly that).
+
+Span nesting uses a :class:`contextvars.ContextVar`, so the scatter pool's
+worker threads each see their own stack; per-shard spans are parented
+explicitly to the scatter span captured before the pool dispatch.
+
+Tracing is selected by ``SystemConfig.tracing`` / the ``REPRO_TRACE``
+environment variable (see :mod:`repro.config`); a value naming a path (it
+contains a separator or ends in ``.jsonl``) additionally routes every
+completed root span to that JSONL sink, one JSON object per line.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from collections import defaultdict
+from collections.abc import Iterator
+
+
+@dataclass
+class ChargeEvent:
+    """One ``PimStats`` charge attributed to a span.
+
+    ``seq`` is the tracer-global sequence number: sorting a trace's events
+    by it reproduces the exact order the stats object accumulated in.
+    """
+
+    seq: int
+    kind: str  # "time" | "energy"
+    key: str  # phase name or energy component
+    value: float
+
+
+@dataclass
+class SpanRecord:
+    """One node of a trace: name, wall time, charges and attributes."""
+
+    name: str
+    span_id: int
+    parent_id: int | None = None
+    attributes: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    charges: list[ChargeEvent] = field(default_factory=list)
+    children: list[SpanRecord] = field(default_factory=list)
+
+    def set(self, **attributes) -> None:
+        """Attach attributes computed after the span was opened."""
+        self.attributes.update(attributes)
+
+    # ------------------------------------------------------------- traversal
+    def iter_spans(self) -> Iterator[SpanRecord]:
+        """This span and every descendant, preorder."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def find(self, name: str) -> SpanRecord | None:
+        """First span named ``name`` in preorder (``None`` if absent)."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    # ------------------------------------------------------------ accounting
+    def time_by_phase(self) -> dict[str, float]:
+        """Modelled time charged to *this* span, per phase, in charge order."""
+        folded: dict[str, float] = defaultdict(float)
+        for event in self.charges:
+            if event.kind == "time":
+                folded[event.key] += event.value
+        return dict(folded)
+
+    @property
+    def modelled_time_s(self) -> float:
+        """Modelled time charged directly to this span."""
+        return sum(e.value for e in self.charges if e.kind == "time")
+
+    @property
+    def modelled_energy_j(self) -> float:
+        """Modelled energy charged directly to this span."""
+        return sum(e.value for e in self.charges if e.kind == "energy")
+
+    def subtree_time_s(self) -> float:
+        """Modelled time charged anywhere in this span's subtree."""
+        return sum(span.modelled_time_s for span in self.iter_spans())
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form (the JSONL sink writes one per root)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "wall_s": self.wall_s,
+            "modelled_time_s": self.modelled_time_s,
+            "modelled_energy_j": self.modelled_energy_j,
+            "time_by_phase": self.time_by_phase(),
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def fold_trace_charges(root: SpanRecord) -> dict[str, dict[str, float]]:
+    """Re-accumulate a trace's charges in global sequence order.
+
+    Returns ``{"time": {phase: seconds}, "energy": {component: joules}}``.
+    Because every charge event carries the stats object's accumulation
+    order, the per-key sums here are *bit-identical* to the
+    ``time_by_phase`` / ``energy_by_component`` dictionaries of the
+    execution the trace covered — the trace-completeness contract.
+    """
+    events = sorted(
+        (e for span in root.iter_spans() for e in span.charges),
+        key=lambda e: e.seq,
+    )
+    folded: dict[str, dict[str, float]] = {
+        "time": defaultdict(float),
+        "energy": defaultdict(float),
+    }
+    for event in events:
+        folded[event.kind][event.key] += event.value
+    return {kind: dict(values) for kind, values in folded.items()}
+
+
+class _NullSpan:
+    """Shared no-op span: the entire cost of tracing-off inside a ``with``."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes) -> None:
+        """Discard the attributes (disabled tracer)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager entering one :class:`SpanRecord` (enabled tracer)."""
+
+    __slots__ = ("_tracer", "_record", "_token", "_start")
+
+    def __init__(self, tracer: SpanTracer, record: SpanRecord) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._token: contextvars.Token | None = None
+        self._start = 0.0
+
+    def __enter__(self) -> SpanRecord:
+        self._start = time.perf_counter()
+        self._token = self._tracer._current.set(self._record)
+        return self._record
+
+    def __exit__(self, *exc_info) -> bool:
+        record = self._record
+        record.wall_s = time.perf_counter() - self._start
+        self._tracer._current.reset(self._token)
+        if record.parent_id is None:
+            self._tracer._finish_root(record)
+        return False
+
+
+class SpanTracer:
+    """Records hierarchical spans and attributes ``PimStats`` charges to them.
+
+    One tracer is shared by a service, its engines and their stages; the
+    ``enabled`` flag can be toggled between operations (``explain()`` flips
+    it around a single execution).  Completed root spans accumulate on
+    :attr:`traces` and, when :attr:`sink` names a path, are appended to it
+    as JSON lines.
+    """
+
+    def __init__(self, enabled: bool = False, sink: str | os.PathLike | None = None):
+        self.enabled = bool(enabled)
+        self.sink = sink
+        #: Completed root spans, in completion order.
+        self.traces: list[SpanRecord] = []
+        self._current: contextvars.ContextVar[SpanRecord | None] = (
+            contextvars.ContextVar("repro_obs_span", default=None)
+        )
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        # Shard spans complete on pool worker threads; the lock covers the
+        # root-trace list and the sink file (children append under their
+        # parent from exactly one thread, so span trees need no lock).
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- spans
+    def span(self, name: str, parent: SpanRecord | None = None, **attributes):
+        """Open a span (``with tracer.span("filter") as rec: ...``).
+
+        Disabled tracers return the shared no-op span.  ``parent`` overrides
+        the context-derived parent — required for spans opened on pool
+        worker threads, whose context starts empty.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if parent is None:
+            parent = self._current.get()
+        record = SpanRecord(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            attributes=attributes,
+        )
+        if parent is not None:
+            parent.children.append(record)
+        return _ActiveSpan(self, record)
+
+    def current(self) -> SpanRecord | None:
+        """The innermost active span of the calling thread (or ``None``)."""
+        return self._current.get()
+
+    # -------------------------------------------------------------- charges
+    def on_charge(self, kind: str, key: str, value: float) -> None:
+        """Record one stats charge against the innermost active span."""
+        record = self._current.get()
+        if record is not None:
+            record.charges.append(ChargeEvent(next(self._seq), kind, key, value))
+
+    def bind(self, stats) -> None:
+        """Route a :class:`~repro.pim.stats.PimStats`'s charges to this tracer.
+
+        Called wherever an execution creates or re-binds a fresh stats
+        object.  With tracing disabled the hook stays ``None`` and the
+        stats object charges at full speed.
+        """
+        stats.trace_hook = self.on_charge if self.enabled else None
+
+    # ---------------------------------------------------------------- roots
+    def _finish_root(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.traces.append(record)
+            if self.sink is not None:
+                with open(self.sink, "a") as handle:
+                    json.dump(record.to_dict(), handle)
+                    handle.write("\n")
+
+    def pop_trace(self) -> SpanRecord | None:
+        """Remove and return the most recently completed root span."""
+        with self._lock:
+            return self.traces.pop() if self.traces else None
+
+    def clear(self) -> None:
+        """Drop every retained trace (the sink file is left alone)."""
+        with self._lock:
+            self.traces.clear()
+
+
+class NullTracer(SpanTracer):
+    """The shared always-disabled tracer standalone engines default to.
+
+    It refuses to be enabled: the singleton is shared by every engine
+    created without an explicit tracer, so enabling it would silently trace
+    unrelated engines.  Create a private :class:`SpanTracer` (or construct
+    the engine/service with tracing on) instead.
+    """
+
+    def __setattr__(self, name: str, value) -> None:
+        if name == "enabled" and value and hasattr(self, "enabled"):
+            raise ValueError(
+                "NULL_TRACER is shared and stays disabled; pass a "
+                "SpanTracer(enabled=True) to the engine or service instead"
+            )
+        super().__setattr__(name, value)
+
+
+NULL_TRACER = NullTracer()
+"""Module-wide disabled tracer; the default for standalone engines."""
+
+
+def tracer_from_config(config) -> SpanTracer:
+    """The tracer an engine/service resolves from its ``SystemConfig``.
+
+    Returns the shared :data:`NULL_TRACER` when ``config.tracing`` is off
+    (nothing to own, nothing to pay), and a fresh enabled tracer — with the
+    ``REPRO_TRACE`` sink path, when one was given — otherwise.
+    """
+    from repro.config import default_trace_sink
+
+    if not getattr(config, "tracing", False):
+        return NULL_TRACER
+    return SpanTracer(enabled=True, sink=default_trace_sink())

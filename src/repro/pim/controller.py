@@ -35,6 +35,7 @@ import math
 import numpy as np
 
 from repro.config import SystemConfig
+from repro.obs.trace import NULL_TRACER
 from repro.pim.arithmetic import BulkAggregationPlan
 from repro.pim.crossbar import CrossbarBank
 from repro.pim.logic import Program
@@ -44,9 +45,15 @@ from repro.pim.stats import PimStats
 class PimExecutor:
     """Executes PIM operations on a crossbar bank and accounts for them."""
 
-    def __init__(self, config: SystemConfig, stats: PimStats | None = None):
+    def __init__(
+        self, config: SystemConfig, stats: PimStats | None = None, tracer=None
+    ):
         self.config = config
         self.stats = stats if stats is not None else PimStats()
+        #: Span tracer for low-frequency executor-level operations (MUX
+        #: updates); per-request operations stay span-free — their charges
+        #: attribute to the enclosing stage span through the stats hook.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Program-execution strategy, resolved once.  ``batched`` runs
         # individual programs fused and additionally batches the per-subgroup
         # group-mask programs into multi-output kernels (see
@@ -64,7 +71,7 @@ class PimExecutor:
         to share between concurrently running shards because each engine
         execution rebinds ``self.stats``.
         """
-        return PimExecutor(self.config, stats)
+        return PimExecutor(self.config, stats, tracer=self.tracer)
 
     # ------------------------------------------------------------ properties
     @property
@@ -478,7 +485,8 @@ class PimExecutor:
         phase: str = "update",
     ) -> None:
         """Execute an Algorithm 1 MUX update program."""
-        self.run_program(bank, program, pages, phase=phase)
+        with self.tracer.span("mux-update", cycles=program.cycles, pages=pages):
+            self.run_program(bank, program, pages, phase=phase)
 
     # ------------------------------------------------------------ host writes
     def host_write_field(

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 
 
 @dataclass
@@ -56,6 +56,16 @@ class PimStats:
     power_samples: list[PowerSample] = field(default_factory=list)
     #: Maximum number of cell writes experienced by any single crossbar row.
     max_writes_per_row: int = 0
+    #: Observability hook (see :meth:`repro.obs.trace.SpanTracer.bind`):
+    #: when set, every :meth:`add_time`/:meth:`add_energy` charge is also
+    #: reported as ``hook(kind, key, value)`` so a tracer can attribute it
+    #: to the active span.  The merge paths bypass it deliberately —
+    #: folding already-charged stats (shard gather, DML roll-ups) must not
+    #: double-report.  Excluded from equality: two stats objects with
+    #: identical charges compare equal whether or not one was traced.
+    trace_hook: Callable[[str, str, float], None] | None = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ time
     def add_time(self, phase: str, seconds: float) -> None:
@@ -63,6 +73,8 @@ class PimStats:
         if seconds < 0:
             raise ValueError(f"negative time for phase {phase!r}: {seconds}")
         self.time_by_phase[phase] += seconds
+        if self.trace_hook is not None:
+            self.trace_hook("time", phase, seconds)
 
     @property
     def total_time_s(self) -> float:
@@ -75,6 +87,8 @@ class PimStats:
         if joules < 0:
             raise ValueError(f"negative energy for component {component!r}")
         self.energy_by_component[component] += joules
+        if self.trace_hook is not None:
+            self.trace_hook("energy", component, joules)
 
     @property
     def total_energy_j(self) -> float:

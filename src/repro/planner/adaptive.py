@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.db.query import Predicate, attributes_referenced
+from repro.obs.metrics import add_stats
 
 #: Accumulated relative estimation error (per column) that triggers an
 #: equi-depth histogram rebuild of that column.
@@ -74,17 +75,10 @@ class AdaptiveSnapshot:
     hot_pair: tuple[str, str] | None = None
 
     def __add__(self, other: AdaptiveSnapshot) -> AdaptiveSnapshot:
-        # Keep the hottest column/pair of the side that saw more volume —
-        # the snapshots carry no volumes, so first non-None wins (shards of
-        # one relation converge to the same column anyway).
-        return AdaptiveSnapshot(
-            self.observations + other.observations,
-            self.rebuilds + other.rebuilds,
-            self.pair_sketches + other.pair_sketches,
-            self.accumulated_error + other.accumulated_error,
-            self.hot_column if self.hot_column is not None else other.hot_column,
-            self.hot_pair if self.hot_pair is not None else other.hot_pair,
-        )
+        # Numeric counters sum; the hottest column/pair carry no volumes, so
+        # first non-None wins (shards of one relation converge to the same
+        # column anyway) — exactly the shared-algebra rule.
+        return add_stats(self, other)
 
 
 class AdaptiveController:

@@ -45,6 +45,7 @@ from collections.abc import Hashable
 import numpy as np
 
 from repro.db.query import BETWEEN, IN, And, Comparison, Or, Predicate
+from repro.obs.metrics import add_stats, sub_stats
 from repro.planner.zonemap import ZoneMaps
 
 #: Cached fragment masks kept per relation (fragments are small — a mask and
@@ -127,28 +128,13 @@ class CandidateCacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def __add__(self, other: CandidateCacheStats) -> CandidateCacheStats:
-        return CandidateCacheStats(
-            self.hits + other.hits,
-            self.misses + other.misses,
-            self.revalidations + other.revalidations,
-            self.stale_crossbars + other.stale_crossbars,
-            self.evictions + other.evictions,
-            self.entries_checked + other.entries_checked,
-            self.entries + other.entries,
-            self.capacity + other.capacity,
-        )
+        # Occupancy/capacity sum too: adding aggregates *distinct* caches.
+        return add_stats(self, other)
 
     def __sub__(self, other: CandidateCacheStats) -> CandidateCacheStats:
-        return CandidateCacheStats(
-            self.hits - other.hits,
-            self.misses - other.misses,
-            self.revalidations - other.revalidations,
-            self.stale_crossbars - other.stale_crossbars,
-            self.evictions - other.evictions,
-            self.entries_checked - other.entries_checked,
-            self.entries,
-            self.capacity,
-        )
+        # Subtracting deltas two snapshots of the *same* cache set, so the
+        # later snapshot's occupancy/capacity carry through unchanged.
+        return sub_stats(self, other, keep=("entries", "capacity"))
 
 
 @dataclass

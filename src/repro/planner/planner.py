@@ -35,6 +35,7 @@ from repro.db.compiler import CompilationError, partition_conjuncts
 from repro.db.query import Comparison, Predicate, Query, evaluate_predicate
 from repro.host import dram
 from repro.host.processor import cpu_time
+from repro.obs.trace import NULL_TRACER
 from repro.pim.stats import PimStats
 from repro.planner.adaptive import AdaptiveController, AdaptiveSnapshot
 from repro.planner.candidates import (
@@ -454,15 +455,26 @@ class CostPlanner:
 
     def route(self, query: Query, engine) -> PlanDecision:
         """Decide the route for one query on one (unsharded) engine."""
-        stored = engine.stored
-        statistics = getattr(stored, "statistics", None)
-        if statistics is None:
-            return PlanDecision("pim", 1.0, 0.0, float("inf"))
-        selectivity = statistics.estimate(query.predicate)
-        est_host = self._estimate_host(query, engine, selectivity)
-        est_pim = self._estimate_pim(query, engine, selectivity)
-        target = "host" if est_host < est_pim else "pim"
-        return PlanDecision(target, selectivity, est_pim, est_host)
+        tracer = getattr(engine, "tracer", NULL_TRACER)
+        with tracer.span("plan") as span:
+            stored = engine.stored
+            statistics = getattr(stored, "statistics", None)
+            if statistics is None:
+                decision = PlanDecision("pim", 1.0, 0.0, float("inf"))
+            else:
+                selectivity = statistics.estimate(query.predicate)
+                est_host = self._estimate_host(query, engine, selectivity)
+                est_pim = self._estimate_pim(query, engine, selectivity)
+                target = "host" if est_host < est_pim else "pim"
+                decision = PlanDecision(target, selectivity, est_pim, est_host)
+            if tracer.enabled:
+                span.set(
+                    target=decision.target,
+                    estimated_selectivity=decision.estimated_selectivity,
+                    est_pim_time_s=decision.est_pim_time_s,
+                    est_host_time_s=decision.est_host_time_s,
+                )
+            return decision
 
     # ------------------------------------------------------------- estimates
     def _estimate_host(self, query: Query, engine, selectivity: float) -> float:
@@ -578,6 +590,12 @@ def execute_host_scan(engine, query: Query, decision: PlanDecision | None = None
     hash aggregation of the selected records, charged through the same
     :class:`~repro.pim.stats.PimStats` the PIM path uses.
     """
+    tracer = getattr(engine, "tracer", NULL_TRACER)
+    with tracer.span("host-scan", label=engine.label):
+        return _execute_host_scan(engine, query, decision, tracer)
+
+
+def _execute_host_scan(engine, query: Query, decision, tracer):
     from repro.core.executor import QueryExecution
     from repro.host.aggregator import host_group_aggregate
     from repro.host.readpath import HostReadModel
@@ -586,6 +604,7 @@ def execute_host_scan(engine, query: Query, decision: PlanDecision | None = None
     config: SystemConfig = engine.config
     scale = engine.timing_scale
     stats = PimStats()
+    tracer.bind(stats)
     read_model = HostReadModel(config, stats, traffic_scale=scale)
 
     mask = evaluate_predicate(query.predicate, stored.relation)

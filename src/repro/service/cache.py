@@ -20,6 +20,7 @@ from repro.core.stages import ProgramCompiler
 from repro.db.encoding import RowLayout
 from repro.db.query import Predicate
 from repro.db.schema import Schema
+from repro.obs.metrics import sub_stats
 from repro.pim.logic import Program
 
 
@@ -54,13 +55,7 @@ class CacheStats:
         )
 
     def __sub__(self, other: CacheStats) -> CacheStats:
-        return CacheStats(
-            self.hits - other.hits,
-            self.misses - other.misses,
-            self.evictions - other.evictions,
-            self.capacity,
-            self.entries,
-        )
+        return sub_stats(self, other, keep=("capacity", "entries"))
 
 
 class ProgramCache(ProgramCompiler):

@@ -37,7 +37,12 @@ import time
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Mapping, Sequence
 
-from repro.config import SystemConfig, validate_backend
+from repro.config import (
+    SystemConfig,
+    default_trace_sink,
+    default_tracing,
+    validate_backend,
+)
 from repro.core.executor import PimQueryEngine, QueryExecution
 from repro.core.latency_model import GroupByCostModel
 from repro.core.parallel import ScatterPool
@@ -45,6 +50,9 @@ from repro.db import dml
 from repro.db.query import Predicate, Query
 from repro.db.relation import Relation
 from repro.db.storage import StoredRelation
+from repro.obs.explain import ExplainResult
+from repro.obs.trace import SpanTracer
+from repro.obs.wear import WearReport
 from repro.pim.controller import PimExecutor
 from repro.pim.module import PimModule
 from repro.pim.stats import PimStats
@@ -114,6 +122,8 @@ class QueryService:
         pruning: bool = True,
         planner: bool = True,
         scatter_workers: int | None = None,
+        tracing: bool | None = None,
+        trace_sink: str | None = None,
     ) -> None:
         """Create an empty service.
 
@@ -135,12 +145,24 @@ class QueryService:
                 kernels reuse its warm worker threads across queries and
                 batches.  Defaults to one worker per core; ``1`` keeps all
                 execution on the calling thread.
+            tracing: Record a hierarchical span trace for every served
+                query, DML call and compaction (see :mod:`repro.obs.trace`).
+                ``None`` follows the ``REPRO_TRACE`` environment variable;
+                the disabled path costs one branch per span site.
+                :meth:`explain` force-enables the tracer for its single
+                execution regardless of this setting.
+            trace_sink: JSONL path completed root spans are appended to;
+                defaults to the path named by ``REPRO_TRACE`` (if any).
         """
         self.cache = cache if cache is not None else ProgramCache(cache_capacity)
         self.vectorized = bool(vectorized)
         self.pruning = bool(pruning)
         self.planner_enabled = bool(planner)
         self.pool = ScatterPool(scatter_workers)
+        self.tracer = SpanTracer(
+            enabled=default_tracing() if tracing is None else bool(tracing),
+            sink=trace_sink if trace_sink is not None else default_trace_sink(),
+        )
         self._planner = CostPlanner()
         self._engines: dict[str, ServiceEngine] = {}
         self._executors: dict[str, ServiceExecutors] = {}
@@ -179,9 +201,10 @@ class QueryService:
             vectorized=self.vectorized,
             pruning=self.pruning,
             scatter_pool=self.pool,
+            tracer=self.tracer,
         )
         self._engines[name] = engine
-        self._executors[name] = PimExecutor(engine.config)
+        self._executors[name] = PimExecutor(engine.config, tracer=self.tracer)
         self._dml_counters[name] = self._fresh_counters()
         if default or self._default is None:
             self._default = name
@@ -257,6 +280,7 @@ class QueryService:
             max_workers=max_workers,
             planner=self._planner if self.planner_enabled else None,
             pool=self.pool if max_workers > 1 else None,
+            tracer=self.tracer,
         )
         self._engines[name] = engine
         self._executors[name] = engine.make_executors()
@@ -317,6 +341,41 @@ class QueryService:
         execution, _ = self._execute_routed(name, query)
         return execution
 
+    def explain(self, query: Query, relation: str | None = None) -> ExplainResult:
+        """EXPLAIN ANALYZE: execute ``query`` once and capture its span tree.
+
+        The execution is real — it runs on the cost-chosen route, warms the
+        caches and feeds the adaptive loop exactly like :meth:`execute` —
+        with the service's tracer force-enabled around it.  The returned
+        :class:`~repro.obs.explain.ExplainResult` carries the execution (and
+        its bit-exact rows) plus the trace; ``result.render()`` shows only
+        modelled quantities, so the text is identical across simulation
+        backends.
+        """
+        name = self._resolve(relation)
+        was_enabled = self.tracer.enabled
+        self.tracer.enabled = True
+        try:
+            execution, _ = self._execute_routed(name, query)
+            trace = self.tracer.pop_trace()
+        finally:
+            self.tracer.enabled = was_enabled
+        return ExplainResult(relation=name, execution=execution, trace=trace)
+
+    def wear_report(self, relation: str | None = None) -> WearReport:
+        """Point-in-time wear observatory of one registered relation.
+
+        Snapshots every crossbar bank's cumulative per-row write counters —
+        the distribution behind the Fig. 9 endurance scalar — as a
+        :class:`~repro.obs.wear.WearReport` (distributions, hottest
+        crossbars, ASCII heatmap, endurance/lifetime figures).
+        """
+        name = self._resolve(relation)
+        engine = self._engines[name]
+        if isinstance(engine, ShardedQueryEngine):
+            return WearReport.from_sharded(engine.sharded, label=name)
+        return WearReport.from_stored(engine.stored, label=name)
+
     def _execute_routed(self, name: str, query: Query):
         """Execute one query on its cost-chosen route.
 
@@ -326,15 +385,36 @@ class QueryService:
         independently through the engine's planner).
         """
         engine = self._engines[name]
-        if self.planner_enabled and isinstance(engine, PimQueryEngine):
-            decision = self._planner.route(query, engine)
-            if decision.target == "host":
-                self._host_routed_total += 1
-                return execute_host_scan(engine, query, decision), 1
-        execution = engine.execute(query, executor=self._executors[name])
-        host_routed = getattr(execution, "host_routed_shards", 0)
-        self._host_routed_total += host_routed
-        return execution, host_routed
+        with self.tracer.span("query", relation=name) as span:
+            if self.tracer.enabled:
+                cache_before = self.cache.snapshot()
+            if self.planner_enabled and isinstance(engine, PimQueryEngine):
+                decision = self._planner.route(query, engine)
+                if decision.target == "host":
+                    self._host_routed_total += 1
+                    execution = execute_host_scan(engine, query, decision)
+                    if self.tracer.enabled:
+                        self._annotate_query_span(span, execution, cache_before, "host")
+                    return execution, 1
+            execution = engine.execute(query, executor=self._executors[name])
+            host_routed = getattr(execution, "host_routed_shards", 0)
+            self._host_routed_total += host_routed
+            if self.tracer.enabled:
+                self._annotate_query_span(span, execution, cache_before, "pim")
+            return execution, host_routed
+
+    def _annotate_query_span(self, span, execution, cache_before, routed):
+        """Decision attributes of one served query's root span."""
+        cache_delta = self.cache.snapshot() - cache_before
+        span.set(
+            routed=routed,
+            label=execution.label,
+            cache_hits=cache_delta.hits,
+            cache_misses=cache_delta.misses,
+            crossbars_total=execution.crossbars_total,
+            crossbars_scanned=execution.crossbars_scanned,
+            result_rows=len(execution.rows),
+        )
 
     def execute_batch(
         self,
@@ -434,19 +514,24 @@ class QueryService:
         """
         name = self._resolve(relation)
         engine = self._engines[name]
-        executors = self._bind_dml_stats(name)
-        if isinstance(engine, ShardedQueryEngine):
-            result = sharded_dml.execute_sharded_insert(
-                engine.sharded, records, executors=executors
+        with self.tracer.span(
+            "dml-insert", relation=name, records=len(records)
+        ) as span:
+            executors = self._bind_dml_stats(name)
+            if isinstance(engine, ShardedQueryEngine):
+                result = sharded_dml.execute_sharded_insert(
+                    engine.sharded, records, executors=executors
+                )
+            else:
+                result = dml.execute_insert(engine.stored, records, executors[0])
+            self._dml_counters[name]["inserted"] += result.records_inserted
+            if self.tracer.enabled:
+                span.set(inserted=result.records_inserted)
+            return DmlOutcome(
+                result,
+                self._merge_dml_stats(executors, parallel=False),
+                [executor.stats.copy() for executor in executors],
             )
-        else:
-            result = dml.execute_insert(engine.stored, records, executors[0])
-        self._dml_counters[name]["inserted"] += result.records_inserted
-        return DmlOutcome(
-            result,
-            self._merge_dml_stats(executors, parallel=False),
-            [executor.stats.copy() for executor in executors],
-        )
 
     def delete(
         self, predicate: Predicate, relation: str | None = None
@@ -460,26 +545,31 @@ class QueryService:
         """
         name = self._resolve(relation)
         engine = self._engines[name]
-        executors = self._bind_dml_stats(name)
-        if isinstance(engine, ShardedQueryEngine):
-            result = sharded_dml.execute_sharded_delete(
-                engine.sharded, predicate,
-                executors=executors,
-                compiler=self.cache,
-                vectorized=self.vectorized,
+        with self.tracer.span("dml-delete", relation=name) as span:
+            executors = self._bind_dml_stats(name)
+            if isinstance(engine, ShardedQueryEngine):
+                result = sharded_dml.execute_sharded_delete(
+                    engine.sharded, predicate,
+                    executors=executors,
+                    compiler=self.cache,
+                    vectorized=self.vectorized,
+                )
+            else:
+                compiled = dml.compile_delete(
+                    engine.stored, predicate, compiler=self.cache
+                )
+                result = dml.execute_delete(
+                    engine.stored, predicate, executors[0],
+                    compiled=compiled, vectorized=self.vectorized,
+                )
+            self._dml_counters[name]["deleted"] += result.records_deleted
+            if self.tracer.enabled:
+                span.set(deleted=result.records_deleted)
+            return DmlOutcome(
+                result,
+                self._merge_dml_stats(executors, parallel=True),
+                [executor.stats.copy() for executor in executors],
             )
-        else:
-            compiled = dml.compile_delete(engine.stored, predicate, compiler=self.cache)
-            result = dml.execute_delete(
-                engine.stored, predicate, executors[0],
-                compiled=compiled, vectorized=self.vectorized,
-            )
-        self._dml_counters[name]["deleted"] += result.records_deleted
-        return DmlOutcome(
-            result,
-            self._merge_dml_stats(executors, parallel=True),
-            [executor.stats.copy() for executor in executors],
-        )
 
     def compact(
         self,
@@ -496,28 +586,31 @@ class QueryService:
         """
         name = self._resolve(relation)
         engine = self._engines[name]
-        executors = self._bind_dml_stats(name)
-        if isinstance(engine, ShardedQueryEngine):
-            result = sharded_dml.execute_sharded_compaction(
-                engine.sharded, executors=executors,
-                threshold=threshold, force=force, cluster_by=cluster_by,
+        with self.tracer.span("compact", relation=name) as span:
+            executors = self._bind_dml_stats(name)
+            if isinstance(engine, ShardedQueryEngine):
+                result = sharded_dml.execute_sharded_compaction(
+                    engine.sharded, executors=executors,
+                    threshold=threshold, force=force, cluster_by=cluster_by,
+                )
+                performed = result.shards_compacted
+                reclaimed = result.slots_reclaimed
+            else:
+                result = dml.execute_compaction(
+                    engine.stored, executors[0], threshold=threshold,
+                    force=force, cluster_by=cluster_by,
+                )
+                performed = int(result.performed)
+                reclaimed = result.slots_reclaimed
+            self._dml_counters[name]["compactions"] += performed
+            self._dml_counters[name]["slots_reclaimed"] += reclaimed
+            if self.tracer.enabled:
+                span.set(compactions=performed, slots_reclaimed=reclaimed)
+            return DmlOutcome(
+                result,
+                self._merge_dml_stats(executors, parallel=True),
+                [executor.stats.copy() for executor in executors],
             )
-            performed = result.shards_compacted
-            reclaimed = result.slots_reclaimed
-        else:
-            result = dml.execute_compaction(
-                engine.stored, executors[0], threshold=threshold, force=force,
-                cluster_by=cluster_by,
-            )
-            performed = int(result.performed)
-            reclaimed = result.slots_reclaimed
-        self._dml_counters[name]["compactions"] += performed
-        self._dml_counters[name]["slots_reclaimed"] += reclaimed
-        return DmlOutcome(
-            result,
-            self._merge_dml_stats(executors, parallel=True),
-            [executor.stats.copy() for executor in executors],
-        )
 
     def dml_stats(self, relation: str | None = None) -> DmlStats:
         """Live-row / tombstone / lifecycle counters of one relation."""
@@ -569,6 +662,7 @@ class QueryService:
             executors = [executors]
         for executor in executors:
             executor.stats = PimStats()
+            self.tracer.bind(executor.stats)
         return executors
 
     def _merge_dml_stats(

@@ -26,6 +26,7 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.core.executor import QueryExecution
+from repro.obs.metrics import MetricsRegistry, register_fields
 from repro.planner.adaptive import AdaptiveSnapshot
 from repro.planner.candidates import CandidateCacheStats
 from repro.service.cache import CacheStats
@@ -58,20 +59,30 @@ class ShardStats:
         """Summarise the sharded executions of a batch (``None`` if none)."""
         if not executions:
             return None
+        # A sharded execution whose shards were all pruned out reports no
+        # per-shard latencies or wear; the percentiles/max must not choke on
+        # those empty sequences.
         shard_latencies = np.array(
             [t for e in executions for t in e.shard_times_s], dtype=float
         )
         return cls(
             executions=len(executions),
             shards=max(e.shards for e in executions),
-            shard_p50_s=float(np.percentile(shard_latencies, 50)),
-            shard_p95_s=float(np.percentile(shard_latencies, 95)),
+            shard_p50_s=(
+                float(np.percentile(shard_latencies, 50))
+                if shard_latencies.size else 0.0
+            ),
+            shard_p95_s=(
+                float(np.percentile(shard_latencies, 95))
+                if shard_latencies.size else 0.0
+            ),
             parallel_speedup=float(
                 np.mean([e.parallel_speedup for e in executions])
             ),
             merge_time_s=float(sum(e.merge_time_s for e in executions)),
             max_shard_writes_per_row=max(
-                max(e.shard_writes_per_row) for e in executions
+                (max(e.shard_writes_per_row, default=0) for e in executions),
+                default=0,
             ),
         )
 
@@ -260,6 +271,94 @@ class ServiceStats:
             ),
             adaptive=AdaptiveStats.from_snapshot(adaptive),
         )
+
+    def metrics(self) -> MetricsRegistry:
+        """Every section's numeric fields as one :class:`MetricsRegistry`.
+
+        This is the machine-parseable counterpart of :meth:`describe`: each
+        section registers through the same
+        :func:`~repro.obs.metrics.register_fields` path (counters for the
+        accumulating fields, gauges for point-in-time ones), so the JSON and
+        Prometheus renderings stay in lockstep with the dataclass fields
+        without a hand-written formatter per section.
+        """
+        registry = MetricsRegistry()
+        register_fields(
+            registry,
+            self,
+            "service",
+            gauges=(
+                "wall_qps", "modelled_qps", "modelled_p50_s", "modelled_p95_s"
+            ),
+        )
+        if self.cache is not None:
+            register_fields(
+                registry,
+                self.cache,
+                "program_cache",
+                gauges=("capacity", "entries"),
+            )
+        if self.planner is not None:
+            register_fields(
+                registry,
+                self.planner,
+                "planner",
+                gauges=("estimated_selectivity", "actual_selectivity"),
+            )
+            if self.planner.candidates is not None:
+                register_fields(
+                    registry,
+                    self.planner.candidates,
+                    "candidate_cache",
+                    gauges=("entries", "capacity"),
+                )
+        if self.adaptive is not None:
+            a = self.adaptive
+            labels: dict[str, str] = {}
+            if a.hot_column is not None:
+                labels["hot_column"] = a.hot_column
+            if a.hot_pair is not None:
+                labels["hot_pair"] = "x".join(a.hot_pair)
+            register_fields(
+                registry,
+                a,
+                "adaptive",
+                labels=labels or None,
+                gauges=("accumulated_error",),
+            )
+        if self.sharded is not None:
+            register_fields(
+                registry,
+                self.sharded,
+                "sharded",
+                gauges=(
+                    "shards",
+                    "shard_p50_s",
+                    "shard_p95_s",
+                    "parallel_speedup",
+                    "max_shard_writes_per_row",
+                ),
+            )
+        if self.dml is not None:
+            register_fields(
+                registry,
+                self.dml,
+                "dml",
+                gauges=("live_rows", "tombstones", "slots_in_use", "capacity"),
+            )
+        return registry
+
+    def to_json(self) -> dict:
+        """JSON-serialisable export of every section (via :meth:`metrics`)."""
+        return self.metrics().to_json()
+
+    def render_json(self) -> str:
+        """:meth:`to_json` as an indented JSON document."""
+        return self.metrics().render_json()
+
+    def render_prometheus(self) -> str:
+        """Prometheus-style text exposition of the batch's metrics."""
+        return self.metrics().render_prometheus()
 
     def describe(self) -> str:
         """One-paragraph human-readable summary."""

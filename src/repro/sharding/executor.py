@@ -44,6 +44,7 @@ from repro.core.stages import ProgramCompiler
 from repro.db.compiler import CompilationError
 from repro.db.query import Query
 from repro.host.aggregator import merge_shard_rows
+from repro.obs.trace import NULL_SPAN, tracer_from_config
 from repro.pim.controller import PimExecutor
 from repro.pim.stats import PimStats
 from repro.planner.planner import CostPlanner, execute_host_scan
@@ -119,6 +120,7 @@ class ShardedQueryEngine:
         max_workers: int = 1,
         planner: CostPlanner | None = None,
         pool: ScatterPool | None = None,
+        tracer=None,
     ) -> None:
         """Create a scatter-gather engine over a sharded relation.
 
@@ -149,6 +151,11 @@ class ShardedQueryEngine:
                 across engines and batches).  ``None`` creates a private
                 pool of ``max_workers`` threads, owned — and closed — by
                 this engine.
+            tracer: A shared :class:`~repro.obs.trace.SpanTracer`; the
+                scatter opens one child span per shard (parented explicitly,
+                since pool workers start with an empty span context) and the
+                gather charges the merge span.  Defaults to the tracer
+                implied by ``config.tracing``.
         """
         self.sharded = sharded
         self.config = (
@@ -167,6 +174,7 @@ class ShardedQueryEngine:
         # maps run inline on the workers, so sharing cannot deadlock).
         self._owns_pool = pool is None
         self.pool = pool if pool is not None else ScatterPool(self.max_workers)
+        self.tracer = tracer if tracer is not None else tracer_from_config(self.config)
         self.shard_engines: list[PimQueryEngine] = [
             PimQueryEngine(
                 stored,
@@ -179,6 +187,7 @@ class ShardedQueryEngine:
                 vectorized=self.vectorized,
                 pruning=self.pruning,
                 scatter_pool=self.pool,
+                tracer=self.tracer,
             )
             for index, stored in enumerate(sharded.shards)
         ]
@@ -220,28 +229,43 @@ class ShardedQueryEngine:
         per-query stats to its own executor, which is what makes the
         thread-pool scatter safe.
         """
-        executors = self._resolve_executors(executor)
-        empty = self._prescatter_empty(query)
-        pooled: list[tuple[int, PimQueryEngine, PimExecutor]] = []
-        shard_executions: list[QueryExecution | None] = [None] * self.num_shards
-        for index, (engine, shard_executor) in enumerate(
-            zip(self.shard_engines, executors)
-        ):
-            if empty[index]:
-                # Provably-empty shard: only the (memoized) zone-map check
-                # runs, so it executes inline instead of occupying a pool
-                # slot — the execution and its stats are unchanged.
-                shard_executions[index] = self._execute_shard(
-                    query, engine, shard_executor
+        with self.tracer.span(
+            "execute", label=self.label, shards=self.num_shards
+        ) as span:
+            executors = self._resolve_executors(executor)
+            empty = self._prescatter_empty(query)
+            pooled: list[tuple[int, PimQueryEngine, PimExecutor]] = []
+            shard_executions: list[QueryExecution | None] = [None] * self.num_shards
+            with self.tracer.span("scatter") as scatter:
+                for index, (engine, shard_executor) in enumerate(
+                    zip(self.shard_engines, executors)
+                ):
+                    if empty[index]:
+                        # Provably-empty shard: only the (memoized) zone-map
+                        # check runs, so it executes inline instead of
+                        # occupying a pool slot — the execution and its stats
+                        # are unchanged.
+                        shard_executions[index] = self._execute_shard(
+                            query, index, engine, shard_executor, scatter
+                        )
+                    else:
+                        pooled.append((index, engine, shard_executor))
+                results = self.pool.map(
+                    lambda work: self._execute_shard(
+                        query, work[0], work[1], work[2], scatter
+                    ),
+                    pooled,
                 )
-            else:
-                pooled.append((index, engine, shard_executor))
-        results = self.pool.map(
-            lambda work: self._execute_shard(query, work[1], work[2]), pooled
-        )
-        for (index, _, _), execution in zip(pooled, results):
-            shard_executions[index] = execution
-        return self._gather(query, shard_executions)
+                for (index, _, _), execution in zip(pooled, results):
+                    shard_executions[index] = execution
+            merged = self._gather(query, shard_executions)
+            if self.tracer.enabled:
+                span.set(
+                    shards_skipped=merged.shards_skipped,
+                    host_routed_shards=merged.host_routed_shards,
+                    parallel_speedup=merged.parallel_speedup,
+                )
+            return merged
 
     def _prescatter_empty(self, query: Query) -> list[bool]:
         """Cross-shard candidate mask: which shards are provably empty.
@@ -276,8 +300,10 @@ class ShardedQueryEngine:
     def _execute_shard(
         self,
         query: Query,
+        index: int,
         engine: PimQueryEngine,
         shard_executor: PimExecutor,
+        parent=None,
     ) -> QueryExecution:
         """Run one shard of the scatter, cost-routing it when a planner is set.
 
@@ -285,12 +311,18 @@ class ShardedQueryEngine:
         from (or small residual shards) stream through the host while the
         selective shards stay on PIM — the per-shard twin of the service's
         whole-relation routing.
+
+        ``parent`` is the scatter span: pool worker threads start with an
+        empty span context, so the shard span cannot inherit it implicitly.
         """
-        if self.planner is not None:
-            decision = self.planner.route(query, engine)
-            if decision.target == "host":
-                return execute_host_scan(engine, query, decision)
-        return engine.execute(query, executor=shard_executor)
+        with self.tracer.span(
+            "shard", parent=parent if parent is not NULL_SPAN else None, shard=index
+        ):
+            if self.planner is not None:
+                decision = self.planner.route(query, engine)
+                if decision.target == "host":
+                    return execute_host_scan(engine, query, decision)
+            return engine.execute(query, executor=shard_executor)
 
     # ---------------------------------------------------------------- gather
     def _gather(
@@ -298,17 +330,26 @@ class ShardedQueryEngine:
     ) -> ShardedQueryExecution:
         """Merge per-shard executions: results, latency model and metadata."""
         stats = PimStats()
-        stats.merge_parallel(
-            [execution.stats for execution in shard_executions], phase="scatter"
-        )
-        scatter_time = stats.total_time_s
-        rows = merge_shard_rows(
-            [execution.rows for execution in shard_executions],
-            query.aggregates,
-            config=self.config.host,
-            stats=stats,
-        )
-        merge_time = stats.total_time_s - scatter_time
+        with self.tracer.span("merge", shards=len(shard_executions)) as span:
+            # The merged stats re-state the shards' charges under the sharded
+            # latency model (max-over-shards + gather), so the merge span is
+            # the only place they are recorded — the per-shard spans already
+            # carry each shard's own charges.
+            self.tracer.bind(stats)
+            stats.merge_parallel(
+                [execution.stats for execution in shard_executions],
+                phase="scatter",
+            )
+            scatter_time = stats.total_time_s
+            rows = merge_shard_rows(
+                [execution.rows for execution in shard_executions],
+                query.aggregates,
+                config=self.config.host,
+                stats=stats,
+            )
+            merge_time = stats.total_time_s - scatter_time
+            if self.tracer.enabled:
+                span.set(scatter_max_s=scatter_time, merge_s=merge_time)
         serial_time = sum(e.stats.total_time_s for e in shard_executions)
         # Per-shard selectivities are live-row fractions, so the global
         # figure weights them by live rows (tombstones select nothing).

@@ -17,6 +17,7 @@ EXAMPLES = [
     "examples/derived_attribute_in_memory.py",
     "examples/service_batch.py",
     "examples/sharded_service.py",
+    "examples/trace_query.py",
 ]
 
 

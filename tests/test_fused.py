@@ -158,7 +158,7 @@ def test_adder_depth_below_cycles_and_consistent():
     build_ripple_add(builder, [0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11])
     program = builder.build()
     dag = program.ir()
-    assert set(column for column, _ in dag.outputs) == {8, 9, 10, 11}
+    assert {column for column, _ in dag.outputs} == {8, 9, 10, 11}
     assert 0 < dag.depth < program.cycles
     assert _recomputed_depth(dag) == dag.depth == program.depth
     refinement = refine_program_latency(program, DEFAULT_CONFIG)

@@ -67,10 +67,10 @@ def test_aggregate_with_circuit_requires_enabled_circuit():
 
 
 def test_bulk_bitwise_aggregation_costs_more_than_circuit():
-    plan_kwargs = dict(
-        rows=16, field_offset=0, field_width=12, mask_column=20,
-        acc_offset=40, operand_offset=70, scratch_columns=range(100, 128),
-    )
+    plan_kwargs = {
+        "rows": 16, "field_offset": 0, "field_width": 12, "mask_column": 20,
+        "acc_offset": 40, "operand_offset": 70, "scratch_columns": range(100, 128),
+    }
     bank_a = _bank(seed=5)
     circuit = PimExecutor(DEFAULT_CONFIG)
     expected = circuit.aggregate_with_circuit(bank_a, 0, 12, 20, 40, pages=4)
